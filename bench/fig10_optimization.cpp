@@ -1,0 +1,87 @@
+// Reproduces Figure 10: execution time of the adapted and optimized schemes
+// relative to the native build (lower is better; 1.00 = native parity).
+// Shows the LTO+PGO gains/losses per workload and the paper's callouts.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+namespace {
+
+int run_system(const sysmodel::SystemProfile& system, const char* paper_claims) {
+  std::printf("=== %s ===\n", system.name.c_str());
+  std::printf("%-16s %10s %10s %12s\n", "workload", "adapted", "optimized",
+              "opt-vs-adapted");
+
+  workloads::Evaluation world(system);
+  double sum_adapted_rel = 0, sum_optimized_rel = 0;
+  double best_gain = -1e9, worst_gain = 1e9;
+  std::string best_name, worst_name;
+  int count = 0;
+
+  for (const workloads::AppSpec& app : workloads::corpus()) {
+    auto prepared = world.prepare(app);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare(%s): %s\n", app.name.c_str(),
+                   prepared.error().to_string().c_str());
+      return 1;
+    }
+    for (const workloads::WorkloadInput& input : app.inputs) {
+      auto times = world.run_schemes(app, prepared.value(), input, system.nodes);
+      if (!times.ok()) {
+        std::fprintf(stderr, "run(%s): %s\n", input.display_name(app.name).c_str(),
+                     times.error().to_string().c_str());
+        return 1;
+      }
+      double adapted_rel = times.value().adapted / times.value().native;
+      double optimized_rel = times.value().optimized / times.value().native;
+      // Gain of the advanced optimizations over the adapted scheme (the
+      // per-workload LTO+PGO effect the paper discusses).
+      double gain = (1.0 - times.value().optimized / times.value().adapted) * 100.0;
+      std::string name = input.display_name(app.name);
+      std::printf("%-16s %9.3fx %9.3fx %+10.1f%%\n", name.c_str(), adapted_rel,
+                  optimized_rel, gain);
+      sum_adapted_rel += adapted_rel;
+      sum_optimized_rel += optimized_rel;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_name = name;
+      }
+      if (gain < worst_gain) {
+        worst_gain = gain;
+        worst_name = name;
+      }
+      ++count;
+    }
+  }
+  const double n = count;
+  std::printf("\n  mean relative to native: adapted %.3fx | optimized %.3fx\n",
+              sum_adapted_rel / n, sum_optimized_rel / n);
+  std::printf("  mean LTO+PGO effect vs adapted: %+.1f%%\n",
+              (1.0 - (sum_optimized_rel / n) / (sum_adapted_rel / n)) * 100.0);
+  std::printf("  best:  %-14s %+.1f%%\n  worst: %-14s %+.1f%%\n", best_name.c_str(),
+              best_gain, worst_name.c_str(), worst_gain);
+  std::printf("  paper: %s\n\n", paper_claims);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 10 — relative execution time to native builds\n\n");
+  if (run_system(sysmodel::SystemProfile::x86_cluster(),
+                 "LTO+PGO add 8% over adapted, 3.4% over native; best openmx.pt13 "
+                 "+30.4%; worst lammps.chain -12.1%") != 0) {
+    return 1;
+  }
+  if (run_system(sysmodel::SystemProfile::aarch64_cluster(),
+                 "LTO+PGO add 5.6% over adapted, 3% over native; best lammps.lj "
+                 "+17.7%; worst hpcg -14.9%") != 0) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Reproduces Figure 11 and §5.5 (attempts to cross ISA):
+//  1. For every workload, the build-script line changes needed to cross from
+//     x86-64 to AArch64 via coMtainer (drop ISA-specific flags) versus via
+//     traditional cross-compilation (cross toolchain, sysroot, triplets).
+//  2. Actually performs the coMtainer cross-ISA flow for each portable app:
+//     build the extended image on x86-64, rebuild + redirect it on the
+//     AArch64 system with the cross-ISA adapter, and run the result.
+//  3. Demonstrates that ISA-locked applications fail honestly.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "buildexec/builder.hpp"
+#include "core/backend.hpp"
+#include "dockerfile/dockerfile.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+namespace {
+
+/// Runs the whole cross-ISA pipeline for one app; returns the AArch64
+/// execution time, or the failure.
+Result<double> cross_pipeline(const workloads::AppSpec& app, bool use_portable_script) {
+  const sysmodel::SystemProfile& target = sysmodel::SystemProfile::aarch64_cluster();
+  oci::Layout layout;
+  // User side is an x86-64 machine; system side is the AArch64 cluster.
+  COMT_TRY_STATUS(workloads::install_user_images(layout, "amd64"));
+  COMT_TRY_STATUS(workloads::install_system_images(layout, target));
+
+  std::string script = use_portable_script
+                           ? workloads::dockerfile_cross_comt(app, "amd64")
+                           : workloads::dockerfile_text(app, "amd64", true);
+  COMT_TRY(dockerfile::Dockerfile file, dockerfile::parse(script));
+  buildexec::ImageBuilder builder(layout);
+  builder.set_apt_source(&workloads::ubuntu_repo("amd64"));
+  buildexec::BuildRecord record;
+  std::string dist_tag = app.name + ".dist";
+  COMT_TRY(oci::Image dist,
+           builder.build(file, workloads::build_context(app), dist_tag, "", &record));
+  (void)dist;
+  COMT_TRY(oci::Image build_stage, layout.find_image(dist_tag + ".stage0"));
+  COMT_TRY(vfs::Filesystem build_rootfs, layout.flatten(build_stage));
+  COMT_TRY(oci::Image extended,
+           core::comtainer_build(layout, dist_tag, workloads::base_tag("amd64"), record,
+                                 build_rootfs));
+  (void)extended;
+
+  // System side: cross-ISA rebuild.
+  core::CrossIsaAdapter cross;
+  core::LibraryAdapter libo;
+  core::ToolchainAdapter cxxo;
+  core::RebuildOptions rebuild_options;
+  rebuild_options.system = &target;
+  rebuild_options.system_repo = &workloads::system_repo(target);
+  rebuild_options.sysenv_tag = workloads::sysenv_tag(target);
+  rebuild_options.adapters = {&cross, &libo, &cxxo};
+  COMT_TRY(core::RebuildReport rebuilt,
+           core::comtainer_rebuild(layout, dist_tag + "+coM", rebuild_options));
+  (void)rebuilt;
+
+  core::RedirectOptions redirect_options;
+  redirect_options.system = &target;
+  redirect_options.system_repo = &workloads::system_repo(target);
+  redirect_options.rebase_tag = workloads::rebase_tag(target);
+  COMT_TRY(core::RedirectReport redirected,
+           core::comtainer_redirect(layout, dist_tag + "+coMre", redirect_options));
+
+  COMT_TRY(vfs::Filesystem rootfs, layout.flatten(redirected.image));
+  sysmodel::ExecutionEngine engine(target);
+  COMT_TRY(sysmodel::RunReport report,
+           engine.run(rootfs, app.binary_path(),
+                      app.inputs.front().run_request(target.nodes)));
+  return report.seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 11 / §5.5 — crossing ISAs: x86-64 images on the AArch64 system\n\n");
+  std::printf("%-10s %9s %9s %9s %9s   %s\n", "app", "comt +", "comt -", "xbuild +",
+              "xbuild -", "cross-ISA rebuild");
+
+  double comt_total = 0, xbuild_total = 0;
+  int crossed = 0;
+  for (const workloads::AppSpec& app : workloads::corpus()) {
+    std::string original = workloads::dockerfile_text(app, "amd64", true);
+    std::string comt_script = workloads::dockerfile_cross_comt(app, "amd64");
+    std::string xbuild_script = workloads::dockerfile_xbuild(app, "amd64", "arm64");
+    auto [comt_added, comt_deleted] = dockerfile::line_diff(original, comt_script);
+    auto [xb_added, xb_deleted] = dockerfile::line_diff(original, xbuild_script);
+
+    std::string outcome;
+    if (app.isa_locked) {
+      // Expected to fail even with the portable script: the source tree
+      // itself pins the ISA. Demonstrate with the unmodified script.
+      auto attempt = cross_pipeline(app, /*use_portable_script=*/false);
+      outcome = attempt.ok() ? "UNEXPECTEDLY OK"
+                             : "fails (ISA-specific sources)";
+    } else {
+      auto attempt = cross_pipeline(app, /*use_portable_script=*/true);
+      if (attempt.ok()) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof buffer, "ok, runs in %.2fs on AArch64",
+                      attempt.value());
+        outcome = buffer;
+        comt_total += comt_added + comt_deleted;
+        xbuild_total += xb_added + xb_deleted;
+        ++crossed;
+      } else {
+        outcome = "FAILED: " + attempt.error().message;
+      }
+    }
+    std::printf("%-10s %9d %9d %9d %9d   %s\n", app.name.c_str(), comt_added,
+                comt_deleted, xb_added, xb_deleted, outcome.c_str());
+  }
+
+  if (crossed > 0) {
+    std::printf("\n  %d of %zu apps crossed; avg script changes: coMtainer %.1f lines "
+                "vs cross-build %.1f lines\n",
+                crossed, workloads::corpus().size(), comt_total / crossed,
+                xbuild_total / crossed);
+  }
+  std::printf("  paper: ~5 lines with coMtainer vs ~47 with cross-compilation "
+              "(10%% of the effort); ISA-locked apps fail\n");
+  return 0;
+}

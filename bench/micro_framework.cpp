@@ -1,0 +1,136 @@
+// Framework micro-benchmarks (google-benchmark): the coMtainer machinery
+// costs the paper treats qualitatively — image flattening, layer packing,
+// digesting, GCC command-line parsing, build-graph serialization, dependency
+// resolution, and the full user-side/system-side pipeline stages.
+#include <benchmark/benchmark.h>
+
+#include "core/backend.hpp"
+#include "core/frontend.hpp"
+#include "pkg/pkg.hpp"
+#include "support/sha256.hpp"
+#include "tar/tar.hpp"
+#include "toolchain/options.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+namespace {
+
+const workloads::AppSpec& lammps() {
+  const workloads::AppSpec* app = workloads::find_app("lammps");
+  COMT_ASSERT(app != nullptr, "lammps missing");
+  return *app;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hex_digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_TarPackUnpack(benchmark::State& state) {
+  vfs::Filesystem tree = workloads::build_context(lammps());
+  for (auto _ : state) {
+    std::string blob = tar::pack(tree);
+    auto back = tar::unpack(blob);
+    benchmark::DoNotOptimize(back.ok());
+  }
+}
+BENCHMARK(BM_TarPackUnpack);
+
+void BM_GccCommandParse(benchmark::State& state) {
+  std::vector<std::string> argv = {
+      "gcc",  "-O3",      "-march=x86-64-v3", "-mtune=native", "-ffast-math",
+      "-fno-math-errno", "-funroll-loops",   "-flto=auto",    "-fprofile-use=prof",
+      "-Wall", "-Wextra", "-Wno-unused-parameter", "-Iinclude", "-I/usr/local/include",
+      "-DNDEBUG", "-DUSE_MPI=1", "-c", "kernel.cc", "-o", "kernel.o"};
+  for (auto _ : state) {
+    auto parsed = toolchain::parse_command(argv);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_GccCommandParse);
+
+void BM_GccCommandRoundTrip(benchmark::State& state) {
+  std::vector<std::string> argv = {"g++", "-O2", "-std=c++20", "-fPIC", "-shared",
+                                   "a.o", "b.o", "-Ldeps", "-lblas", "-lm",
+                                   "-Wl,-rpath,/opt/lib", "-o", "libx.so"};
+  auto parsed = toolchain::parse_command(argv);
+  COMT_ASSERT(parsed.ok(), "parse failed");
+  for (auto _ : state) {
+    auto rendered = parsed.value().render();
+    auto reparsed = toolchain::parse_command(rendered);
+    benchmark::DoNotOptimize(reparsed.ok());
+  }
+}
+BENCHMARK(BM_GccCommandRoundTrip);
+
+void BM_DependencyResolve(benchmark::State& state) {
+  const pkg::Repository& repo = workloads::ubuntu_repo("amd64");
+  for (auto _ : state) {
+    auto plan = pkg::resolve(repo, {"build-essential", "libscalapack", "libelpa",
+                                    "libxc", "mpich"});
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_DependencyResolve);
+
+void BM_ImageFlatten(benchmark::State& state) {
+  workloads::Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  auto prepared = world.prepare(lammps());
+  COMT_ASSERT(prepared.ok(), "prepare failed");
+  auto image = world.layout().find_image(prepared.value().dist_tag);
+  COMT_ASSERT(image.ok(), "image missing");
+  for (auto _ : state) {
+    auto rootfs = world.layout().flatten(image.value());
+    benchmark::DoNotOptimize(rootfs.ok());
+  }
+}
+BENCHMARK(BM_ImageFlatten);
+
+void BM_UserSidePipeline(benchmark::State& state) {
+  // Full user-side flow: two-stage image build + analysis + cache layer.
+  const workloads::AppSpec* app = workloads::find_app("lulesh");
+  for (auto _ : state) {
+    workloads::Evaluation world(sysmodel::SystemProfile::x86_cluster());
+    auto prepared = world.prepare(*app);
+    benchmark::DoNotOptimize(prepared.ok());
+  }
+}
+BENCHMARK(BM_UserSidePipeline)->Unit(benchmark::kMillisecond);
+
+void BM_SystemSideRebuild(benchmark::State& state) {
+  const workloads::AppSpec* app = workloads::find_app("lulesh");
+  workloads::Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  auto prepared = world.prepare(*app);
+  COMT_ASSERT(prepared.ok(), "prepare failed");
+  for (auto _ : state) {
+    auto tag = world.adapt(*app, prepared.value());
+    benchmark::DoNotOptimize(tag.ok());
+  }
+}
+BENCHMARK(BM_SystemSideRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_BuildGraphSerialize(benchmark::State& state) {
+  workloads::Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  auto prepared = world.prepare(lammps());
+  COMT_ASSERT(prepared.ok(), "prepare failed");
+  auto extended = world.layout().find_image(prepared.value().extended_tag);
+  auto rootfs = world.layout().flatten(extended.value());
+  auto bundle = core::load_cache(rootfs.value());
+  COMT_ASSERT(bundle.ok(), "cache load failed");
+  for (auto _ : state) {
+    std::string text = json::serialize(bundle.value().models.graph.to_json());
+    auto parsed = json::parse(text);
+    auto graph = core::BuildGraph::from_json(parsed.value());
+    benchmark::DoNotOptimize(graph.ok());
+  }
+}
+BENCHMARK(BM_BuildGraphSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Cross-ISA workflow (§5.5): take an extended image built on an x86-64
+// workstation and, without touching the user side again, rebuild + redirect
+// it on the AArch64 cluster. The cross-ISA adapter strips the build script's
+// x86 machine flags; the AArch64 Sysenv supplies toolchain and libraries.
+// Also demonstrates the honest failure mode: an app whose build generates an
+// ISA-locked configuration header refuses to cross.
+#include <cstdio>
+
+#include "buildexec/builder.hpp"
+#include "core/backend.hpp"
+#include "dockerfile/dockerfile.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+namespace {
+
+Result<double> try_cross(const workloads::AppSpec& app, bool portable_script) {
+  const sysmodel::SystemProfile& target = sysmodel::SystemProfile::aarch64_cluster();
+  oci::Layout layout;
+  COMT_TRY_STATUS(workloads::install_user_images(layout, "amd64"));
+  COMT_TRY_STATUS(workloads::install_system_images(layout, target));
+
+  // --- user side: x86-64 workstation -----------------------------------------
+  std::string script = portable_script
+                           ? workloads::dockerfile_cross_comt(app, "amd64")
+                           : workloads::dockerfile_text(app, "amd64", true);
+  COMT_TRY(dockerfile::Dockerfile file, dockerfile::parse(script));
+  buildexec::ImageBuilder builder(layout);
+  builder.set_apt_source(&workloads::ubuntu_repo("amd64"));
+  buildexec::BuildRecord record;
+  std::string tag = app.name + ".dist";
+  COMT_TRY(oci::Image dist,
+           builder.build(file, workloads::build_context(app), tag, "", &record));
+  (void)dist;
+  COMT_TRY(oci::Image stage, layout.find_image(tag + ".stage0"));
+  COMT_TRY(vfs::Filesystem build_rootfs, layout.flatten(stage));
+  COMT_TRY(oci::Image extended,
+           core::comtainer_build(layout, tag, workloads::base_tag("amd64"), record,
+                                 build_rootfs));
+  (void)extended;
+
+  // --- system side: AArch64 cluster -------------------------------------------
+  core::CrossIsaAdapter cross;
+  core::LibraryAdapter libo;
+  core::ToolchainAdapter cxxo;
+  core::RebuildOptions rebuild;
+  rebuild.system = &target;
+  rebuild.system_repo = &workloads::system_repo(target);
+  rebuild.sysenv_tag = workloads::sysenv_tag(target);
+  rebuild.adapters = {&cross, &libo, &cxxo};
+  COMT_TRY(core::RebuildReport rebuilt, core::comtainer_rebuild(layout, tag + "+coM", rebuild));
+  (void)rebuilt;
+
+  core::RedirectOptions redirect;
+  redirect.system = &target;
+  redirect.system_repo = &workloads::system_repo(target);
+  redirect.rebase_tag = workloads::rebase_tag(target);
+  COMT_TRY(core::RedirectReport redirected,
+           core::comtainer_redirect(layout, tag + "+coMre", redirect));
+
+  COMT_TRY(vfs::Filesystem rootfs, layout.flatten(redirected.image));
+  sysmodel::ExecutionEngine engine(target);
+  COMT_TRY(sysmodel::RunReport report,
+           engine.run(rootfs, app.binary_path(),
+                      app.inputs.front().run_request(target.nodes)));
+  return report.seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== cross-ISA: x86-64 extended images rebuilt on the AArch64 cluster ==\n\n");
+
+  // A portable app, with the (slightly modified) build script — succeeds.
+  const workloads::AppSpec* comd = workloads::find_app("comd");
+  auto ok = try_cross(*comd, /*portable_script=*/true);
+  if (ok.ok()) {
+    std::printf("comd:   crossed x86-64 -> AArch64, runs in %.2fs on 16 nodes\n",
+                ok.value());
+  } else {
+    std::printf("comd:   FAILED: %s\n", ok.error().to_string().c_str());
+    return 1;
+  }
+
+  // The same app with its unmodified x86 build script (carries -mavx2):
+  // the cross-ISA adapter strips machine flags, so this also crosses.
+  auto flags = try_cross(*comd, /*portable_script=*/false);
+  std::printf("comd*:  unmodified x86 script %s (adapter strips -mavx2/-mfma)\n",
+              flags.ok() ? "still crosses" : flags.error().to_string().c_str());
+
+  // An ISA-locked app (generated arch_tune.h pins x86_64) — fails honestly.
+  const workloads::AppSpec* hpl = workloads::find_app("hpl");
+  auto locked = try_cross(*hpl, /*portable_script=*/false);
+  if (!locked.ok()) {
+    std::printf("hpl:    refused as expected: %s\n", locked.error().message.c_str());
+  } else {
+    std::printf("hpl:    unexpectedly crossed!\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the full coMtainer workflow for one application (LULESH),
+// mirroring the paper's artifact walkthrough (§Appendix B.2):
+//
+//   1. build the two-stage image with coMtainer Env/Base bases (user side)
+//   2. coMtainer-build  -> extended image  (<tag>+coM)
+//   3. push/pull through a registry
+//   4. coMtainer-rebuild -> rebuilt image  (<tag>+coMre)   (system side)
+//   5. coMtainer-redirect -> optimized image (<tag>+opt)
+//   6. run original vs optimized and compare.
+#include <cstdio>
+
+#include "core/backend.hpp"
+#include "registry/registry.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+int main() {
+  const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
+  const workloads::AppSpec* app = workloads::find_app("lulesh");
+  if (app == nullptr) {
+    std::fprintf(stderr, "lulesh missing from corpus\n");
+    return 1;
+  }
+
+  std::printf("== coMtainer quickstart: %s on %s ==\n\n", app->name.c_str(),
+              system.name.c_str());
+
+  // --- user side -------------------------------------------------------------
+  workloads::Evaluation world(system);
+  auto prepared = world.prepare(*app);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", prepared.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[user]   built %s (%.1f MiB) and extended image %s (+%.2f MiB cache)\n",
+              prepared.value().dist_tag.c_str(),
+              workloads::to_sim_mib(prepared.value().image_bytes),
+              prepared.value().extended_tag.c_str(),
+              workloads::to_sim_mib(prepared.value().cache_layer_bytes));
+
+  // --- distribution ------------------------------------------------------------
+  registry::Registry hub;
+  auto pushed = hub.push(world.layout(), prepared.value().extended_tag, "demo/lulesh",
+                         "latest");
+  if (!pushed.ok()) {
+    std::fprintf(stderr, "push failed: %s\n", pushed.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[hub]    pushed %s (%zu blobs stored)\n",
+              prepared.value().extended_tag.c_str(), hub.stats().blobs);
+
+  // --- system side -------------------------------------------------------------
+  auto adapted_tag = world.adapt(*app, prepared.value());
+  if (!adapted_tag.ok()) {
+    std::fprintf(stderr, "rebuild/redirect failed: %s\n",
+                 adapted_tag.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[system] rebuilt and redirected -> %s\n", adapted_tag.value().c_str());
+
+  const workloads::WorkloadInput& input = app->inputs.front();
+  auto original = world.run_image(prepared.value().dist_tag, input, system.nodes);
+  auto adapted = world.run_image(adapted_tag.value(), input, system.nodes);
+  if (!original.ok() || !adapted.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 (!original.ok() ? original.error() : adapted.error()).to_string().c_str());
+    return 1;
+  }
+  std::printf("\n  original image : %7.2f s\n", original.value());
+  std::printf("  adapted image  : %7.2f s   (%.0f%% faster)\n", adapted.value(),
+              (original.value() / adapted.value() - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "core/adapters.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace comt::core {
+
+Status ToolchainAdapter::adapt_graph(BuildGraph& graph,
+                                     const AdapterContext& context) const {
+  if (context.system == nullptr) {
+    return make_error(Errc::invalid_argument, "cxxo: no target system in context");
+  }
+  for (GraphNode& node : graph.nodes()) {
+    if (!node.compile.has_value()) continue;
+    toolchain::CompileCommand& command = *node.compile;
+    // Redirect the invocation to the system's native compiler. MPI wrapper
+    // identity is preserved so the implicit -lmpi behavior survives.
+    std::string base = path_basename(command.program);
+    command.program = std::string(kSystemToolchainDir) + "/" + base;
+    // Compile for the hardware the system vendor tunes for.
+    command.march = context.system->native_march;
+    command.mtune.clear();
+    command.opt_level = std::max(command.opt_level, 3);
+    node.toolchain_id = context.system->native_toolchain;
+  }
+  return Status::success();
+}
+
+void LibraryAdapter::adapt_packages(std::map<std::string, std::string>& replacements,
+                                    const ImageModel& image,
+                                    const AdapterContext& context) const {
+  if (context.system_repo == nullptr) return;
+  for (const RuntimePackage& package : image.runtime_packages) {
+    const pkg::Package* candidate = context.system_repo->find(package.name);
+    if (candidate == nullptr) continue;
+    if (candidate->variant == pkg::Variant::optimized &&
+        package.variant != "optimized") {
+      replacements[package.name] = candidate->name;
+    }
+  }
+}
+
+bool LtoAdapter::in_scope(const GraphNode& node) const {
+  if (scope_.empty()) return true;
+  for (const std::string& fragment : scope_) {
+    if (contains(node.path, fragment)) return true;
+    for (const std::string& input : node.compile->inputs) {
+      if (contains(input, fragment)) return true;
+    }
+  }
+  return false;
+}
+
+Status LtoAdapter::adapt_graph(BuildGraph& graph, const AdapterContext&) const {
+  // The whole build process is explicit graph data, so LTO can be switched
+  // on per node: the full graph by default (the evaluation's setting), or
+  // any scoped subset. Link commands always get -flto so whatever IR arrives
+  // participates — mirroring GCC, objects compiled without -flto simply
+  // don't.
+  for (GraphNode& node : graph.nodes()) {
+    if (!node.compile.has_value()) continue;
+    bool is_link = node.kind == NodeKind::executable || node.kind == NodeKind::shared_lib;
+    if (!is_link && !in_scope(node)) continue;
+    node.compile->lto = true;
+    node.compile->opt_level = std::max(node.compile->opt_level, 2);
+  }
+  return Status::success();
+}
+
+Status CrossIsaAdapter::adapt_graph(BuildGraph& graph,
+                                    const AdapterContext& context) const {
+  if (context.system == nullptr) {
+    return make_error(Errc::invalid_argument, "cross-isa: no target system in context");
+  }
+  for (GraphNode& node : graph.nodes()) {
+    if (!node.compile.has_value()) continue;
+    toolchain::CompileCommand& command = *node.compile;
+    // Drop source-ISA machine options wholesale; the target system's
+    // toolchain defaults (or a later ToolchainAdapter) pick the new ISA.
+    command.march.clear();
+    command.mtune.clear();
+    std::erase_if(command.generic, [](const toolchain::GenericOption& option) {
+      return option.category == toolchain::OptionCategory::machine;
+    });
+  }
+  return Status::success();
+}
+
+Status LayoutAdapter::adapt_artifact(toolchain::LinkedImage& artifact,
+                                     const AdapterContext&) const {
+  // Layout optimization needs a profile to know what is hot; without one
+  // (the feedback run produced nothing) it is a no-op, like running BOLT
+  // without perf data.
+  if (artifact.codegen.pgo_quality <= 0) return Status::success();
+  artifact.codegen.layout_optimized = true;
+  for (toolchain::ObjectCode& object : artifact.objects) {
+    if (object.codegen.pgo_quality > 0) object.codegen.layout_optimized = true;
+  }
+  return Status::success();
+}
+
+std::vector<std::unique_ptr<SystemAdapter>> adapted_scheme() {
+  std::vector<std::unique_ptr<SystemAdapter>> adapters;
+  adapters.push_back(std::make_unique<LibraryAdapter>());
+  adapters.push_back(std::make_unique<ToolchainAdapter>());
+  return adapters;
+}
+
+std::vector<std::unique_ptr<SystemAdapter>> optimized_scheme() {
+  std::vector<std::unique_ptr<SystemAdapter>> adapters = adapted_scheme();
+  adapters.push_back(std::make_unique<LtoAdapter>());
+  adapters.push_back(std::make_unique<PgoAdapter>());
+  return adapters;
+}
+
+}  // namespace comt::core

@@ -1,0 +1,137 @@
+// System adapters (§4.2): the "optimization passes" of the coMtainer
+// toolset. Each adapter transforms an independent copy of the process models
+// for one target HPC system — rewriting compilation models (toolchain, ISA,
+// LTO/PGO flags) and proposing package replacements. Adapters are plugins;
+// the built-ins cover the setups the paper evaluates:
+//   ToolchainAdapter  — cxxo: recompile with the system's native compiler
+//   LibraryAdapter    — libo: swap generic packages for optimized variants
+//   LtoAdapter        — enable link-time optimization across the graph
+//   PgoAdapter        — request the automated profile-feedback rebuild loop
+//   CrossIsaAdapter   — strip ISA-specific machine flags for cross-ISA moves
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/models.hpp"
+#include "pkg/pkg.hpp"
+#include "support/error.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "toolchain/artifact.hpp"
+
+namespace comt::core {
+
+/// Directory where Sysenv images install the system's native compilers
+/// (kept separate from /usr/bin so rebuilds without the toolchain adapter
+/// still use the generic toolchain — the ablation the motivation figure
+/// needs).
+inline constexpr std::string_view kSystemToolchainDir = "/opt/system/bin";
+
+struct AdapterContext {
+  const sysmodel::SystemProfile* system = nullptr;
+  const pkg::Repository* system_repo = nullptr;
+};
+
+class SystemAdapter {
+ public:
+  virtual ~SystemAdapter() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Rewrites compilation models in place.
+  virtual Status adapt_graph(BuildGraph& graph, const AdapterContext& context) const {
+    (void)graph;
+    (void)context;
+    return Status::success();
+  }
+
+  /// Adds package replacements: original package name -> system package
+  /// name (often identical — the system repo carries optimized builds under
+  /// the same names).
+  virtual void adapt_packages(std::map<std::string, std::string>& replacements,
+                              const ImageModel& image,
+                              const AdapterContext& context) const {
+    (void)replacements;
+    (void)image;
+    (void)context;
+  }
+
+  /// True if the rebuild should run the instrumented binary on the system
+  /// and feed the profile back (the automated PGO loop of §4.4).
+  virtual bool wants_profile_feedback() const { return false; }
+
+  /// Post-link hook: transforms a freshly rebuilt executable/shared-library
+  /// artifact in place (binary-level optimizations like BOLT that operate
+  /// after compilation — the "further optimizations" §5.3 points at).
+  virtual Status adapt_artifact(toolchain::LinkedImage& artifact,
+                                const AdapterContext& context) const {
+    (void)artifact;
+    (void)context;
+    return Status::success();
+  }
+};
+
+class ToolchainAdapter final : public SystemAdapter {
+ public:
+  std::string_view name() const override { return "cxxo"; }
+  Status adapt_graph(BuildGraph& graph, const AdapterContext& context) const override;
+};
+
+class LibraryAdapter final : public SystemAdapter {
+ public:
+  std::string_view name() const override { return "libo"; }
+  void adapt_packages(std::map<std::string, std::string>& replacements,
+                      const ImageModel& image,
+                      const AdapterContext& context) const override;
+};
+
+class LtoAdapter final : public SystemAdapter {
+ public:
+  /// Full-scope LTO (the evaluation's configuration).
+  LtoAdapter() = default;
+  /// Scoped LTO: only nodes whose path contains one of `scope` participate.
+  /// §4.4: because the whole build process is explicit graph data, coMtainer
+  /// "can flexibly control its scope" — e.g. restrict the (expensive) link-
+  /// time optimization to the hot subsystem of a large application.
+  explicit LtoAdapter(std::vector<std::string> scope) : scope_(std::move(scope)) {}
+
+  std::string_view name() const override { return "lto"; }
+  Status adapt_graph(BuildGraph& graph, const AdapterContext& context) const override;
+
+ private:
+  bool in_scope(const GraphNode& node) const;
+  std::vector<std::string> scope_;  ///< empty = whole graph
+};
+
+class PgoAdapter final : public SystemAdapter {
+ public:
+  std::string_view name() const override { return "pgo"; }
+  bool wants_profile_feedback() const override { return true; }
+};
+
+class CrossIsaAdapter final : public SystemAdapter {
+ public:
+  std::string_view name() const override { return "cross-isa"; }
+  Status adapt_graph(BuildGraph& graph, const AdapterContext& context) const override;
+};
+
+/// Post-link binary layout optimization (BOLT-like). Requires a training
+/// profile (shares the PGO feedback run); reorders hot code in the final
+/// binaries, recorded as CodegenInfo::layout_optimized.
+class LayoutAdapter final : public SystemAdapter {
+ public:
+  std::string_view name() const override { return "layout"; }
+  bool wants_profile_feedback() const override { return true; }
+  Status adapt_artifact(toolchain::LinkedImage& artifact,
+                        const AdapterContext& context) const override;
+};
+
+/// The adapter set producing the paper's "adapted" scheme (libo + cxxo).
+std::vector<std::unique_ptr<SystemAdapter>> adapted_scheme();
+/// The adapter set producing the paper's "optimized" scheme (+ LTO + PGO).
+std::vector<std::unique_ptr<SystemAdapter>> optimized_scheme();
+
+}  // namespace comt::core

@@ -1,0 +1,298 @@
+#include "core/backend.hpp"
+
+#include <set>
+
+#include "buildexec/builder.hpp"
+#include "buildexec/container.hpp"
+#include "core/frontend.hpp"
+#include "support/strings.hpp"
+#include "toolchain/driver.hpp"
+
+namespace comt::core {
+namespace {
+
+constexpr std::string_view kRebuildMetaPath = "/.coMtainer/rebuild-meta.json";
+
+json::Value replacements_to_json(const std::map<std::string, std::string>& replacements) {
+  json::Object object;
+  for (const auto& [from, to] : replacements) object.emplace_back(from, json::Value(to));
+  return json::Value(std::move(object));
+}
+
+std::map<std::string, std::string> replacements_from_json(const json::Value& value) {
+  std::map<std::string, std::string> out;
+  if (!value.is_object()) return out;
+  for (const auto& [from, to] : value.as_object()) {
+    if (to.is_string()) out[from] = to.as_string();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string base_tag_of(std::string_view tag) {
+  for (std::string_view suffix : {kRedirectedSuffix, kRebuiltSuffix, kExtendedSuffix}) {
+    if (ends_with(tag, suffix)) return std::string(tag.substr(0, tag.size() - suffix.size()));
+  }
+  return std::string(tag);
+}
+
+Result<oci::Image> comtainer_build(oci::Layout& layout, std::string_view dist_tag,
+                                   std::string_view base_tag,
+                                   const buildexec::BuildRecord& record,
+                                   const vfs::Filesystem& build_rootfs,
+                                   const CacheOptions& cache_options) {
+  COMT_TRY(oci::Image dist, layout.find_image(dist_tag));
+  COMT_TRY(oci::Image base, layout.find_image(base_tag));
+
+  AnalysisInput input;
+  input.record = &record;
+  input.layout = &layout;
+  input.dist_image = &dist;
+  input.dist_base = &base;
+  COMT_TRY(ProcessModels models, analyze(input));
+  models.image.image_tag = std::string(dist_tag);
+
+  COMT_TRY(vfs::Filesystem cache_layer,
+           make_cache_layer(models, record, build_rootfs, cache_options));
+  std::string extended_tag = std::string(dist_tag) + std::string(kExtendedSuffix);
+  return layout.append_layer(dist, cache_layer, "coMtainer-build", extended_tag);
+}
+
+Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view extended_tag,
+                                        const RebuildOptions& options) {
+  if (options.system == nullptr || options.system_repo == nullptr) {
+    return make_error(Errc::invalid_argument, "rebuild: missing system or repository");
+  }
+  COMT_TRY(oci::Image extended, layout.find_image(extended_tag));
+  COMT_TRY(vfs::Filesystem extended_rootfs, layout.flatten(extended));
+  COMT_TRY(CacheBundle bundle, load_cache(extended_rootfs));
+
+  // Adapters operate on an independent copy of the models (§4.2).
+  BuildGraph graph = bundle.models.graph;
+  AdapterContext context{options.system, options.system_repo};
+  RebuildReport report;
+  bool want_profile = false;
+  for (const SystemAdapter* adapter : options.adapters) {
+    COMT_TRY_STATUS(adapter->adapt_graph(graph, context));
+    adapter->adapt_packages(report.package_replacements, bundle.models.image, context);
+    want_profile = want_profile || adapter->wants_profile_feedback();
+  }
+
+  // The rebuild container: the system's build environment.
+  buildexec::ImageBuilder builder(layout);
+  builder.set_apt_source(options.system_repo);
+  COMT_TRY(buildexec::Container container, builder.container_from(options.sysenv_tag));
+
+  // Materialize every build input from the cache at its recorded path.
+  // Inputs absent from the cache must be environment-provided files
+  // (package-owned libraries): the Sysenv container supplies its own —
+  // optimized — builds of those at the same paths.
+  for (const GraphNode& node : graph.nodes()) {
+    if (!node.is_leaf() || node.content_digest.empty()) continue;
+    auto source = bundle.sources.find(node.content_digest);
+    if (source == bundle.sources.end()) {
+      if (container.rootfs().exists(node.path)) continue;
+      return make_error(Errc::corrupt, "rebuild: cache is missing input " + node.path +
+                                           " and the system provides no substitute");
+    }
+    COMT_TRY_STATUS(container.rootfs().write_file(node.path, source->second));
+  }
+
+  COMT_TRY(std::vector<int> order, graph.topological_order());
+  auto execute_graph = [&](bool profile_generate, bool profile_use) -> Status {
+    for (int id : order) {
+      const GraphNode& node = graph.node(id);
+      if (node.is_leaf()) continue;
+      container.set_cwd(node.cwd.empty() ? "/" : node.cwd);
+      Status status = Status::success();
+      if (node.compile.has_value()) {
+        toolchain::CompileCommand command = *node.compile;
+        if (profile_generate) {
+          command.profile_generate = true;
+          command.profile_use.clear();
+        }
+        if (profile_use) {
+          command.profile_generate = false;
+          command.profile_use = ".";
+        }
+        status = container.run_argv(command.render());
+      } else if (!node.archive_argv.empty()) {
+        status = container.run_argv(node.archive_argv);
+      }
+      if (!status.ok()) {
+        return make_error(status.error().code,
+                          "rebuild of node " + std::to_string(id) + " (" + node.path +
+                              "): " + status.error().message);
+      }
+      ++report.nodes_executed;
+    }
+    return Status::success();
+  };
+
+  if (want_profile) {
+    // Pass 1: instrumented build.
+    COMT_TRY_STATUS(execute_graph(/*profile_generate=*/true, /*profile_use=*/false));
+    // Trial runs on the target system produce the profiles.
+    sysmodel::ExecutionEngine engine(*options.system);
+    for (int id : graph.roots()) {
+      const GraphNode& node = graph.node(id);
+      if (node.kind != NodeKind::executable) continue;
+      auto run = engine.run(container.rootfs(), node.path, options.profile_run);
+      if (!run.ok()) {
+        return make_error(run.error().code,
+                          "PGO trial run of " + node.path + ": " + run.error().message);
+      }
+      if (!run.value().profile_blob.empty()) {
+        std::string cwd = node.cwd.empty() ? "/" : node.cwd;
+        COMT_TRY_STATUS(container.rootfs().write_file(
+            path_join(cwd, toolchain::kDefaultProfileName), run.value().profile_blob));
+      }
+    }
+    // Pass 2: profile-guided build.
+    COMT_TRY_STATUS(execute_graph(/*profile_generate=*/false, /*profile_use=*/true));
+    report.profile_feedback = true;
+  } else {
+    COMT_TRY_STATUS(execute_graph(false, false));
+  }
+
+  // Post-link artifact transformations (binary-level optimizations such as
+  // the BOLT-style layout adapter) run on the rebuilt linked images.
+  for (int id : graph.roots()) {
+    const GraphNode& node = graph.node(id);
+    if (node.kind != NodeKind::executable && node.kind != NodeKind::shared_lib) continue;
+    auto blob = container.rootfs().read_file(node.path);
+    if (!blob.ok() || !toolchain::is_image_blob(blob.value())) continue;
+    COMT_TRY(toolchain::LinkedImage artifact, toolchain::parse_image(blob.value()));
+    bool changed = false;
+    for (const SystemAdapter* adapter : options.adapters) {
+      toolchain::LinkedImage before = artifact;
+      COMT_TRY_STATUS(adapter->adapt_artifact(artifact, context));
+      changed = changed || !(artifact == before);
+    }
+    if (changed) {
+      COMT_TRY_STATUS(container.rootfs().write_file(
+          node.path, toolchain::serialize_image(artifact), 0755));
+    }
+  }
+
+  // Collect the rebuild layer: the rebuilt content of every build-produced
+  // file of the application image, stored under /.coMtainer/rebuild at the
+  // file's original image path.
+  vfs::Filesystem rebuild_layer;
+  for (const ImageFileEntry& entry : bundle.models.image.files) {
+    if (entry.origin != FileOrigin::build_process || entry.build_node < 0) continue;
+    const GraphNode& node = graph.node(entry.build_node);
+    auto content = container.rootfs().read_file(node.path);
+    if (!content.ok()) {
+      return make_error(Errc::failed,
+                        "rebuild: expected output missing from rebuild container: " +
+                            node.path);
+    }
+    COMT_TRY_STATUS(rebuild_layer.write_file(std::string(kRebuildDir) + entry.path,
+                                             std::move(content).value(), 0755));
+    ++report.files_rebuilt;
+  }
+  COMT_TRY_STATUS(rebuild_layer.write_file(
+      std::string(kRebuildMetaPath),
+      json::serialize(replacements_to_json(report.package_replacements))));
+
+  std::string rebuilt_tag = base_tag_of(extended_tag) + std::string(kRebuiltSuffix);
+  COMT_TRY(report.image,
+           layout.append_layer(extended, rebuild_layer, "coMtainer-rebuild", rebuilt_tag));
+  return report;
+}
+
+Result<RedirectReport> comtainer_redirect(oci::Layout& layout, std::string_view source_tag,
+                                          const RedirectOptions& options) {
+  if (options.system_repo == nullptr) {
+    return make_error(Errc::invalid_argument, "redirect: missing system repository");
+  }
+  COMT_TRY(oci::Image source, layout.find_image(source_tag));
+  COMT_TRY(vfs::Filesystem source_rootfs, layout.flatten(source));
+  COMT_TRY(CacheBundle bundle, load_cache(source_rootfs));
+  const ImageModel& model = bundle.models.image;
+
+  // Package replacements: from the rebuild layer when present, plus any the
+  // caller supplies (redirect-only flows).
+  std::map<std::string, std::string> replacements = options.package_replacements;
+  if (source_rootfs.is_regular(kRebuildMetaPath)) {
+    COMT_TRY(std::string meta_text, source_rootfs.read_file(kRebuildMetaPath));
+    COMT_TRY(json::Value meta, json::parse(meta_text));
+    for (const auto& [from, to] : replacements_from_json(meta)) {
+      replacements.emplace(from, to);
+    }
+  }
+
+  COMT_TRY(oci::Image rebase, layout.find_image(options.rebase_tag));
+  COMT_TRY(vfs::Filesystem rebase_rootfs, layout.flatten(rebase));
+  buildexec::Container container(std::move(rebase_rootfs), rebase.config,
+                                 options.system_repo);
+
+  RedirectReport report;
+
+  // Install the application's runtime dependencies. A package is taken from
+  // the system repository only when an adapter proposed the substitution
+  // (the libo decision); otherwise — and when the system repo lacks it —
+  // the original image's files are carried over unchanged, so un-adapted
+  // redirects preserve the generic stack exactly.
+  for (const RuntimePackage& package : model.runtime_packages) {
+    auto replacement = replacements.find(package.name);
+    if (replacement != replacements.end() &&
+        options.system_repo->find(replacement->second) != nullptr) {
+      COMT_TRY_STATUS(
+          container.run_argv({"apt-get", "install", "-y", replacement->second}));
+      ++report.packages_installed;
+    } else {
+      for (const ImageFileEntry& entry : model.files) {
+        if (entry.origin == FileOrigin::package_manager &&
+            entry.owner_package == package.name &&
+            !container.rootfs().exists(entry.path)) {
+          COMT_TRY_STATUS(
+              container.rootfs().copy_from(source_rootfs, entry.path, entry.path));
+        }
+      }
+    }
+  }
+
+  // Place application files at their original paths: rebuilt content where a
+  // rebuild layer provides it, otherwise the original image's bytes.
+  for (const ImageFileEntry& entry : model.files) {
+    switch (entry.origin) {
+      case FileOrigin::base_image:
+      case FileOrigin::package_manager:
+        break;  // supplied by the Rebase image / installed packages
+      case FileOrigin::build_process: {
+        std::string rebuilt_path = std::string(kRebuildDir) + entry.path;
+        if (source_rootfs.is_regular(rebuilt_path)) {
+          COMT_TRY(std::string content, source_rootfs.read_file(rebuilt_path));
+          COMT_TRY_STATUS(
+              container.rootfs().write_file(entry.path, std::move(content), 0755));
+          ++report.files_from_rebuild;
+        } else {
+          COMT_TRY_STATUS(
+              container.rootfs().copy_from(source_rootfs, entry.path, entry.path));
+          ++report.files_from_original;
+        }
+        break;
+      }
+      case FileOrigin::data:
+      case FileOrigin::unknown:
+        COMT_TRY_STATUS(
+            container.rootfs().copy_from(source_rootfs, entry.path, entry.path));
+        ++report.files_from_original;
+        break;
+    }
+  }
+
+  // The optimized image keeps the application's runtime configuration.
+  container.config().config = source.config.config;
+
+  buildexec::ImageBuilder builder(layout);
+  std::string optimized_tag = base_tag_of(source_tag) + std::string(kRedirectedSuffix);
+  COMT_TRY(report.image,
+           builder.commit(container, rebase, "coMtainer-redirect", optimized_tag));
+  return report;
+}
+
+}  // namespace comt::core

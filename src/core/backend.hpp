@@ -1,0 +1,85 @@
+// The coMtainer back-end (§4.1/§4.2), system side:
+//
+//  comtainer_build    — user side: analyze the recorded build + images, add
+//                       the cache layer, tag "<tag>+coM" (extended image).
+//  comtainer_rebuild  — system side: in a Sysenv container, re-execute the
+//                       (adapter-transformed) build graph with the system's
+//                       toolchain and software stack; collect the results in
+//                       a rebuild layer, tag "<tag>+coMre" (rebuilt image).
+//                       When a PGO adapter is active, runs the automated
+//                       instrument -> execute -> recompile feedback loop.
+//  comtainer_redirect — system side: in a fresh Rebase container, install
+//                       (optimized) runtime packages, place the rebuilt or
+//                       original application files at their original paths,
+//                       and commit the final optimized image, "<tag>+opt".
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buildexec/record.hpp"
+#include "core/adapters.hpp"
+#include "core/cache.hpp"
+#include "core/models.hpp"
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+#include "sysmodel/sysmodel.hpp"
+
+namespace comt::core {
+
+/// User-side coMtainer-build. `dist_tag` is the application image built by
+/// the two-stage Dockerfile, `base_tag` the dist stage's base image; the
+/// build record and the build stage's final root filesystem come from the
+/// hijacking build container. Returns the extended image ("<dist_tag>+coM").
+Result<oci::Image> comtainer_build(oci::Layout& layout, std::string_view dist_tag,
+                                   std::string_view base_tag,
+                                   const buildexec::BuildRecord& record,
+                                   const vfs::Filesystem& build_rootfs,
+                                   const CacheOptions& cache_options = {});
+
+struct RebuildOptions {
+  const sysmodel::SystemProfile* system = nullptr;
+  const pkg::Repository* system_repo = nullptr;
+  std::string sysenv_tag;  ///< Sysenv image tag in the layout
+  std::vector<const SystemAdapter*> adapters;
+  /// Input for the PGO feedback run (should mirror the deployment input).
+  sysmodel::RunRequest profile_run;
+};
+
+/// Diagnostics from a rebuild (how many nodes re-ran, profile feedback, …).
+struct RebuildReport {
+  oci::Image image;               ///< the rebuilt image ("…+coMre")
+  std::size_t nodes_executed = 0;
+  std::size_t files_rebuilt = 0;
+  bool profile_feedback = false;
+  std::map<std::string, std::string> package_replacements;
+};
+
+Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view extended_tag,
+                                        const RebuildOptions& options);
+
+struct RedirectOptions {
+  const sysmodel::SystemProfile* system = nullptr;
+  const pkg::Repository* system_repo = nullptr;
+  std::string rebase_tag;  ///< Rebase image tag in the layout
+  /// Extra package replacements applied even without a rebuild layer
+  /// (redirect-only flows, e.g. the motivation figure's libo step).
+  std::map<std::string, std::string> package_replacements;
+};
+
+struct RedirectReport {
+  oci::Image image;  ///< the optimized image ("…+opt")
+  std::size_t packages_installed = 0;
+  std::size_t files_from_rebuild = 0;
+  std::size_t files_from_original = 0;
+};
+
+Result<RedirectReport> comtainer_redirect(oci::Layout& layout, std::string_view source_tag,
+                                          const RedirectOptions& options);
+
+/// Strips the "+coM"/"+coMre"/"+opt" suffix from a tag.
+std::string base_tag_of(std::string_view tag);
+
+}  // namespace comt::core

@@ -1,0 +1,31 @@
+// The coMtainer front-end (§4.2): parses the raw build process recorded by
+// the hijacker plus the produced images into the three process models.
+#pragma once
+
+#include "buildexec/record.hpp"
+#include "core/models.hpp"
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+
+namespace comt::core {
+
+struct AnalysisInput {
+  const buildexec::BuildRecord* record = nullptr;  ///< the hijacker's log
+  const oci::Layout* layout = nullptr;             ///< holds both images
+  const oci::Image* dist_image = nullptr;          ///< the application image
+  const oci::Image* dist_base = nullptr;           ///< the dist stage's base
+};
+
+/// Builds the process models: a BuildGraph from the recorded invocations and
+/// an ImageModel classifying every dist-image file by provenance.
+Result<ProcessModels> analyze(const AnalysisInput& input);
+
+/// Builds just the build graph (exposed for tests and tools).
+Result<BuildGraph> build_graph_from_record(const buildexec::BuildRecord& record);
+
+/// Classifies the dist image's files against a base image, a build graph and
+/// the image's own package database.
+Result<ImageModel> classify_image(const oci::Layout& layout, const oci::Image& dist,
+                                  const oci::Image& base, const BuildGraph& graph);
+
+}  // namespace comt::core

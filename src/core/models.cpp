@@ -1,0 +1,312 @@
+#include "core/models.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace comt::core {
+namespace {
+
+json::Value strings_to_json(const std::vector<std::string>& items) {
+  json::Array array;
+  for (const std::string& item : items) array.emplace_back(item);
+  return json::Value(std::move(array));
+}
+
+std::vector<std::string> strings_from_json(const json::Value* value) {
+  std::vector<std::string> out;
+  if (value == nullptr || !value->is_array()) return out;
+  for (const json::Value& item : value->as_array()) {
+    if (item.is_string()) out.push_back(item.as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::source: return "source";
+    case NodeKind::object: return "object";
+    case NodeKind::archive: return "archive";
+    case NodeKind::shared_lib: return "shared_lib";
+    case NodeKind::executable: return "executable";
+    case NodeKind::data: return "data";
+  }
+  return "?";
+}
+
+Result<NodeKind> node_kind_from_name(std::string_view name) {
+  if (name == "source") return NodeKind::source;
+  if (name == "object") return NodeKind::object;
+  if (name == "archive") return NodeKind::archive;
+  if (name == "shared_lib") return NodeKind::shared_lib;
+  if (name == "executable") return NodeKind::executable;
+  if (name == "data") return NodeKind::data;
+  return make_error(Errc::invalid_argument, "unknown node kind: " + std::string(name));
+}
+
+json::Value GraphNode::to_json() const {
+  json::Object object;
+  object.emplace_back("id", json::Value(id));
+  object.emplace_back("kind", json::Value(node_kind_name(kind)));
+  object.emplace_back("path", json::Value(path));
+  object.emplace_back("digest", json::Value(content_digest));
+  json::Array deps_json;
+  for (int dep : deps) deps_json.emplace_back(dep);
+  object.emplace_back("deps", json::Value(std::move(deps_json)));
+  if (compile.has_value()) object.emplace_back("compile", compile->to_json());
+  if (!archive_argv.empty()) object.emplace_back("archive", strings_to_json(archive_argv));
+  if (!toolchain_id.empty()) object.emplace_back("toolchain", json::Value(toolchain_id));
+  if (!cwd.empty()) object.emplace_back("cwd", json::Value(cwd));
+  return json::Value(std::move(object));
+}
+
+Result<GraphNode> GraphNode::from_json(const json::Value& value) {
+  GraphNode node;
+  node.id = static_cast<int>(value.get_int("id", -1));
+  COMT_TRY(node.kind, node_kind_from_name(value.get_string("kind")));
+  node.path = value.get_string("path");
+  node.content_digest = value.get_string("digest");
+  if (const json::Value* deps = value.find("deps"); deps != nullptr && deps->is_array()) {
+    for (const json::Value& dep : deps->as_array()) {
+      node.deps.push_back(static_cast<int>(dep.as_int()));
+    }
+  }
+  if (const json::Value* compile = value.find("compile"); compile != nullptr) {
+    COMT_TRY(toolchain::CompileCommand command,
+             toolchain::CompileCommand::from_json(*compile));
+    node.compile = std::move(command);
+  }
+  node.archive_argv = strings_from_json(value.find("archive"));
+  node.toolchain_id = value.get_string("toolchain");
+  node.cwd = value.get_string("cwd");
+  return node;
+}
+
+int BuildGraph::add_node(GraphNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  for (int dep : node.deps) {
+    COMT_ASSERT(dep >= 0 && dep < node.id, "graph edge must point to an earlier node");
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+const GraphNode& BuildGraph::node(int id) const {
+  COMT_ASSERT(id >= 0 && id < static_cast<int>(nodes_.size()), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+GraphNode& BuildGraph::node(int id) {
+  COMT_ASSERT(id >= 0 && id < static_cast<int>(nodes_.size()), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int BuildGraph::find_by_path(std::string_view path) const {
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    if (it->path == path) return it->id;
+  }
+  return -1;
+}
+
+int BuildGraph::find_by_digest(std::string_view digest) const {
+  if (digest.empty()) return -1;
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    if (it->content_digest == digest) return it->id;
+  }
+  return -1;
+}
+
+Result<std::vector<int>> BuildGraph::topological_order() const {
+  // Construction already forbids forward edges, so node order is a valid
+  // topological order; emitted explicitly so transformed graphs (which may
+  // reorder) still verify.
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  std::vector<int> state(nodes_.size(), 0);
+  for (const GraphNode& node : nodes_) {
+    for (int dep : node.deps) {
+      if (dep < 0 || dep >= static_cast<int>(nodes_.size())) {
+        return make_error(Errc::corrupt, "graph edge out of range");
+      }
+      if (dep >= node.id) {
+        return make_error(Errc::corrupt, "graph contains a forward edge (cycle)");
+      }
+    }
+    order.push_back(node.id);
+  }
+  (void)state;
+  return order;
+}
+
+std::vector<int> BuildGraph::roots() const {
+  std::vector<bool> has_dependent(nodes_.size(), false);
+  for (const GraphNode& node : nodes_) {
+    for (int dep : node.deps) has_dependent[static_cast<std::size_t>(dep)] = true;
+  }
+  std::vector<int> out;
+  for (const GraphNode& node : nodes_) {
+    if (!has_dependent[static_cast<std::size_t>(node.id)]) out.push_back(node.id);
+  }
+  return out;
+}
+
+std::vector<int> BuildGraph::closure(int id) const {
+  std::vector<int> out;
+  std::set<int> seen;
+  std::vector<int> stack = {id};
+  while (!stack.empty()) {
+    int current = stack.back();
+    stack.pop_back();
+    if (!seen.insert(current).second) continue;
+    out.push_back(current);
+    for (int dep : node(current).deps) stack.push_back(dep);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string BuildGraph::to_dot() const {
+  std::string out = "digraph build {\n  rankdir=LR;\n";
+  for (const GraphNode& node : nodes_) {
+    out += "  n" + std::to_string(node.id) + " [label=\"" + node.path + "\\n(" +
+           node_kind_name(node.kind) + ")\"];\n";
+  }
+  for (const GraphNode& node : nodes_) {
+    for (int dep : node.deps) {
+      out += "  n" + std::to_string(dep) + " -> n" + std::to_string(node.id) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+json::Value BuildGraph::to_json() const {
+  json::Array nodes_json;
+  for (const GraphNode& node : nodes_) nodes_json.push_back(node.to_json());
+  json::Object object;
+  object.emplace_back("nodes", json::Value(std::move(nodes_json)));
+  return json::Value(std::move(object));
+}
+
+Result<BuildGraph> BuildGraph::from_json(const json::Value& value) {
+  const json::Value* nodes_json = value.find("nodes");
+  if (nodes_json == nullptr || !nodes_json->is_array()) {
+    return make_error(Errc::invalid_argument, "build graph: missing nodes");
+  }
+  BuildGraph graph;
+  for (const json::Value& item : nodes_json->as_array()) {
+    COMT_TRY(GraphNode node, GraphNode::from_json(item));
+    int expected = static_cast<int>(graph.size());
+    if (node.id != expected) {
+      return make_error(Errc::corrupt, "build graph: non-contiguous node ids");
+    }
+    // Deserialized data is untrusted: validate the DAG property here rather
+    // than relying on add_node's programmer-error assertion.
+    for (int dep : node.deps) {
+      if (dep < 0 || dep >= expected) {
+        return make_error(Errc::corrupt,
+                          "build graph: node " + std::to_string(expected) +
+                              " has forward or out-of-range edge " + std::to_string(dep));
+      }
+    }
+    graph.add_node(std::move(node));
+  }
+  return graph;
+}
+
+const char* file_origin_name(FileOrigin origin) {
+  switch (origin) {
+    case FileOrigin::base_image: return "base";
+    case FileOrigin::package_manager: return "package";
+    case FileOrigin::build_process: return "build";
+    case FileOrigin::data: return "data";
+    case FileOrigin::unknown: return "unknown";
+  }
+  return "?";
+}
+
+json::Value ImageFileEntry::to_json() const {
+  json::Object object;
+  object.emplace_back("path", json::Value(path));
+  object.emplace_back("origin", json::Value(file_origin_name(origin)));
+  // Truncated digests: enough to disambiguate within one image, and they
+  // keep the serialized model (hence the cache layer) compact.
+  object.emplace_back("digest", json::Value(digest.substr(0, 16)));
+  object.emplace_back("size", json::Value(size));
+  if (!owner_package.empty()) object.emplace_back("package", json::Value(owner_package));
+  if (build_node >= 0) object.emplace_back("node", json::Value(build_node));
+  return json::Value(std::move(object));
+}
+
+Result<ImageFileEntry> ImageFileEntry::from_json(const json::Value& value) {
+  ImageFileEntry entry;
+  entry.path = value.get_string("path");
+  std::string origin = value.get_string("origin");
+  if (origin == "base") entry.origin = FileOrigin::base_image;
+  else if (origin == "package") entry.origin = FileOrigin::package_manager;
+  else if (origin == "build") entry.origin = FileOrigin::build_process;
+  else if (origin == "data") entry.origin = FileOrigin::data;
+  else entry.origin = FileOrigin::unknown;
+  entry.digest = value.get_string("digest");
+  entry.size = static_cast<std::uint64_t>(value.get_int("size"));
+  entry.owner_package = value.get_string("package");
+  entry.build_node = static_cast<int>(value.get_int("node", -1));
+  return entry;
+}
+
+json::Value RuntimePackage::to_json() const {
+  json::Object object;
+  object.emplace_back("name", json::Value(name));
+  object.emplace_back("version", json::Value(version));
+  object.emplace_back("variant", json::Value(variant));
+  return json::Value(std::move(object));
+}
+
+std::map<FileOrigin, std::size_t> ImageModel::origin_histogram() const {
+  std::map<FileOrigin, std::size_t> histogram;
+  for (const ImageFileEntry& entry : files) ++histogram[entry.origin];
+  return histogram;
+}
+
+json::Value ImageModel::to_json() const {
+  json::Object object;
+  object.emplace_back("tag", json::Value(image_tag));
+  object.emplace_back("arch", json::Value(architecture));
+  json::Array files_json;
+  for (const ImageFileEntry& entry : files) files_json.push_back(entry.to_json());
+  object.emplace_back("files", json::Value(std::move(files_json)));
+  json::Array packages_json;
+  for (const RuntimePackage& package : runtime_packages) {
+    packages_json.push_back(package.to_json());
+  }
+  object.emplace_back("packages", json::Value(std::move(packages_json)));
+  object.emplace_back("entrypoint", strings_to_json(entrypoint));
+  return json::Value(std::move(object));
+}
+
+Result<ImageModel> ImageModel::from_json(const json::Value& value) {
+  ImageModel model;
+  model.image_tag = value.get_string("tag");
+  model.architecture = value.get_string("arch");
+  if (const json::Value* files = value.find("files"); files != nullptr && files->is_array()) {
+    for (const json::Value& item : files->as_array()) {
+      COMT_TRY(ImageFileEntry entry, ImageFileEntry::from_json(item));
+      model.files.push_back(std::move(entry));
+    }
+  }
+  if (const json::Value* packages = value.find("packages");
+      packages != nullptr && packages->is_array()) {
+    for (const json::Value& item : packages->as_array()) {
+      RuntimePackage package;
+      package.name = item.get_string("name");
+      package.version = item.get_string("version");
+      package.variant = item.get_string("variant");
+      model.runtime_packages.push_back(std::move(package));
+    }
+  }
+  model.entrypoint = strings_from_json(value.find("entrypoint"));
+  return model;
+}
+
+}  // namespace comt::core

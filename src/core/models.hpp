@@ -1,0 +1,156 @@
+// The coMtainer process models (§4.3) — the "IR" of the toolset.
+//
+// Three cooperating models describe an application image and the process
+// that built it:
+//  - BuildGraph: a DAG of data transformations. Nodes are files (sources,
+//    objects, archives, shared libraries, executables) plus the structured
+//    command that produced each derived node. The compilation model of a
+//    compiler-produced node is its parsed GCC command line
+//    (toolchain::CompileCommand); an archive node's compilation model is its
+//    member list (its dependency edges).
+//  - ImageModel: the structure of the final application image, every file
+//    classified into one of five origins (base image / package manager /
+//    build process / data / unknown), which guides system-side replacement.
+//  - The compilation models, embedded in graph nodes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "support/error.hpp"
+#include "toolchain/options.hpp"
+
+namespace comt::core {
+
+// ---------------------------------------------------------------------------
+// Build graph
+// ---------------------------------------------------------------------------
+
+enum class NodeKind {
+  source,      ///< leaf: a source or header file
+  object,      ///< .o
+  archive,     ///< .a
+  shared_lib,  ///< .so
+  executable,  ///< linked program
+  data,        ///< leaf: non-code input consumed by a tool
+};
+
+const char* node_kind_name(NodeKind kind);
+Result<NodeKind> node_kind_from_name(std::string_view name);
+
+/// One node of the build graph.
+struct GraphNode {
+  int id = -1;
+  NodeKind kind = NodeKind::source;
+  std::string path;            ///< path inside the build container
+  std::string content_digest;  ///< sha256 of the node's content when produced
+  std::vector<int> deps;       ///< producing inputs (edges into this node)
+
+  // Compilation model for derived nodes:
+  std::optional<toolchain::CompileCommand> compile;  ///< compiler-produced
+  std::vector<std::string> archive_argv;             ///< archiver-produced
+  std::string toolchain_id;  ///< toolchain that ran the command
+  std::string cwd;           ///< working directory of the command
+
+  bool is_leaf() const { return !compile.has_value() && archive_argv.empty(); }
+
+  json::Value to_json() const;
+  static Result<GraphNode> from_json(const json::Value& value);
+};
+
+/// The build-graph model: a DAG over GraphNodes.
+class BuildGraph {
+ public:
+  /// Adds a node, assigning its id. Returns the id.
+  int add_node(GraphNode node);
+
+  const GraphNode& node(int id) const;
+  GraphNode& node(int id);
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  std::vector<GraphNode>& nodes() { return nodes_; }
+
+  /// Most recent node whose path is `path` (paths can be overwritten).
+  int find_by_path(std::string_view path) const;
+  /// Most recent node with the given content digest.
+  int find_by_digest(std::string_view digest) const;
+
+  /// Ids in dependency order (leaves first). Fails on cycles.
+  Result<std::vector<int>> topological_order() const;
+
+  /// Nodes with no dependents (final build products).
+  std::vector<int> roots() const;
+  /// Transitive dependency closure of `id`, including `id`.
+  std::vector<int> closure(int id) const;
+
+  /// Graphviz rendering for inspection.
+  std::string to_dot() const;
+
+  json::Value to_json() const;
+  static Result<BuildGraph> from_json(const json::Value& value);
+
+ private:
+  std::vector<GraphNode> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// Image model
+// ---------------------------------------------------------------------------
+
+/// The five-way provenance classification of image files (§4.3, Fig. 8).
+enum class FileOrigin {
+  base_image,       ///< present identically in the dist stage's base image
+  package_manager,  ///< owned by an installed package
+  build_process,    ///< produced by the recorded build (matches a graph node)
+  data,             ///< platform-independent data
+  unknown,
+};
+
+const char* file_origin_name(FileOrigin origin);
+
+struct ImageFileEntry {
+  std::string path;
+  FileOrigin origin = FileOrigin::unknown;
+  std::string digest;
+  std::uint64_t size = 0;
+  std::string owner_package;  ///< for package_manager files
+  int build_node = -1;        ///< graph node id for build_process files
+
+  json::Value to_json() const;
+  static Result<ImageFileEntry> from_json(const json::Value& value);
+};
+
+/// A runtime package dependency of the image.
+struct RuntimePackage {
+  std::string name;
+  std::string version;
+  std::string variant;  ///< "generic" / "optimized"
+
+  json::Value to_json() const;
+};
+
+struct ImageModel {
+  std::string image_tag;
+  std::string architecture;
+  std::vector<ImageFileEntry> files;
+  std::vector<RuntimePackage> runtime_packages;
+  std::vector<std::string> entrypoint;
+
+  /// Counts per origin (for reporting and tests).
+  std::map<FileOrigin, std::size_t> origin_histogram() const;
+
+  json::Value to_json() const;
+  static Result<ImageModel> from_json(const json::Value& value);
+};
+
+/// The full process-model bundle carried by a coMtainer extended image.
+struct ProcessModels {
+  BuildGraph graph;
+  ImageModel image;
+};
+
+}  // namespace comt::core

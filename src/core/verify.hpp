@@ -1,0 +1,38 @@
+// Extended-image verification: the checks a system administrator runs before
+// trusting a pulled image enough to rebuild from it. Validates the layout's
+// content addressing, the cache bundle's integrity, the build graph's DAG
+// property, source completeness, and the image model's internal consistency.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/models.hpp"
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+
+namespace comt::core {
+
+struct VerifyReport {
+  bool is_extended = false;     ///< carries a readable cache layer
+  bool graph_valid = false;     ///< DAG property + ids consistent
+  std::size_t graph_nodes = 0;
+  std::size_t sources_cached = 0;
+  std::size_t sources_missing = 0;  ///< leaves with neither cache nor env substitute
+  std::size_t files_classified = 0;
+  std::map<FileOrigin, std::size_t> origin_histogram;
+  bool entrypoint_is_build_product = false;
+  /// Human-readable findings for everything that failed a check.
+  std::vector<std::string> problems;
+
+  bool ok() const { return is_extended && graph_valid && problems.empty(); }
+};
+
+/// Verifies the image tagged `tag` in `layout`. Hard failures (unreadable
+/// image) surface as errors; check failures land in the report's `problems`.
+Result<VerifyReport> verify_extended_image(const oci::Layout& layout,
+                                           std::string_view tag);
+
+}  // namespace comt::core

@@ -1,0 +1,240 @@
+#include "dockerfile/dockerfile.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "json/json.hpp"
+#include "support/strings.hpp"
+
+namespace comt::dockerfile {
+namespace {
+
+std::string to_upper(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+/// Splits "KEY=value" or "KEY value" (ENV legacy form) into a pair.
+Result<std::pair<std::string, std::string>> parse_key_value(std::string_view text,
+                                                            int line) {
+  std::string_view trimmed = trim(text);
+  std::size_t eq = trimmed.find('=');
+  std::size_t space = trimmed.find_first_of(" \t");
+  if (eq != std::string_view::npos && (space == std::string_view::npos || eq < space)) {
+    std::string key(trim(trimmed.substr(0, eq)));
+    std::string value(trim(trimmed.substr(eq + 1)));
+    // Strip one level of surrounding quotes.
+    if (value.size() >= 2 && (value.front() == '"' || value.front() == '\'') &&
+        value.back() == value.front()) {
+      value = value.substr(1, value.size() - 2);
+    }
+    return std::make_pair(std::move(key), std::move(value));
+  }
+  if (space != std::string_view::npos) {
+    return std::make_pair(std::string(trim(trimmed.substr(0, space))),
+                          std::string(trim(trimmed.substr(space + 1))));
+  }
+  return make_error(Errc::invalid_argument,
+                    "line " + std::to_string(line) + ": expected KEY=value");
+}
+
+/// Parses exec-form ["a","b"] if `text` looks like a JSON array; otherwise
+/// wraps the shell form.
+std::vector<std::string> parse_exec_or_shell(std::string_view text) {
+  std::string_view trimmed = trim(text);
+  if (!trimmed.empty() && trimmed.front() == '[') {
+    auto parsed = json::parse(trimmed);
+    if (parsed.ok() && parsed.value().is_array()) {
+      std::vector<std::string> argv;
+      bool all_strings = true;
+      for (const json::Value& item : parsed.value().as_array()) {
+        if (!item.is_string()) {
+          all_strings = false;
+          break;
+        }
+        argv.push_back(item.as_string());
+      }
+      if (all_strings) return argv;
+    }
+  }
+  return {"/bin/sh", "-c", std::string(trimmed)};
+}
+
+}  // namespace
+
+const char* instruction_name(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::from: return "FROM";
+    case InstructionKind::run: return "RUN";
+    case InstructionKind::copy: return "COPY";
+    case InstructionKind::env: return "ENV";
+    case InstructionKind::arg: return "ARG";
+    case InstructionKind::workdir: return "WORKDIR";
+    case InstructionKind::label: return "LABEL";
+    case InstructionKind::entrypoint: return "ENTRYPOINT";
+    case InstructionKind::cmd: return "CMD";
+  }
+  return "?";
+}
+
+int Dockerfile::stage_index(std::string_view name) const {
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (stages[i].name == name) return static_cast<int>(i);
+  }
+  // Numeric references ("COPY --from=0") address stages by ordinal.
+  if (!name.empty() &&
+      std::all_of(name.begin(), name.end(),
+                  [](unsigned char c) { return std::isdigit(c); })) {
+    int index = std::stoi(std::string(name));
+    if (index >= 0 && index < static_cast<int>(stages.size())) return index;
+  }
+  return -1;
+}
+
+Result<Dockerfile> parse(std::string_view text) {
+  Dockerfile file;
+  std::vector<std::string> raw_lines = split(text, '\n');
+
+  // Join continuations and strip comments, remembering original line numbers.
+  struct Logical {
+    std::string text;
+    int line;
+  };
+  std::vector<Logical> logical;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::string_view line = trim(raw_lines[i]);
+    if (line.empty() || line.front() == '#') continue;
+    Logical entry{std::string(line), static_cast<int>(i + 1)};
+    while (ends_with(entry.text, "\\") && i + 1 < raw_lines.size()) {
+      entry.text.pop_back();
+      while (!entry.text.empty() && entry.text.back() == ' ') entry.text.pop_back();
+      ++i;
+      std::string_view next = trim(raw_lines[i]);
+      if (!next.empty() && next.front() == '#') continue;
+      entry.text += ' ';
+      entry.text += next;
+    }
+    logical.push_back(std::move(entry));
+  }
+
+  for (const Logical& entry : logical) {
+    std::size_t space = entry.text.find_first_of(" \t");
+    std::string keyword = to_upper(space == std::string::npos
+                                       ? std::string_view(entry.text)
+                                       : std::string_view(entry.text).substr(0, space));
+    std::string rest = space == std::string::npos
+                           ? ""
+                           : std::string(trim(std::string_view(entry.text).substr(space + 1)));
+    auto fail = [&](std::string message) {
+      return make_error(Errc::invalid_argument,
+                        "line " + std::to_string(entry.line) + ": " + message);
+    };
+
+    if (keyword == "FROM") {
+      Stage stage;
+      std::vector<std::string> words = split_whitespace(rest);
+      if (words.empty()) return fail("FROM requires an image reference");
+      stage.base_image = words[0];
+      if (words.size() >= 3 && to_upper(words[1]) == "AS") {
+        stage.name = words[2];
+      } else if (words.size() != 1) {
+        return fail("malformed FROM; expected FROM <image> [AS <name>]");
+      }
+      file.stages.push_back(std::move(stage));
+      continue;
+    }
+
+    if (file.stages.empty()) return fail(keyword + " before FROM");
+    Stage& stage = file.stages.back();
+    Instruction instruction;
+    instruction.text = rest;
+    instruction.line = entry.line;
+
+    if (keyword == "RUN") {
+      instruction.kind = InstructionKind::run;
+      if (rest.empty()) return fail("RUN requires a command");
+    } else if (keyword == "COPY" || keyword == "ADD") {
+      instruction.kind = InstructionKind::copy;
+      std::vector<std::string> words = split_whitespace(rest);
+      for (const std::string& word : words) {
+        if (starts_with(word, "--from=")) {
+          instruction.stage = word.substr(7);
+        } else if (starts_with(word, "--")) {
+          // --chown/--chmod accepted and ignored (no uid model in the vfs).
+        } else {
+          instruction.args.push_back(word);
+        }
+      }
+      if (instruction.args.size() < 2) return fail("COPY requires source(s) and destination");
+    } else if (keyword == "ENV" || keyword == "ARG" || keyword == "LABEL") {
+      instruction.kind = keyword == "ENV"   ? InstructionKind::env
+                         : keyword == "ARG" ? InstructionKind::arg
+                                            : InstructionKind::label;
+      if (keyword == "ARG" && rest.find('=') == std::string::npos) {
+        instruction.args = {std::string(trim(rest)), ""};
+      } else {
+        COMT_TRY(auto kv, parse_key_value(rest, entry.line));
+        instruction.args = {kv.first, kv.second};
+      }
+    } else if (keyword == "WORKDIR") {
+      instruction.kind = InstructionKind::workdir;
+      if (rest.empty()) return fail("WORKDIR requires a path");
+      instruction.args = {rest};
+    } else if (keyword == "ENTRYPOINT" || keyword == "CMD") {
+      instruction.kind =
+          keyword == "ENTRYPOINT" ? InstructionKind::entrypoint : InstructionKind::cmd;
+      instruction.args = parse_exec_or_shell(rest);
+    } else {
+      return fail("unsupported instruction " + keyword);
+    }
+    stage.instructions.push_back(std::move(instruction));
+  }
+
+  if (file.stages.empty()) {
+    return make_error(Errc::invalid_argument, "Dockerfile has no FROM instruction");
+  }
+  return file;
+}
+
+std::string to_text(const Dockerfile& file) {
+  std::string out;
+  for (const Stage& stage : file.stages) {
+    out += "FROM " + stage.base_image;
+    if (!stage.name.empty()) out += " AS " + stage.name;
+    out += '\n';
+    for (const Instruction& instruction : stage.instructions) {
+      out += instruction_name(instruction.kind);
+      if (instruction.kind == InstructionKind::copy && !instruction.stage.empty()) {
+        out += " --from=" + instruction.stage;
+        out += " " + join(instruction.args, " ");
+      } else {
+        out += " " + instruction.text;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::pair<int, int> line_diff(std::string_view before, std::string_view after) {
+  std::vector<std::string> a = split(before, '\n');
+  std::vector<std::string> b = split(after, '\n');
+  // Drop trailing empty line from the final newline.
+  if (!a.empty() && a.back().empty()) a.pop_back();
+  if (!b.empty() && b.back().empty()) b.pop_back();
+  const std::size_t n = a.size(), m = b.size();
+  // LCS dynamic program; Dockerfiles are tiny, O(n·m) is fine.
+  std::vector<std::vector<int>> lcs(n + 1, std::vector<int>(m + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      lcs[i][j] = a[i - 1] == b[j - 1] ? lcs[i - 1][j - 1] + 1
+                                       : std::max(lcs[i - 1][j], lcs[i][j - 1]);
+    }
+  }
+  int common = lcs[n][m];
+  return {static_cast<int>(m) - common, static_cast<int>(n) - common};
+}
+
+}  // namespace comt::dockerfile

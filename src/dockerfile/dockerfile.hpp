@@ -1,0 +1,71 @@
+// Dockerfile (Containerfile) AST and parser.
+//
+// Supports the subset the paper's two-stage build workflow uses (Fig. 2/6):
+// FROM..AS, RUN, COPY (with --from=<stage>), ADD, ENV, ARG, WORKDIR, LABEL,
+// ENTRYPOINT, CMD, plus line continuations and comments. ENTRYPOINT/CMD accept
+// both exec-form JSON arrays and shell form.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace comt::dockerfile {
+
+enum class InstructionKind {
+  from,
+  run,
+  copy,
+  env,
+  arg,
+  workdir,
+  label,
+  entrypoint,
+  cmd,
+};
+
+const char* instruction_name(InstructionKind kind);
+
+struct Instruction {
+  InstructionKind kind;
+  /// Raw argument text after the keyword (continuations joined, trimmed).
+  std::string text;
+  /// Parsed fields; meaning depends on kind:
+  ///  from:        args[0]=image ref, optional stage name in `stage`
+  ///  copy:        args=sources + destination, `stage`=--from value or ""
+  ///  env/arg/label: args = {key, value}
+  ///  workdir:     args[0]=path
+  ///  entrypoint/cmd: args = argv (exec form) or {"/bin/sh","-c",line}
+  std::vector<std::string> args;
+  std::string stage;
+  int line = 0;  ///< 1-based source line (for diagnostics and Fig. 11 diffs)
+};
+
+/// One build stage: FROM plus following instructions.
+struct Stage {
+  std::string base_image;   ///< image reference after FROM
+  std::string name;         ///< AS name, or "" for anonymous stages
+  std::vector<Instruction> instructions;  ///< excludes the FROM itself
+};
+
+struct Dockerfile {
+  std::vector<Stage> stages;
+
+  /// Index of the stage named `name` (or its 0-based ordinal as a string);
+  /// -1 when absent.
+  int stage_index(std::string_view name) const;
+};
+
+Result<Dockerfile> parse(std::string_view text);
+
+/// Re-serializes a Dockerfile to text (used to measure build-script line
+/// diffs for the Fig. 11 cross-ISA experiment).
+std::string to_text(const Dockerfile& file);
+
+/// Counts the line-level diff between two Dockerfile texts: returns
+/// {added, deleted} using an LCS over lines (what `diff` would report).
+std::pair<int, int> line_diff(std::string_view before, std::string_view after);
+
+}  // namespace comt::dockerfile

@@ -1,0 +1,356 @@
+#include "json/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace comt::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Value::get_string(std::string_view key, std::string fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::move(fallback);
+}
+
+std::int64_t Value::get_int(std::string_view key, std::int64_t fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+void Value::set(std::string key, Value value) {
+  COMT_ASSERT(is_object(), "json: set() on non-object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Value::push_back(Value value) {
+  COMT_ASSERT(is_array(), "json: push_back() on non-array");
+  array_.push_back(std::move(value));
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::null:
+      return true;
+    case Type::boolean:
+      return bool_ == other.bool_;
+    case Type::number:
+      return number_ == other.number_;
+    case Type::string:
+      return string_ == other.string_;
+    case Type::array:
+      return array_ == other.array_;
+    case Type::object:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    skip_whitespace();
+    COMT_TRY(Value root, parse_value());
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
+    return root;
+  }
+
+ private:
+  Error fail(std::string message) const {
+    return make_error(Errc::invalid_argument,
+                      "json parse error at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        COMT_TRY(std::string s, parse_string());
+        return Value(std::move(s));
+      }
+      case 't':
+        return parse_literal("true", Value(true));
+      case 'f':
+        return parse_literal("false", Value(false));
+      case 'n':
+        return parse_literal("null", Value(nullptr));
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Value> parse_literal(std::string_view word, Value value) {
+    if (text_.substr(pos_, word.size()) != word) return fail("invalid literal");
+    pos_ += word.size();
+    return value;
+  }
+
+  Result<Value> parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    double out = 0;
+    auto [end, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc() || end != text_.data() + pos_) return fail("malformed number");
+    return Value(out);
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return fail("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return fail("bad hex digit in \\u escape");
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+            // out of scope for the documents this library handles).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<Value> parse_array() {
+    consume('[');
+    Array items;
+    skip_whitespace();
+    if (consume(']')) return Value(std::move(items));
+    while (true) {
+      skip_whitespace();
+      COMT_TRY(Value item, parse_value());
+      items.push_back(std::move(item));
+      skip_whitespace();
+      if (consume(']')) return Value(std::move(items));
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> parse_object() {
+    consume('{');
+    Object members;
+    skip_whitespace();
+    if (consume('}')) return Value(std::move(members));
+    while (true) {
+      skip_whitespace();
+      COMT_TRY(std::string key, parse_string());
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_whitespace();
+      COMT_TRY(Value value, parse_value());
+      members.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume('}')) return Value(std::move(members));
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void number_into(std::string& out, double d) {
+  // Integers (the common case in OCI documents) serialize without a decimal
+  // point so round-trips are stable.
+  if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+void serialize_into(std::string& out, const Value& value, int indent, int depth) {
+  auto newline_indent = [&](int levels) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * levels, ' ');
+  };
+  switch (value.type()) {
+    case Type::null:
+      out += "null";
+      return;
+    case Type::boolean:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case Type::number:
+      number_into(out, value.as_number());
+      return;
+    case Type::string:
+      escape_into(out, value.as_string());
+      return;
+    case Type::array: {
+      const Array& items = value.as_array();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_indent(depth + 1);
+        serialize_into(out, items[i], indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back(']');
+      return;
+    }
+    case Type::object: {
+      const Object& members = value.as_object();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline_indent(depth + 1);
+        escape_into(out, members[i].first);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        serialize_into(out, members[i].second, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+std::string serialize(const Value& value) {
+  std::string out;
+  serialize_into(out, value, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string serialize_pretty(const Value& value) {
+  std::string out;
+  serialize_into(out, value, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+}  // namespace comt::json

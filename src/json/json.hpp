@@ -1,0 +1,117 @@
+// Minimal JSON document model, parser and serializer.
+//
+// Used for OCI manifests/configs and for serializing coMtainer's process
+// models into the cache layer. Objects preserve insertion order so that
+// serialization is deterministic and OCI blob digests are stable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace comt::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered key/value list. Lookup is linear; OCI documents are
+/// small, and order stability matters more than asymptotics here.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Type { null, boolean, number, string, array, object };
+
+/// A JSON document node. Value semantics; deep copies.
+class Value {
+ public:
+  Value() : type_(Type::null) {}
+  Value(std::nullptr_t) : type_(Type::null) {}  // NOLINT
+  Value(bool b) : type_(Type::boolean), bool_(b) {}  // NOLINT
+  Value(double d) : type_(Type::number), number_(d) {}  // NOLINT
+  Value(std::int64_t i) : type_(Type::number), number_(static_cast<double>(i)) {}  // NOLINT
+  Value(int i) : type_(Type::number), number_(i) {}  // NOLINT
+  Value(std::uint64_t u) : type_(Type::number), number_(static_cast<double>(u)) {}  // NOLINT
+  Value(const char* s) : type_(Type::string), string_(s) {}  // NOLINT
+  Value(std::string s) : type_(Type::string), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : type_(Type::string), string_(s) {}  // NOLINT
+  Value(Array a) : type_(Type::array), array_(std::move(a)) {}  // NOLINT
+  Value(Object o) : type_(Type::object), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+  bool is_bool() const { return type_ == Type::boolean; }
+  bool is_number() const { return type_ == Type::number; }
+  bool is_string() const { return type_ == Type::string; }
+  bool is_array() const { return type_ == Type::array; }
+  bool is_object() const { return type_ == Type::object; }
+
+  // Typed accessors. Precondition: matching type (checked, aborts on misuse).
+  bool as_bool() const {
+    COMT_ASSERT(is_bool(), "json: not a bool");
+    return bool_;
+  }
+  double as_number() const {
+    COMT_ASSERT(is_number(), "json: not a number");
+    return number_;
+  }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  const std::string& as_string() const {
+    COMT_ASSERT(is_string(), "json: not a string");
+    return string_;
+  }
+  const Array& as_array() const {
+    COMT_ASSERT(is_array(), "json: not an array");
+    return array_;
+  }
+  Array& as_array() {
+    COMT_ASSERT(is_array(), "json: not an array");
+    return array_;
+  }
+  const Object& as_object() const {
+    COMT_ASSERT(is_object(), "json: not an object");
+    return object_;
+  }
+  Object& as_object() {
+    COMT_ASSERT(is_object(), "json: not an object");
+    return object_;
+  }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Object member lookup with defaults for optional fields.
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+
+  /// Sets (or replaces) an object member. Precondition: is_object().
+  void set(std::string key, Value value);
+
+  /// Appends to an array. Precondition: is_array().
+  void push_back(Value value);
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a complete JSON document; trailing garbage is an error.
+Result<Value> parse(std::string_view text);
+
+/// Compact serialization (no whitespace). Deterministic given the document.
+std::string serialize(const Value& value);
+
+/// Pretty-printed serialization with 2-space indentation.
+std::string serialize_pretty(const Value& value);
+
+}  // namespace comt::json

@@ -1,0 +1,78 @@
+#include "oci/convert.hpp"
+
+#include "support/strings.hpp"
+#include "tar/tar.hpp"
+
+namespace comt::oci {
+namespace {
+
+json::Value metadata_json(const Image& image) {
+  json::Object object;
+  object.emplace_back("arch", json::Value(image.config.architecture));
+  json::Array entrypoint;
+  for (const std::string& part : image.config.config.entrypoint) {
+    entrypoint.emplace_back(part);
+  }
+  object.emplace_back("entrypoint", json::Value(std::move(entrypoint)));
+  json::Array cmd;
+  for (const std::string& part : image.config.config.cmd) cmd.emplace_back(part);
+  object.emplace_back("cmd", json::Value(std::move(cmd)));
+  object.emplace_back("workdir", json::Value(image.config.config.working_dir));
+  return json::Value(std::move(object));
+}
+
+}  // namespace
+
+Result<FlatImage> to_flat_image(const Layout& layout, const Image& image) {
+  FlatImage flat;
+  COMT_TRY(flat.rootfs, layout.flatten(image));
+  flat.entrypoint = image.config.config.entrypoint;
+  flat.architecture = image.config.architecture;
+
+  // /ch/environment: one KEY=value per line (Charliecloud convention).
+  std::string environment;
+  for (const std::string& entry : image.config.config.env) {
+    environment += entry;
+    environment += '\n';
+  }
+  COMT_TRY_STATUS(flat.rootfs.write_file("/ch/environment", std::move(environment)));
+  COMT_TRY_STATUS(flat.rootfs.write_file("/ch/metadata.json",
+                                         json::serialize(metadata_json(image))));
+  return flat;
+}
+
+Result<std::string> to_sif(const Layout& layout, const Image& image) {
+  COMT_TRY(FlatImage flat, to_flat_image(layout, image));
+  // Header line, metadata line, then the squashed tree.
+  std::string out(kSifMagic);
+  out += '\n';
+  out += json::serialize(metadata_json(image));
+  out += '\n';
+  out += tar::pack(flat.rootfs);
+  return out;
+}
+
+Result<FlatImage> from_sif(std::string_view blob) {
+  if (!starts_with(blob, kSifMagic)) {
+    return make_error(Errc::corrupt, "not a SIF image (bad magic)");
+  }
+  std::size_t first = blob.find('\n');
+  std::size_t second = blob.find('\n', first + 1);
+  if (first == std::string_view::npos || second == std::string_view::npos) {
+    return make_error(Errc::corrupt, "SIF image: truncated header");
+  }
+  COMT_TRY(json::Value metadata, json::parse(blob.substr(first + 1, second - first - 1)));
+
+  FlatImage flat;
+  COMT_TRY(flat.rootfs, tar::unpack(blob.substr(second + 1)));
+  flat.architecture = metadata.get_string("arch");
+  if (const json::Value* entrypoint = metadata.find("entrypoint");
+      entrypoint != nullptr && entrypoint->is_array()) {
+    for (const json::Value& part : entrypoint->as_array()) {
+      flat.entrypoint.push_back(part.as_string());
+    }
+  }
+  return flat;
+}
+
+}  // namespace comt::oci

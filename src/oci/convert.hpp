@@ -1,0 +1,42 @@
+// Conversion from OCI images to the formats HPC container engines consume.
+//
+// The paper executes its images with Charliecloud, and the artifact notes
+// that HPC engines "may necessitate the conversion from OCI format to other
+// formats". Two conversions are provided:
+//  - a Charliecloud-style *flat image directory*: the flattened root
+//    filesystem plus a /ch/environment file and /ch/metadata.json (what
+//    `ch-convert` produces, runnable with `ch-run ./imgdir -- cmd`), and
+//  - a Singularity-SIF-style *single-file image*: one blob bundling a
+//    little header, the runtime metadata and the squashed root tree (here a
+//    deterministic tar instead of squashfs).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+
+namespace comt::oci {
+
+/// A Charliecloud-style flat image: rootfs with /ch metadata baked in.
+struct FlatImage {
+  vfs::Filesystem rootfs;              ///< includes /ch/environment etc.
+  std::vector<std::string> entrypoint;
+  std::string architecture;
+};
+
+/// Flattens `image` and embeds its runtime configuration the way
+/// `ch-convert` does (environment as KEY=value lines, metadata as JSON).
+Result<FlatImage> to_flat_image(const Layout& layout, const Image& image);
+
+/// Magic prefix of SIF-style single-file images.
+inline constexpr std::string_view kSifMagic = "COMT-SIF1";
+
+/// Packs the image into one self-contained blob.
+Result<std::string> to_sif(const Layout& layout, const Image& image);
+
+/// Unpacks a SIF blob back into a flat image (what the runtime mounts).
+Result<FlatImage> from_sif(std::string_view blob);
+
+}  // namespace comt::oci

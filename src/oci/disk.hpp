@@ -1,0 +1,30 @@
+// On-disk OCI image layout persistence.
+//
+// Writes a Layout to a real directory in the OCI image-layout format the
+// paper's workflow passes around (`buildah push xxx.dist oci:./xxx.dist.oci`
+// and the `-v ./xxx.dist.oci:/.coMtainer/io` mounts):
+//
+//   <dir>/oci-layout                  {"imageLayoutVersion":"1.0.0"}
+//   <dir>/index.json                  manifest list with ref.name tags
+//   <dir>/blobs/sha256/<hex>          content-addressed blobs
+//
+// load_layout() reads such a directory back (including ones written by other
+// tools, as long as the blobs this library understands are present).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+
+namespace comt::oci {
+
+/// Serializes `layout` into `directory` (created if missing; existing blobs
+/// are overwritten). Only blobs reachable from the index are written.
+Status save_layout(const Layout& layout, const std::string& directory);
+
+/// Loads an OCI layout directory produced by save_layout (or compatible).
+Result<Layout> load_layout(const std::string& directory);
+
+}  // namespace comt::oci

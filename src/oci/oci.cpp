@@ -1,0 +1,331 @@
+#include "oci/oci.hpp"
+
+#include "support/sha256.hpp"
+#include "tar/tar.hpp"
+
+namespace comt::oci {
+namespace {
+
+json::Value annotations_to_json(const std::map<std::string, std::string>& annotations) {
+  json::Object object;
+  for (const auto& [key, value] : annotations) object.emplace_back(key, json::Value(value));
+  return json::Value(std::move(object));
+}
+
+std::map<std::string, std::string> annotations_from_json(const json::Value* value) {
+  std::map<std::string, std::string> out;
+  if (value == nullptr || !value->is_object()) return out;
+  for (const auto& [key, v] : value->as_object()) {
+    if (v.is_string()) out[key] = v.as_string();
+  }
+  return out;
+}
+
+json::Value string_list_to_json(const std::vector<std::string>& items) {
+  json::Array array;
+  for (const std::string& item : items) array.emplace_back(item);
+  return json::Value(std::move(array));
+}
+
+std::vector<std::string> string_list_from_json(const json::Value* value) {
+  std::vector<std::string> out;
+  if (value == nullptr || !value->is_array()) return out;
+  for (const json::Value& item : value->as_array()) {
+    if (item.is_string()) out.push_back(item.as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+Digest Digest::of_blob(std::string_view blob) {
+  return Digest{"sha256:" + Sha256::hex_digest(blob)};
+}
+
+json::Value Descriptor::to_json() const {
+  json::Object object;
+  object.emplace_back("mediaType", json::Value(media_type));
+  object.emplace_back("digest", json::Value(digest.value));
+  object.emplace_back("size", json::Value(size));
+  if (!annotations.empty()) {
+    object.emplace_back("annotations", annotations_to_json(annotations));
+  }
+  return json::Value(std::move(object));
+}
+
+Result<Descriptor> Descriptor::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return make_error(Errc::invalid_argument, "descriptor: not an object");
+  }
+  Descriptor out;
+  out.media_type = value.get_string("mediaType");
+  out.digest.value = value.get_string("digest");
+  out.size = static_cast<std::uint64_t>(value.get_int("size"));
+  out.annotations = annotations_from_json(value.find("annotations"));
+  if (out.digest.empty()) {
+    return make_error(Errc::invalid_argument, "descriptor: missing digest");
+  }
+  return out;
+}
+
+json::Value ImageConfig::to_json() const {
+  json::Object runtime;
+  runtime.emplace_back("Env", string_list_to_json(config.env));
+  runtime.emplace_back("Entrypoint", string_list_to_json(config.entrypoint));
+  runtime.emplace_back("Cmd", string_list_to_json(config.cmd));
+  runtime.emplace_back("WorkingDir", json::Value(config.working_dir));
+  {
+    json::Object labels;
+    for (const auto& [key, value] : config.labels) labels.emplace_back(key, json::Value(value));
+    runtime.emplace_back("Labels", json::Value(std::move(labels)));
+  }
+
+  json::Array diff_ids;
+  for (const Digest& id : this->diff_ids) diff_ids.emplace_back(id.value);
+  json::Object rootfs;
+  rootfs.emplace_back("type", json::Value("layers"));
+  rootfs.emplace_back("diff_ids", json::Value(std::move(diff_ids)));
+
+  json::Array history_json;
+  for (const std::string& line : history) {
+    json::Object entry;
+    entry.emplace_back("created_by", json::Value(line));
+    history_json.emplace_back(std::move(entry));
+  }
+
+  json::Object object;
+  object.emplace_back("architecture", json::Value(architecture));
+  object.emplace_back("os", json::Value(os));
+  object.emplace_back("config", json::Value(std::move(runtime)));
+  object.emplace_back("rootfs", json::Value(std::move(rootfs)));
+  object.emplace_back("history", json::Value(std::move(history_json)));
+  return json::Value(std::move(object));
+}
+
+Result<ImageConfig> ImageConfig::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return make_error(Errc::invalid_argument, "image config: not an object");
+  }
+  ImageConfig out;
+  out.architecture = value.get_string("architecture", "amd64");
+  out.os = value.get_string("os", "linux");
+  if (const json::Value* runtime = value.find("config"); runtime != nullptr) {
+    out.config.env = string_list_from_json(runtime->find("Env"));
+    out.config.entrypoint = string_list_from_json(runtime->find("Entrypoint"));
+    out.config.cmd = string_list_from_json(runtime->find("Cmd"));
+    out.config.working_dir = runtime->get_string("WorkingDir", "/");
+    if (const json::Value* labels = runtime->find("Labels");
+        labels != nullptr && labels->is_object()) {
+      for (const auto& [key, v] : labels->as_object()) {
+        if (v.is_string()) out.config.labels[key] = v.as_string();
+      }
+    }
+  }
+  if (const json::Value* rootfs = value.find("rootfs"); rootfs != nullptr) {
+    for (const std::string& id : string_list_from_json(rootfs->find("diff_ids"))) {
+      out.diff_ids.push_back(Digest{id});
+    }
+  }
+  if (const json::Value* history = value.find("history");
+      history != nullptr && history->is_array()) {
+    for (const json::Value& entry : history->as_array()) {
+      out.history.push_back(entry.get_string("created_by"));
+    }
+  }
+  return out;
+}
+
+json::Value Manifest::to_json() const {
+  json::Object object;
+  object.emplace_back("schemaVersion", json::Value(2));
+  object.emplace_back("mediaType", json::Value(kMediaTypeManifest));
+  object.emplace_back("config", config.to_json());
+  json::Array layers_json;
+  for (const Descriptor& layer : layers) layers_json.push_back(layer.to_json());
+  object.emplace_back("layers", json::Value(std::move(layers_json)));
+  if (!annotations.empty()) {
+    object.emplace_back("annotations", annotations_to_json(annotations));
+  }
+  return json::Value(std::move(object));
+}
+
+Result<Manifest> Manifest::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return make_error(Errc::invalid_argument, "manifest: not an object");
+  }
+  Manifest out;
+  const json::Value* config = value.find("config");
+  if (config == nullptr) return make_error(Errc::invalid_argument, "manifest: missing config");
+  COMT_TRY(out.config, Descriptor::from_json(*config));
+  if (const json::Value* layers = value.find("layers");
+      layers != nullptr && layers->is_array()) {
+    for (const json::Value& layer : layers->as_array()) {
+      COMT_TRY(Descriptor descriptor, Descriptor::from_json(layer));
+      out.layers.push_back(std::move(descriptor));
+    }
+  }
+  out.annotations = annotations_from_json(value.find("annotations"));
+  return out;
+}
+
+Descriptor Layout::put_blob(std::string blob, std::string_view media_type) {
+  Descriptor descriptor;
+  descriptor.media_type = std::string(media_type);
+  descriptor.digest = Digest::of_blob(blob);
+  descriptor.size = blob.size();
+  blobs_.emplace(descriptor.digest, std::move(blob));
+  return descriptor;
+}
+
+Result<std::string> Layout::get_blob(const Digest& digest) const {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end()) {
+    return make_error(Errc::not_found, "no such blob: " + digest.value);
+  }
+  return it->second;
+}
+
+std::uint64_t Layout::total_blob_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [digest, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+Result<Digest> Layout::add_manifest(const Manifest& manifest, std::string_view tag) {
+  if (!has_blob(manifest.config.digest)) {
+    return make_error(Errc::not_found,
+                      "manifest config blob missing: " + manifest.config.digest.value);
+  }
+  for (const Descriptor& layer : manifest.layers) {
+    if (!has_blob(layer.digest)) {
+      return make_error(Errc::not_found, "manifest layer blob missing: " + layer.digest.value);
+    }
+  }
+  Descriptor descriptor =
+      put_blob(json::serialize(manifest.to_json()), kMediaTypeManifest);
+  for (auto& [existing_tag, digest] : index_) {
+    if (existing_tag == tag) {
+      digest = descriptor.digest;
+      return descriptor.digest;
+    }
+  }
+  index_.emplace_back(std::string(tag), descriptor.digest);
+  return descriptor.digest;
+}
+
+std::vector<std::string> Layout::tags() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [tag, digest] : index_) out.push_back(tag);
+  return out;
+}
+
+Result<Image> Layout::find_image(std::string_view tag) const {
+  for (const auto& [existing_tag, digest] : index_) {
+    if (existing_tag == tag) return load_image(digest);
+  }
+  return make_error(Errc::not_found, "no such tag: " + std::string(tag));
+}
+
+Result<Image> Layout::load_image(const Digest& manifest_digest) const {
+  COMT_TRY(std::string manifest_blob, get_blob(manifest_digest));
+  COMT_TRY(json::Value manifest_doc, json::parse(manifest_blob));
+  COMT_TRY(Manifest manifest, Manifest::from_json(manifest_doc));
+  COMT_TRY(std::string config_blob, get_blob(manifest.config.digest));
+  COMT_TRY(json::Value config_doc, json::parse(config_blob));
+  COMT_TRY(ImageConfig config, ImageConfig::from_json(config_doc));
+  return Image{manifest_digest, std::move(manifest), std::move(config)};
+}
+
+Result<vfs::Filesystem> Layout::flatten(const Image& image) const {
+  vfs::Filesystem root;
+  for (const Descriptor& layer : image.manifest.layers) {
+    COMT_TRY(vfs::Filesystem tree, read_layer(layer));
+    COMT_TRY_STATUS(vfs::apply_layer(root, tree));
+  }
+  return root;
+}
+
+Descriptor Layout::put_layer(const vfs::Filesystem& tree) {
+  return put_blob(tar::pack(tree), kMediaTypeLayer);
+}
+
+Result<vfs::Filesystem> Layout::read_layer(const Descriptor& layer) const {
+  COMT_TRY(std::string blob, get_blob(layer.digest));
+  return tar::unpack(blob);
+}
+
+Result<Image> Layout::append_layer(const Image& base, const vfs::Filesystem& layer_tree,
+                                   std::string_view created_by, std::string_view tag) {
+  Descriptor layer = put_layer(layer_tree);
+
+  ImageConfig config = base.config;
+  config.diff_ids.push_back(layer.digest);
+  config.history.emplace_back(created_by);
+  Descriptor config_descriptor =
+      put_blob(json::serialize(config.to_json()), kMediaTypeConfig);
+
+  Manifest manifest = base.manifest;
+  manifest.config = config_descriptor;
+  manifest.layers.push_back(layer);
+  COMT_TRY(Digest manifest_digest, add_manifest(manifest, tag));
+  return Image{manifest_digest, std::move(manifest), std::move(config)};
+}
+
+Result<Image> Layout::create_image(const ImageConfig& config,
+                                   const std::vector<vfs::Filesystem>& layers,
+                                   std::string_view tag) {
+  Manifest manifest;
+  ImageConfig stored = config;
+  stored.diff_ids.clear();
+  for (const vfs::Filesystem& tree : layers) {
+    Descriptor layer = put_layer(tree);
+    stored.diff_ids.push_back(layer.digest);
+    manifest.layers.push_back(layer);
+  }
+  // Preserve provided history if it matches the layer count; otherwise
+  // synthesize one line per layer.
+  if (config.history.size() == layers.size()) {
+    stored.history = config.history;
+  } else {
+    stored.history.assign(layers.size(), "layer");
+  }
+  manifest.config = put_blob(json::serialize(stored.to_json()), kMediaTypeConfig);
+  COMT_TRY(Digest manifest_digest, add_manifest(manifest, tag));
+  return Image{manifest_digest, std::move(manifest), std::move(stored)};
+}
+
+json::Value Layout::index_json() const {
+  json::Array manifests;
+  for (const auto& [tag, digest] : index_) {
+    auto blob = blobs_.find(digest);
+    COMT_ASSERT(blob != blobs_.end(), "index references missing manifest blob");
+    Descriptor descriptor;
+    descriptor.media_type = std::string(kMediaTypeManifest);
+    descriptor.digest = digest;
+    descriptor.size = blob->second.size();
+    descriptor.annotations[std::string(kRefNameAnnotation)] = tag;
+    manifests.push_back(descriptor.to_json());
+  }
+  json::Object object;
+  object.emplace_back("schemaVersion", json::Value(2));
+  object.emplace_back("mediaType", json::Value(kMediaTypeIndex));
+  object.emplace_back("manifests", json::Value(std::move(manifests)));
+  return json::Value(std::move(object));
+}
+
+Status Layout::fsck() const {
+  for (const auto& [digest, blob] : blobs_) {
+    if (Digest::of_blob(blob) != digest) {
+      return make_error(Errc::corrupt, "blob content does not match digest " + digest.value);
+    }
+  }
+  for (const auto& [tag, digest] : index_) {
+    if (blobs_.count(digest) == 0) {
+      return make_error(Errc::corrupt, "index tag '" + tag + "' references missing blob");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace comt::oci

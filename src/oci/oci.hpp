@@ -1,0 +1,150 @@
+// OCI image-spec data model: digests, descriptors, image configs, manifests,
+// image indexes, and an in-memory OCI layout (content-addressed blob store +
+// index.json). This is the substrate the coMtainer cache/rebuild layers are
+// injected into; extended images are ordinary OCI images with extra layers
+// and extra manifests tagged "+coM"/"+coMre", exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "support/error.hpp"
+#include "vfs/vfs.hpp"
+
+namespace comt::oci {
+
+// Media types (OCI image-spec v1).
+inline constexpr std::string_view kMediaTypeManifest =
+    "application/vnd.oci.image.manifest.v1+json";
+inline constexpr std::string_view kMediaTypeConfig =
+    "application/vnd.oci.image.config.v1+json";
+inline constexpr std::string_view kMediaTypeLayer =
+    "application/vnd.oci.image.layer.v1.tar";
+inline constexpr std::string_view kMediaTypeIndex =
+    "application/vnd.oci.image.index.v1+json";
+/// Annotation key carrying an image tag inside an index (OCI standard).
+inline constexpr std::string_view kRefNameAnnotation =
+    "org.opencontainers.image.ref.name";
+
+/// A content digest, "sha256:<64 hex>".
+struct Digest {
+  std::string value;
+
+  static Digest of_blob(std::string_view blob);
+  bool empty() const { return value.empty(); }
+  bool operator==(const Digest&) const = default;
+  auto operator<=>(const Digest&) const = default;
+};
+
+/// Reference to a blob: media type + digest + size.
+struct Descriptor {
+  std::string media_type;
+  Digest digest;
+  std::uint64_t size = 0;
+  std::map<std::string, std::string> annotations;
+
+  json::Value to_json() const;
+  static Result<Descriptor> from_json(const json::Value& value);
+};
+
+/// Execution parameters recorded in an image config.
+struct RuntimeConfig {
+  std::vector<std::string> env;         ///< "KEY=value" entries
+  std::vector<std::string> entrypoint;  ///< argv prefix
+  std::vector<std::string> cmd;         ///< default argv suffix
+  std::string working_dir = "/";
+  std::map<std::string, std::string> labels;
+};
+
+/// OCI image config blob.
+struct ImageConfig {
+  std::string architecture = "amd64";
+  std::string os = "linux";
+  RuntimeConfig config;
+  std::vector<Digest> diff_ids;         ///< uncompressed layer digests, in order
+  std::vector<std::string> history;     ///< one created_by line per layer
+
+  json::Value to_json() const;
+  static Result<ImageConfig> from_json(const json::Value& value);
+};
+
+/// OCI image manifest blob.
+struct Manifest {
+  Descriptor config;
+  std::vector<Descriptor> layers;
+  std::map<std::string, std::string> annotations;
+
+  json::Value to_json() const;
+  static Result<Manifest> from_json(const json::Value& value);
+};
+
+/// A manifest + its config, resolved out of a layout.
+struct Image {
+  Digest manifest_digest;
+  Manifest manifest;
+  ImageConfig config;
+};
+
+/// An in-memory OCI layout: content-addressed blobs plus an index mapping
+/// ref-name tags to manifests. Mirrors the on-disk oci-layout directory the
+/// paper's workflow mounts into containers at /.coMtainer/io.
+class Layout {
+ public:
+  /// Stores a blob and returns its descriptor.
+  Descriptor put_blob(std::string blob, std::string_view media_type);
+
+  Result<std::string> get_blob(const Digest& digest) const;
+  bool has_blob(const Digest& digest) const { return blobs_.count(digest) != 0; }
+  std::size_t blob_count() const { return blobs_.size(); }
+
+  /// Total bytes across all stored blobs.
+  std::uint64_t total_blob_bytes() const;
+
+  /// Serializes `manifest`, stores it, and records `tag` in the index
+  /// (replacing any previous manifest with the same tag).
+  Result<Digest> add_manifest(const Manifest& manifest, std::string_view tag);
+
+  /// All tags in the index, in insertion order.
+  std::vector<std::string> tags() const;
+
+  Result<Image> find_image(std::string_view tag) const;
+  Result<Image> load_image(const Digest& manifest_digest) const;
+
+  /// Applies all layers of `image` in order over an empty root — the final
+  /// container filesystem (the "POSIX file system simulator" of §4.5).
+  Result<vfs::Filesystem> flatten(const Image& image) const;
+
+  /// Packs `tree` as a tar layer blob and returns its layer descriptor.
+  Descriptor put_layer(const vfs::Filesystem& tree);
+
+  /// Reads a layer blob back into a tree.
+  Result<vfs::Filesystem> read_layer(const Descriptor& layer) const;
+
+  /// Derives a new image from `base` by appending one layer, and tags it.
+  /// `created_by` goes into the config history. Returns the new image.
+  Result<Image> append_layer(const Image& base, const vfs::Filesystem& layer_tree,
+                             std::string_view created_by, std::string_view tag);
+
+  /// Builds a brand-new single-or-multi-layer image from scratch.
+  Result<Image> create_image(const ImageConfig& config,
+                             const std::vector<vfs::Filesystem>& layers,
+                             std::string_view tag);
+
+  /// index.json document (for inspection / serialization round-trips).
+  json::Value index_json() const;
+
+  /// Verifies every blob's content against its digest key.
+  Status fsck() const;
+
+ private:
+  std::map<Digest, std::string> blobs_;
+  // tag -> manifest digest, in insertion order (index.json manifest list).
+  std::vector<std::pair<std::string, Digest>> index_;
+};
+
+}  // namespace comt::oci

@@ -1,0 +1,293 @@
+#include "pkg/pkg.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace comt::pkg {
+namespace {
+
+constexpr std::string_view kDebInfoDir = "/var/lib/dpkg/info";
+constexpr std::string_view kRpmInfoDir = "/var/lib/rpm/files";
+
+std::string file_list_path(PackageFormat format, std::string_view package_name) {
+  std::string_view dir = format == PackageFormat::deb ? kDebInfoDir : kRpmInfoDir;
+  return std::string(dir) + "/" + std::string(package_name) + ".list";
+}
+
+/// Field names differ between the two dialects (dpkg "Package:", rpm "Name:").
+std::string_view name_key(PackageFormat format) {
+  return format == PackageFormat::deb ? "Package" : "Name";
+}
+std::string_view arch_key(PackageFormat format) {
+  return format == PackageFormat::deb ? "Architecture" : "Arch";
+}
+std::string_view depends_key(PackageFormat format) {
+  return format == PackageFormat::deb ? "Depends" : "Requires";
+}
+std::string_view section_key(PackageFormat format) {
+  return format == PackageFormat::deb ? "Section" : "Group";
+}
+
+}  // namespace
+
+const char* variant_name(Variant variant) {
+  return variant == Variant::generic ? "generic" : "optimized";
+}
+
+std::uint64_t Package::installed_size() const {
+  std::uint64_t total = 0;
+  for (const PackageFile& file : files) total += file.content.size();
+  return total;
+}
+
+double Package::attribute_double(std::string_view key, double fallback) const {
+  auto it = attributes.find(std::string(key));
+  if (it == attributes.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::string Package::attribute(std::string_view key, std::string fallback) const {
+  auto it = attributes.find(std::string(key));
+  return it == attributes.end() ? std::move(fallback) : it->second;
+}
+
+Status Repository::add(Package package) {
+  if (packages_.count(package.name) != 0) {
+    return make_error(Errc::already_exists, "duplicate package: " + package.name);
+  }
+  for (const std::string& virtual_name : package.provides) {
+    provides_.emplace(virtual_name, package.name);
+  }
+  std::string name = package.name;
+  packages_.emplace(std::move(name), std::move(package));
+  return Status::success();
+}
+
+const Package* Repository::find(std::string_view name) const {
+  auto it = packages_.find(std::string(name));
+  if (it != packages_.end()) return &it->second;
+  auto virt = provides_.find(std::string(name));
+  if (virt != provides_.end()) {
+    auto real = packages_.find(virt->second);
+    if (real != packages_.end()) return &real->second;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Repository::package_names() const {
+  std::vector<std::string> names;
+  names.reserve(packages_.size());
+  for (const auto& [name, package] : packages_) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<const Package*>> resolve(
+    const Repository& repo, const std::vector<std::string>& roots,
+    const std::vector<std::string>& already_installed) {
+  std::vector<const Package*> order;
+  std::map<std::string, int> state;  // 0 unseen / 1 visiting / 2 done
+  for (const std::string& name : already_installed) state[name] = 2;
+
+  // Iterative DFS with an explicit stack (post-order = dependencies first).
+  struct Frame {
+    const Package* package;
+    std::size_t next_dep = 0;
+  };
+  for (const std::string& root : roots) {
+    const Package* root_package = repo.find(root);
+    if (root_package == nullptr) {
+      return make_error(Errc::not_found, "no candidate for package: " + root);
+    }
+    if (state[root_package->name] == 2) continue;
+    std::vector<Frame> stack;
+    state[root_package->name] = 1;
+    stack.push_back({root_package});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_dep < frame.package->depends.size()) {
+        const std::string& dep_name = frame.package->depends[frame.next_dep++];
+        const Package* dep = repo.find(dep_name);
+        if (dep == nullptr) {
+          return make_error(Errc::not_found, "package " + frame.package->name +
+                                                 " depends on missing " + dep_name);
+        }
+        int& dep_state = state[dep->name];
+        if (dep_state == 1) {
+          return make_error(Errc::invalid_argument,
+                            "dependency cycle through " + dep->name);
+        }
+        if (dep_state == 0) {
+          dep_state = 1;
+          stack.push_back({dep});
+        }
+      } else {
+        state[frame.package->name] = 2;
+        order.push_back(frame.package);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+Result<Database> Database::load(const vfs::Filesystem& fs) {
+  Database db;
+  std::string status_path;
+  if (fs.is_regular(kStatusPath)) {
+    db.format_ = PackageFormat::deb;
+    status_path = std::string(kStatusPath);
+  } else if (fs.is_regular(kRpmStatusPath)) {
+    db.format_ = PackageFormat::rpm;
+    status_path = std::string(kRpmStatusPath);
+  } else {
+    return db;
+  }
+  COMT_TRY(std::string status, fs.read_file(status_path));
+
+  InstalledPackage current;
+  auto flush = [&]() -> Status {
+    if (current.name.empty()) return Status::success();
+    // Owned files come from the .list file next to the status database.
+    std::string list_path = file_list_path(db.format_, current.name);
+    if (fs.is_regular(list_path)) {
+      COMT_TRY(std::string listing, fs.read_file(list_path));
+      for (const std::string& line : split(listing, '\n')) {
+        if (!line.empty()) current.files.push_back(line);
+      }
+    }
+    for (const std::string& path : current.files) db.owners_[path] = current.name;
+    db.installed_[current.name] = std::move(current);
+    current = InstalledPackage{};
+    return Status::success();
+  };
+
+  for (const std::string& raw_line : split(status, '\n')) {
+    std::string_view line = raw_line;
+    if (trim(line).empty()) {
+      COMT_TRY_STATUS(flush());
+      continue;
+    }
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string key(trim(line.substr(0, colon)));
+    std::string value(trim(line.substr(colon + 1)));
+    if (key == name_key(db.format_)) {
+      current.name = value;
+    } else if (key == "Version") {
+      current.version = value;
+    } else if (key == arch_key(db.format_)) {
+      current.architecture = value;
+    } else if (key == section_key(db.format_)) {
+      current.section = value;
+    } else if (key == "Variant") {
+      current.variant = value == "optimized" ? Variant::optimized : Variant::generic;
+    } else if (key == depends_key(db.format_)) {
+      for (const std::string& dep : split(value, ',')) {
+        std::string trimmed(trim(dep));
+        if (!trimmed.empty()) current.depends.push_back(trimmed);
+      }
+    } else if (starts_with(key, "X-Comt-")) {
+      current.attributes[key.substr(7)] = value;
+    }
+  }
+  COMT_TRY_STATUS(flush());
+  return db;
+}
+
+Status Database::install(vfs::Filesystem& fs, const Package& package) {
+  if (installed_.count(package.name) != 0) {
+    return make_error(Errc::already_exists, "package already installed: " + package.name);
+  }
+  for (const PackageFile& file : package.files) {
+    std::string normal = normalize_path(file.path);
+    auto owner = owners_.find(normal);
+    if (owner != owners_.end() && owner->second != package.name) {
+      return make_error(Errc::already_exists, "file " + normal + " owned by " +
+                                                  owner->second + ", conflicts with " +
+                                                  package.name);
+    }
+  }
+  InstalledPackage record;
+  record.name = package.name;
+  record.version = package.version;
+  record.architecture = package.architecture;
+  record.variant = package.variant;
+  record.depends = package.depends;
+  record.section = package.section;
+  record.attributes = package.attributes;
+  std::string listing;
+  for (const PackageFile& file : package.files) {
+    std::string normal = normalize_path(file.path);
+    COMT_TRY_STATUS(fs.write_file(normal, file.content, file.mode));
+    record.files.push_back(normal);
+    owners_[normal] = package.name;
+    listing += normal;
+    listing += '\n';
+  }
+  COMT_TRY_STATUS(fs.write_file(file_list_path(format_, package.name), listing));
+  installed_[package.name] = std::move(record);
+  return persist(fs);
+}
+
+Status Database::remove(vfs::Filesystem& fs, std::string_view name) {
+  auto it = installed_.find(std::string(name));
+  if (it == installed_.end()) {
+    return make_error(Errc::not_found, "package not installed: " + std::string(name));
+  }
+  for (const std::string& path : it->second.files) {
+    owners_.erase(path);
+    if (fs.exists(path)) COMT_TRY_STATUS(fs.remove(path));
+  }
+  std::string list_path = file_list_path(format_, it->second.name);
+  if (fs.exists(list_path)) COMT_TRY_STATUS(fs.remove(list_path));
+  installed_.erase(it);
+  return persist(fs);
+}
+
+bool Database::installed(std::string_view name) const {
+  return installed_.count(std::string(name)) != 0;
+}
+
+const InstalledPackage* Database::find(std::string_view name) const {
+  auto it = installed_.find(std::string(name));
+  return it == installed_.end() ? nullptr : &it->second;
+}
+
+std::string Database::owner_of(std::string_view path) const {
+  auto it = owners_.find(normalize_path(path));
+  return it == owners_.end() ? "" : it->second;
+}
+
+std::vector<std::string> Database::installed_names() const {
+  std::vector<std::string> names;
+  names.reserve(installed_.size());
+  for (const auto& [name, record] : installed_) names.push_back(name);
+  return names;
+}
+
+Status Database::persist(vfs::Filesystem& fs) const {
+  std::string status;
+  for (const auto& [name, record] : installed_) {
+    status += std::string(name_key(format_)) + ": " + record.name + "\n";
+    status += "Version: " + record.version + "\n";
+    status += std::string(arch_key(format_)) + ": " + record.architecture + "\n";
+    status += std::string(section_key(format_)) + ": " + record.section + "\n";
+    status += std::string("Variant: ") + variant_name(record.variant) + "\n";
+    if (!record.depends.empty()) {
+      status += std::string(depends_key(format_)) + ": " + join(record.depends, ", ") + "\n";
+    }
+    for (const auto& [key, value] : record.attributes) {
+      status += "X-Comt-" + key + ": " + value + "\n";
+    }
+    status += "\n";
+  }
+  std::string_view path = format_ == PackageFormat::deb ? kStatusPath : kRpmStatusPath;
+  return fs.write_file(path, std::move(status));
+}
+
+}  // namespace comt::pkg

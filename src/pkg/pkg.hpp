@@ -1,0 +1,147 @@
+// Package-manager substrate (dpkg/apt analogue).
+//
+// coMtainer's image model classifies files by provenance ("from the package
+// manager" is one of the five classes) and its `libo` adapter replaces
+// generic packages with system-optimized counterparts. Both need a real
+// package database: versioned packages with dependencies, owned files, a
+// per-image installed-status database persisted inside the container
+// filesystem (dpkg-style), and per-system repositories carrying optimized
+// variants.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+#include "vfs/vfs.hpp"
+
+namespace comt::pkg {
+
+/// Build quality of a package. `generic` is what mainstream base images ship;
+/// `optimized` is a system-vendor build tuned for specific hardware.
+enum class Variant { generic, optimized };
+
+const char* variant_name(Variant variant);
+
+/// One file shipped by a package.
+struct PackageFile {
+  std::string path;          ///< absolute install path
+  std::string content;
+  std::uint32_t mode = 0644;
+};
+
+/// A package as it exists in a repository.
+struct Package {
+  std::string name;
+  std::string version;
+  std::string architecture = "amd64";  ///< "amd64", "arm64" or "all"
+  Variant variant = Variant::generic;
+  std::vector<std::string> depends;    ///< dependency package names
+  std::vector<std::string> provides;   ///< virtual names this satisfies
+  std::string section = "libs";
+  std::string description;
+  /// Free-form attributes consumed by other subsystems. Known keys:
+  ///  "libspeed" — throughput multiplier for library-bound kernel time
+  ///  "fabric"   — interconnect class an MPI package drives ("tcp", "hsn")
+  ///  "march"    — ISA level a toolchain package targets
+  std::map<std::string, std::string> attributes;
+  std::vector<PackageFile> files;
+
+  std::uint64_t installed_size() const;
+
+  /// Attribute accessor with default (e.g. attribute_double("libspeed", 1.0)).
+  double attribute_double(std::string_view key, double fallback) const;
+  std::string attribute(std::string_view key, std::string fallback = "") const;
+};
+
+/// A set of packages available for installation; at most one version of a
+/// name per repository (matching an apt snapshot). Virtual `provides` names
+/// resolve to their single provider.
+class Repository {
+ public:
+  /// Adds a package. Fails on duplicate name.
+  Status add(Package package);
+
+  /// Looks up by real name, then by provided virtual name.
+  const Package* find(std::string_view name) const;
+
+  std::vector<std::string> package_names() const;
+  std::size_t size() const { return packages_.size(); }
+
+ private:
+  std::map<std::string, Package> packages_;
+  std::map<std::string, std::string> provides_;  // virtual -> provider
+};
+
+/// Dependency resolution: returns an install order (dependencies before
+/// dependents) covering `roots` and their transitive closure, skipping names
+/// in `already_installed`. Fails on unknown packages and dependency cycles.
+Result<std::vector<const Package*>> resolve(
+    const Repository& repo, const std::vector<std::string>& roots,
+    const std::vector<std::string>& already_installed = {});
+
+/// Summary of one installed package, as recorded in the status database.
+struct InstalledPackage {
+  std::string name;
+  std::string version;
+  std::string architecture;
+  Variant variant = Variant::generic;
+  std::vector<std::string> depends;
+  std::string section;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::string> files;  ///< owned paths
+};
+
+/// Path of the dpkg-style status database inside a container filesystem.
+inline constexpr std::string_view kStatusPath = "/var/lib/dpkg/status";
+/// Path of the rpm-style database (RPM-based distros; §4.6 notes the
+/// approach "is equally applicable to other package managers, such as RPM").
+inline constexpr std::string_view kRpmStatusPath = "/var/lib/rpm/Packages.list";
+
+/// On-disk dialect of the per-image package database.
+enum class PackageFormat { deb, rpm };
+
+/// The per-image installed-package database. Mirrors dpkg (or rpm): a status
+/// file with one stanza per package, plus owned-file lists. All mutations
+/// write through to the filesystem so the database is always reconstructible
+/// from the image alone — that is what lets coMtainer's front-end parse
+/// "dpkg/apt data inside the image" (§4.5).
+class Database {
+ public:
+  /// Parses whichever database the image carries: /var/lib/dpkg/status or
+  /// /var/lib/rpm/Packages.list (empty deb-format database when neither
+  /// exists). The detected format is kept for write-through persistence.
+  static Result<Database> load(const vfs::Filesystem& fs);
+
+  PackageFormat format() const { return format_; }
+  void set_format(PackageFormat format) { format_ = format; }
+
+  /// Installs `package`: writes its files, records the stanza and file list.
+  /// Fails if a different package already owns one of the paths.
+  Status install(vfs::Filesystem& fs, const Package& package);
+
+  /// Removes an installed package: deletes its owned files and its records.
+  Status remove(vfs::Filesystem& fs, std::string_view name);
+
+  bool installed(std::string_view name) const;
+  const InstalledPackage* find(std::string_view name) const;
+
+  /// Name of the package owning `path`, or "" when unowned.
+  std::string owner_of(std::string_view path) const;
+
+  std::vector<std::string> installed_names() const;
+  std::size_t size() const { return installed_.size(); }
+
+ private:
+  Status persist(vfs::Filesystem& fs) const;
+
+  PackageFormat format_ = PackageFormat::deb;
+  std::map<std::string, InstalledPackage> installed_;
+  std::map<std::string, std::string> owners_;  // path -> package name
+};
+
+}  // namespace comt::pkg

@@ -1,0 +1,66 @@
+#include "registry/registry.hpp"
+
+namespace comt::registry {
+namespace {
+
+std::string make_reference(std::string_view name, std::string_view tag) {
+  return std::string(name) + ":" + std::string(tag);
+}
+
+/// Copies one blob across layouts, counting bytes only when the destination
+/// does not already hold it (content-addressed dedup, like a real registry).
+Status transfer_blob(const oci::Layout& from, oci::Layout& to, const oci::Descriptor& blob,
+                     std::uint64_t& transferred) {
+  if (to.has_blob(blob.digest)) return Status::success();
+  COMT_TRY(std::string content, from.get_blob(blob.digest));
+  transferred += content.size();
+  to.put_blob(std::move(content), blob.media_type);
+  return Status::success();
+}
+
+}  // namespace
+
+Status Registry::push(const oci::Layout& source, std::string_view local_tag,
+                      std::string_view name, std::string_view tag) {
+  COMT_TRY(oci::Image image, source.find_image(local_tag));
+  COMT_TRY_STATUS(transfer_blob(source, store_, image.manifest.config, transfer_.pushed_bytes));
+  for (const oci::Descriptor& layer : image.manifest.layers) {
+    COMT_TRY_STATUS(transfer_blob(source, store_, layer, transfer_.pushed_bytes));
+  }
+  COMT_TRY(std::string manifest_blob, source.get_blob(image.manifest_digest));
+  if (!store_.has_blob(image.manifest_digest)) transfer_.pushed_bytes += manifest_blob.size();
+  store_.put_blob(std::move(manifest_blob), oci::kMediaTypeManifest);
+  references_[make_reference(name, tag)] = image.manifest_digest;
+  return Status::success();
+}
+
+Status Registry::pull(std::string_view name, std::string_view tag, oci::Layout& destination,
+                      std::string_view local_tag) const {
+  auto it = references_.find(make_reference(name, tag));
+  if (it == references_.end()) {
+    return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
+  }
+  COMT_TRY(oci::Image image, store_.load_image(it->second));
+  COMT_TRY_STATUS(
+      transfer_blob(store_, destination, image.manifest.config, transfer_.pulled_bytes));
+  for (const oci::Descriptor& layer : image.manifest.layers) {
+    COMT_TRY_STATUS(transfer_blob(store_, destination, layer, transfer_.pulled_bytes));
+  }
+  COMT_TRY(oci::Digest digest, destination.add_manifest(image.manifest, local_tag));
+  (void)digest;
+  return Status::success();
+}
+
+bool Registry::has(std::string_view name, std::string_view tag) const {
+  return references_.count(make_reference(name, tag)) != 0;
+}
+
+Stats Registry::stats() const {
+  Stats out = transfer_;
+  out.repositories = references_.size();
+  out.blobs = store_.blob_count();
+  out.stored_bytes = store_.total_blob_bytes();
+  return out;
+}
+
+}  // namespace comt::registry

@@ -1,0 +1,46 @@
+// An in-memory OCI image registry: the "repository" box in the paper's
+// workflow (Fig. 1/4). Push copies an image (manifest, config, layers) from a
+// local layout into the registry store; pull copies it back out. Blobs are
+// content-addressed, so repeated pushes of shared base layers deduplicate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+
+namespace comt::registry {
+
+/// Registry statistics for reporting distribution overhead (Table 3).
+struct Stats {
+  std::size_t repositories = 0;
+  std::size_t blobs = 0;
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t pushed_bytes = 0;  ///< bytes actually transferred by pushes
+  std::uint64_t pulled_bytes = 0;  ///< bytes actually transferred by pulls
+};
+
+class Registry {
+ public:
+  /// Pushes the image tagged `local_tag` in `source` under "name:tag".
+  /// Only blobs the registry does not already hold are "transferred".
+  Status push(const oci::Layout& source, std::string_view local_tag,
+              std::string_view name, std::string_view tag);
+
+  /// Pulls "name:tag" into `destination`, tagging it `local_tag`.
+  Status pull(std::string_view name, std::string_view tag, oci::Layout& destination,
+              std::string_view local_tag) const;
+
+  bool has(std::string_view name, std::string_view tag) const;
+
+  Stats stats() const;
+
+ private:
+  oci::Layout store_;
+  std::map<std::string, oci::Digest> references_;  // "name:tag" -> manifest
+  mutable Stats transfer_;
+};
+
+}  // namespace comt::registry

@@ -1,0 +1,181 @@
+#include "shell/shell.hpp"
+
+#include <cctype>
+
+namespace comt::shell {
+namespace {
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Reads a $-expansion starting at text[pos] (which is '$') and appends the
+/// expanded value; returns the index one past the consumed region.
+std::size_t expand_one(std::string_view text, std::size_t pos, const Environment& env,
+                       std::string& out) {
+  std::size_t i = pos + 1;
+  if (i < text.size() && text[i] == '{') {
+    std::size_t close = text.find('}', i + 1);
+    if (close == std::string_view::npos) {
+      out.push_back('$');
+      return pos + 1;
+    }
+    std::string name(text.substr(i + 1, close - i - 1));
+    auto it = env.find(name);
+    if (it != env.end()) out += it->second;
+    return close + 1;
+  }
+  std::size_t start = i;
+  while (i < text.size() && is_name_char(text[i])) ++i;
+  if (i == start) {
+    out.push_back('$');
+    return pos + 1;
+  }
+  std::string name(text.substr(start, i - start));
+  auto it = env.find(name);
+  if (it != env.end()) out += it->second;
+  return i;
+}
+
+}  // namespace
+
+std::string expand_variables(std::string_view text, const Environment& env) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '$') {
+      i = expand_one(text, i, env, out);
+    } else if (text[i] == '\\' && i + 1 < text.size() && text[i + 1] == '$') {
+      out.push_back('$');
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> tokenize(std::string_view line, const Environment& env) {
+  std::vector<std::string> words;
+  std::string current;
+  bool in_word = false;
+  std::size_t i = 0;
+  auto flush = [&] {
+    if (in_word) {
+      words.push_back(current);
+      current.clear();
+      in_word = false;
+    }
+  };
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ' ' || c == '\t') {
+      flush();
+      ++i;
+    } else if (c == '\'') {
+      // Single quotes: everything literal until the closing quote.
+      std::size_t close = line.find('\'', i + 1);
+      if (close == std::string_view::npos) {
+        return make_error(Errc::invalid_argument, "unterminated single quote");
+      }
+      current.append(line.substr(i + 1, close - i - 1));
+      in_word = true;
+      i = close + 1;
+    } else if (c == '"') {
+      // Double quotes: expansion allowed, \" and \\ and \$ escapes.
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        char d = line[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\\' && i + 1 < line.size() &&
+            (line[i + 1] == '"' || line[i + 1] == '\\' || line[i + 1] == '$')) {
+          current.push_back(line[i + 1]);
+          i += 2;
+        } else if (d == '$') {
+          i = expand_one(line, i, env, current);
+        } else {
+          current.push_back(d);
+          ++i;
+        }
+      }
+      if (!closed) return make_error(Errc::invalid_argument, "unterminated double quote");
+      in_word = true;
+    } else if (c == '\\' && i + 1 < line.size()) {
+      current.push_back(line[i + 1]);
+      in_word = true;
+      i += 2;
+    } else if (c == '$') {
+      // Unquoted expansion undergoes field splitting (POSIX): embedded
+      // whitespace in the value separates words ($CFLAGS="-O2 -g" -> 2 args).
+      std::string expanded;
+      i = expand_one(line, i, env, expanded);
+      for (char d : expanded) {
+        if (d == ' ' || d == '\t') {
+          flush();
+        } else {
+          current.push_back(d);
+          in_word = true;
+        }
+      }
+    } else {
+      current.push_back(c);
+      in_word = true;
+      ++i;
+    }
+  }
+  flush();
+  return words;
+}
+
+Result<std::vector<Command>> parse_command_list(std::string_view line, const Environment& env) {
+  // Split on unquoted `&&` and `;` first, then tokenize each segment.
+  std::vector<std::pair<std::string, bool>> segments;  // text, and_next
+  std::string current;
+  std::size_t i = 0;
+  bool in_single = false;
+  bool in_double = false;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (!in_single && !in_double) {
+      if (c == '&' && i + 1 < line.size() && line[i + 1] == '&') {
+        segments.emplace_back(current, true);
+        current.clear();
+        i += 2;
+        continue;
+      }
+      if (c == ';') {
+        segments.emplace_back(current, false);
+        current.clear();
+        ++i;
+        continue;
+      }
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_single || in_double) {
+    return make_error(Errc::invalid_argument, "unterminated quote in command list");
+  }
+  segments.emplace_back(current, false);
+
+  std::vector<Command> commands;
+  for (const auto& [text, and_next] : segments) {
+    COMT_TRY(std::vector<std::string> argv, tokenize(text, env));
+    if (argv.empty()) continue;
+    Command command;
+    command.argv = std::move(argv);
+    command.and_next = and_next;
+    commands.push_back(std::move(command));
+  }
+  return commands;
+}
+
+}  // namespace comt::shell

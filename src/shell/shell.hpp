@@ -1,0 +1,40 @@
+// Minimal POSIX-shell front end used for RUN instructions: tokenization with
+// quoting, $VAR / ${VAR} expansion, and command lists joined by `&&` and `;`.
+// There is no globbing, piping or redirection — the build scripts the
+// workloads use (and the ones the paper's hijacker records) don't need them,
+// and keeping the grammar small keeps the recorded build process exact.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace comt::shell {
+
+/// Environment for expansion: name -> value.
+using Environment = std::map<std::string, std::string>;
+
+/// One simple command: argv[0] is the program.
+struct Command {
+  std::vector<std::string> argv;
+  /// True when this command's success gates the next one (`a && b`), false
+  /// for unconditional sequencing (`a ; b`).
+  bool and_next = false;
+};
+
+/// Splits a line into words, honoring single quotes (literal), double quotes
+/// (allow expansion) and backslash escapes. `$NAME`/`${NAME}` are expanded
+/// from `env` outside single quotes; undefined variables expand to "".
+Result<std::vector<std::string>> tokenize(std::string_view line, const Environment& env);
+
+/// Parses a full command line into a `&&`/`;` list of simple commands.
+Result<std::vector<Command>> parse_command_list(std::string_view line, const Environment& env);
+
+/// Expands $VAR and ${VAR} in `text` (no quoting rules; used for Dockerfile
+/// instruction arguments, which have their own quoting already applied).
+std::string expand_variables(std::string_view text, const Environment& env);
+
+}  // namespace comt::shell

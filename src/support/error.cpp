@@ -1,0 +1,23 @@
+#include "support/error.hpp"
+
+namespace comt {
+
+const char* errc_name(Errc code) {
+  switch (code) {
+    case Errc::invalid_argument:
+      return "invalid_argument";
+    case Errc::not_found:
+      return "not_found";
+    case Errc::already_exists:
+      return "already_exists";
+    case Errc::corrupt:
+      return "corrupt";
+    case Errc::unsupported:
+      return "unsupported";
+    case Errc::failed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace comt

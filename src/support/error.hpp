@@ -1,0 +1,147 @@
+// Error handling primitives used across the comtainer libraries.
+//
+// The codebase follows a two-tier policy (CppCoreGuidelines E.*):
+//  - Programming errors (violated preconditions) abort via COMT_ASSERT.
+//  - Expected runtime failures (malformed input, missing files, unresolvable
+//    dependencies) are reported through Result<T>, a lightweight
+//    std::expected-style type with a string-category error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace comt {
+
+/// Category of a runtime failure; used by callers to branch on error class
+/// without parsing the message text.
+enum class Errc {
+  invalid_argument,  ///< malformed input handed to a parser or API
+  not_found,         ///< a named entity (file, package, image, node) is absent
+  already_exists,    ///< uniqueness violated (duplicate tag, path, node id)
+  corrupt,           ///< stored data fails validation (digest mismatch, bad tar)
+  unsupported,       ///< feature intentionally outside the prototype's scope
+  failed,            ///< an operation ran and reported failure (tool exit != 0)
+};
+
+/// Human-readable name for an error category.
+const char* errc_name(Errc code);
+
+/// A runtime failure: category plus context message.
+struct Error {
+  Errc code = Errc::failed;
+  std::string message;
+
+  /// Formats as "<category>: <message>".
+  std::string to_string() const { return std::string(errc_name(code)) + ": " + message; }
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Minimal expected<T, Error>. Intentionally tiny: no monadic chaining beyond
+/// what the codebase needs, so error paths stay greppable.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok(). Aborting accessor for the success value.
+  T& value() & {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(storage_));
+  }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    if (ok()) die("Result::error() called on success value");
+    return std::get<Error>(storage_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(storage_) : std::move(fallback); }
+
+ private:
+  [[noreturn]] static void die(const char* what) {
+    std::fprintf(stderr, "comt fatal: %s\n", what);
+    std::abort();
+  }
+  void require_ok() const {
+    if (!ok()) {
+      std::fprintf(stderr, "comt fatal: Result::value() on error: %s\n",
+                   std::get<Error>(storage_).to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) {
+      std::fprintf(stderr, "comt fatal: Status::error() on success\n");
+      std::abort();
+    }
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Propagate the error of `expr` (a Result<T> or Status) out of the enclosing
+/// function. Usage: COMT_TRY(auto x, parse(input));
+#define COMT_TRY_CONCAT_INNER(a, b) a##b
+#define COMT_TRY_CONCAT(a, b) COMT_TRY_CONCAT_INNER(a, b)
+#define COMT_TRY_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                   \
+  if (!tmp.ok()) return tmp.error();   \
+  decl = std::move(tmp).value()
+#define COMT_TRY(decl, expr) \
+  COMT_TRY_IMPL(COMT_TRY_CONCAT(comt_try_tmp_, __LINE__), decl, expr)
+
+#define COMT_TRY_STATUS(expr)                  \
+  do {                                         \
+    auto comt_status_tmp = (expr);             \
+    if (!comt_status_tmp.ok()) return comt_status_tmp.error(); \
+  } while (0)
+
+/// Precondition check: aborts with location info when violated. Enabled in all
+/// build types — these guard invariants whose violation would corrupt state.
+#define COMT_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "comt assertion failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, msg);                                           \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace comt

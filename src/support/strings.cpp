@@ -1,0 +1,133 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+
+namespace comt {
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> fields;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) fields.emplace_back(text.substr(start, i - start));
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string normalize_path(std::string_view path) {
+  if (path.empty()) return ".";
+  const bool absolute = path.front() == '/';
+  std::vector<std::string> stack;
+  for (const std::string& segment : split(path, '/')) {
+    if (segment.empty() || segment == ".") continue;
+    if (segment == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!absolute) {
+        stack.push_back("..");
+      }
+      // ".." at the root of an absolute path is dropped (POSIX lexical).
+      continue;
+    }
+    stack.push_back(segment);
+  }
+  std::string out = absolute ? "/" : "";
+  out += join(stack, "/");
+  if (out.empty()) return ".";
+  return out;
+}
+
+std::string path_join(std::string_view base, std::string_view tail) {
+  if (!tail.empty() && tail.front() == '/') return normalize_path(tail);
+  if (base.empty()) return normalize_path(tail);
+  std::string combined(base);
+  combined += '/';
+  combined += tail;
+  return normalize_path(combined);
+}
+
+std::string path_dirname(std::string_view path) {
+  std::string normal = normalize_path(path);
+  std::size_t pos = normal.rfind('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return normal.substr(0, pos);
+}
+
+std::string path_basename(std::string_view path) {
+  std::string normal = normalize_path(path);
+  if (normal == "/") return "/";
+  std::size_t pos = normal.rfind('/');
+  if (pos == std::string::npos) return normal;
+  return normal.substr(pos + 1);
+}
+
+std::string path_extension(std::string_view path) {
+  std::string base = path_basename(path);
+  std::size_t pos = base.rfind('.');
+  if (pos == std::string::npos || pos == 0) return "";
+  return base.substr(pos);
+}
+
+}  // namespace comt

@@ -1,0 +1,51 @@
+// Small string utilities shared across modules. All functions are pure and
+// allocate only for their return values.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comt {
+
+/// Splits `text` on `separator`; empty fields are preserved
+/// ("a,,b" -> {"a","","b"}). An empty input yields one empty field.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Splits on runs of ASCII whitespace; no empty fields are produced.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `separator` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// True if `text` contains `needle`.
+bool contains(std::string_view text, std::string_view needle);
+
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to);
+
+/// Normalizes an absolute or relative slash path: collapses "//" and "."
+/// segments and resolves ".." lexically (never above the root for absolute
+/// paths). "" -> ".", "/" -> "/".
+std::string normalize_path(std::string_view path);
+
+/// Joins two path fragments with exactly one '/' between them. If `tail` is
+/// absolute it replaces `base` (POSIX semantics).
+std::string path_join(std::string_view base, std::string_view tail);
+
+/// Directory part of a path ("/a/b/c" -> "/a/b", "c" -> ".", "/x" -> "/").
+std::string path_dirname(std::string_view path);
+
+/// Final component of a path ("/a/b/c" -> "c", "/" -> "/").
+std::string path_basename(std::string_view path);
+
+/// File extension including the dot ("a/b.c.o" -> ".o"); "" when none.
+std::string path_extension(std::string_view path);
+
+}  // namespace comt

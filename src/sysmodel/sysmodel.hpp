@@ -1,0 +1,113 @@
+// HPC system profiles and the container execution engine.
+//
+// A SystemProfile captures what the paper's two testbeds (Table 1) expose to
+// applications: ISA, SIMD width, memory bandwidth, interconnect fabrics, and
+// which toolchain/march the platform vendor tunes for. The ExecutionEngine
+// "runs" an executable blob inside a flattened container filesystem on a
+// profile: it resolves dynamic libraries out of the image (failing like a
+// real loader when one is missing), then evaluates the DESIGN.md §5 time
+// model over the binary's kernels. Instrumented binaries emit PGO profiles.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+#include "toolchain/artifact.hpp"
+#include "vfs/vfs.hpp"
+
+namespace comt::sysmodel {
+
+/// One HPC system (or user workstation).
+struct SystemProfile {
+  std::string name;
+  std::string arch;          ///< "amd64" / "arm64"
+  std::string cpu_model;     ///< Table 1 text
+  std::string os_name;
+  int nodes = 16;
+  int cores_per_node = 64;
+  int ram_gib = 512;
+
+  double scalar_ips = 1.0;   ///< abstract work units / second, scalar code
+  double mem_bw = 1.0;       ///< work units / second for memory-bound work
+  int max_lanes = 8;         ///< hardware SIMD lanes (doubles)
+  double call_cost = 1.0;    ///< penalty multiplier on call-overhead work
+  double branch_cost = 1.0;  ///< penalty multiplier on branchy work
+  double comm_cost = 1.0;    ///< scales communication time
+  /// Interconnects reachable from this system and their relative speeds,
+  /// e.g. {"tcp", 1.0}, {"hsn", 12.0}. An MPI library drives the fastest
+  /// fabric it has a plugin for.
+  std::map<std::string, double> fabric_speed;
+
+  /// -march/-mtune values the platform vendor actually tunes for. Code
+  /// compiled for other march values runs at `untuned_factor` of nominal
+  /// compute speed (distro-generic code scheduled poorly for this core —
+  /// the per-vendor gap §3 describes). Vectorized loops can pay a separate,
+  /// usually harsher penalty (`vector_untuned_factor`): SIMD scheduling is
+  /// where generic codegen diverges most from vendor tuning.
+  std::vector<std::string> tuned_marches;
+  double untuned_factor = 0.9;
+  double vector_untuned_factor = 0.9;
+
+  std::string native_toolchain;  ///< toolchain id system adapters install
+  std::string native_march;      ///< -march those adapters compile with
+
+  bool march_is_tuned(std::string_view march) const;
+
+  // Built-in profiles mirroring Table 1, plus the image builder's machine.
+  static const SystemProfile& x86_cluster();
+  static const SystemProfile& aarch64_cluster();
+  static const SystemProfile& user_workstation();
+};
+
+/// Parameters of one run.
+struct RunRequest {
+  int nodes = 1;
+  double input_scale = 1.0;  ///< scales every kernel's work
+  /// Per-kernel work multipliers: different inputs of the same binary (the
+  /// paper's lammps.chain vs lammps.lj etc.) emphasize different kernels.
+  std::map<std::string, double> kernel_weight;
+};
+
+/// Per-bottleneck breakdown of a run.
+struct TimeBreakdown {
+  double scalar = 0, vector = 0, memory = 0, library = 0, call = 0, branch = 0,
+         comm = 0;
+  double total() const {
+    return scalar + vector + memory + library + call + branch + comm;
+  }
+};
+
+/// Outcome of one run.
+struct RunReport {
+  double seconds = 0;
+  TimeBreakdown breakdown;
+  std::map<std::string, double> kernel_seconds;
+  /// Profile blob (toolchain::serialize_profile format) when the binary was
+  /// instrumented; empty otherwise.
+  std::string profile_blob;
+  std::vector<std::string> warnings;
+};
+
+/// Runs executables from container images on a system profile.
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(const SystemProfile& system) : system_(system) {}
+
+  const SystemProfile& system() const { return system_; }
+
+  /// Executes `exe_path` inside `rootfs`. Fails with loader-style errors on
+  /// architecture mismatch or missing shared libraries.
+  Result<RunReport> run(const vfs::Filesystem& rootfs, std::string_view exe_path,
+                        const RunRequest& request = {}) const;
+
+ private:
+  Result<toolchain::LinkedImage> resolve_library(const vfs::Filesystem& rootfs,
+                                                 std::string_view name) const;
+
+  const SystemProfile& system_;
+};
+
+}  // namespace comt::sysmodel

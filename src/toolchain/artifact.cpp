@@ -1,0 +1,220 @@
+#include "toolchain/artifact.hpp"
+
+#include "json/json.hpp"
+#include "support/strings.hpp"
+
+namespace comt::toolchain {
+namespace {
+
+json::Value kernel_to_json(const KernelTrait& kernel) {
+  json::Object object;
+  object.emplace_back("name", json::Value(kernel.name));
+  object.emplace_back("work", json::Value(kernel.work));
+  object.emplace_back("vec", json::Value(kernel.frac_vec));
+  object.emplace_back("mem", json::Value(kernel.frac_mem));
+  object.emplace_back("call", json::Value(kernel.frac_call));
+  object.emplace_back("branch", json::Value(kernel.frac_branch));
+  object.emplace_back("lib", json::Value(kernel.lib));
+  object.emplace_back("flib", json::Value(kernel.frac_lib));
+  object.emplace_back("comm", json::Value(kernel.frac_comm));
+  object.emplace_back("aggr", json::Value(kernel.aggr_response));
+  object.emplace_back("rlto", json::Value(kernel.lto_response));
+  object.emplace_back("rpgo", json::Value(kernel.pgo_response));
+  return json::Value(std::move(object));
+}
+
+KernelTrait kernel_from_json(const json::Value& value) {
+  KernelTrait kernel;
+  kernel.name = value.get_string("name");
+  auto number = [&](const char* key) {
+    const json::Value* v = value.find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+  kernel.work = number("work");
+  kernel.frac_vec = number("vec");
+  kernel.frac_mem = number("mem");
+  kernel.frac_call = number("call");
+  kernel.frac_branch = number("branch");
+  kernel.lib = value.get_string("lib");
+  kernel.frac_lib = number("flib");
+  kernel.frac_comm = number("comm");
+  kernel.aggr_response = number("aggr");
+  kernel.lto_response = number("rlto");
+  kernel.pgo_response = number("rpgo");
+  return kernel;
+}
+
+json::Value codegen_to_json(const CodegenInfo& codegen) {
+  json::Object object;
+  object.emplace_back("toolchain", json::Value(codegen.toolchain_id));
+  object.emplace_back("opt", json::Value(codegen.opt_level));
+  object.emplace_back("march", json::Value(codegen.march));
+  object.emplace_back("lanes", json::Value(codegen.vector_lanes));
+  object.emplace_back("lto_ir", json::Value(codegen.lto_ir));
+  object.emplace_back("lto_applied", json::Value(codegen.lto_applied));
+  object.emplace_back("pgo_instr", json::Value(codegen.pgo_instrumented));
+  object.emplace_back("pgo_quality", json::Value(codegen.pgo_quality));
+  if (codegen.layout_optimized) object.emplace_back("layout", json::Value(true));
+  return json::Value(std::move(object));
+}
+
+CodegenInfo codegen_from_json(const json::Value& value) {
+  CodegenInfo codegen;
+  codegen.toolchain_id = value.get_string("toolchain");
+  codegen.opt_level = static_cast<int>(value.get_int("opt"));
+  codegen.march = value.get_string("march");
+  codegen.vector_lanes = static_cast<int>(value.get_int("lanes", 2));
+  codegen.lto_ir = value.get_bool("lto_ir");
+  codegen.lto_applied = value.get_bool("lto_applied");
+  codegen.pgo_instrumented = value.get_bool("pgo_instr");
+  if (const json::Value* q = value.find("pgo_quality"); q != nullptr && q->is_number()) {
+    codegen.pgo_quality = q->as_number();
+  }
+  codegen.layout_optimized = value.get_bool("layout");
+  return codegen;
+}
+
+json::Value object_to_json(const ObjectCode& object_code) {
+  json::Object object;
+  object.emplace_back("source", json::Value(object_code.source_path));
+  object.emplace_back("digest", json::Value(object_code.source_digest));
+  object.emplace_back("codegen", codegen_to_json(object_code.codegen));
+  json::Array kernels;
+  for (const KernelTrait& kernel : object_code.kernels) {
+    kernels.push_back(kernel_to_json(kernel));
+  }
+  object.emplace_back("kernels", json::Value(std::move(kernels)));
+  return json::Value(std::move(object));
+}
+
+ObjectCode object_from_json(const json::Value& value) {
+  ObjectCode object_code;
+  object_code.source_path = value.get_string("source");
+  object_code.source_digest = value.get_string("digest");
+  if (const json::Value* codegen = value.find("codegen"); codegen != nullptr) {
+    object_code.codegen = codegen_from_json(*codegen);
+  }
+  if (const json::Value* kernels = value.find("kernels");
+      kernels != nullptr && kernels->is_array()) {
+    for (const json::Value& kernel : kernels->as_array()) {
+      object_code.kernels.push_back(kernel_from_json(kernel));
+    }
+  }
+  return object_code;
+}
+
+/// Wraps a JSON body under a magic first line.
+std::string wrap(std::string_view magic, const json::Value& body) {
+  std::string out(magic);
+  out += '\n';
+  out += json::serialize(body);
+  return out;
+}
+
+Result<json::Value> unwrap(std::string_view magic, std::string_view blob,
+                           std::string_view what) {
+  if (!starts_with(blob, magic)) {
+    return make_error(Errc::corrupt, std::string(what) + ": bad magic");
+  }
+  std::size_t newline = blob.find('\n');
+  if (newline == std::string_view::npos) {
+    return make_error(Errc::corrupt, std::string(what) + ": truncated header");
+  }
+  // The JSON body is one compact line; anything after the next newline is
+  // padding (library blobs carry size ballast, like real .so file bodies).
+  std::string_view body = blob.substr(newline + 1);
+  if (std::size_t end = body.find('\n'); end != std::string_view::npos) {
+    body = body.substr(0, end);
+  }
+  return json::parse(body);
+}
+
+}  // namespace
+
+double LinkedImage::attribute(std::string_view key, double fallback) const {
+  auto it = attributes.find(std::string(key));
+  return it == attributes.end() ? fallback : it->second;
+}
+
+std::string serialize_object(const ObjectCode& object) {
+  return wrap(kObjectMagic, object_to_json(object));
+}
+
+Result<ObjectCode> parse_object(std::string_view blob) {
+  COMT_TRY(json::Value body, unwrap(kObjectMagic, blob, "object file"));
+  return object_from_json(body);
+}
+
+bool is_object_blob(std::string_view blob) { return starts_with(blob, kObjectMagic); }
+
+std::string serialize_archive(const std::vector<ObjectCode>& members) {
+  json::Array array;
+  for (const ObjectCode& member : members) array.push_back(object_to_json(member));
+  return wrap(kArchiveMagic, json::Value(std::move(array)));
+}
+
+Result<std::vector<ObjectCode>> parse_archive(std::string_view blob) {
+  COMT_TRY(json::Value body, unwrap(kArchiveMagic, blob, "archive"));
+  if (!body.is_array()) return make_error(Errc::corrupt, "archive: body is not an array");
+  std::vector<ObjectCode> members;
+  for (const json::Value& member : body.as_array()) {
+    members.push_back(object_from_json(member));
+  }
+  return members;
+}
+
+bool is_archive_blob(std::string_view blob) { return starts_with(blob, kArchiveMagic); }
+
+std::string serialize_image(const LinkedImage& image) {
+  json::Object object;
+  object.emplace_back("shared", json::Value(image.is_shared));
+  object.emplace_back("soname", json::Value(image.soname));
+  object.emplace_back("arch", json::Value(image.target_arch));
+  object.emplace_back("codegen", codegen_to_json(image.codegen));
+  json::Array objects;
+  for (const ObjectCode& member : image.objects) objects.push_back(object_to_json(member));
+  object.emplace_back("objects", json::Value(std::move(objects)));
+  json::Array needed;
+  for (const std::string& name : image.needed) needed.emplace_back(name);
+  object.emplace_back("needed", json::Value(std::move(needed)));
+  json::Object attributes;
+  for (const auto& [key, value] : image.attributes) {
+    attributes.emplace_back(key, json::Value(value));
+  }
+  object.emplace_back("attributes", json::Value(std::move(attributes)));
+  return wrap(kImageMagic, json::Value(std::move(object)));
+}
+
+Result<LinkedImage> parse_image(std::string_view blob) {
+  COMT_TRY(json::Value body, unwrap(kImageMagic, blob, "linked image"));
+  LinkedImage image;
+  image.is_shared = body.get_bool("shared");
+  image.soname = body.get_string("soname");
+  image.target_arch = body.get_string("arch");
+  if (const json::Value* codegen = body.find("codegen"); codegen != nullptr) {
+    image.codegen = codegen_from_json(*codegen);
+  }
+  if (const json::Value* objects = body.find("objects");
+      objects != nullptr && objects->is_array()) {
+    for (const json::Value& member : objects->as_array()) {
+      image.objects.push_back(object_from_json(member));
+    }
+  }
+  if (const json::Value* needed = body.find("needed");
+      needed != nullptr && needed->is_array()) {
+    for (const json::Value& name : needed->as_array()) {
+      image.needed.push_back(name.as_string());
+    }
+  }
+  if (const json::Value* attributes = body.find("attributes");
+      attributes != nullptr && attributes->is_object()) {
+    for (const auto& [key, value] : attributes->as_object()) {
+      if (value.is_number()) image.attributes[key] = value.as_number();
+    }
+  }
+  return image;
+}
+
+bool is_image_blob(std::string_view blob) { return starts_with(blob, kImageMagic); }
+
+}  // namespace comt::toolchain

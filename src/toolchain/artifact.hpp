@@ -1,0 +1,82 @@
+// Compiled-artifact model: the "binaries" the simulated toolchain produces.
+//
+// Object files, archives, shared libraries and executables stored in a
+// container filesystem are blobs with a magic first line plus a JSON body
+// describing their kernels and how they were compiled. The execution engine
+// (src/sysmodel) interprets executables; the coMtainer back-end and the
+// build-graph front-end parse them to recover compilation structure.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+#include "toolchain/source.hpp"
+
+namespace comt::toolchain {
+
+/// How a translation unit (or linked image) was compiled.
+struct CodegenInfo {
+  std::string toolchain_id;  ///< producing toolchain ("gnu-generic", …)
+  int opt_level = 0;
+  std::string march;         ///< effective -march (resolved, not "native")
+  int vector_lanes = 2;      ///< SIMD lanes (doubles) the code targets
+  bool lto_ir = false;       ///< object carries IR for link-time optimization
+  bool lto_applied = false;  ///< cross-TU optimization performed at link
+  bool pgo_instrumented = false;  ///< built with -fprofile-generate
+  double pgo_quality = 0;    ///< 0..1: how well a fed-back profile matched
+  /// Post-link binary layout optimization applied (BOLT-style; the class of
+  /// further optimizations the paper's §5.3 leaves as future work).
+  bool layout_optimized = false;
+
+  bool operator==(const CodegenInfo&) const = default;
+};
+
+/// One compiled translation unit.
+struct ObjectCode {
+  std::string source_path;    ///< path of the source file compiled
+  std::string source_digest;  ///< sha256 of the source content
+  CodegenInfo codegen;
+  std::vector<KernelTrait> kernels;
+
+  bool operator==(const ObjectCode&) const = default;
+};
+
+/// A linked image: executable or shared library.
+struct LinkedImage {
+  bool is_shared = false;
+  std::string soname;              ///< for shared libraries
+  std::string target_arch;         ///< "amd64" / "arm64"
+  CodegenInfo codegen;             ///< link-level codegen summary
+  std::vector<ObjectCode> objects;
+  std::vector<std::string> needed;  ///< dynamic deps, -l names ("m", "mpi", …)
+  /// Runtime attributes, meaningful mostly for library blobs:
+  ///  "libspeed" — throughput multiplier for callers' lib-bound time
+  ///  "fabric_tcp"/"fabric_hsn" — interconnect an MPI library can drive
+  std::map<std::string, double> attributes;
+
+  double attribute(std::string_view key, double fallback) const;
+
+  bool operator==(const LinkedImage&) const = default;
+};
+
+// Blob magics: first line of the file content identifies the artifact type.
+inline constexpr std::string_view kObjectMagic = "\x7f" "COMT-OBJ";
+inline constexpr std::string_view kArchiveMagic = "!<comt-ar>";
+inline constexpr std::string_view kImageMagic = "\x7f" "COMT-ELF";
+
+std::string serialize_object(const ObjectCode& object);
+Result<ObjectCode> parse_object(std::string_view blob);
+bool is_object_blob(std::string_view blob);
+
+std::string serialize_archive(const std::vector<ObjectCode>& members);
+Result<std::vector<ObjectCode>> parse_archive(std::string_view blob);
+bool is_archive_blob(std::string_view blob);
+
+std::string serialize_image(const LinkedImage& image);
+Result<LinkedImage> parse_image(std::string_view blob);
+bool is_image_blob(std::string_view blob);
+
+}  // namespace comt::toolchain

@@ -1,0 +1,453 @@
+#include "toolchain/driver.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "json/json.hpp"
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+#include "toolchain/source.hpp"
+
+namespace comt::toolchain {
+namespace {
+
+/// Libraries the C/C++ runtime links implicitly; their absence in the image
+/// is never a link error.
+const std::set<std::string, std::less<>> kImplicitLibraries = {"c", "gcc", "gcc_s",
+                                                               "stdc++", "dl", "rt"};
+
+/// Machine options only meaningful on one ISA. Feeding an x86 -m option to an
+/// AArch64 compiler is a hard error (this is what breaks naive cross-ISA
+/// rebuilds of images whose build scripts carry ISA-specific flags — §5.5).
+bool machine_flag_matches_arch(std::string_view name, std::string_view arch) {
+  static constexpr std::string_view kX86Only[] = {
+      "-msse", "-mavx", "-mfma", "-mmmx", "-mbmi", "-mlzcnt", "-mpopcnt", "-maes",
+      "-msha", "-mpclmul", "-mrdrnd", "-mrdseed", "-mf16c", "-mxsave", "-mfpmath",
+      "-mprefetchwt1", "-mclflushopt", "-mmovbe", "-mvzeroupper", "-mavx256",
+      "-mlong-double", "-mred-zone", "-mpreferred-stack-boundary", "-m32", "-m64",
+      "-mx32", "-m16"};
+  static constexpr std::string_view kArmOnly[] = {
+      "-msve-vector-bits", "-moutline-atomics", "-mfix-cortex", "-mlow-precision",
+      "-mgeneral-regs-only", "-mbig-endian", "-mlittle-endian", "-mstrict-align"};
+  for (std::string_view prefix : kX86Only) {
+    if (starts_with(name, prefix)) return arch == "amd64";
+  }
+  for (std::string_view prefix : kArmOnly) {
+    if (starts_with(name, prefix)) return arch == "arm64";
+  }
+  return true;  // arch-neutral machine option (-mtune spelling etc.)
+}
+
+bool is_source_file(std::string_view path) {
+  std::string ext = path_extension(path);
+  return ext == ".c" || ext == ".cc" || ext == ".cpp" || ext == ".cxx" || ext == ".C" ||
+         ext == ".f" || ext == ".f90" || ext == ".F90";
+}
+
+/// Default library search path (mirrors the usual ld layout).
+const std::vector<std::string>& default_library_dirs() {
+  static const std::vector<std::string> dirs = {"/usr/local/lib", "/usr/lib", "/lib"};
+  return dirs;
+}
+
+}  // namespace
+
+Driver::Driver(const Toolchain& toolchain, std::string target_arch)
+    : toolchain_(toolchain), target_arch_(std::move(target_arch)) {}
+
+Result<double> Driver::profile_quality(const CompileCommand& command,
+                                       const vfs::Filesystem& fs, const std::string& cwd,
+                                       const std::vector<KernelTrait>& kernels,
+                                       DriverResult& result) const {
+  if (command.profile_use.empty()) return 0.0;
+  std::string profile_path =
+      command.profile_use == "."
+          ? path_join(cwd, kDefaultProfileName)
+          : path_join(cwd, command.profile_use);
+  if (fs.is_directory(profile_path)) {
+    profile_path = path_join(profile_path, kDefaultProfileName);
+  }
+  auto blob = fs.read_file(profile_path);
+  if (!blob.ok()) {
+    // GCC warns and continues when profile data is missing.
+    result.log += "warning: profile data not found at " + profile_path + "\n";
+    return 0.0;
+  }
+  result.inputs_read.push_back(profile_path);
+  COMT_TRY(auto weights, parse_profile(blob.value()));
+  if (kernels.empty()) return 0.0;
+  // Quality = fraction of this TU's kernels that the profile covers,
+  // weighted by recorded hotness (a cold-covered kernel trains poorly).
+  double covered = 0;
+  for (const KernelTrait& kernel : kernels) {
+    auto it = weights.find(kernel.name);
+    if (it != weights.end()) covered += std::min(1.0, it->second * 2.0);
+  }
+  return std::min(1.0, covered / static_cast<double>(kernels.size()));
+}
+
+Result<ObjectCode> Driver::compile_one(const CompileCommand& command, vfs::Filesystem& fs,
+                                       const std::string& cwd,
+                                       const std::string& source_path,
+                                       DriverResult& result) const {
+  std::string absolute = path_join(cwd, source_path);
+  COMT_TRY(std::string content, fs.read_file(absolute));
+  result.inputs_read.push_back(absolute);
+  COMT_TRY(SourceInfo info, analyze_source(content));
+
+  if (!command.march.empty() && !toolchain_.supports(command.march)) {
+    return make_error(Errc::failed, toolchain_.id + ": error: unsupported -march=" +
+                                        command.march);
+  }
+  for (const GenericOption& option : command.generic) {
+    if (option.category == OptionCategory::machine &&
+        !machine_flag_matches_arch(option.name, target_arch_)) {
+      return make_error(Errc::failed, toolchain_.id + ": error: unrecognized command-line option '" +
+                                          option.name + "' for target " + target_arch_);
+    }
+  }
+  // Local includes must resolve (against the source's directory and -I), and
+  // their ISA markers count toward the translation unit's.
+  std::vector<std::string> isa_specific = info.isa_specific;
+  for (const std::string& include : info.includes) {
+    std::vector<std::string> candidates;
+    candidates.push_back(path_join(path_dirname(absolute), include));
+    for (const std::string& dir : command.include_dirs) {
+      candidates.push_back(path_join(path_join(cwd, dir), include));
+    }
+    bool found = false;
+    for (const std::string& candidate : candidates) {
+      if (fs.is_regular(candidate)) {
+        result.inputs_read.push_back(candidate);
+        COMT_TRY(std::string header_content, fs.read_file(candidate));
+        COMT_TRY(SourceInfo header_info, analyze_source(header_content));
+        isa_specific.insert(isa_specific.end(), header_info.isa_specific.begin(),
+                            header_info.isa_specific.end());
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return make_error(Errc::failed,
+                        source_path + ": fatal error: " + include + ": No such file");
+    }
+  }
+
+  // ISA gate: code hard-wired to another ISA (inline assembly, intrinsics,
+  // generated arch-config headers) fails to compile for this target, which
+  // is what blocks naive cross-ISA rebuilds (§5.5).
+  if (!isa_specific.empty()) {
+    std::string want = target_arch_ == "amd64" ? "x86_64" : "aarch64";
+    bool compatible = false;
+    for (const std::string& isa : isa_specific) {
+      if (isa == want) compatible = true;
+    }
+    if (!compatible) {
+      return make_error(Errc::failed, source_path + ": error: ISA-specific code (" +
+                                          join(isa_specific, ",") + ") cannot target " +
+                                          target_arch_);
+    }
+  }
+
+  ObjectCode object;
+  object.source_path = absolute;
+  object.source_digest = Sha256::hex_digest(content);
+  object.kernels = info.kernels;
+  object.codegen.toolchain_id = toolchain_.id;
+  object.codegen.opt_level = std::clamp(command.opt_level, 0, 3);
+  object.codegen.march = toolchain_.resolve_march(command.march);
+  object.codegen.vector_lanes = toolchain_.lanes_for(object.codegen.march);
+  object.codegen.lto_ir = command.lto;
+  object.codegen.pgo_instrumented = command.profile_generate;
+  COMT_TRY(object.codegen.pgo_quality,
+           profile_quality(command, fs, cwd, info.kernels, result));
+  return object;
+}
+
+Result<DriverResult> Driver::run(const CompileCommand& command, vfs::Filesystem& fs,
+                                 const std::string& cwd) const {
+  DriverResult result;
+  if (toolchain_.target_arch != "any" && toolchain_.target_arch != target_arch_) {
+    return make_error(Errc::failed, toolchain_.id + ": exec format error on " + target_arch_);
+  }
+  if (command.inputs.empty()) {
+    return make_error(Errc::failed, command.program + ": fatal error: no input files");
+  }
+
+  switch (command.mode) {
+    case DriverMode::preprocess:
+    case DriverMode::compile: {
+      // -E/-S: the pipeline stops early; modelled as a passthrough copy of
+      // the source (enough for build graphs that use them, none of ours do).
+      for (const std::string& input : command.inputs) {
+        std::string absolute = path_join(cwd, input);
+        COMT_TRY(std::string content, fs.read_file(absolute));
+        result.inputs_read.push_back(absolute);
+        std::string output = command.output.empty()
+                                 ? path_join(cwd, path_basename(input) + ".i")
+                                 : path_join(cwd, command.output);
+        COMT_TRY_STATUS(fs.write_file(output, std::move(content)));
+        result.outputs.push_back(output);
+      }
+      return result;
+    }
+    case DriverMode::assemble: {
+      if (!command.output.empty() && command.inputs.size() > 1) {
+        return make_error(Errc::failed,
+                          "cannot specify -o with -c with multiple files");
+      }
+      for (const std::string& input : command.inputs) {
+        if (!is_source_file(input)) {
+          return make_error(Errc::failed, input + ": file not recognized for -c");
+        }
+        COMT_TRY(ObjectCode object, compile_one(command, fs, cwd, input, result));
+        std::string stem = path_basename(input);
+        stem = stem.substr(0, stem.size() - path_extension(stem).size());
+        std::string output = command.output.empty() ? path_join(cwd, stem + ".o")
+                                                    : path_join(cwd, command.output);
+        COMT_TRY_STATUS(fs.write_file(output, serialize_object(object)));
+        result.outputs.push_back(output);
+      }
+      return result;
+    }
+    case DriverMode::link:
+      break;
+  }
+
+  // ---- link ----------------------------------------------------------------
+  LinkedImage image;
+  image.is_shared = command.shared;
+  image.target_arch = target_arch_;
+  std::set<std::string> satisfied_libraries(kImplicitLibraries.begin(),
+                                            kImplicitLibraries.end());
+  bool any_ir = false;
+
+  // Positional inputs: sources (compiled inline), objects, archives.
+  for (const std::string& input : command.inputs) {
+    if (is_source_file(input)) {
+      COMT_TRY(ObjectCode object, compile_one(command, fs, cwd, input, result));
+      any_ir = any_ir || object.codegen.lto_ir;
+      image.objects.push_back(std::move(object));
+      continue;
+    }
+    std::string absolute = path_join(cwd, input);
+    COMT_TRY(std::string blob, fs.read_file(absolute));
+    result.inputs_read.push_back(absolute);
+    if (is_object_blob(blob)) {
+      COMT_TRY(ObjectCode object, parse_object(blob));
+      any_ir = any_ir || object.codegen.lto_ir;
+      image.objects.push_back(std::move(object));
+    } else if (is_archive_blob(blob)) {
+      COMT_TRY(std::vector<ObjectCode> members, parse_archive(blob));
+      for (ObjectCode& member : members) {
+        any_ir = any_ir || member.codegen.lto_ir;
+        image.objects.push_back(std::move(member));
+      }
+    } else if (is_image_blob(blob)) {
+      COMT_TRY(LinkedImage dependency, parse_image(blob));
+      if (!dependency.is_shared) {
+        return make_error(Errc::failed, input + ": cannot link against an executable");
+      }
+      std::string soname = dependency.soname;
+      if (starts_with(soname, "lib")) soname = soname.substr(3);
+      if (std::size_t dot = soname.find(".so"); dot != std::string::npos) {
+        soname = soname.substr(0, dot);
+      }
+      image.needed.push_back(soname);
+      satisfied_libraries.insert(soname);
+    } else {
+      return make_error(Errc::failed, input + ": file format not recognized");
+    }
+  }
+
+  // -l resolution against -L dirs then the default search path.
+  std::vector<std::string> search_dirs;
+  for (const std::string& dir : command.library_dirs) {
+    search_dirs.push_back(path_join(cwd, dir));
+  }
+  search_dirs.insert(search_dirs.end(), default_library_dirs().begin(),
+                     default_library_dirs().end());
+  for (const std::string& library : command.libraries) {
+    bool found = false;
+    for (const std::string& dir : search_dirs) {
+      std::string shared_path = path_join(dir, "lib" + library + ".so");
+      std::string static_path = path_join(dir, "lib" + library + ".a");
+      if (!command.static_link && fs.exists(shared_path)) {
+        COMT_TRY(std::string blob, fs.read_file(shared_path));
+        result.inputs_read.push_back(shared_path);
+        if (!is_image_blob(blob)) {
+          return make_error(Errc::failed, shared_path + ": file format not recognized");
+        }
+        image.needed.push_back(library);
+        satisfied_libraries.insert(library);
+        found = true;
+        break;
+      }
+      if (fs.exists(static_path)) {
+        COMT_TRY(std::string blob, fs.read_file(static_path));
+        result.inputs_read.push_back(static_path);
+        COMT_TRY(std::vector<ObjectCode> members, parse_archive(blob));
+        for (ObjectCode& member : members) {
+          any_ir = any_ir || member.codegen.lto_ir;
+          image.objects.push_back(std::move(member));
+        }
+        satisfied_libraries.insert(library);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (kImplicitLibraries.count(library) != 0 || library == "pthread" ||
+          library == "m") {
+        // Runtime-provided; resolved by the loader.
+        image.needed.push_back(library);
+        satisfied_libraries.insert(library);
+      } else {
+        return make_error(Errc::failed, "ld: cannot find -l" + library);
+      }
+    }
+  }
+
+  // Undefined-reference check: every kernel's library calls must be
+  // satisfied, and MPI-communicating kernels need an MPI library.
+  for (const ObjectCode& object : image.objects) {
+    for (const KernelTrait& kernel : object.kernels) {
+      if (!kernel.lib.empty() && satisfied_libraries.count(kernel.lib) == 0 &&
+          kernel.lib != "m") {
+        return make_error(Errc::failed, "ld: undefined reference to `" + kernel.lib +
+                                            "_kernel' in " + object.source_path);
+      }
+      if (kernel.lib == "m" && satisfied_libraries.count("m") == 0) {
+        image.needed.push_back("m");
+        satisfied_libraries.insert("m");
+      }
+      if (kernel.frac_comm > 0 && satisfied_libraries.count("mpi") == 0) {
+        return make_error(Errc::failed, "ld: undefined reference to `MPI_Init' in " +
+                                            object.source_path);
+      }
+    }
+  }
+
+  // Link-time optimization: IR-carrying objects participate in cross-TU
+  // inlining. Mixed links (some fat objects) still succeed; only IR objects
+  // get the benefit, mirroring GCC's behavior.
+  if (command.lto && any_ir) {
+    image.codegen.lto_applied = true;
+    for (ObjectCode& object : image.objects) {
+      if (object.codegen.lto_ir) object.codegen.lto_applied = true;
+    }
+  }
+
+  image.codegen.toolchain_id = toolchain_.id;
+  image.codegen.opt_level = std::clamp(command.opt_level, 0, 3);
+  image.codegen.march = toolchain_.resolve_march(command.march);
+  image.codegen.vector_lanes = toolchain_.lanes_for(image.codegen.march);
+  image.codegen.lto_ir = command.lto;
+  image.codegen.pgo_instrumented = command.profile_generate;
+  for (const ObjectCode& object : image.objects) {
+    image.codegen.pgo_quality =
+        std::max(image.codegen.pgo_quality, object.codegen.pgo_quality);
+  }
+
+  std::string output = command.output.empty()
+                           ? path_join(cwd, command.shared ? "a.so" : "a.out")
+                           : path_join(cwd, command.output);
+  if (command.shared) image.soname = path_basename(output);
+  // De-duplicate needed entries, preserving first-seen order.
+  {
+    std::set<std::string> seen;
+    std::vector<std::string> unique;
+    for (std::string& name : image.needed) {
+      if (seen.insert(name).second) unique.push_back(std::move(name));
+    }
+    image.needed = std::move(unique);
+  }
+  COMT_TRY_STATUS(fs.write_file(output, serialize_image(image), 0755));
+  result.outputs.push_back(output);
+  return result;
+}
+
+Result<DriverResult> run_ar(std::span<const std::string> argv, vfs::Filesystem& fs,
+                            const std::string& cwd) {
+  if (argv.size() < 3) {
+    return make_error(Errc::failed, "ar: usage: ar rcs archive members...");
+  }
+  const std::string& operation = argv[1];
+  DriverResult result;
+  std::string archive_path = path_join(cwd, argv[2]);
+  if (contains(operation, "t")) {
+    COMT_TRY(std::string blob, fs.read_file(archive_path));
+    result.inputs_read.push_back(archive_path);
+    COMT_TRY(std::vector<ObjectCode> members, parse_archive(blob));
+    for (const ObjectCode& member : members) {
+      result.log += path_basename(member.source_path) + "\n";
+    }
+    return result;
+  }
+  if (!contains(operation, "r")) {
+    return make_error(Errc::failed, "ar: unsupported operation " + operation);
+  }
+  std::vector<ObjectCode> members;
+  // 'r' without 'c' appends to an existing archive.
+  if (fs.exists(archive_path)) {
+    COMT_TRY(std::string blob, fs.read_file(archive_path));
+    COMT_TRY(members, parse_archive(blob));
+  }
+  for (std::size_t i = 3; i < argv.size(); ++i) {
+    std::string member_path = path_join(cwd, argv[i]);
+    COMT_TRY(std::string blob, fs.read_file(member_path));
+    result.inputs_read.push_back(member_path);
+    if (!is_object_blob(blob)) {
+      return make_error(Errc::failed, "ar: " + argv[i] + " is not an object file");
+    }
+    COMT_TRY(ObjectCode object, parse_object(blob));
+    // 'r' replaces an existing member of the same name (ar semantics);
+    // without this, re-running a recorded ar command would duplicate members.
+    std::erase_if(members, [&](const ObjectCode& existing) {
+      return path_basename(existing.source_path) == path_basename(object.source_path);
+    });
+    members.push_back(std::move(object));
+  }
+  COMT_TRY_STATUS(fs.write_file(archive_path, serialize_archive(members)));
+  result.outputs.push_back(archive_path);
+  return result;
+}
+
+std::string make_library_blob(std::string_view soname, std::string_view target_arch,
+                              const std::map<std::string, double>& attributes,
+                              const std::vector<std::string>& needed) {
+  LinkedImage image;
+  image.is_shared = true;
+  image.soname = std::string(soname);
+  image.target_arch = std::string(target_arch);
+  image.attributes = attributes;
+  image.needed = needed;
+  return serialize_image(image);
+}
+
+std::string serialize_profile(const std::map<std::string, double>& kernel_weights) {
+  json::Object object;
+  for (const auto& [name, weight] : kernel_weights) {
+    object.emplace_back(name, json::Value(weight));
+  }
+  std::string out(kProfileMagic);
+  out += '\n';
+  out += json::serialize(json::Value(std::move(object)));
+  return out;
+}
+
+Result<std::map<std::string, double>> parse_profile(std::string_view blob) {
+  if (!starts_with(blob, kProfileMagic)) {
+    return make_error(Errc::corrupt, "profile data: bad magic");
+  }
+  std::size_t newline = blob.find('\n');
+  COMT_TRY(json::Value body, json::parse(blob.substr(newline + 1)));
+  if (!body.is_object()) return make_error(Errc::corrupt, "profile data: not an object");
+  std::map<std::string, double> weights;
+  for (const auto& [name, value] : body.as_object()) {
+    if (value.is_number()) weights[name] = value.as_number();
+  }
+  return weights;
+}
+
+}  // namespace comt::toolchain

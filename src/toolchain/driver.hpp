@@ -1,0 +1,81 @@
+// The simulated compiler driver ("gcc"/"clang"/vendor cc) and archiver.
+//
+// Given a parsed CompileCommand and a container filesystem, the driver
+// performs compilation: sources are analyzed into kernel descriptors and
+// emitted as object blobs honoring -O/-march/-flto/-fprofile-*; links gather
+// objects, archives and -l libraries into executable/shared-library blobs,
+// applying link-time optimization (cross-TU call-overhead elimination for IR
+// objects) and recording PGO state. Undefined-reference and missing-library
+// errors are real: a kernel calling into "blas" must find a blas library at
+// link time, and an MPI-using program must link an MPI — exactly the
+// coupling points the paper's adapters rewrite.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+#include "toolchain/artifact.hpp"
+#include "toolchain/options.hpp"
+#include "toolchain/toolchains.hpp"
+#include "vfs/vfs.hpp"
+
+namespace comt::toolchain {
+
+/// Magic first line of PGO profile data files.
+inline constexpr std::string_view kProfileMagic = "COMT-PROF";
+/// Default profile filename -fprofile-use looks for (in the cwd).
+inline constexpr std::string_view kDefaultProfileName = "default.profdata";
+
+/// Outcome of a driver invocation.
+struct DriverResult {
+  std::vector<std::string> outputs;      ///< absolute paths written
+  std::vector<std::string> inputs_read;  ///< absolute paths consumed
+  std::string log;                       ///< human-readable notes
+};
+
+/// One compiler installation bound to a target architecture.
+class Driver {
+ public:
+  /// `target_arch` is the architecture of the container the compiler runs
+  /// in ("amd64"/"arm64"); toolchains with target_arch "any" produce code
+  /// for it, arch-specific toolchains must match it.
+  Driver(const Toolchain& toolchain, std::string target_arch);
+
+  const Toolchain& toolchain() const { return toolchain_; }
+
+  /// Executes a parsed command against `fs`. Compile modes write .o blobs;
+  /// link mode writes an executable or shared-library blob.
+  Result<DriverResult> run(const CompileCommand& command, vfs::Filesystem& fs,
+                           const std::string& cwd) const;
+
+ private:
+  Result<ObjectCode> compile_one(const CompileCommand& command, vfs::Filesystem& fs,
+                                 const std::string& cwd, const std::string& source_path,
+                                 DriverResult& result) const;
+  Result<double> profile_quality(const CompileCommand& command, const vfs::Filesystem& fs,
+                                 const std::string& cwd,
+                                 const std::vector<KernelTrait>& kernels,
+                                 DriverResult& result) const;
+
+  const Toolchain& toolchain_;
+  std::string target_arch_;
+};
+
+/// The `ar` archiver: supports "ar rcs out.a member.o..." and "ar t out.a".
+Result<DriverResult> run_ar(std::span<const std::string> argv, vfs::Filesystem& fs,
+                            const std::string& cwd);
+
+/// Builds a shared-library blob for a package (vendor BLAS, MPI, libm…):
+/// no objects, just runtime attributes. `needed` may name transitive deps.
+std::string make_library_blob(std::string_view soname, std::string_view target_arch,
+                              const std::map<std::string, double>& attributes,
+                              const std::vector<std::string>& needed = {});
+
+/// Serializes PGO profile data: kernel name -> hotness weight in [0,1].
+std::string serialize_profile(const std::map<std::string, double>& kernel_weights);
+Result<std::map<std::string, double>> parse_profile(std::string_view blob);
+
+}  // namespace comt::toolchain

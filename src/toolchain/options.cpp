@@ -1,0 +1,956 @@
+#include "toolchain/options.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace comt::toolchain {
+namespace {
+
+using enum OptionKind;
+using enum OptionCategory;
+
+// The option table. Names are real GCC options; kinds follow the GCC driver's
+// handling. Negatable rows accept the -fno-/-mno-/-Wno- form. This table is
+// the reproduction of the paper's manually derived GCC command-line model.
+constexpr OptionSpec kSpecs[] = {
+    // --- output / pipeline control -----------------------------------------
+    {"-o", separate, output},
+    {"-c", flag, output},
+    {"-S", flag, output},
+    {"-E", flag, output},
+    {"-pipe", flag, output},
+    {"-v", flag, output},
+    {"--version", flag, output},
+    {"-###", flag, output},
+    {"--help", flag, output},
+    {"-x", joined_or_separate, language},
+    {"-pass-exit-codes", flag, output},
+    {"--verbose", flag, output},
+    {"-save-temps", flag, output},
+    {"-time", flag, output},
+    {"-dumpbase", separate, output},
+    {"-dumpdir", separate, output},
+    {"-dumpmachine", flag, output},
+    {"-dumpversion", flag, output},
+    {"-dumpspecs", flag, output},
+
+    // --- language ----------------------------------------------------------
+    {"-std", joined_eq, language},
+    {"-ansi", flag, language},
+    {"-fpermissive", flag, language},
+    {"-ffreestanding", negatable, language},
+    {"-fhosted", negatable, language},
+    {"-fexceptions", negatable, language},
+    {"-frtti", negatable, language},
+    {"-fno-threadsafe-statics", flag, language},
+    {"-fopenmp", negatable, language},
+    {"-fopenmp-simd", negatable, language},
+    {"-fopenacc", negatable, language},
+    {"-fcoroutines", negatable, language},
+    {"-fmodules-ts", negatable, language},
+    {"-fchar8_t", negatable, language},
+    {"-fsigned-char", negatable, language},
+    {"-funsigned-char", negatable, language},
+    {"-fwide-exec-charset", joined_eq, language},
+    {"-fexec-charset", joined_eq, language},
+    {"-finput-charset", joined_eq, language},
+    {"-fvisibility", joined_eq, language},
+    {"-fvisibility-inlines-hidden", negatable, language},
+    {"-fshort-enums", negatable, language},
+    {"-fshort-wchar", negatable, language},
+    {"-fgnu89-inline", negatable, language},
+    {"-fms-extensions", negatable, language},
+    {"-fplan9-extensions", negatable, language},
+    {"-fcond-mismatch", negatable, language},
+    {"-flax-vector-conversions", negatable, language},
+    {"-fnew-inheriting-ctors", negatable, language},
+    {"-fsized-deallocation", negatable, language},
+    {"-faligned-new", negatable, language},
+    {"-fconcepts", negatable, language},
+    {"-ftemplate-depth", joined_eq, language},
+    {"-fconstexpr-depth", joined_eq, language},
+    {"-fconstexpr-loop-limit", joined_eq, language},
+    {"-fconstexpr-ops-limit", joined_eq, language},
+    {"-fimplicit-templates", negatable, language},
+    {"-fenforce-eh-specs", negatable, language},
+    {"-fstrong-eval-order", negatable, language},
+
+    // --- preprocessor --------------------------------------------------------
+    {"-D", joined_or_separate, preprocessor},
+    {"-U", joined_or_separate, preprocessor},
+    {"-I", joined_or_separate, preprocessor},
+    {"-include", separate, preprocessor},
+    {"-imacros", separate, preprocessor},
+    {"-iquote", joined_or_separate, preprocessor},
+    {"-isystem", joined_or_separate, preprocessor},
+    {"-idirafter", joined_or_separate, preprocessor},
+    {"-iprefix", separate, preprocessor},
+    {"-iwithprefix", separate, preprocessor},
+    {"-isysroot", separate, preprocessor},
+    {"-nostdinc", flag, preprocessor},
+    {"-nostdinc++", flag, preprocessor},
+    {"-M", flag, preprocessor},
+    {"-MM", flag, preprocessor},
+    {"-MD", flag, preprocessor},
+    {"-MMD", flag, preprocessor},
+    {"-MG", flag, preprocessor},
+    {"-MP", flag, preprocessor},
+    {"-MF", separate, preprocessor},
+    {"-MT", separate, preprocessor},
+    {"-MQ", separate, preprocessor},
+    {"-C", flag, preprocessor},
+    {"-CC", flag, preprocessor},
+    {"-P", flag, preprocessor},
+    {"-H", flag, preprocessor},
+    {"-traditional", flag, preprocessor},
+    {"-traditional-cpp", flag, preprocessor},
+    {"-trigraphs", flag, preprocessor},
+    {"-Xpreprocessor", separate, preprocessor},
+    {"-Wp", joined, preprocessor},
+    {"-A", joined_or_separate, preprocessor},
+    {"-d", joined, preprocessor},
+    {"-fdirectives-only", negatable, preprocessor},
+    {"-fdollars-in-identifiers", negatable, preprocessor},
+    {"-fextended-identifiers", negatable, preprocessor},
+    {"-fmax-include-depth", joined_eq, preprocessor},
+    {"-ftabstop", joined_eq, preprocessor},
+    {"-ftrack-macro-expansion", joined_eq, preprocessor},
+    {"-fworking-directory", negatable, preprocessor},
+    {"-fpch-deps", negatable, preprocessor},
+    {"-fpch-preprocess", negatable, preprocessor},
+
+    // --- optimization (the -O family is parsed specially; these are -f) -----
+    {"-faggressive-loop-optimizations", negatable, optimization},
+    {"-falign-functions", negatable, optimization},
+    {"-falign-jumps", negatable, optimization},
+    {"-falign-labels", negatable, optimization},
+    {"-falign-loops", negatable, optimization},
+    {"-fassociative-math", negatable, optimization},
+    {"-fauto-inc-dec", negatable, optimization},
+    {"-fbranch-count-reg", negatable, optimization},
+    {"-fbranch-probabilities", negatable, optimization},
+    {"-fcaller-saves", negatable, optimization},
+    {"-fcode-hoisting", negatable, optimization},
+    {"-fcombine-stack-adjustments", negatable, optimization},
+    {"-fcompare-elim", negatable, optimization},
+    {"-fcprop-registers", negatable, optimization},
+    {"-fcrossjumping", negatable, optimization},
+    {"-fcse-follow-jumps", negatable, optimization},
+    {"-fcse-skip-blocks", negatable, optimization},
+    {"-fcx-fortran-rules", negatable, optimization},
+    {"-fcx-limited-range", negatable, optimization},
+    {"-fdce", negatable, optimization},
+    {"-fdefer-pop", negatable, optimization},
+    {"-fdelayed-branch", negatable, optimization},
+    {"-fdelete-null-pointer-checks", negatable, optimization},
+    {"-fdevirtualize", negatable, optimization},
+    {"-fdevirtualize-speculatively", negatable, optimization},
+    {"-fdse", negatable, optimization},
+    {"-fearly-inlining", negatable, optimization},
+    {"-fexpensive-optimizations", negatable, optimization},
+    {"-ffast-math", negatable, optimization},
+    {"-ffinite-loops", negatable, optimization},
+    {"-ffinite-math-only", negatable, optimization},
+    {"-ffloat-store", negatable, optimization},
+    {"-fforward-propagate", negatable, optimization},
+    {"-ffp-contract", joined_eq, optimization},
+    {"-ffunction-cse", negatable, optimization},
+    {"-ffunction-sections", negatable, optimization},
+    {"-fdata-sections", negatable, optimization},
+    {"-fgcse", negatable, optimization},
+    {"-fgcse-after-reload", negatable, optimization},
+    {"-fgcse-las", negatable, optimization},
+    {"-fgcse-lm", negatable, optimization},
+    {"-fgcse-sm", negatable, optimization},
+    {"-fguess-branch-probability", negatable, optimization},
+    {"-fhoist-adjacent-loads", negatable, optimization},
+    {"-fif-conversion", negatable, optimization},
+    {"-fif-conversion2", negatable, optimization},
+    {"-findirect-inlining", negatable, optimization},
+    {"-finline", negatable, optimization},
+    {"-finline-functions", negatable, optimization},
+    {"-finline-functions-called-once", negatable, optimization},
+    {"-finline-limit", joined_eq, optimization},
+    {"-finline-small-functions", negatable, optimization},
+    {"-fipa-bit-cp", negatable, optimization},
+    {"-fipa-cp", negatable, optimization},
+    {"-fipa-cp-clone", negatable, optimization},
+    {"-fipa-icf", negatable, optimization},
+    {"-fipa-modref", negatable, optimization},
+    {"-fipa-profile", negatable, optimization},
+    {"-fipa-pta", negatable, optimization},
+    {"-fipa-pure-const", negatable, optimization},
+    {"-fipa-ra", negatable, optimization},
+    {"-fipa-reference", negatable, optimization},
+    {"-fipa-sra", negatable, optimization},
+    {"-fipa-vrp", negatable, optimization},
+    {"-fira-algorithm", joined_eq, optimization},
+    {"-fira-region", joined_eq, optimization},
+    {"-fira-hoist-pressure", negatable, optimization},
+    {"-fisolate-erroneous-paths-dereference", negatable, optimization},
+    {"-fivopts", negatable, optimization},
+    {"-fkeep-inline-functions", negatable, optimization},
+    {"-fkeep-static-consts", negatable, optimization},
+    {"-flive-range-shrinkage", negatable, optimization},
+    {"-floop-block", negatable, optimization},
+    {"-floop-interchange", negatable, optimization},
+    {"-floop-nest-optimize", negatable, optimization},
+    {"-floop-parallelize-all", negatable, optimization},
+    {"-floop-strip-mine", negatable, optimization},
+    {"-floop-unroll-and-jam", negatable, optimization},
+    {"-fmath-errno", negatable, optimization},
+    {"-fmerge-all-constants", negatable, optimization},
+    {"-fmerge-constants", negatable, optimization},
+    {"-fmodulo-sched", negatable, optimization},
+    {"-fmove-loop-invariants", negatable, optimization},
+    {"-fomit-frame-pointer", negatable, optimization},
+    {"-foptimize-sibling-calls", negatable, optimization},
+    {"-foptimize-strlen", negatable, optimization},
+    {"-fpartial-inlining", negatable, optimization},
+    {"-fpeel-loops", negatable, optimization},
+    {"-fpeephole", negatable, optimization},
+    {"-fpeephole2", negatable, optimization},
+    {"-fplt", negatable, optimization},
+    {"-fpredictive-commoning", negatable, optimization},
+    {"-fprefetch-loop-arrays", negatable, optimization},
+    {"-free", negatable, optimization},
+    {"-freciprocal-math", negatable, optimization},
+    {"-freg-struct-return", negatable, optimization},
+    {"-frename-registers", negatable, optimization},
+    {"-freorder-blocks", negatable, optimization},
+    {"-freorder-blocks-algorithm", joined_eq, optimization},
+    {"-freorder-blocks-and-partition", negatable, optimization},
+    {"-freorder-functions", negatable, optimization},
+    {"-frerun-cse-after-loop", negatable, optimization},
+    {"-freschedule-modulo-scheduled-loops", negatable, optimization},
+    {"-frounding-math", negatable, optimization},
+    {"-fsched-interblock", negatable, optimization},
+    {"-fsched-pressure", negatable, optimization},
+    {"-fsched-spec", negatable, optimization},
+    {"-fschedule-insns", negatable, optimization},
+    {"-fschedule-insns2", negatable, optimization},
+    {"-fsection-anchors", negatable, optimization},
+    {"-fsel-sched-pipelining", negatable, optimization},
+    {"-fselective-scheduling", negatable, optimization},
+    {"-fshrink-wrap", negatable, optimization},
+    {"-fsignaling-nans", negatable, optimization},
+    {"-fsigned-zeros", negatable, optimization},
+    {"-fsingle-precision-constant", negatable, optimization},
+    {"-fsplit-ivs-in-unroller", negatable, optimization},
+    {"-fsplit-loops", negatable, optimization},
+    {"-fsplit-paths", negatable, optimization},
+    {"-fsplit-wide-types", negatable, optimization},
+    {"-fssa-backprop", negatable, optimization},
+    {"-fssa-phiopt", negatable, optimization},
+    {"-fstack-protector", negatable, optimization},
+    {"-fstack-protector-all", flag, optimization},
+    {"-fstack-protector-strong", flag, optimization},
+    {"-fstdarg-opt", negatable, optimization},
+    {"-fstore-merging", negatable, optimization},
+    {"-fstrict-aliasing", negatable, optimization},
+    {"-fstrict-overflow", negatable, optimization},
+    {"-fthread-jumps", negatable, optimization},
+    {"-ftree-bit-ccp", negatable, optimization},
+    {"-ftree-builtin-call-dce", negatable, optimization},
+    {"-ftree-ccp", negatable, optimization},
+    {"-ftree-ch", negatable, optimization},
+    {"-ftree-coalesce-vars", negatable, optimization},
+    {"-ftree-copy-prop", negatable, optimization},
+    {"-ftree-dce", negatable, optimization},
+    {"-ftree-dominator-opts", negatable, optimization},
+    {"-ftree-dse", negatable, optimization},
+    {"-ftree-forwprop", negatable, optimization},
+    {"-ftree-fre", negatable, optimization},
+    {"-ftree-loop-distribute-patterns", negatable, optimization},
+    {"-ftree-loop-distribution", negatable, optimization},
+    {"-ftree-loop-if-convert", negatable, optimization},
+    {"-ftree-loop-im", negatable, optimization},
+    {"-ftree-loop-ivcanon", negatable, optimization},
+    {"-ftree-loop-linear", negatable, optimization},
+    {"-ftree-loop-optimize", negatable, optimization},
+    {"-ftree-loop-vectorize", negatable, optimization},
+    {"-ftree-parallelize-loops", joined_eq, optimization},
+    {"-ftree-partial-pre", negatable, optimization},
+    {"-ftree-phiprop", negatable, optimization},
+    {"-ftree-pre", negatable, optimization},
+    {"-ftree-pta", negatable, optimization},
+    {"-ftree-reassoc", negatable, optimization},
+    {"-ftree-scev-cprop", negatable, optimization},
+    {"-ftree-sink", negatable, optimization},
+    {"-ftree-slp-vectorize", negatable, optimization},
+    {"-ftree-slsr", negatable, optimization},
+    {"-ftree-sra", negatable, optimization},
+    {"-ftree-switch-conversion", negatable, optimization},
+    {"-ftree-tail-merge", negatable, optimization},
+    {"-ftree-ter", negatable, optimization},
+    {"-ftree-vectorize", negatable, optimization},
+    {"-ftree-vrp", negatable, optimization},
+    {"-funconstrained-commons", negatable, optimization},
+    {"-funit-at-a-time", negatable, optimization},
+    {"-funroll-all-loops", negatable, optimization},
+    {"-funroll-loops", negatable, optimization},
+    {"-funsafe-math-optimizations", negatable, optimization},
+    {"-funswitch-loops", negatable, optimization},
+    {"-fvariable-expansion-in-unroller", negatable, optimization},
+    {"-fvect-cost-model", joined_eq, optimization},
+    {"-fvpt", negatable, optimization},
+    {"-fweb", negatable, optimization},
+    {"-fwhole-program", negatable, optimization},
+    {"-fwrapv", negatable, optimization},
+    {"-fzero-initialized-in-bss", negatable, optimization},
+    {"-fexcess-precision", joined_eq, optimization},
+    {"-fstack-reuse", joined_eq, optimization},
+    {"-fsimd-cost-model", joined_eq, optimization},
+    {"-flive-patching", joined_eq, optimization},
+    {"-fpack-struct", negatable, optimization},
+    {"-ftrapv", negatable, optimization},
+    {"-fbounds-check", negatable, optimization},
+    {"-fstack-limit-register", joined_eq, optimization},
+    {"-fstack-limit-symbol", joined_eq, optimization},
+    {"--param", joined_or_separate, optimization},
+
+    // --- machine dependent ---------------------------------------------------
+    {"-march", joined_eq, machine},
+    {"-mtune", joined_eq, machine},
+    {"-mcpu", joined_eq, machine},
+    {"-mabi", joined_eq, machine},
+    {"-mfpu", joined_eq, machine},
+    {"-mfloat-abi", joined_eq, machine},
+    {"-mfpmath", joined_eq, machine},
+    {"-mbranch-cost", joined_eq, machine},
+    {"-mtls-dialect", joined_eq, machine},
+    {"-mcmodel", joined_eq, machine},
+    {"-mstack-protector-guard", joined_eq, machine},
+    {"-mpreferred-stack-boundary", joined_eq, machine},
+    {"-m32", flag, machine},
+    {"-m64", flag, machine},
+    {"-mx32", flag, machine},
+    {"-m16", flag, machine},
+    {"-mmmx", negatable, machine},
+    {"-msse", negatable, machine},
+    {"-msse2", negatable, machine},
+    {"-msse3", negatable, machine},
+    {"-mssse3", negatable, machine},
+    {"-msse4", negatable, machine},
+    {"-msse4.1", negatable, machine},
+    {"-msse4.2", negatable, machine},
+    {"-msse4a", negatable, machine},
+    {"-mavx", negatable, machine},
+    {"-mavx2", negatable, machine},
+    {"-mavx512f", negatable, machine},
+    {"-mavx512cd", negatable, machine},
+    {"-mavx512bw", negatable, machine},
+    {"-mavx512dq", negatable, machine},
+    {"-mavx512vl", negatable, machine},
+    {"-mavx512vnni", negatable, machine},
+    {"-mavx512bf16", negatable, machine},
+    {"-mfma", negatable, machine},
+    {"-mfma4", negatable, machine},
+    {"-mbmi", negatable, machine},
+    {"-mbmi2", negatable, machine},
+    {"-mlzcnt", negatable, machine},
+    {"-mpopcnt", negatable, machine},
+    {"-maes", negatable, machine},
+    {"-msha", negatable, machine},
+    {"-mpclmul", negatable, machine},
+    {"-mrdrnd", negatable, machine},
+    {"-mrdseed", negatable, machine},
+    {"-mf16c", negatable, machine},
+    {"-mxsave", negatable, machine},
+    {"-mprefetchwt1", negatable, machine},
+    {"-mclflushopt", negatable, machine},
+    {"-mmovbe", negatable, machine},
+    {"-mlong-double-64", flag, machine},
+    {"-mlong-double-80", flag, machine},
+    {"-mlong-double-128", flag, machine},
+    {"-mhard-float", flag, machine},
+    {"-msoft-float", flag, machine},
+    {"-maccumulate-outgoing-args", negatable, machine},
+    {"-mred-zone", negatable, machine},
+    {"-mpush-args", negatable, machine},
+    {"-momit-leaf-frame-pointer", negatable, machine},
+    {"-mvzeroupper", negatable, machine},
+    {"-mavx256-split-unaligned-load", negatable, machine},
+    {"-mavx256-split-unaligned-store", negatable, machine},
+    {"-mgeneral-regs-only", flag, machine},
+    {"-mbig-endian", flag, machine},
+    {"-mlittle-endian", flag, machine},
+    {"-mstrict-align", negatable, machine},
+    {"-mfix-cortex-a53-835769", negatable, machine},
+    {"-mfix-cortex-a53-843419", negatable, machine},
+    {"-mlow-precision-recip-sqrt", negatable, machine},
+    {"-mlow-precision-sqrt", negatable, machine},
+    {"-mlow-precision-div", negatable, machine},
+    {"-msve-vector-bits", joined_eq, machine},
+    {"-moutline-atomics", negatable, machine},
+
+    // --- warnings ------------------------------------------------------------
+    {"-Wall", flag, warning},
+    {"-Wextra", flag, warning},
+    {"-Werror", flag, warning},
+    {"-Werror=", joined, warning},
+    {"-Wfatal-errors", flag, warning},
+    {"-Wpedantic", flag, warning},
+    {"-pedantic", flag, warning},
+    {"-pedantic-errors", flag, warning},
+    {"-w", flag, warning},
+    {"-Wabi", negatable, warning},
+    {"-Waddress", negatable, warning},
+    {"-Waggregate-return", negatable, warning},
+    {"-Walloc-zero", negatable, warning},
+    {"-Walloca", negatable, warning},
+    {"-Warray-bounds", negatable, warning},
+    {"-Wattributes", negatable, warning},
+    {"-Wbool-compare", negatable, warning},
+    {"-Wbool-operation", negatable, warning},
+    {"-Wcast-align", negatable, warning},
+    {"-Wcast-qual", negatable, warning},
+    {"-Wchar-subscripts", negatable, warning},
+    {"-Wclobbered", negatable, warning},
+    {"-Wcomment", negatable, warning},
+    {"-Wconversion", negatable, warning},
+    {"-Wdangling-else", negatable, warning},
+    {"-Wdate-time", negatable, warning},
+    {"-Wdeprecated", negatable, warning},
+    {"-Wdeprecated-declarations", negatable, warning},
+    {"-Wdisabled-optimization", negatable, warning},
+    {"-Wdouble-promotion", negatable, warning},
+    {"-Wduplicated-branches", negatable, warning},
+    {"-Wduplicated-cond", negatable, warning},
+    {"-Wempty-body", negatable, warning},
+    {"-Wenum-compare", negatable, warning},
+    {"-Wfloat-conversion", negatable, warning},
+    {"-Wfloat-equal", negatable, warning},
+    {"-Wformat", negatable, warning},
+    {"-Wformat-nonliteral", negatable, warning},
+    {"-Wformat-overflow", negatable, warning},
+    {"-Wformat-security", negatable, warning},
+    {"-Wformat-truncation", negatable, warning},
+    {"-Wframe-larger-than", joined_eq, warning},
+    {"-Wignored-qualifiers", negatable, warning},
+    {"-Wimplicit-fallthrough", negatable, warning},
+    {"-Winit-self", negatable, warning},
+    {"-Winline", negatable, warning},
+    {"-Wlogical-op", negatable, warning},
+    {"-Wmain", negatable, warning},
+    {"-Wmaybe-uninitialized", negatable, warning},
+    {"-Wmisleading-indentation", negatable, warning},
+    {"-Wmissing-braces", negatable, warning},
+    {"-Wmissing-declarations", negatable, warning},
+    {"-Wmissing-field-initializers", negatable, warning},
+    {"-Wmissing-include-dirs", negatable, warning},
+    {"-Wnarrowing", negatable, warning},
+    {"-Wnonnull", negatable, warning},
+    {"-Wnull-dereference", negatable, warning},
+    {"-Wold-style-cast", negatable, warning},
+    {"-Woverflow", negatable, warning},
+    {"-Woverloaded-virtual", negatable, warning},
+    {"-Wpacked", negatable, warning},
+    {"-Wpadded", negatable, warning},
+    {"-Wparentheses", negatable, warning},
+    {"-Wpointer-arith", negatable, warning},
+    {"-Wredundant-decls", negatable, warning},
+    {"-Wreorder", negatable, warning},
+    {"-Wrestrict", negatable, warning},
+    {"-Wreturn-type", negatable, warning},
+    {"-Wsequence-point", negatable, warning},
+    {"-Wshadow", negatable, warning},
+    {"-Wsign-compare", negatable, warning},
+    {"-Wsign-conversion", negatable, warning},
+    {"-Wsizeof-pointer-memaccess", negatable, warning},
+    {"-Wstack-protector", negatable, warning},
+    {"-Wstrict-aliasing", negatable, warning},
+    {"-Wstrict-overflow", negatable, warning},
+    {"-Wswitch", negatable, warning},
+    {"-Wswitch-default", negatable, warning},
+    {"-Wswitch-enum", negatable, warning},
+    {"-Wtautological-compare", negatable, warning},
+    {"-Wtrigraphs", negatable, warning},
+    {"-Wtype-limits", negatable, warning},
+    {"-Wundef", negatable, warning},
+    {"-Wuninitialized", negatable, warning},
+    {"-Wunknown-pragmas", negatable, warning},
+    {"-Wunreachable-code", negatable, warning},
+    {"-Wunsafe-loop-optimizations", negatable, warning},
+    {"-Wunused", negatable, warning},
+    {"-Wunused-but-set-parameter", negatable, warning},
+    {"-Wunused-but-set-variable", negatable, warning},
+    {"-Wunused-function", negatable, warning},
+    {"-Wunused-label", negatable, warning},
+    {"-Wunused-local-typedefs", negatable, warning},
+    {"-Wunused-macros", negatable, warning},
+    {"-Wunused-parameter", negatable, warning},
+    {"-Wunused-result", negatable, warning},
+    {"-Wunused-value", negatable, warning},
+    {"-Wunused-variable", negatable, warning},
+    {"-Wuseless-cast", negatable, warning},
+    {"-Wvariadic-macros", negatable, warning},
+    {"-Wvector-operation-performance", negatable, warning},
+    {"-Wvla", negatable, warning},
+    {"-Wvolatile-register-var", negatable, warning},
+    {"-Wwrite-strings", negatable, warning},
+    {"-Wzero-as-null-pointer-constant", negatable, warning},
+    {"-Wsuggest-override", negatable, warning},
+    {"-Wsuggest-final-types", negatable, warning},
+    {"-Wsuggest-final-methods", negatable, warning},
+    {"-Wsuggest-attribute", joined_eq, warning},
+
+    // --- debugging -----------------------------------------------------------
+    {"-g", flag, debug},
+    {"-g0", flag, debug},
+    {"-g1", flag, debug},
+    {"-g2", flag, debug},
+    {"-g3", flag, debug},
+    {"-ggdb", flag, debug},
+    {"-ggdb3", flag, debug},
+    {"-gdwarf", flag, debug},
+    {"-gdwarf-2", flag, debug},
+    {"-gdwarf-3", flag, debug},
+    {"-gdwarf-4", flag, debug},
+    {"-gdwarf-5", flag, debug},
+    {"-gsplit-dwarf", flag, debug},
+    {"-gstabs", flag, debug},
+    {"-fdebug-prefix-map", joined_eq, debug},
+    {"-ffile-prefix-map", joined_eq, debug},
+    {"-fmacro-prefix-map", joined_eq, debug},
+    {"-fvar-tracking", negatable, debug},
+    {"-fvar-tracking-assignments", negatable, debug},
+    {"-feliminate-unused-debug-symbols", negatable, debug},
+    {"-feliminate-unused-debug-types", negatable, debug},
+    {"-femit-class-debug-always", negatable, debug},
+    {"-fdebug-types-section", negatable, debug},
+    {"-grecord-gcc-switches", flag, debug},
+    {"-gno-record-gcc-switches", flag, debug},
+
+    // --- sanitizers / instrumentation (kept generic) --------------------------
+    {"-fsanitize", joined_eq, other},
+    {"-fsanitize-recover", joined_eq, other},
+    {"-fsanitize-address-use-after-scope", negatable, other},
+    {"-fstack-check", negatable, other},
+    {"-fstack-clash-protection", negatable, other},
+    {"-fcf-protection", joined_eq, other},
+    {"-finstrument-functions", negatable, other},
+    {"-fpatchable-function-entry", joined_eq, other},
+
+    // --- profiling / PGO -------------------------------------------------------
+    {"-p", flag, profile},
+    {"-pg", flag, profile},
+    {"-fprofile-arcs", negatable, profile},
+    {"-ftest-coverage", negatable, profile},
+    {"--coverage", flag, profile},
+    {"-fprofile-generate", negatable, profile},
+    {"-fprofile-generate=", joined, profile},
+    {"-fprofile-use", negatable, profile},
+    {"-fprofile-use=", joined, profile},
+    {"-fprofile-dir", joined_eq, profile},
+    {"-fprofile-correction", negatable, profile},
+    {"-fprofile-values", negatable, profile},
+    {"-fprofile-reorder-functions", negatable, profile},
+    {"-fprofile-partial-training", negatable, profile},
+    {"-fprofile-update", joined_eq, profile},
+    {"-fauto-profile", negatable, profile},
+    {"-fauto-profile=", joined, profile},
+
+    // --- LTO ---------------------------------------------------------------
+    {"-flto", negatable, lto},
+    {"-flto=", joined, lto},
+    {"-flto-partition", joined_eq, lto},
+    {"-flto-compression-level", joined_eq, lto},
+    {"-ffat-lto-objects", negatable, lto},
+    {"-fuse-linker-plugin", negatable, lto},
+    {"-flto-odr-type-merging", negatable, lto},
+    {"-fwpa", flag, lto},
+    {"-fltrans", flag, lto},
+
+    // --- code generation / linking -------------------------------------------
+    {"-fPIC", flag, linker},
+    {"-fpic", flag, linker},
+    {"-fPIE", flag, linker},
+    {"-fpie", flag, linker},
+    {"-shared", flag, linker},
+    {"-static", flag, linker},
+    {"-static-libgcc", flag, linker},
+    {"-static-libstdc++", flag, linker},
+    {"-static-libasan", flag, linker},
+    {"-symbolic", flag, linker},
+    {"-rdynamic", flag, linker},
+    {"-nostdlib", flag, linker},
+    {"-nodefaultlibs", flag, linker},
+    {"-nostartfiles", flag, linker},
+    {"-nolibc", flag, linker},
+    {"-pie", flag, linker},
+    {"-no-pie", flag, linker},
+    {"-r", flag, linker},
+    {"-s", flag, linker},
+    {"-l", joined_or_separate, linker},
+    {"-L", joined_or_separate, linker},
+    {"-T", separate, linker},
+    {"-u", joined_or_separate, linker},
+    {"-z", separate, linker},
+    {"-Xlinker", separate, linker},
+    {"-Wl", joined, linker},
+    {"-Wa", joined, linker},
+    {"-fuse-ld", joined_eq, linker},
+    {"-pthread", flag, linker},
+    {"-fwhole-program-vtables", negatable, linker},
+
+    // --- directories -----------------------------------------------------------
+    {"-B", joined_or_separate, directory},
+    {"--sysroot", joined_eq, directory},
+    {"-specs", joined_eq, directory},
+    {"-working-directory", joined_eq, directory},
+    {"-print-search-dirs", flag, directory},
+    {"-print-libgcc-file-name", flag, directory},
+    {"-print-file-name", joined_eq, directory},
+    {"-print-prog-name", joined_eq, directory},
+};
+
+}  // namespace
+
+const char* category_name(OptionCategory category) {
+  switch (category) {
+    case OptionCategory::output: return "output";
+    case OptionCategory::language: return "language";
+    case OptionCategory::preprocessor: return "preprocessor";
+    case OptionCategory::optimization: return "optimization";
+    case OptionCategory::machine: return "machine";
+    case OptionCategory::warning: return "warning";
+    case OptionCategory::debug: return "debug";
+    case OptionCategory::linker: return "linker";
+    case OptionCategory::directory: return "directory";
+    case OptionCategory::profile: return "profile";
+    case OptionCategory::lto: return "lto";
+    case OptionCategory::other: return "other";
+  }
+  return "?";
+}
+
+const char* driver_mode_name(DriverMode mode) {
+  switch (mode) {
+    case DriverMode::preprocess: return "preprocess";
+    case DriverMode::compile: return "compile";
+    case DriverMode::assemble: return "assemble";
+    case DriverMode::link: return "link";
+  }
+  return "?";
+}
+
+OptionTable::OptionTable(std::vector<OptionSpec> specs) : specs_(std::move(specs)) {
+  for (const OptionSpec& spec : specs_) {
+    by_name_.emplace(spec.name, &spec);
+    if (spec.kind == OptionKind::joined || spec.kind == OptionKind::joined_or_separate) {
+      joined_.push_back(&spec);
+    }
+  }
+  std::sort(joined_.begin(), joined_.end(), [](const OptionSpec* a, const OptionSpec* b) {
+    return a->name.size() > b->name.size();
+  });
+}
+
+const OptionTable& OptionTable::gcc() {
+  static const OptionTable table{{std::begin(kSpecs), std::end(kSpecs)}};
+  return table;
+}
+
+const OptionSpec* OptionTable::find(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const OptionSpec* OptionTable::find_joined_prefix(std::string_view arg) const {
+  for (const OptionSpec* spec : joined_) {
+    if (starts_with(arg, spec->name) && arg.size() > spec->name.size()) return spec;
+  }
+  return nullptr;
+}
+
+bool CompileCommand::flag_enabled(std::string_view name) const {
+  bool enabled = false;
+  for (const GenericOption& option : generic) {
+    if (option.name == name) enabled = option.enabled;
+  }
+  return enabled;
+}
+
+std::size_t CompileCommand::erase_generic(std::string_view name) {
+  std::size_t before = generic.size();
+  std::erase_if(generic, [&](const GenericOption& option) { return option.name == name; });
+  return before - generic.size();
+}
+
+std::vector<std::string> CompileCommand::render() const {
+  std::vector<std::string> argv;
+  argv.push_back(program);
+  switch (mode) {
+    case DriverMode::preprocess: argv.push_back("-E"); break;
+    case DriverMode::compile: argv.push_back("-S"); break;
+    case DriverMode::assemble: argv.push_back("-c"); break;
+    case DriverMode::link: break;
+  }
+  if (size_opt) {
+    argv.push_back("-Os");
+  } else if (opt_level > 0) {
+    argv.push_back("-O" + std::to_string(opt_level));
+  }
+  if (!march.empty()) argv.push_back("-march=" + march);
+  if (!mtune.empty()) argv.push_back("-mtune=" + mtune);
+  if (!std_version.empty()) argv.push_back("-std=" + std_version);
+  if (debug) argv.push_back("-g");
+  if (pic) argv.push_back("-fPIC");
+  if (shared) argv.push_back("-shared");
+  if (static_link) argv.push_back("-static");
+  if (lto) argv.push_back(lto_value.empty() ? "-flto" : "-flto=" + lto_value);
+  if (profile_generate) argv.push_back("-fprofile-generate");
+  if (!profile_use.empty()) {
+    argv.push_back(profile_use == "." ? "-fprofile-use" : "-fprofile-use=" + profile_use);
+  }
+  for (const GenericOption& option : generic) {
+    std::string name(option.name);
+    if (!option.enabled) {
+      // Reconstruct the -fno-/-mno-/-Wno- spelling.
+      COMT_ASSERT(name.size() > 2, "negated option too short");
+      name = name.substr(0, 2) + "no-" + name.substr(2);
+      argv.push_back(name);
+    } else if (!option.value.empty()) {
+      const OptionSpec* spec = OptionTable::gcc().find(name);
+      if (ends_with(name, "=") || (spec != nullptr && spec->kind == OptionKind::joined)) {
+        argv.push_back(name + option.value);  // glued with no separator
+      } else {
+        argv.push_back(name + "=" + option.value);
+      }
+    } else {
+      argv.push_back(name);
+    }
+  }
+  for (const std::string& dir : include_dirs) argv.push_back("-I" + dir);
+  for (const std::string& define : defines) argv.push_back("-D" + define);
+  for (const std::string& undef : undefines) argv.push_back("-U" + undef);
+  for (const std::string& input : inputs) argv.push_back(input);
+  for (const std::string& dir : library_dirs) argv.push_back("-L" + dir);
+  for (const std::string& library : libraries) argv.push_back("-l" + library);
+  if (!linker_args.empty()) argv.push_back("-Wl," + join(linker_args, ","));
+  for (const std::string& raw : unrecognized) argv.push_back(raw);
+  if (!output.empty()) {
+    argv.push_back("-o");
+    argv.push_back(output);
+  }
+  return argv;
+}
+
+Result<CompileCommand> parse_command(std::span<const std::string> argv,
+                                     const OptionTable& table) {
+  if (argv.empty()) {
+    return make_error(Errc::invalid_argument, "empty compiler command line");
+  }
+  CompileCommand cmd;
+  cmd.program = argv[0];
+
+  auto add_generic = [&cmd](const OptionSpec& spec, bool enabled, std::string value) {
+    GenericOption option;
+    option.name = std::string(spec.name);
+    option.enabled = enabled;
+    option.value = std::move(value);
+    option.category = spec.category;
+    cmd.generic.push_back(std::move(option));
+  };
+
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg.empty()) continue;
+    if (arg[0] != '-' || arg == "-") {
+      cmd.inputs.push_back(arg);
+      continue;
+    }
+
+    // ---- structured fast paths --------------------------------------------
+    if (arg == "-o") {
+      if (i + 1 >= argv.size()) {
+        return make_error(Errc::invalid_argument, "-o requires an argument");
+      }
+      cmd.output = argv[++i];
+      continue;
+    }
+    if (starts_with(arg, "-o") && arg.size() > 2) {
+      cmd.output = arg.substr(2);
+      continue;
+    }
+    if (arg == "-c") { cmd.mode = DriverMode::assemble; continue; }
+    if (arg == "-S") { cmd.mode = DriverMode::compile; continue; }
+    if (arg == "-E") { cmd.mode = DriverMode::preprocess; continue; }
+    if (starts_with(arg, "-O")) {
+      std::string level = arg.substr(2);
+      if (level.empty() || level == "1") cmd.opt_level = 1;
+      else if (level == "0") cmd.opt_level = 0;
+      else if (level == "2") cmd.opt_level = 2;
+      else if (level == "3" || level == "fast") cmd.opt_level = 3;
+      else if (level == "s" || level == "z") { cmd.opt_level = 2; cmd.size_opt = true; }
+      else if (level == "g") cmd.opt_level = 1;
+      else return make_error(Errc::invalid_argument, "unknown optimization level " + arg);
+      cmd.size_opt = (level == "s" || level == "z");
+      continue;
+    }
+    if (starts_with(arg, "-march=")) { cmd.march = arg.substr(7); continue; }
+    if (starts_with(arg, "-mtune=")) { cmd.mtune = arg.substr(7); continue; }
+    if (starts_with(arg, "-std=")) { cmd.std_version = arg.substr(5); continue; }
+    if (arg == "-g" || starts_with(arg, "-g")) {
+      const OptionSpec* spec = table.find(arg);
+      if (arg == "-g" || (spec != nullptr && spec->category == OptionCategory::debug)) {
+        cmd.debug = arg != "-g0";
+        continue;
+      }
+      // fall through: -grecord..., unknown -g* handled below
+    }
+    if (arg == "-fPIC" || arg == "-fpic" || arg == "-fPIE" || arg == "-fpie") {
+      cmd.pic = true;
+      continue;
+    }
+    if (arg == "-shared") { cmd.shared = true; continue; }
+    if (arg == "-static") { cmd.static_link = true; continue; }
+    if (arg == "-flto") { cmd.lto = true; continue; }
+    if (starts_with(arg, "-flto=")) {
+      cmd.lto = true;
+      cmd.lto_value = arg.substr(6);
+      continue;
+    }
+    if (arg == "-fno-lto") { cmd.lto = false; cmd.lto_value.clear(); continue; }
+    if (arg == "-fprofile-generate") { cmd.profile_generate = true; continue; }
+    if (starts_with(arg, "-fprofile-generate=")) { cmd.profile_generate = true; continue; }
+    if (arg == "-fprofile-use") { cmd.profile_use = "."; continue; }
+    if (starts_with(arg, "-fprofile-use=")) { cmd.profile_use = arg.substr(14); continue; }
+    if (starts_with(arg, "-I")) {
+      if (arg.size() > 2) cmd.include_dirs.push_back(arg.substr(2));
+      else if (i + 1 < argv.size()) cmd.include_dirs.push_back(argv[++i]);
+      else return make_error(Errc::invalid_argument, "-I requires an argument");
+      continue;
+    }
+    if (starts_with(arg, "-D")) {
+      if (arg.size() > 2) cmd.defines.push_back(arg.substr(2));
+      else if (i + 1 < argv.size()) cmd.defines.push_back(argv[++i]);
+      else return make_error(Errc::invalid_argument, "-D requires an argument");
+      continue;
+    }
+    if (starts_with(arg, "-U")) {
+      if (arg.size() > 2) cmd.undefines.push_back(arg.substr(2));
+      else if (i + 1 < argv.size()) cmd.undefines.push_back(argv[++i]);
+      else return make_error(Errc::invalid_argument, "-U requires an argument");
+      continue;
+    }
+    if (starts_with(arg, "-L")) {
+      if (arg.size() > 2) cmd.library_dirs.push_back(arg.substr(2));
+      else if (i + 1 < argv.size()) cmd.library_dirs.push_back(argv[++i]);
+      else return make_error(Errc::invalid_argument, "-L requires an argument");
+      continue;
+    }
+    if (starts_with(arg, "-l")) {
+      if (arg.size() > 2) cmd.libraries.push_back(arg.substr(2));
+      else if (i + 1 < argv.size()) cmd.libraries.push_back(argv[++i]);
+      else return make_error(Errc::invalid_argument, "-l requires an argument");
+      continue;
+    }
+    if (starts_with(arg, "-Wl,")) {
+      for (const std::string& piece : split(arg.substr(4), ',')) {
+        cmd.linker_args.push_back(piece);
+      }
+      continue;
+    }
+    if (arg == "-Xlinker") {
+      if (i + 1 >= argv.size()) {
+        return make_error(Errc::invalid_argument, "-Xlinker requires an argument");
+      }
+      cmd.linker_args.push_back(argv[++i]);
+      continue;
+    }
+
+    // ---- generic table lookup ----------------------------------------------
+    // Negated form: -fno-X / -mno-X / -Wno-X.
+    if (arg.size() > 5 && (starts_with(arg, "-fno-") || starts_with(arg, "-mno-") ||
+                           starts_with(arg, "-Wno-"))) {
+      std::string positive = arg.substr(0, 2) + arg.substr(5);
+      if (const OptionSpec* spec = table.find(positive);
+          spec != nullptr && spec->kind == OptionKind::negatable) {
+        add_generic(*spec, false, "");
+        continue;
+      }
+    }
+    // Exact match.
+    if (const OptionSpec* spec = table.find(arg)) {
+      switch (spec->kind) {
+        case OptionKind::flag:
+        case OptionKind::negatable:
+          add_generic(*spec, true, "");
+          break;
+        case OptionKind::separate:
+        case OptionKind::joined_or_separate:
+          if (i + 1 >= argv.size()) {
+            return make_error(Errc::invalid_argument, arg + " requires an argument");
+          }
+          add_generic(*spec, true, argv[++i]);
+          break;
+        case OptionKind::joined:
+        case OptionKind::joined_eq:
+          // Exact hit on a joined option with no glued argument.
+          add_generic(*spec, true, "");
+          break;
+      }
+      continue;
+    }
+    // name=value for joined_eq specs.
+    if (std::size_t eq = arg.find('='); eq != std::string::npos) {
+      std::string name = arg.substr(0, eq);
+      if (const OptionSpec* spec = table.find(name);
+          spec != nullptr && spec->kind == OptionKind::joined_eq) {
+        add_generic(*spec, true, arg.substr(eq + 1));
+        continue;
+      }
+    }
+    // Longest joined prefix (-Wp,..., --param=..., etc.).
+    if (const OptionSpec* spec = table.find_joined_prefix(arg)) {
+      std::string value(arg.substr(spec->name.size()));
+      // joined_or_separate options also accept a glued "=value" spelling.
+      if (spec->kind == OptionKind::joined_or_separate && !value.empty() &&
+          value.front() == '=') {
+        value.erase(0, 1);
+      }
+      add_generic(*spec, true, std::move(value));
+      continue;
+    }
+    // Unknown -f/-m/-W options: keep them, categorized by prefix, so that the
+    // model is lossless even for options outside the table (mirroring the
+    // paper's note that their model is continuously refined).
+    if (starts_with(arg, "-f") || starts_with(arg, "-m") || starts_with(arg, "-W")) {
+      GenericOption option;
+      std::size_t eq = arg.find('=');
+      option.name = eq == std::string::npos ? arg : arg.substr(0, eq);
+      option.value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+      option.category = starts_with(arg, "-f")   ? OptionCategory::optimization
+                        : starts_with(arg, "-m") ? OptionCategory::machine
+                                                 : OptionCategory::warning;
+      cmd.generic.push_back(std::move(option));
+      continue;
+    }
+    cmd.unrecognized.push_back(arg);
+  }
+  return cmd;
+}
+
+json::Value CompileCommand::to_json() const {
+  json::Object object;
+  object.emplace_back("program", json::Value(program));
+  json::Array argv;
+  for (const std::string& arg : render()) argv.emplace_back(arg);
+  object.emplace_back("argv", json::Value(std::move(argv)));
+  return json::Value(std::move(object));
+}
+
+Result<CompileCommand> CompileCommand::from_json(const json::Value& value) {
+  const json::Value* argv_json = value.find("argv");
+  if (argv_json == nullptr || !argv_json->is_array()) {
+    return make_error(Errc::invalid_argument, "compile command: missing argv");
+  }
+  std::vector<std::string> argv;
+  for (const json::Value& item : argv_json->as_array()) argv.push_back(item.as_string());
+  return parse_command(argv);
+}
+
+}  // namespace comt::toolchain

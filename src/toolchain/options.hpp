@@ -1,0 +1,160 @@
+// GCC-style command-line option model.
+//
+// The paper's compilation model for .o/.so nodes is "structural data
+// representing GCC command lines", derived (the authors note, non-trivially)
+// from the GCC manual. This module reproduces that model: a declarative
+// option table covering GCC's option classes — plain flags, negatable -f/-m
+// flags, joined arguments (-O2, -Ifoo, -falign-functions=16), separate
+// arguments (-o out), joined-or-separate (-I foo) and -Wl,/-Xlinker
+// passthrough — plus a parser that turns an argv into a structured
+// CompileCommand and a renderer that turns a (possibly transformed)
+// CompileCommand back into an argv.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "support/error.hpp"
+
+namespace comt::toolchain {
+
+/// How an option consumes its argument.
+enum class OptionKind {
+  flag,                ///< -c, -shared: no argument
+  negatable,           ///< -ffast-math / -fno-fast-math, -mavx2 / -mno-avx2
+  joined,              ///< -DNAME, -O2, -Ifoo (argument glued to the option)
+  separate,            ///< -o out, -x c (argument is the next argv element)
+  joined_or_separate,  ///< -Ifoo or -I foo
+  joined_eq,           ///< -std=c++17, -march=native (argument after '=')
+};
+
+/// Broad grouping used by analyses/transformations (e.g. the cxxo adapter
+/// rewrites machine options; the LTO adapter touches optimization options).
+enum class OptionCategory {
+  output,        ///< -o, -c, -S, -E, pipeline control
+  language,      ///< -std, -x, -ansi
+  preprocessor,  ///< -D, -U, -I, -include, -MD...
+  optimization,  ///< -O*, -f* codegen transforms
+  machine,       ///< -m*, -march, -mtune
+  warning,       ///< -W* diagnostics
+  debug,         ///< -g*
+  linker,        ///< -l, -L, -shared, -static, -Wl,...
+  directory,     ///< -B, --sysroot
+  profile,       ///< -fprofile-*, coverage
+  lto,           ///< -flto and friends
+  other,
+};
+
+const char* category_name(OptionCategory category);
+
+/// One row of the option table.
+struct OptionSpec {
+  std::string_view name;  ///< including leading dash(es), without "no-"
+  OptionKind kind;
+  OptionCategory category;
+};
+
+/// The option table for a GCC-compatible driver.
+class OptionTable {
+ public:
+  /// The built-in table modelling GCC's option set.
+  static const OptionTable& gcc();
+
+  /// Exact-name lookup (for flag/negatable/separate/joined_eq kinds).
+  const OptionSpec* find(std::string_view name) const;
+
+  /// Longest-prefix lookup for joined options ("-DFOO" -> "-D").
+  const OptionSpec* find_joined_prefix(std::string_view arg) const;
+
+  std::size_t size() const { return specs_.size(); }
+
+ private:
+  explicit OptionTable(std::vector<OptionSpec> specs);
+
+  std::vector<OptionSpec> specs_;
+  std::map<std::string_view, const OptionSpec*> by_name_;
+  // Joined-prefix specs sorted by descending name length for longest match.
+  std::vector<const OptionSpec*> joined_;
+};
+
+/// What the driver is being asked to produce.
+enum class DriverMode {
+  preprocess,  ///< -E
+  compile,     ///< -S
+  assemble,    ///< -c  (source -> object)
+  link,        ///< default: produce an executable or shared library
+};
+
+const char* driver_mode_name(DriverMode mode);
+
+/// A parsed option occurrence that the structured fields don't individually
+/// model (most -f/-m/-W flags); preserved verbatim so that re-rendering a
+/// command loses nothing.
+struct GenericOption {
+  std::string name;     ///< spec name, e.g. "-ffast-math" (without "no-")
+  bool enabled = true;  ///< false for the -fno-/-mno-/-Wno- form
+  std::string value;    ///< argument for joined/eq kinds
+  OptionCategory category = OptionCategory::other;
+
+  bool operator==(const GenericOption&) const = default;
+};
+
+/// Structured representation of one compiler invocation — the paper's
+/// compilation model for .o/.so/executable nodes.
+struct CompileCommand {
+  std::string program;  ///< argv[0] as invoked (e.g. "g++", "/usr/bin/gcc")
+  DriverMode mode = DriverMode::link;
+  std::vector<std::string> inputs;  ///< positional inputs in order
+  std::string output;               ///< -o value ("" = derive a.out/x.o)
+
+  int opt_level = 0;          ///< 0..3; -Os maps to 2 with size_opt
+  bool size_opt = false;      ///< -Os
+  std::string march;          ///< -march= value ("" = target default)
+  std::string mtune;          ///< -mtune= value
+  std::string std_version;    ///< -std= value
+  bool debug = false;         ///< any -g
+  bool pic = false;           ///< -fPIC/-fpic
+  bool shared = false;        ///< -shared
+  bool static_link = false;   ///< -static
+
+  bool lto = false;                 ///< -flto (any form)
+  std::string lto_value;            ///< "auto", "thin", job count…
+  bool profile_generate = false;    ///< -fprofile-generate
+  std::string profile_use;          ///< -fprofile-use[=path] ("" = off)
+
+  std::vector<std::string> include_dirs;   ///< -I
+  std::vector<std::string> defines;        ///< -D (raw NAME[=VALUE])
+  std::vector<std::string> undefines;      ///< -U
+  std::vector<std::string> library_dirs;   ///< -L
+  std::vector<std::string> libraries;      ///< -l values ("m", "blas", …)
+  std::vector<std::string> linker_args;    ///< -Wl, segments, split on commas
+  std::vector<GenericOption> generic;      ///< everything else, in order
+  std::vector<std::string> unrecognized;   ///< options not in the table
+
+  /// True if any generic flag with the given name is enabled (last wins).
+  bool flag_enabled(std::string_view name) const;
+
+  /// Removes all occurrences of a generic flag; returns how many were erased.
+  std::size_t erase_generic(std::string_view name);
+
+  /// Re-renders an argv equivalent to the parsed command (modulo option
+  /// spelling normalization: joined_or_separate renders joined, = forms keep
+  /// their =). parse(render(cmd)) == cmd is the round-trip invariant.
+  std::vector<std::string> render() const;
+
+  json::Value to_json() const;
+  static Result<CompileCommand> from_json(const json::Value& value);
+
+  bool operator==(const CompileCommand&) const = default;
+};
+
+/// Parses a compiler argv (argv[0] = program) against `table`.
+Result<CompileCommand> parse_command(std::span<const std::string> argv,
+                                     const OptionTable& table = OptionTable::gcc());
+
+}  // namespace comt::toolchain

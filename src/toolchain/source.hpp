@@ -1,0 +1,92 @@
+// Synthetic-source analysis.
+//
+// Workload source files are C/C++-looking text carrying `@comt-kernel`
+// annotations that describe the performance-relevant structure of each
+// translation unit: how much work its kernels do and how that work divides
+// into vectorizable compute, memory-bound traffic, cross-TU call overhead,
+// branchy control flow, library calls and MPI communication. The simulated
+// compiler reads these instead of parsing real C++ — everything else about
+// the compilation pipeline (flags, objects, archives, linking, LTO, PGO) is
+// real. See DESIGN.md §5 for the execution-time model these fields feed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace comt::toolchain {
+
+/// Static performance traits of one kernel, as annotated in its source.
+struct KernelTrait {
+  std::string name;
+  double work = 0;  ///< abstract work units (scaled by the run's input)
+
+  // Fractions of the kernel's work, by bottleneck. The remainder
+  // (1 - vec - mem - call - branch - lib) is plain scalar compute.
+  double frac_vec = 0;     ///< vectorizable compute (benefits from -march)
+  double frac_mem = 0;     ///< memory-bandwidth bound
+  double frac_call = 0;    ///< cross-TU call overhead (LTO-sensitive)
+  double frac_branch = 0;  ///< branch-miss bound (PGO-sensitive)
+  double frac_lib = 0;     ///< spent inside `lib` routines
+  std::string lib;         ///< library the lib fraction calls ("blas", "m", …)
+
+  /// Communication coefficient: multi-node runs add
+  /// work·frac_comm·f(nodes)/fabric_speed seconds (zero on one node).
+  double frac_comm = 0;
+
+  /// Response to aggressive vendor-toolchain optimization, multiplied by the
+  /// toolchain's aggressiveness; negative models miscompiled-for-speed cases
+  /// (the paper's hpccg regression).
+  double aggr_response = 0;
+  /// Fraction of call overhead LTO's cross-TU inlining removes for this
+  /// kernel; negative models LTO-induced regressions.
+  double lto_response = 0;
+  /// Fraction of branch cost PGO removes when a matching profile is fed
+  /// back; negative models profile-mismatch regressions.
+  double pgo_response = 0;
+
+  bool operator==(const KernelTrait&) const = default;
+};
+
+/// Result of analyzing one source file.
+struct SourceInfo {
+  std::vector<KernelTrait> kernels;
+  std::vector<std::string> includes;   ///< local "..." includes, as written
+  bool uses_mpi = false;               ///< includes <mpi.h>
+  /// ISAs this file hard-codes (inline asm / ISA-specific intrinsics),
+  /// from `@comt-isa <arch>` markers; non-empty blocks cross-ISA rebuilds.
+  std::vector<std::string> isa_specific;
+  int line_count = 0;
+};
+
+/// Parses the annotations out of a source file. Unannotated files are valid
+/// (headers, plain data code) and yield zero kernels.
+Result<SourceInfo> analyze_source(std::string_view content);
+
+/// Options for generating a synthetic source file (used by the workload
+/// corpus and by tests).
+struct SourceGenSpec {
+  std::string unit_name;        ///< e.g. "lulesh_main"
+  std::vector<KernelTrait> kernels;
+  std::vector<std::string> includes;
+  bool uses_mpi = false;
+  std::vector<std::string> isa_specific;
+  int filler_lines = 40;        ///< plausible-looking code lines to emit
+};
+
+/// Emits a C++-looking file containing the annotations `analyze_source`
+/// parses back, plus deterministic filler so file sizes are realistic.
+std::string generate_source(const SourceGenSpec& spec);
+
+/// Obfuscates a source file for distribution (§4.6: cached sources "can be
+/// obfuscated to protect intellectual property while still enabling all the
+/// system-side adaptation and optimizations"). Semantic lines — kernel
+/// annotations, ISA markers, includes — survive verbatim; every other line
+/// is replaced by an opaque token of similar length. analyze_source() of the
+/// result equals analyze_source() of the original, so rebuilds see the same
+/// translation unit.
+std::string obfuscate_source(std::string_view content);
+
+}  // namespace comt::toolchain

@@ -1,0 +1,153 @@
+#include "toolchain/toolchains.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace comt::toolchain {
+
+int Toolchain::lanes_for(std::string_view march) const {
+  if (march.empty()) march = default_march;
+  if (march == "native") {
+    int widest = 2;
+    for (const auto& [name, lanes] : march_lanes) widest = std::max(widest, lanes);
+    return widest;
+  }
+  auto it = march_lanes.find(std::string(march));
+  if (it != march_lanes.end()) return it->second;
+  auto fallback = march_lanes.find(default_march);
+  return fallback == march_lanes.end() ? 2 : fallback->second;
+}
+
+bool Toolchain::supports(std::string_view march) const {
+  if (march.empty() || march == "native") return true;
+  return march_lanes.count(std::string(march)) != 0;
+}
+
+std::string Toolchain::resolve_march(std::string_view march_flag) const {
+  if (march_flag.empty()) return default_march;
+  if (march_flag == "native") {
+    // Widest march this toolchain can target. A generic distro compiler
+    // conservatively stops below the vendor compiler's reach, which is one
+    // of the adaptability gaps coMtainer closes.
+    std::string best = default_march;
+    int best_lanes = lanes_for(default_march);
+    for (const auto& [name, lanes] : march_lanes) {
+      if (lanes > best_lanes) {
+        best = name;
+        best_lanes = lanes;
+      }
+    }
+    return best;
+  }
+  return std::string(march_flag);
+}
+
+std::string make_toolchain_stub(std::string_view toolchain_id) {
+  std::string out(kToolchainStubMagic);
+  out += toolchain_id;
+  out += '\n';
+  return out;
+}
+
+std::string parse_toolchain_stub(std::string_view content) {
+  if (!starts_with(content, kToolchainStubMagic)) return "";
+  std::string_view rest = content.substr(kToolchainStubMagic.size());
+  std::size_t newline = rest.find('\n');
+  return std::string(trim(rest.substr(0, newline)));
+}
+
+ToolchainRegistry::ToolchainRegistry(std::vector<Toolchain> toolchains)
+    : toolchains_(std::move(toolchains)) {}
+
+const ToolchainRegistry& ToolchainRegistry::builtin() {
+  static const ToolchainRegistry registry{[] {
+    std::vector<Toolchain> toolchains;
+
+    // The distro default compiler shipped by mainstream base images. Solid
+    // baseline codegen, conservative tuning, and it only targets the broadly
+    // compatible ISA subsets (this is what generic images get built with).
+    Toolchain gnu;
+    gnu.id = "gnu-generic";
+    gnu.display_name = "GNU GCC (distro default)";
+    gnu.target_arch = "any";
+    gnu.codegen[0] = 0.40;
+    gnu.codegen[1] = 0.80;
+    gnu.codegen[2] = 1.00;
+    gnu.codegen[3] = 1.03;
+    gnu.aggressiveness = 0.10;
+    gnu.default_march = "x86-64";
+    gnu.march_lanes = {{"x86-64", 2},   {"x86-64-v2", 2}, {"x86-64-v3", 4},
+                       {"armv8-a", 2},  {"armv8.1-a", 2}};
+    toolchains.push_back(std::move(gnu));
+
+    // Freely redistributable LLVM — the artifact's stand-in for proprietary
+    // system compilers. Better vectorizer than distro GCC, reaches wider ISA
+    // levels, moderately aggressive.
+    Toolchain llvm;
+    llvm.id = "llvm";
+    llvm.display_name = "LLVM/Clang";
+    llvm.target_arch = "any";
+    llvm.codegen[0] = 0.42;
+    llvm.codegen[1] = 0.84;
+    llvm.codegen[2] = 1.04;
+    llvm.codegen[3] = 1.08;
+    llvm.aggressiveness = 0.45;
+    llvm.default_march = "x86-64";
+    llvm.march_lanes = {{"x86-64", 2},    {"x86-64-v2", 2}, {"x86-64-v3", 4},
+                        {"x86-64-v4", 8}, {"armv8-a", 2},   {"armv8.2-a+sve", 4}};
+    toolchains.push_back(std::move(llvm));
+
+    // The x86 system's vendor compiler (Intel-OneAPI-like): strong scalar
+    // codegen, full AVX-512 reach, aggressively tuned — which is also what
+    // occasionally backfires (hpccg's regression in the paper).
+    Toolchain vendor_x86;
+    vendor_x86.id = "vendor-x86";
+    vendor_x86.display_name = "Vendor x86 compiler";
+    vendor_x86.target_arch = "amd64";
+    vendor_x86.codegen[0] = 0.45;
+    vendor_x86.codegen[1] = 0.95;
+    vendor_x86.codegen[2] = 1.20;
+    vendor_x86.codegen[3] = 1.38;
+    vendor_x86.aggressiveness = 1.0;
+    vendor_x86.default_march = "x86-64-v3";
+    vendor_x86.march_lanes = {
+        {"x86-64", 2}, {"x86-64-v2", 2}, {"x86-64-v3", 4}, {"x86-64-v4", 8}};
+    toolchains.push_back(std::move(vendor_x86));
+
+    // The AArch64 system's vendor compiler (Phytium-platform-like). The
+    // distro GCC is poorly tuned for this core, so vendor codegen gains are
+    // larger than on x86 — matching the paper's bigger AArch64 improvements.
+    Toolchain vendor_arm;
+    vendor_arm.id = "vendor-aarch64";
+    vendor_arm.display_name = "Vendor AArch64 compiler";
+    vendor_arm.target_arch = "arm64";
+    vendor_arm.codegen[0] = 0.45;
+    vendor_arm.codegen[1] = 0.92;
+    vendor_arm.codegen[2] = 1.04;
+    vendor_arm.codegen[3] = 1.10;
+    vendor_arm.aggressiveness = 0.50;
+    vendor_arm.default_march = "armv8.2-a+sve";
+    vendor_arm.march_lanes = {{"armv8-a", 2}, {"armv8.1-a", 2}, {"armv8.2-a+sve", 2}};
+    toolchains.push_back(std::move(vendor_arm));
+
+    return ToolchainRegistry(std::move(toolchains));
+  }()};
+  return registry;
+}
+
+const Toolchain* ToolchainRegistry::find(std::string_view id) const {
+  for (const Toolchain& toolchain : toolchains_) {
+    if (toolchain.id == id) return &toolchain;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ToolchainRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(toolchains_.size());
+  for (const Toolchain& toolchain : toolchains_) out.push_back(toolchain.id);
+  return out;
+}
+
+}  // namespace comt::toolchain

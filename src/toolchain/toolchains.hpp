@@ -1,0 +1,71 @@
+// Toolchain descriptors and registry.
+//
+// A Toolchain models one compiler installation: its codegen quality per -O
+// level, its aggressiveness (how hard its vendor tuned it, which interacts
+// with per-kernel aggressiveness response — positively or negatively), and
+// the -march values it understands with their SIMD widths. Compiler binaries
+// installed into container filesystems are small stub files whose first line
+// names the toolchain id; the build executor resolves the invoked program to
+// such a stub and instantiates the driver with the named toolchain.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace comt::toolchain {
+
+struct Toolchain {
+  std::string id;               ///< "gnu-generic", "llvm", "vendor-x86", …
+  std::string display_name;
+  std::string target_arch;      ///< "amd64", "arm64", or "any"
+  /// Scalar codegen throughput multiplier at -O0..-O3 (relative to the
+  /// generic toolchain at -O2 == 1.0).
+  double codegen[4] = {0.4, 0.8, 1.0, 1.05};
+  /// Vendor tuning aggressiveness in [0, 1]; effective compute speed is
+  /// multiplied by (1 + aggressiveness · kernel.aggr_response) at -O2+.
+  double aggressiveness = 0;
+  std::string default_march;    ///< used when -march is absent
+  /// -march value -> SIMD lanes (in doubles) the generated code exploits.
+  std::map<std::string, int> march_lanes;
+
+  /// Lanes for a -march value; "native" resolves to the widest supported.
+  /// Unknown values fall back to the default march's width.
+  int lanes_for(std::string_view march) const;
+  bool supports(std::string_view march) const;
+  /// The -march this toolchain uses for `march_flag` ("" = default_march,
+  /// "native" = widest).
+  std::string resolve_march(std::string_view march_flag) const;
+};
+
+/// Magic prefix of compiler stub files installed in images.
+inline constexpr std::string_view kToolchainStubMagic = "#!comt-toolchain ";
+
+/// Renders the stub file content for a compiler binary of `toolchain_id`.
+std::string make_toolchain_stub(std::string_view toolchain_id);
+
+/// Extracts the toolchain id from a stub file ("" if not a stub).
+std::string parse_toolchain_stub(std::string_view content);
+
+/// Registry of known toolchains. The built-ins model the evaluation setup:
+///  gnu-generic   — the base image's default GCC (paper: ubuntu toolchain)
+///  llvm          — the artifact's freely redistributable LLVM alternative
+///  vendor-x86    — the x86 system's proprietary tuned compiler (Intel-like)
+///  vendor-aarch64— the AArch64 system's vendor compiler (Phytium-like)
+class ToolchainRegistry {
+ public:
+  static const ToolchainRegistry& builtin();
+
+  const Toolchain* find(std::string_view id) const;
+  std::vector<std::string> ids() const;
+
+ private:
+  explicit ToolchainRegistry(std::vector<Toolchain> toolchains);
+  std::vector<Toolchain> toolchains_;
+};
+
+}  // namespace comt::toolchain

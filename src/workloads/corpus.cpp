@@ -1,0 +1,493 @@
+#include "workloads/corpus.hpp"
+
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace comt::workloads {
+namespace {
+
+using toolchain::KernelTrait;
+using toolchain::SourceGenSpec;
+
+/// Compact kernel constructor. Fractions: vec/mem/call/branch plus a library
+/// share; the remainder is scalar compute. `aggr`, `lto`, `pgo` are the
+/// responses of DESIGN.md §5 (negative values model the paper's regressions).
+KernelTrait K(std::string name, double work, double vec, double mem, double call,
+              double branch, std::string lib, double flib, double comm, double aggr,
+              double lto, double pgo) {
+  KernelTrait kernel;
+  kernel.name = std::move(name);
+  kernel.work = work;
+  kernel.frac_vec = vec;
+  kernel.frac_mem = mem;
+  kernel.frac_call = call;
+  kernel.frac_branch = branch;
+  kernel.lib = std::move(lib);
+  kernel.frac_lib = flib;
+  kernel.frac_comm = comm;
+  kernel.aggr_response = aggr;
+  kernel.lto_response = lto;
+  kernel.pgo_response = pgo;
+  return kernel;
+}
+
+SourceGenSpec U(std::string unit, std::vector<KernelTrait> kernels, int filler_lines,
+                std::vector<std::string> includes = {"common.h"}) {
+  SourceGenSpec spec;
+  spec.unit_name = std::move(unit);
+  spec.kernels = std::move(kernels);
+  spec.includes = std::move(includes);
+  spec.uses_mpi = true;
+  spec.filler_lines = filler_lines;
+  return spec;
+}
+
+WorkloadInput In(std::string name, double scale,
+                 std::map<std::string, double> weights = {}) {
+  WorkloadInput input;
+  input.name = std::move(name);
+  input.input_scale = scale;
+  input.kernel_weight = std::move(weights);
+  return input;
+}
+
+std::vector<AppSpec> make_corpus() {
+  std::vector<AppSpec> apps;
+
+  // ---- HPL: dense LU; almost all time inside BLAS. -------------------------
+  {
+    AppSpec app;
+    app.name = "hpl";
+    app.paper_loc = 37556;
+    app.build_packages = {"build-essential", "libblas", "mpich"};
+    app.runtime_packages = {"libblas", "mpich"};
+    app.link_libraries = {"m", "blas"};
+    app.isa_locked = true;  // hand-tuned assembly panels in the real code
+    app.units = {
+        U("hpl_main",
+          {K("lu_factor", 260, 0.15, 0.12, 0.03, 0.04, "blas", 0.58, 0.04, 0.05, 0.15, 0.10)},
+          90, {"common.h", "arch_tune.h"}),
+        U("hpl_panel", {K("panel_bcast", 100, 0.10, 0.20, 0.05, 0.05, "blas", 0.40, 0.10, 0.05, 0.10, 0.08)},
+          70),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- HPCG: memory-bound SpMV/MG; PGO mispredicts its irregular loops. ----
+  {
+    AppSpec app;
+    app.name = "hpcg";
+    app.paper_loc = 5529;
+    app.build_packages = {"build-essential", "libm", "mpich"};
+    app.runtime_packages = {"libm", "mpich"};
+    app.link_libraries = {"m"};
+    app.extra_cflags = {"-DUSE_SSE2_STREAMS"};
+    app.units = {
+        U("hpcg_main", {K("spmv", 200, 0.16, 0.44, 0.04, 0.24, "m", 0.04, 0.06, 0.04, 0.08, -0.65)}, 60),
+        U("hpcg_mg", {K("mg_smooth", 90, 0.12, 0.55, 0.05, 0.12, "", 0, 0.05, 0.04, 0.10, -0.30)}, 45),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- LULESH: hydro mini-app; communication-heavy at scale. ---------------
+  {
+    AppSpec app;
+    app.name = "lulesh";
+    app.paper_loc = 5546;
+    app.build_packages = {"build-essential", "libm", "mpich"};
+    app.runtime_packages = {"libm", "mpich"};
+    app.link_libraries = {"m"};
+    app.extra_cflags = {"-mavx2"};
+    app.units = {
+        U("lulesh_main", {K("hydro", 160, 0.34, 0.10, 0.08, 0.07, "m", 0.18, 0.80, 0.08, 0.85, 0.60)}, 55),
+        U("lulesh_force", {K("calc_force", 90, 0.38, 0.10, 0.09, 0.06, "m", 0.12, 0.85, 0.08, 0.80, 0.55)}, 45),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- CoMD: molecular dynamics mini-app; vectorizes well, inlines well. ---
+  {
+    AppSpec app;
+    app.name = "comd";
+    app.paper_loc = 4668;
+    app.build_packages = {"build-essential", "libm", "mpich"};
+    app.runtime_packages = {"libm", "mpich"};
+    app.link_libraries = {"m"};
+    app.extra_cflags = {"-mavx2", "-mfma"};
+    app.units = {
+        U("comd_main", {K("force_ljpot", 140, 0.46, 0.12, 0.12, 0.10, "m", 0.08, 0.03, 0.10, 0.50, 0.30)}, 45),
+        U("comd_neighbors", {K("halo_exchange", 60, 0.20, 0.30, 0.10, 0.08, "", 0, 0.10, 0.06, 0.30, 0.15)}, 35),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- HPCCG: the paper's outlier — aggressive vendor codegen backfires. ---
+  {
+    AppSpec app;
+    app.name = "hpccg";
+    app.paper_loc = 1563;
+    app.build_packages = {"build-essential", "libm", "mpich"};
+    app.runtime_packages = {"libm", "mpich"};
+    app.link_libraries = {"m"};
+    app.units = {
+        U("hpccg_main", {K("cg_iter", 110, 0.06, 0.46, 0.05, 0.06, "m", 0.04, 0.04, -0.70, 0.08, 0.05)}, 40),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- miniAero: unstructured CFD; call-heavy, big LTO win. ----------------
+  {
+    AppSpec app;
+    app.name = "miniaero";
+    app.paper_loc = 42056;
+    app.build_packages = {"build-essential", "libm", "mpich"};
+    app.runtime_packages = {"libm", "mpich"};
+    app.link_libraries = {"m"};
+    app.extra_cflags = {"-msse4.2", "-mfma", "-DUSE_X86_SIMD"};
+    app.use_make = true;
+    app.units = {
+        U("aero_main", {K("flux_eval", 150, 0.30, 0.26, 0.17, 0.06, "m", 0.05, 0.05, 0.06, 0.60, 0.20)}, 65),
+        U("aero_mesh", {K("face_gradients", 80, 0.26, 0.30, 0.14, 0.08, "", 0, 0.05, 0.05, 0.55, 0.18)}, 50),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- miniAMR: adaptive refinement; branchy, prime PGO target. ------------
+  {
+    AppSpec app;
+    app.name = "miniamr";
+    app.paper_loc = 9957;
+    app.build_packages = {"build-essential", "mpich"};
+    app.runtime_packages = {"mpich"};
+    app.link_libraries = {};
+    app.units = {
+        U("amr_main", {K("refine_step", 120, 0.12, 0.32, 0.06, 0.26, "", 0, 0.05, 0.05, 0.10, 0.50)}, 55),
+        U("amr_comm", {K("block_exchange", 50, 0.08, 0.30, 0.08, 0.18, "", 0, 0.16, 0.04, 0.10, 0.35)}, 40),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- miniFE: implicit FE; bandwidth-bound with a BLAS tail. ---------------
+  {
+    AppSpec app;
+    app.name = "minife";
+    app.paper_loc = 28010;
+    app.build_packages = {"build-essential", "libblas", "mpich"};
+    app.runtime_packages = {"libblas", "mpich"};
+    app.link_libraries = {"m", "blas"};
+    app.extra_cflags = {"-msse4.2"};
+    app.use_make = true;
+    app.units = {
+        U("fe_main", {K("cg_solve", 160, 0.24, 0.44, 0.05, 0.05, "blas", 0.10, 0.06, 0.05, 0.15, 0.12)}, 60),
+        U("fe_assembly", {K("assemble", 70, 0.30, 0.36, 0.08, 0.06, "", 0, 0.04, 0.06, 0.25, 0.10)}, 45),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- miniMD: like CoMD but leaner; very SIMD-friendly. --------------------
+  {
+    AppSpec app;
+    app.name = "minimd";
+    app.paper_loc = 4404;
+    app.build_packages = {"build-essential", "libm", "mpich"};
+    app.runtime_packages = {"libm", "mpich"};
+    app.link_libraries = {"m"};
+    app.extra_cflags = {"-msse4.2"};
+    app.units = {
+        U("md_main", {K("lj_force", 120, 0.52, 0.14, 0.08, 0.08, "m", 0.05, 0.03, 0.15, 0.35, 0.25)}, 45),
+    };
+    app.inputs = {In("", 1.0)};
+    apps.push_back(std::move(app));
+  }
+
+  // ---- LAMMPS: five inputs emphasizing different pair styles. ---------------
+  {
+    AppSpec app;
+    app.name = "lammps";
+    app.paper_loc = 2273423;
+    app.build_packages = {"build-essential", "libm", "libblas", "libfftw", "libjpeg", "mpich"};
+    app.runtime_packages = {"libm", "libblas", "libfftw", "libjpeg", "mpich"};
+    app.link_libraries = {"m", "blas", "fftw", "jpeg"};
+    app.isa_locked = true;  // INTEL/KOKKOS-style ISA packages
+    app.units = {
+        U("lmp_main", {K("neighbor_build", 70, 0.28, 0.32, 0.10, 0.08, "", 0, 0.05, 0.08, 0.30, 0.15)},
+          260, {"common.h", "arch_tune.h"}),
+        U("lmp_pair_lj", {K("pair_lj", 90, 0.54, 0.10, 0.10, 0.18, "m", 0.04, 0.03, 0.12, 0.35, 0.70)}, 240),
+        U("lmp_bond_chain", {K("bond_chain", 80, 0.14, 0.18, 0.18, 0.32, "", 0, 0.04, 0.06, -0.15, -0.45)}, 230),
+        U("lmp_pair_eam", {K("pair_eam", 100, 0.74, 0.06, 0.04, 0.04, "m", 0.05, 0.03, 0.30, 0.40, 0.20)}, 230),
+        U("lmp_kspace", {K("kspace_fft", 80, 0.20, 0.14, 0.05, 0.05, "fftw", 0.42, 0.10, 0.08, 0.20, 0.10)}, 220),
+        U("lmp_granular", {K("granular_chute", 80, 0.16, 0.50, 0.08, 0.12, "", 0, 0.05, 0.06, 0.15, 0.25)}, 210),
+    };
+    app.inputs = {
+        In("chain", 1.0, {{"bond_chain", 3.0}, {"neighbor_build", 0.5}, {"pair_lj", 0.2},
+                          {"pair_eam", 0.1}, {"kspace_fft", 0.1}, {"granular_chute", 0.1}}),
+        In("chute", 0.9, {{"granular_chute", 3.2}, {"neighbor_build", 0.5}, {"bond_chain", 0.2},
+                          {"pair_lj", 0.2}, {"pair_eam", 0.1}, {"kspace_fft", 0.1}}),
+        In("eam", 1.1, {{"pair_eam", 3.6}, {"neighbor_build", 0.15}, {"pair_lj", 0.2},
+                        {"bond_chain", 0.05}, {"kspace_fft", 0.05}, {"granular_chute", 0.05}}),
+        In("lj", 1.0, {{"pair_lj", 3.2}, {"neighbor_build", 0.5}, {"pair_eam", 0.2},
+                       {"bond_chain", 0.1}, {"kspace_fft", 0.1}, {"granular_chute", 0.1}}),
+        In("rhodo", 1.3, {{"kspace_fft", 2.8}, {"neighbor_build", 0.6}, {"pair_lj", 0.8},
+                          {"bond_chain", 0.4}, {"pair_eam", 0.1}, {"granular_chute", 0.1}}),
+    };
+    apps.push_back(std::move(app));
+  }
+
+  // ---- OpenMX: DFT; dominated by vendor math libraries. ---------------------
+  {
+    AppSpec app;
+    app.name = "openmx";
+    app.paper_loc = 287381;
+    app.build_packages = {"build-essential", "libm", "libblas", "liblapack",
+                          "libscalapack", "libelpa", "libxc", "mpich"};
+    app.runtime_packages = {"libm", "libblas", "liblapack", "libscalapack",
+                            "libelpa", "libxc", "mpich"};
+    app.link_libraries = {"m", "blas", "lapack", "scalapack", "elpa", "xc"};
+    app.isa_locked = true;
+    app.units = {
+        U("omx_main", {K("dft_scf", 140, 0.14, 0.10, 0.05, 0.05, "scalapack", 0.60, 0.08, 0.06, 0.20, 0.10)},
+          500, {"common.h", "arch_tune.h"}),
+        U("omx_exchange", {K("exchange_corr", 90, 0.18, 0.22, 0.06, 0.06, "xc", 0.44, 0.05, 0.06, 0.20, 0.12)}, 450),
+        U("omx_diag", {K("diag_pt13", 100, 0.08, 0.08, 0.20, 0.38, "elpa", 0.12, 0.05, 0.04, 0.50, 0.85)}, 430),
+        U("omx_force", {K("force_calc", 80, 0.30, 0.16, 0.06, 0.06, "elpa", 0.36, 0.06, 0.10, 0.30, 0.15)}, 420),
+        U("omx_io", {K("io_pack", 30, 0.06, 0.50, 0.06, 0.10, "", 0, 0.10, 0.02, 0.05, 0.10)}, 380),
+    };
+    app.inputs = {
+        In("awf5e", 1.0, {{"dft_scf", 2.0}, {"exchange_corr", 1.0}, {"diag_pt13", 0.2},
+                          {"force_calc", 1.0}, {"io_pack", 1.0}}),
+        In("awf7e", 1.5, {{"dft_scf", 2.6}, {"exchange_corr", 1.3}, {"diag_pt13", 0.3},
+                          {"force_calc", 1.2}, {"io_pack", 1.0}}),
+        In("nitro", 0.8, {{"exchange_corr", 2.4}, {"force_calc", 1.8}, {"dft_scf", 0.8},
+                          {"diag_pt13", 0.2}, {"io_pack", 1.0}}),
+        In("pt13", 1.2, {{"diag_pt13", 3.0}, {"dft_scf", 1.0}, {"exchange_corr", 0.4},
+                         {"force_calc", 0.5}, {"io_pack", 0.5}}),
+    };
+    apps.push_back(std::move(app));
+  }
+
+  return apps;
+}
+
+std::string isa_of(std::string_view arch) {
+  return arch == "arm64" ? "aarch64" : "x86_64";
+}
+
+}  // namespace
+
+std::string WorkloadInput::display_name(std::string_view app) const {
+  return name.empty() ? std::string(app) : std::string(app) + "." + name;
+}
+
+sysmodel::RunRequest WorkloadInput::run_request(int nodes) const {
+  sysmodel::RunRequest request;
+  request.nodes = nodes;
+  request.input_scale = input_scale;
+  request.kernel_weight = kernel_weight;
+  return request;
+}
+
+int AppSpec::corpus_loc() const {
+  int total = 0;
+  for (const toolchain::SourceGenSpec& unit : units) {
+    std::string text = toolchain::generate_source(unit);
+    total += static_cast<int>(split(text, '\n').size());
+  }
+  return total;
+}
+
+const std::vector<AppSpec>& corpus() {
+  static const std::vector<AppSpec> apps = make_corpus();
+  return apps;
+}
+
+const AppSpec* find_app(std::string_view name) {
+  for (const AppSpec& app : corpus()) {
+    if (app.name == name) return &app;
+  }
+  return nullptr;
+}
+
+vfs::Filesystem build_context(const AppSpec& app) {
+  vfs::Filesystem context;
+  Status status = context.write_file("/src/common.h", "// " + app.name + " common decls\n");
+  COMT_ASSERT(status.ok(), "context write failed");
+  for (const toolchain::SourceGenSpec& unit : app.units) {
+    status = context.write_file("/src/" + unit.unit_name + ".cc",
+                                toolchain::generate_source(unit));
+    COMT_ASSERT(status.ok(), "context write failed");
+  }
+  if (app.use_make) {
+    status = context.write_file("/Makefile", makefile_text(app));
+    COMT_ASSERT(status.ok(), "context write failed");
+  }
+  return context;
+}
+
+std::string makefile_text(const AppSpec& app) {
+  std::string out;
+  out += "CC = gcc\n";
+  out += "MPICC = mpicc\n";
+  out += "CFLAGS = -O2\n";
+  std::string objects;
+  for (const toolchain::SourceGenSpec& unit : app.units) {
+    objects += (objects.empty() ? "" : " ") + unit.unit_name + ".o";
+  }
+  out += "OBJS = " + objects + "\n";
+  std::string libs;
+  for (const std::string& lib : app.link_libraries) libs += " -l" + lib;
+  out += "\n" + app.name + ": $(OBJS)\n";
+  out += "\t$(MPICC) $(CFLAGS) $(OBJS) -o " + app.name + libs + "\n";
+  for (const toolchain::SourceGenSpec& unit : app.units) {
+    out += "\n" + unit.unit_name + ".o: src/" + unit.unit_name + ".cc src/common.h\n";
+    out += "\t$(CC) $(CFLAGS) -c src/" + unit.unit_name + ".cc -o " + unit.unit_name +
+           ".o\n";
+  }
+  return out;
+}
+
+std::string dockerfile_text(const AppSpec& app, std::string_view arch, bool comt_bases) {
+  std::string build_base = comt_bases ? ("comt/env:" + std::string(arch))
+                                      : ("ubuntu:24.04-" + std::string(arch));
+  std::string dist_base = comt_bases ? ("comt/base:" + std::string(arch))
+                                     : ("ubuntu:24.04-" + std::string(arch));
+  std::string cflags_extra;
+  if (arch == "amd64") {
+    for (const std::string& flag : app.extra_cflags) cflags_extra += " " + flag;
+  }
+
+  std::string out;
+  out += "FROM " + build_base + " AS build\n";
+  out += "ARG CFLAGS=-O2\n";
+  out += "WORKDIR /work\n";
+  out += "RUN apt-get update && apt-get install -y " + join(app.build_packages, " ") + "\n";
+  out += "COPY src /work/src\n";
+  if (app.isa_locked) {
+    out += "RUN echo '// @comt-isa " + isa_of(arch) + "' > src/arch_tune.h\n";
+  }
+  if (app.use_make) {
+    // Make-driven build: one RUN line, the build system fans out to the
+    // per-unit compiles (which the hijacker records individually).
+    out += "COPY Makefile /work/Makefile\n";
+    out += "RUN make " + app.name + " \"CFLAGS=$CFLAGS" + cflags_extra + "\"\n";
+    out += "FROM " + dist_base + " AS dist\n";
+    out += "RUN apt-get update && apt-get install -y " +
+           join(app.runtime_packages, " ") + "\n";
+    out += "WORKDIR /app\n";
+    out += "COPY --from=build /work/" + app.name + " /app/" + app.name + "\n";
+    out += "ENTRYPOINT [\"/app/" + app.name + "\"]\n";
+    return out;
+  }
+  std::vector<std::string> objects;
+  for (const toolchain::SourceGenSpec& unit : app.units) {
+    out += "RUN gcc $CFLAGS" + cflags_extra + " -c src/" + unit.unit_name + ".cc -o " +
+           unit.unit_name + ".o\n";
+    objects.push_back(unit.unit_name + ".o");
+  }
+  std::string link_inputs = objects[0];
+  if (objects.size() > 2) {
+    // Inner units go through a static convenience archive, like real apps.
+    std::vector<std::string> members(objects.begin() + 1, objects.end());
+    out += "RUN ar rcs lib" + app.name + "core.a " + join(members, " ") + "\n";
+    link_inputs += " lib" + app.name + "core.a";
+  } else if (objects.size() == 2) {
+    link_inputs += " " + objects[1];
+  }
+  std::string libs;
+  for (const std::string& lib : app.link_libraries) libs += " -l" + lib;
+  out += "RUN mpicc $CFLAGS" + cflags_extra + " " + link_inputs + " -o " + app.name +
+         libs + "\n";
+  out += "FROM " + dist_base + " AS dist\n";
+  out += "RUN apt-get update && apt-get install -y " + join(app.runtime_packages, " ") +
+         "\n";
+  out += "WORKDIR /app\n";
+  out += "COPY --from=build /work/" + app.name + " /app/" + app.name + "\n";
+  out += "ENTRYPOINT [\"/app/" + app.name + "\"]\n";
+  return out;
+}
+
+std::string dockerfile_cross_comt(const AppSpec& app, std::string_view arch) {
+  // The paper's finding: with coMtainer, crossing ISAs needs only a handful
+  // of build-script line changes — drop the ISA-specific flags and the
+  // arch-detection line; everything else (toolchain, sysroot, libraries) is
+  // the target system's problem, solved by the rebuild.
+  AppSpec portable = app;
+  portable.extra_cflags.clear();
+  portable.isa_locked = false;
+  return dockerfile_text(portable, arch, /*comt_bases=*/true);
+}
+
+std::string dockerfile_xbuild(const AppSpec& app, std::string_view host_arch,
+                              std::string_view target_arch) {
+  std::string triplet =
+      target_arch == "arm64" ? "aarch64-linux-gnu" : "x86_64-linux-gnu";
+  std::string out;
+  out += "FROM ubuntu:24.04-" + std::string(host_arch) + " AS build\n";
+  out += "ARG CFLAGS=-O2\n";
+  out += "ARG TARGET=" + triplet + "\n";
+  out += "ARG SYSROOT=/opt/sysroots/" + triplet + "\n";
+  out += "WORKDIR /work\n";
+  out += "RUN apt-get update && apt-get install -y crossbuild-essential-" +
+         std::string(target_arch) + " qemu-user-static debootstrap pkg-config\n";
+  out += "RUN dpkg --add-architecture " + std::string(target_arch) + "\n";
+  out += "RUN apt-get update\n";
+  out += "ENV PKG_CONFIG_PATH=$SYSROOT/usr/lib/" + triplet + "/pkgconfig\n";
+  out += "ENV PKG_CONFIG_SYSROOT_DIR=$SYSROOT\n";
+  out += "ENV CC=$TARGET-gcc\n";
+  out += "ENV CXX=$TARGET-g++\n";
+  out += "ENV AR=$TARGET-ar\n";
+  out += "ENV RANLIB=$TARGET-ranlib\n";
+  out += "ENV STRIP=$TARGET-strip\n";
+  out += "ENV LD_LIBRARY_PATH=$SYSROOT/usr/lib/" + triplet + "\n";
+  out += "RUN mkdir -p $SYSROOT\n";
+  out += "RUN debootstrap --arch=" + std::string(target_arch) +
+         " --foreign noble $SYSROOT\n";
+  out += "RUN cp /usr/bin/qemu-aarch64-static $SYSROOT/usr/bin/\n";
+  out += "RUN chroot $SYSROOT debootstrap/debootstrap --second-stage\n";
+  out += "RUN echo 'deb http://ports.ubuntu.com noble main' > "
+         "$SYSROOT/etc/apt/sources.list\n";
+  out += "RUN chroot $SYSROOT apt-get update\n";
+  out += "RUN ln -s $SYSROOT/usr/lib/" + triplet + " /usr/lib/" + triplet + "-x\n";
+  out += "RUN ln -s $SYSROOT/usr/include /usr/include/" + triplet + "-x\n";
+  for (const std::string& package : app.build_packages) {
+    out += "RUN chroot $SYSROOT apt-get install -y " + package + ":" +
+           std::string(target_arch) + "\n";
+  }
+  out += "COPY src /work/src\n";
+  out += "COPY cross-toolchain.cmake /work/\n";
+  out += "RUN echo '// cross-config for " + triplet + "' > src/arch_tune.h\n";
+  std::vector<std::string> objects;
+  for (const toolchain::SourceGenSpec& unit : app.units) {
+    out += "RUN $TARGET-gcc $CFLAGS --sysroot=$SYSROOT -c src/" + unit.unit_name +
+           ".cc -o " + unit.unit_name + ".o\n";
+    objects.push_back(unit.unit_name + ".o");
+  }
+  if (objects.size() > 2) {
+    std::vector<std::string> members(objects.begin() + 1, objects.end());
+    out += "RUN $TARGET-ar rcs lib" + app.name + "core.a " + join(members, " ") + "\n";
+  }
+  std::string libs;
+  for (const std::string& lib : app.link_libraries) libs += " -l" + lib;
+  out += "RUN $TARGET-gcc $CFLAGS --sysroot=$SYSROOT -L$SYSROOT/usr/lib/" + triplet +
+         " " + objects[0] + (objects.size() > 2 ? " lib" + app.name + "core.a" : "") +
+         " -o " + app.name + libs + " -lmpi\n";
+  out += "RUN $TARGET-strip " + app.name + "\n";
+  out += "FROM ubuntu:24.04-" + std::string(target_arch) + " AS dist\n";
+  out += "RUN apt-get update && apt-get install -y " + join(app.runtime_packages, " ") +
+         "\n";
+  out += "WORKDIR /app\n";
+  out += "COPY --from=build /work/" + app.name + " /app/" + app.name + "\n";
+  out += "COPY --from=build /usr/bin/qemu-aarch64-static /usr/bin/\n";
+  out += "ENTRYPOINT [\"/app/" + app.name + "\"]\n";
+  return out;
+}
+
+}  // namespace comt::workloads

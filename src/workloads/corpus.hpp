@@ -1,0 +1,75 @@
+// The evaluation corpus: the paper's nine HPC benchmarks plus LAMMPS and
+// OpenMX (Table 2), reproduced as synthetic applications whose kernel mixes
+// are calibrated so the evaluation figures' *shape* falls out of the
+// execution model (who wins, by what factor, where the regressions are).
+// Each app carries a source tree, a two-stage Dockerfile, its package
+// dependencies, per-workload inputs, and cross-ISA build-script variants.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sysmodel/sysmodel.hpp"
+#include "toolchain/source.hpp"
+#include "vfs/vfs.hpp"
+
+namespace comt::workloads {
+
+/// One evaluated input of an application (a row of Fig. 9: lammps.lj etc.).
+struct WorkloadInput {
+  std::string name;          ///< "lj", "pt13", or "" for single-input apps
+  double input_scale = 1.0;
+  std::map<std::string, double> kernel_weight;
+
+  /// Full display name, "app.input" or just "app".
+  std::string display_name(std::string_view app) const;
+
+  sysmodel::RunRequest run_request(int nodes) const;
+};
+
+struct AppSpec {
+  std::string name;       ///< "lulesh"
+  int paper_loc = 0;      ///< Table 2's LoC column
+  std::vector<std::string> build_packages;    ///< apt deps of the build stage
+  std::vector<std::string> runtime_packages;  ///< apt deps of the dist stage
+  std::vector<toolchain::SourceGenSpec> units;  ///< TUs; units[0] holds main()
+  std::vector<std::string> link_libraries;      ///< -l names
+  std::vector<std::string> extra_cflags;  ///< ISA-specific flags (Fig. 11 fodder)
+  bool isa_locked = false;  ///< build script generates an ISA-locked header
+  /// Build through a Makefile instead of explicit RUN gcc lines (real apps
+  /// do; the hijacker must see through the build system).
+  bool use_make = false;
+  std::vector<WorkloadInput> inputs;
+
+  std::string binary_path() const { return "/app/" + name; }
+  /// Lines of code of the generated corpus sources.
+  int corpus_loc() const;
+};
+
+/// All eleven applications (18 workload rows).
+const std::vector<AppSpec>& corpus();
+const AppSpec* find_app(std::string_view name);
+
+/// The build context tree for an app: /src/*.cc and /src/*.h, plus a
+/// generated /Makefile for make-driven apps.
+vfs::Filesystem build_context(const AppSpec& app);
+
+/// The generated Makefile of a make-driven app.
+std::string makefile_text(const AppSpec& app);
+
+/// The app's two-stage Dockerfile. `comt_bases` selects coMtainer Env/Base
+/// images (Fig. 6's one-line modification) versus plain ubuntu.
+std::string dockerfile_text(const AppSpec& app, std::string_view arch, bool comt_bases);
+
+/// The minimally modified build script that lets coMtainer cross ISAs
+/// (machine flags removed, ISA-locked header generation dropped).
+std::string dockerfile_cross_comt(const AppSpec& app, std::string_view arch);
+
+/// The traditional cross-compilation build script (cross toolchain install,
+/// triplet-prefixed tools, sysroot) — Fig. 11's xbuild baseline.
+std::string dockerfile_xbuild(const AppSpec& app, std::string_view host_arch,
+                              std::string_view target_arch);
+
+}  // namespace comt::workloads

@@ -1,0 +1,360 @@
+#include "workloads/environment.hpp"
+
+#include <map>
+
+#include "buildexec/container.hpp"
+#include "toolchain/driver.hpp"
+#include "toolchain/toolchains.hpp"
+
+namespace comt::workloads {
+namespace {
+
+/// One library row: name, sim-MiB on each arch, speed attributes per system.
+struct LibraryRow {
+  std::string_view name;
+  double mib_amd64;
+  double mib_arm64;
+  std::vector<std::string_view> depends;
+  std::string_view header;  ///< /usr/include/<header> shipped alongside
+};
+
+const std::vector<LibraryRow>& library_rows() {
+  static const std::vector<LibraryRow> rows = {
+      {"libm", 1.2, 0.9, {}, "math.h"},
+      {"libblas", 2.4, 1.8, {"libm"}, "cblas.h"},
+      {"liblapack", 2.8, 2.1, {"libblas"}, "lapacke.h"},
+      {"libfftw", 20.0, 20.5, {"libm"}, "fftw3.h"},
+      {"libjpeg", 12.0, 11.5, {}, "jpeglib.h"},
+      {"libscalapack", 120.0, 118.0, {"libblas", "mpich"}, "scalapack.h"},
+      {"libelpa", 90.0, 88.0, {"libscalapack"}, "elpa.h"},
+      {"libxc", 55.0, 54.0, {"libm"}, "xc.h"},
+  };
+  return rows;
+}
+
+/// Generic library speeds are 1.0 by construction; optimized speeds per
+/// system model the vendor math/comm stacks (larger on the AArch64 platform,
+/// where the generic stack is weakest — see Fig. 9's bigger gains).
+double optimized_libspeed(std::string_view lib, std::string_view arch) {
+  const bool arm = arch == "arm64";
+  if (lib == "libm") return arm ? 2.6 : 2.6;
+  if (lib == "libblas") return arm ? 1.9 : 3.4;
+  if (lib == "liblapack") return arm ? 1.9 : 3.2;
+  if (lib == "libfftw") return arm ? 1.8 : 3.0;
+  if (lib == "libjpeg") return 1.3;
+  if (lib == "libscalapack") return arm ? 1.9 : 4.2;
+  if (lib == "libelpa") return arm ? 1.8 : 3.8;
+  if (lib == "libxc") return arm ? 1.8 : 3.4;
+  return 1.5;
+}
+
+/// Strips the "lib" prefix: package libblas ships libblas.so whose -l name
+/// is "blas".
+std::string link_name(std::string_view lib) {
+  std::string name(lib);
+  if (name.rfind("lib", 0) == 0) name = name.substr(3);
+  return name;
+}
+
+pkg::Package make_library_package(const LibraryRow& row, std::string_view arch,
+                                  pkg::Variant variant) {
+  pkg::Package package;
+  package.name = std::string(row.name);
+  package.version = variant == pkg::Variant::generic ? "3.11-1" : "3.11-1+sys1";
+  package.architecture = std::string(arch);
+  package.variant = variant;
+  for (std::string_view dep : row.depends) package.depends.emplace_back(dep);
+  package.section = "libs";
+  package.description = std::string(row.name) + " runtime";
+  double speed = variant == pkg::Variant::generic ? 1.0 : optimized_libspeed(row.name, arch);
+  package.attributes["libspeed"] = std::to_string(speed);
+
+  std::map<std::string, double> attributes{{"libspeed", speed}};
+  double mib = arch == "arm64" ? row.mib_arm64 : row.mib_amd64;
+  std::string soname = std::string(row.name) + ".so";
+  std::string blob = toolchain::make_library_blob(soname, arch, attributes);
+  // Pad the blob so the package occupies its Table-3-calibrated size.
+  blob += "\n//PAD//" + filler(mib - to_sim_mib(blob.size()), row.name);
+  package.files.push_back({"/usr/lib/lib" + link_name(row.name) + ".so", blob, 0755});
+  package.files.push_back({"/usr/include/" + std::string(row.header),
+                           "// " + std::string(row.header) + " (" +
+                               pkg::variant_name(variant) + ")\n",
+                           0644});
+  return package;
+}
+
+/// MPI package: generic mpich drives TCP and standard InfiniBand; the
+/// vendor MPI adds the system's proprietary fabric plugin (the exact gap the
+/// paper blames for lulesh's AArch64 collapse).
+pkg::Package make_mpi_package(std::string_view arch, pkg::Variant variant,
+                              std::string_view vendor_fabric) {
+  pkg::Package package;
+  package.name = "mpich";
+  package.version = variant == pkg::Variant::generic ? "4.1-2" : "4.1-2+sys1";
+  package.architecture = std::string(arch);
+  package.variant = variant;
+  package.provides = {"libmpi"};
+  package.section = "net";
+  package.description = "MPI implementation";
+
+  std::map<std::string, double> attributes{{"libspeed", 1.0},
+                                           {"fabric_tcp", 1.0},
+                                           {"fabric_ib", 1.0}};
+  if (variant == pkg::Variant::optimized && !vendor_fabric.empty()) {
+    attributes["fabric_" + std::string(vendor_fabric)] = 1.0;
+    attributes["libspeed"] = 1.6;
+    package.attributes["fabric"] = std::string(vendor_fabric);
+  }
+  std::string blob = toolchain::make_library_blob("libmpi.so", arch, attributes);
+  blob += "\n//PAD//" + filler(2.5 - to_sim_mib(blob.size()), "mpich");
+  package.files.push_back({"/usr/lib/libmpi.so", blob, 0755});
+  package.files.push_back({"/usr/include/mpi.h", "// mpi.h\n", 0644});
+  package.files.push_back(
+      {"/usr/bin/mpicc", toolchain::make_toolchain_stub("gnu-generic"), 0755});
+  return package;
+}
+
+/// The distro compiler package (build-essential pulls it in).
+pkg::Package make_gcc_package(std::string_view arch) {
+  pkg::Package package;
+  package.name = "gcc";
+  package.version = "12.2-9";
+  package.architecture = std::string(arch);
+  package.section = "devel";
+  package.description = "GNU C/C++ compiler";
+  std::string stub = toolchain::make_toolchain_stub("gnu-generic");
+  for (std::string_view name : {"gcc", "g++", "cc", "c++", "gfortran"}) {
+    package.files.push_back({"/usr/bin/" + std::string(name), stub, 0755});
+  }
+  package.files.push_back({"/usr/bin/ar", "#!binutils-ar\n", 0755});
+  package.files.push_back({"/usr/lib/gcc/crt1.o", filler(1.5, "crt"), 0644});
+  return package;
+}
+
+pkg::Package make_build_essential(std::string_view arch) {
+  pkg::Package package;
+  package.name = "build-essential";
+  package.version = "12.10";
+  package.architecture = std::string(arch);
+  package.section = "devel";
+  package.description = "build toolchain metapackage";
+  package.depends = {"gcc"};
+  return package;
+}
+
+/// The vendor toolchain package installed only in Sysenv images, under
+/// /opt/system/bin so the generic /usr/bin toolchain stays available.
+pkg::Package make_vendor_toolchain(const sysmodel::SystemProfile& system) {
+  pkg::Package package;
+  package.name = "system-toolchain";
+  package.version = "2025.1";
+  package.architecture = system.arch;
+  package.variant = pkg::Variant::optimized;
+  package.section = "devel";
+  package.description = "vendor compiler suite for " + system.name;
+  package.attributes["march"] = system.native_march;
+  std::string stub = toolchain::make_toolchain_stub(system.native_toolchain);
+  for (std::string_view name : {"gcc", "g++", "cc", "c++", "gfortran", "mpicc", "mpicxx"}) {
+    package.files.push_back({"/opt/system/bin/" + std::string(name), stub, 0755});
+  }
+  package.files.push_back({"/opt/system/share/doc", filler(4.0, "vendor-doc"), 0644});
+  return package;
+}
+
+/// LLVM alternative toolchain (the artifact's freely redistributable
+/// stand-in), available from both distro archives.
+pkg::Package make_llvm_package(std::string_view arch) {
+  pkg::Package package;
+  package.name = "clang";
+  package.version = "17.0-3";
+  package.architecture = std::string(arch);
+  package.section = "devel";
+  package.description = "LLVM C/C++ compiler";
+  std::string stub = toolchain::make_toolchain_stub("llvm");
+  package.files.push_back({"/usr/bin/clang", stub, 0755});
+  package.files.push_back({"/usr/bin/clang++", stub, 0755});
+  return package;
+}
+
+pkg::Repository make_ubuntu_repo(std::string_view arch) {
+  pkg::Repository repo;
+  auto add = [&repo](pkg::Package package) {
+    Status status = repo.add(std::move(package));
+    COMT_ASSERT(status.ok(), "duplicate package while building distro repo");
+  };
+  add(make_gcc_package(arch));
+  add(make_build_essential(arch));
+  add(make_llvm_package(arch));
+  add(make_mpi_package(arch, pkg::Variant::generic, ""));
+  for (const LibraryRow& row : library_rows()) {
+    add(make_library_package(row, arch, pkg::Variant::generic));
+  }
+  return repo;
+}
+
+pkg::Repository make_system_repo(const sysmodel::SystemProfile& system) {
+  pkg::Repository repo;
+  auto add = [&repo](pkg::Package package) {
+    Status status = repo.add(std::move(package));
+    COMT_ASSERT(status.ok(), "duplicate package while building system repo");
+  };
+  std::string_view fabric = system.arch == "arm64" ? "glex" : "hsn";
+  add(make_gcc_package(system.arch));
+  add(make_build_essential(system.arch));
+  add(make_llvm_package(system.arch));
+  add(make_vendor_toolchain(system));
+  add(make_mpi_package(system.arch, pkg::Variant::optimized, fabric));
+  for (const LibraryRow& row : library_rows()) {
+    add(make_library_package(row, system.arch, pkg::Variant::optimized));
+  }
+  return repo;
+}
+
+/// The raw distro base tree: a handful of large files standing in for the
+/// distro's userland, sized so that ubuntu:24.04 images land at Table 3's
+/// base sizes (~165 sim-MiB on x86-64, ~90 on AArch64).
+vfs::Filesystem make_distro_tree(std::string_view arch) {
+  const bool arm = arch == "arm64";
+  vfs::Filesystem fs;
+  auto put = [&fs](std::string path, double mib, std::string_view seed) {
+    Status status = fs.write_file(path, filler(mib, seed));
+    COMT_ASSERT(status.ok(), "distro tree write failed");
+  };
+  put("/usr/lib/locale-archive", arm ? 38.0 : 75.0, "locale");
+  put("/usr/lib/libc.so", arm ? 12.0 : 16.0, "libc");
+  put("/usr/lib/libstdc++.so", arm ? 9.0 : 12.0, "libstdc++");
+  put("/usr/bin/coreutils", arm ? 12.0 : 22.0, "coreutils");
+  put("/usr/bin/bash", arm ? 5.0 : 7.5, "bash");
+  put("/usr/share/doc/notes", arm ? 8.0 : 22.0, "docs");
+  put("/etc/os-release", 0.01, "os-release");
+  put("/etc/passwd", 0.01, "passwd");
+  Status status = fs.make_directories("/tmp");
+  COMT_ASSERT(status.ok(), "mkdir /tmp failed");
+  status = fs.make_directories("/root");
+  COMT_ASSERT(status.ok(), "mkdir /root failed");
+  return fs;
+}
+
+oci::ImageConfig make_config(std::string_view arch) {
+  oci::ImageConfig config;
+  config.architecture = std::string(arch);
+  config.os = "linux";
+  config.config.env = {"PATH=/usr/local/bin:/usr/bin:/bin"};
+  config.config.working_dir = "/";
+  return config;
+}
+
+/// Installs packages into a tree, producing the dpkg database files too.
+Status preinstall(vfs::Filesystem& fs, const pkg::Repository& repo,
+                  const std::vector<std::string>& names) {
+  COMT_TRY(pkg::Database db, pkg::Database::load(fs));
+  COMT_TRY(auto plan, pkg::resolve(repo, names, db.installed_names()));
+  for (const pkg::Package* package : plan) {
+    if (db.installed(package->name)) continue;
+    COMT_TRY_STATUS(db.install(fs, *package));
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+std::string filler(double mib, std::string_view seed) {
+  if (mib <= 0) return "";
+  auto bytes = static_cast<std::size_t>(mib * static_cast<double>(kSimBytesPerMiB));
+  std::string unit = "//" + std::string(seed) + "-payload//\n";
+  std::string out;
+  out.reserve(bytes + unit.size());
+  while (out.size() < bytes) out += unit;
+  out.resize(bytes);
+  return out;
+}
+
+double to_sim_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kSimBytesPerMiB);
+}
+
+const pkg::Repository& ubuntu_repo(std::string_view arch) {
+  static const pkg::Repository amd64 = make_ubuntu_repo("amd64");
+  static const pkg::Repository arm64 = make_ubuntu_repo("arm64");
+  return arch == "arm64" ? arm64 : amd64;
+}
+
+const pkg::Repository& system_repo(const sysmodel::SystemProfile& system) {
+  static const pkg::Repository x86 = make_system_repo(sysmodel::SystemProfile::x86_cluster());
+  static const pkg::Repository arm =
+      make_system_repo(sysmodel::SystemProfile::aarch64_cluster());
+  return system.arch == "arm64" ? arm : x86;
+}
+
+std::string ubuntu_tag(std::string_view arch) {
+  return "ubuntu:24.04-" + std::string(arch);
+}
+std::string env_tag(std::string_view arch) { return "comt/env:" + std::string(arch); }
+std::string base_tag(std::string_view arch) { return "comt/base:" + std::string(arch); }
+std::string sysenv_tag(const sysmodel::SystemProfile& system) {
+  return "comt/sysenv:" + system.arch;
+}
+std::string rebase_tag(const sysmodel::SystemProfile& system) {
+  return "comt/rebase:" + system.arch;
+}
+
+Status install_user_images(oci::Layout& layout, std::string_view arch) {
+  // ubuntu:24.04 — the mainstream base.
+  vfs::Filesystem distro = make_distro_tree(arch);
+  oci::ImageConfig config = make_config(arch);
+  config.history = {"ubuntu base"};
+  auto ubuntu = layout.create_image(config, {distro}, ubuntu_tag(arch));
+  if (!ubuntu.ok()) return ubuntu.error();
+
+  // comt/env — ubuntu + build toolchain + the coMtainer toolset, hijack on.
+  vfs::Filesystem env_tree = distro;
+  COMT_TRY_STATUS(preinstall(env_tree, ubuntu_repo(arch), {"build-essential", "clang"}));
+  COMT_TRY_STATUS(env_tree.write_file("/.coMtainer/bin/coMtainer-build",
+                                      "#!comt-toolset build\n", 0755));
+  oci::ImageConfig env_config = make_config(arch);
+  env_config.config.labels[std::string(buildexec::kHijackLabel)] = "true";
+  env_config.history = {"coMtainer Env image"};
+  auto env = layout.create_image(env_config, {env_tree}, env_tag(arch));
+  if (!env.ok()) return env.error();
+
+  // comt/base — ubuntu-compatible runtime base, hijack on so dist-stage COPY
+  // movements are recorded too (both stages use coMtainer images; Fig. 5/6).
+  oci::ImageConfig base_config = make_config(arch);
+  base_config.config.labels[std::string(buildexec::kHijackLabel)] = "true";
+  base_config.history = {"coMtainer Base image"};
+  auto base = layout.create_image(base_config, {distro}, base_tag(arch));
+  if (!base.ok()) return base.error();
+  return Status::success();
+}
+
+Status install_system_images(oci::Layout& layout, const sysmodel::SystemProfile& system) {
+  const pkg::Repository& repo = system_repo(system);
+
+  // comt/sysenv — the system-side rebuild environment: distro base plus the
+  // generic toolchain (so un-adapted rebuilds stay generic), the vendor
+  // toolchain under /opt/system, and the optimized library stack.
+  vfs::Filesystem sysenv_tree = make_distro_tree(system.arch);
+  std::vector<std::string> stack = {"build-essential", "clang", "system-toolchain",
+                                    "mpich"};
+  for (const LibraryRow& row : library_rows()) stack.emplace_back(row.name);
+  COMT_TRY_STATUS(preinstall(sysenv_tree, repo, stack));
+  COMT_TRY_STATUS(sysenv_tree.write_file("/.coMtainer/bin/coMtainer-rebuild",
+                                         "#!comt-toolset rebuild\n", 0755));
+  oci::ImageConfig sysenv_config = make_config(system.arch);
+  sysenv_config.history = {"coMtainer Sysenv image for " + system.name};
+  auto sysenv = layout.create_image(sysenv_config, {sysenv_tree}, sysenv_tag(system));
+  if (!sysenv.ok()) return sysenv.error();
+
+  // comt/rebase — the system-side runtime base the redirect container grows
+  // from; runtime deps are installed into it from the system repo.
+  vfs::Filesystem rebase_tree = make_distro_tree(system.arch);
+  COMT_TRY_STATUS(rebase_tree.write_file("/.coMtainer/bin/coMtainer-redirect",
+                                         "#!comt-toolset redirect\n", 0755));
+  oci::ImageConfig rebase_config = make_config(system.arch);
+  rebase_config.history = {"coMtainer Rebase image for " + system.name};
+  auto rebase = layout.create_image(rebase_config, {rebase_tree}, rebase_tag(system));
+  if (!rebase.ok()) return rebase.error();
+  return Status::success();
+}
+
+}  // namespace comt::workloads

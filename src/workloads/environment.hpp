@@ -1,0 +1,55 @@
+// Evaluation environments: distro package repositories, system software
+// stacks, and the base images the paper's workflow uses —
+//   ubuntu:24.04          — mainstream generic base (per arch)
+//   comt/env:<arch>       — coMtainer Env image (build stage; hijack on)
+//   comt/base:<arch>      — coMtainer Base image (dist stage; hijack on)
+//   comt/sysenv:<system>  — system-side rebuild environment (generic + native
+//                           toolchains, optimized libraries)
+//   comt/rebase:<system>  — system-side runtime base for redirect
+//
+// Sizes are expressed in *simulated MiB*: kSimBytesPerMiB bytes of real blob
+// content represent one MiB reported in the paper's Table 3 (a 4096:1 scale
+// keeps in-memory images small while preserving every ratio).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "oci/oci.hpp"
+#include "pkg/pkg.hpp"
+#include "support/error.hpp"
+#include "sysmodel/sysmodel.hpp"
+
+namespace comt::workloads {
+
+inline constexpr std::uint64_t kSimBytesPerMiB = 4096;
+
+/// Deterministic filler content of about `mib` simulated MiB.
+std::string filler(double mib, std::string_view seed);
+
+/// bytes -> simulated MiB.
+double to_sim_mib(std::uint64_t bytes);
+
+/// The distro package archive for an architecture ("amd64"/"arm64"):
+/// generic toolchain and libraries, everything Variant::generic.
+const pkg::Repository& ubuntu_repo(std::string_view arch);
+
+/// A target system's software stack: optimized builds of the same library
+/// names (bigger libspeed, fabric plugins) plus the vendor toolchain package
+/// installing compilers under /opt/system/bin.
+const pkg::Repository& system_repo(const sysmodel::SystemProfile& system);
+
+/// Tags for the standard images.
+std::string ubuntu_tag(std::string_view arch);
+std::string env_tag(std::string_view arch);
+std::string base_tag(std::string_view arch);
+std::string sysenv_tag(const sysmodel::SystemProfile& system);
+std::string rebase_tag(const sysmodel::SystemProfile& system);
+
+/// Registers ubuntu + comt/env + comt/base for `arch` into `layout`.
+Status install_user_images(oci::Layout& layout, std::string_view arch);
+
+/// Registers comt/sysenv + comt/rebase for `system` into `layout`.
+Status install_system_images(oci::Layout& layout, const sysmodel::SystemProfile& system);
+
+}  // namespace comt::workloads

@@ -1,0 +1,163 @@
+#include "workloads/harness.hpp"
+
+#include "dockerfile/dockerfile.hpp"
+#include "support/strings.hpp"
+
+namespace comt::workloads {
+namespace {
+
+/// Size of an image: config blob plus all layer blobs (what `podman images`
+/// reports and Table 3 lists).
+std::uint64_t image_bytes(const oci::Image& image) {
+  std::uint64_t total = image.manifest.config.size;
+  for (const oci::Descriptor& layer : image.manifest.layers) total += layer.size;
+  return total;
+}
+
+}  // namespace
+
+std::string dockerfile_native(const AppSpec& app, const sysmodel::SystemProfile& system) {
+  std::string text = dockerfile_text(app, system.arch, /*comt_bases=*/true);
+  text = replace_all(text, "FROM comt/env:" + system.arch, "FROM " + sysenv_tag(system));
+  text = replace_all(text, "FROM comt/base:" + system.arch, "FROM " + rebase_tag(system));
+  // A system user drives the vendor toolchain and native flags by hand.
+  text = replace_all(text, "ARG CFLAGS=-O2",
+                     "ARG CFLAGS=-O2\nENV PATH=/opt/system/bin:/usr/local/bin:/usr/bin:/bin");
+  return text;
+}
+
+Evaluation::Evaluation(const sysmodel::SystemProfile& system) : system_(system) {
+  Status status = install_user_images(layout_, system.arch);
+  COMT_ASSERT(status.ok(), "failed to install user-side base images");
+  status = install_system_images(layout_, system);
+  COMT_ASSERT(status.ok(), "failed to install system-side images");
+}
+
+Result<PreparedApp> Evaluation::prepare(const AppSpec& app) {
+  COMT_TRY(dockerfile::Dockerfile file,
+           dockerfile::parse(dockerfile_text(app, system_.arch, /*comt_bases=*/true)));
+  buildexec::ImageBuilder builder(layout_);
+  builder.set_apt_source(&ubuntu_repo(system_.arch));
+
+  PreparedApp prepared;
+  prepared.dist_tag = app.name + ".dist";
+  buildexec::BuildRecord record;
+  COMT_TRY(oci::Image dist, builder.build(file, build_context(app), prepared.dist_tag,
+                                          /*target=*/"", &record));
+  prepared.image_bytes = image_bytes(dist);
+
+  // The build-stage container's final filesystem is where coMtainer-build
+  // collects the sources from (it is tagged "<tag>.stage0" by the builder).
+  COMT_TRY(oci::Image build_stage, layout_.find_image(prepared.dist_tag + ".stage0"));
+  COMT_TRY(vfs::Filesystem build_rootfs, layout_.flatten(build_stage));
+
+  COMT_TRY(oci::Image extended,
+           core::comtainer_build(layout_, prepared.dist_tag, base_tag(system_.arch),
+                                 record, build_rootfs));
+  prepared.extended_tag = prepared.dist_tag + std::string(core::kExtendedSuffix);
+  // Cache layer = the one layer the extended image adds over the dist image.
+  COMT_ASSERT(extended.manifest.layers.size() >= 1, "extended image has no layers");
+  prepared.cache_layer_bytes = extended.manifest.layers.back().size;
+  return prepared;
+}
+
+Result<double> Evaluation::run_image(std::string_view tag, const WorkloadInput& input,
+                                     int nodes) {
+  COMT_TRY(oci::Image image, layout_.find_image(tag));
+  COMT_TRY(vfs::Filesystem rootfs, layout_.flatten(image));
+  if (image.config.config.entrypoint.empty()) {
+    return make_error(Errc::invalid_argument, std::string(tag) + ": no entrypoint");
+  }
+  sysmodel::ExecutionEngine engine(system_);
+  COMT_TRY(sysmodel::RunReport report,
+           engine.run(rootfs, image.config.config.entrypoint[0], input.run_request(nodes)));
+  return report.seconds;
+}
+
+Result<std::string> Evaluation::transform(
+    const PreparedApp& prepared, const std::vector<const core::SystemAdapter*>& adapters,
+    const WorkloadInput& input, int nodes) {
+  core::RebuildOptions rebuild_options;
+  rebuild_options.system = &system_;
+  rebuild_options.system_repo = &system_repo(system_);
+  rebuild_options.sysenv_tag = sysenv_tag(system_);
+  rebuild_options.adapters = adapters;
+  rebuild_options.profile_run = input.run_request(nodes);
+  COMT_TRY(core::RebuildReport rebuilt,
+           core::comtainer_rebuild(layout_, prepared.extended_tag, rebuild_options));
+
+  core::RedirectOptions redirect_options;
+  redirect_options.system = &system_;
+  redirect_options.system_repo = &system_repo(system_);
+  redirect_options.rebase_tag = rebase_tag(system_);
+  std::string rebuilt_tag =
+      core::base_tag_of(prepared.extended_tag) + std::string(core::kRebuiltSuffix);
+  COMT_TRY(core::RedirectReport redirected,
+           core::comtainer_redirect(layout_, rebuilt_tag, redirect_options));
+  (void)redirected;
+  return core::base_tag_of(prepared.extended_tag) + std::string(core::kRedirectedSuffix);
+}
+
+Result<std::string> Evaluation::redirect_only(const AppSpec& app,
+                                              const PreparedApp& prepared) {
+  core::RedirectOptions options;
+  options.system = &system_;
+  options.system_repo = &system_repo(system_);
+  options.rebase_tag = rebase_tag(system_);
+  for (const std::string& name : app.runtime_packages) {
+    const pkg::Package* candidate = system_repo(system_).find(name);
+    if (candidate != nullptr && candidate->variant == pkg::Variant::optimized) {
+      options.package_replacements[name] = candidate->name;
+    }
+  }
+  COMT_TRY(core::RedirectReport redirected,
+           core::comtainer_redirect(layout_, prepared.extended_tag, options));
+  (void)redirected;
+  return core::base_tag_of(prepared.extended_tag) + std::string(core::kRedirectedSuffix);
+}
+
+Result<std::string> Evaluation::adapt(const AppSpec& app, const PreparedApp& prepared) {
+  auto owned = core::adapted_scheme();
+  std::vector<const core::SystemAdapter*> adapters;
+  for (const auto& adapter : owned) adapters.push_back(adapter.get());
+  return transform(prepared, adapters, app.inputs.front(), system_.nodes);
+}
+
+Result<std::string> Evaluation::optimize(const AppSpec& app, const PreparedApp& prepared,
+                                         const WorkloadInput& input, int nodes) {
+  (void)app;
+  auto owned = core::optimized_scheme();
+  std::vector<const core::SystemAdapter*> adapters;
+  for (const auto& adapter : owned) adapters.push_back(adapter.get());
+  return transform(prepared, adapters, input, nodes);
+}
+
+Result<std::string> Evaluation::build_native(const AppSpec& app) {
+  COMT_TRY(dockerfile::Dockerfile file,
+           dockerfile::parse(dockerfile_native(app, system_)));
+  buildexec::ImageBuilder builder(layout_);
+  builder.set_apt_source(&system_repo(system_));
+  builder.set_build_args({{"CFLAGS", "-O3 -march=native"}});
+  std::string tag = app.name + ".native";
+  COMT_TRY(oci::Image image, builder.build(file, build_context(app), tag));
+  (void)image;
+  return tag;
+}
+
+Result<SchemeTimes> Evaluation::run_schemes(const AppSpec& app, const PreparedApp& prepared,
+                                            const WorkloadInput& input, int nodes) {
+  SchemeTimes times;
+  COMT_TRY(times.original, run_image(prepared.dist_tag, input, nodes));
+
+  COMT_TRY(std::string native_tag, build_native(app));
+  COMT_TRY(times.native, run_image(native_tag, input, nodes));
+
+  COMT_TRY(std::string adapted_tag, adapt(app, prepared));
+  COMT_TRY(times.adapted, run_image(adapted_tag, input, nodes));
+
+  COMT_TRY(std::string optimized_tag, optimize(app, prepared, input, nodes));
+  COMT_TRY(times.optimized, run_image(optimized_tag, input, nodes));
+  return times;
+}
+
+}  // namespace comt::workloads

@@ -1,0 +1,93 @@
+// End-to-end evaluation harness: wires the whole pipeline together for one
+// target system — user-side image build + coMtainer-build, system-side
+// rebuild/redirect under a chosen adapter set, and execution of the four
+// schemes the paper compares (original / native / adapted / optimized).
+// Benches, examples and integration tests all drive this API.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "buildexec/builder.hpp"
+#include "core/backend.hpp"
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/corpus.hpp"
+#include "workloads/environment.hpp"
+
+namespace comt::workloads {
+
+/// Execution times of the four schemes for one workload (seconds, simulated).
+struct SchemeTimes {
+  double original = 0;
+  double native = 0;
+  double adapted = 0;
+  double optimized = 0;
+};
+
+/// Artifacts of preparing one application on the user side.
+struct PreparedApp {
+  std::string dist_tag;      ///< the generic application image
+  std::string extended_tag;  ///< the coMtainer extended image ("…+coM")
+  std::uint64_t image_bytes = 0;        ///< dist image size (all layers+config)
+  std::uint64_t cache_layer_bytes = 0;  ///< the added cache layer's blob size
+};
+
+/// One evaluation world: a blob layout populated with the user-side images,
+/// one target system's Sysenv/Rebase images, and helpers to run schemes.
+class Evaluation {
+ public:
+  explicit Evaluation(const sysmodel::SystemProfile& system);
+
+  const sysmodel::SystemProfile& system() const { return system_; }
+  oci::Layout& layout() { return layout_; }
+
+  /// User side: builds the app's generic image from its Dockerfile (with the
+  /// coMtainer Env/Base bases) and creates the extended image.
+  Result<PreparedApp> prepare(const AppSpec& app);
+
+  /// Runs the image tagged `tag` for one workload input on this system.
+  Result<double> run_image(std::string_view tag, const WorkloadInput& input, int nodes);
+
+  /// System side: rebuild + redirect under an arbitrary adapter set (the
+  /// motivation figure's ablation ladder uses this). The PGO feedback trial,
+  /// if any adapter requests one, runs `input` at `nodes`.
+  Result<std::string> transform(const PreparedApp& prepared,
+                                const std::vector<const core::SystemAdapter*>& adapters,
+                                const WorkloadInput& input, int nodes);
+
+  /// Redirect-only flow: package replacement without recompilation (the
+  /// `libo` step of Fig. 3). Replaces every generic runtime package that has
+  /// an optimized counterpart in the system repository.
+  Result<std::string> redirect_only(const AppSpec& app, const PreparedApp& prepared);
+
+  /// System side: rebuild + redirect under the paper's "adapted" adapter set
+  /// (libo + cxxo). Returns the optimized image's tag.
+  Result<std::string> adapt(const AppSpec& app, const PreparedApp& prepared);
+
+  /// System side: rebuild + redirect under the "optimized" set (+LTO +PGO);
+  /// the PGO feedback trial uses `input` at `nodes`, mirroring deployment.
+  Result<std::string> optimize(const AppSpec& app, const PreparedApp& prepared,
+                               const WorkloadInput& input, int nodes);
+
+  /// Builds the app natively on the system (Sysenv toolchain, -O3
+  /// -march=native, system software stack) and returns the image tag.
+  Result<std::string> build_native(const AppSpec& app);
+
+  /// All four schemes for one workload input.
+  Result<SchemeTimes> run_schemes(const AppSpec& app, const PreparedApp& prepared,
+                                  const WorkloadInput& input, int nodes);
+
+ private:
+  const sysmodel::SystemProfile& system_;
+  oci::Layout layout_;
+};
+
+/// The native-build Dockerfile: the user-side Dockerfile re-based onto the
+/// system's build/runtime stack with native flags — what a knowledgeable
+/// system user would write by hand.
+std::string dockerfile_native(const AppSpec& app, const sysmodel::SystemProfile& system);
+
+}  // namespace comt::workloads

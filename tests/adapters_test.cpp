@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/adapters.hpp"
+#include "workloads/environment.hpp"
+
+namespace comt::core {
+namespace {
+
+BuildGraph graph_with_command(std::vector<std::string> argv) {
+  BuildGraph graph;
+  GraphNode source;
+  source.kind = NodeKind::source;
+  source.path = "/w/x.cc";
+  source.content_digest = "d";
+  graph.add_node(std::move(source));
+  GraphNode object;
+  object.kind = NodeKind::object;
+  object.path = "/w/x.o";
+  object.deps = {0};
+  auto command = toolchain::parse_command(argv);
+  EXPECT_TRUE(command.ok());
+  object.compile = command.value();
+  object.toolchain_id = "gnu-generic";
+  graph.add_node(std::move(object));
+  return graph;
+}
+
+AdapterContext x86_context() {
+  return AdapterContext{&sysmodel::SystemProfile::x86_cluster(),
+                        &workloads::system_repo(sysmodel::SystemProfile::x86_cluster())};
+}
+
+TEST(ToolchainAdapterTest, RedirectsProgramAndFlags) {
+  BuildGraph graph =
+      graph_with_command({"gcc", "-O2", "-march=x86-64", "-c", "x.cc", "-o", "x.o"});
+  ToolchainAdapter adapter;
+  ASSERT_TRUE(adapter.adapt_graph(graph, x86_context()).ok());
+  const toolchain::CompileCommand& command = *graph.node(1).compile;
+  EXPECT_EQ(command.program, std::string(kSystemToolchainDir) + "/gcc");
+  EXPECT_EQ(command.march, "native");
+  EXPECT_EQ(command.opt_level, 3);
+  EXPECT_TRUE(command.mtune.empty());
+  EXPECT_EQ(graph.node(1).toolchain_id, "vendor-x86");
+}
+
+TEST(ToolchainAdapterTest, PreservesMpiWrapperIdentity) {
+  BuildGraph graph = graph_with_command({"mpicc", "-O2", "x.o", "-o", "app"});
+  ToolchainAdapter adapter;
+  ASSERT_TRUE(adapter.adapt_graph(graph, x86_context()).ok());
+  EXPECT_EQ(graph.node(1).compile->program,
+            std::string(kSystemToolchainDir) + "/mpicc");
+}
+
+TEST(ToolchainAdapterTest, LeavesLeavesAlone) {
+  BuildGraph graph = graph_with_command({"gcc", "-c", "x.cc"});
+  ToolchainAdapter adapter;
+  ASSERT_TRUE(adapter.adapt_graph(graph, x86_context()).ok());
+  EXPECT_TRUE(graph.node(0).is_leaf());
+  EXPECT_FALSE(graph.node(0).compile.has_value());
+}
+
+TEST(ToolchainAdapterTest, RequiresSystem) {
+  BuildGraph graph = graph_with_command({"gcc", "-c", "x.cc"});
+  ToolchainAdapter adapter;
+  AdapterContext empty;
+  EXPECT_FALSE(adapter.adapt_graph(graph, empty).ok());
+}
+
+TEST(LtoAdapterTest, EnablesLtoEverywhere) {
+  BuildGraph graph = graph_with_command({"gcc", "-O0", "-c", "x.cc"});
+  LtoAdapter adapter;
+  ASSERT_TRUE(adapter.adapt_graph(graph, x86_context()).ok());
+  EXPECT_TRUE(graph.node(1).compile->lto);
+  EXPECT_GE(graph.node(1).compile->opt_level, 2);
+}
+
+TEST(CrossIsaAdapterTest, StripsMachineOptions) {
+  BuildGraph graph = graph_with_command(
+      {"gcc", "-O2", "-march=x86-64-v3", "-mtune=skylake", "-msse4.2", "-mavx2",
+       "-DKEEP_ME", "-funroll-loops", "-c", "x.cc"});
+  CrossIsaAdapter adapter;
+  AdapterContext context{&sysmodel::SystemProfile::aarch64_cluster(),
+                         &workloads::system_repo(sysmodel::SystemProfile::aarch64_cluster())};
+  ASSERT_TRUE(adapter.adapt_graph(graph, context).ok());
+  const toolchain::CompileCommand& command = *graph.node(1).compile;
+  EXPECT_TRUE(command.march.empty());
+  EXPECT_TRUE(command.mtune.empty());
+  for (const toolchain::GenericOption& option : command.generic) {
+    EXPECT_NE(option.category, toolchain::OptionCategory::machine) << option.name;
+  }
+  // Non-machine options survive.
+  EXPECT_EQ(command.defines, std::vector<std::string>{"KEEP_ME"});
+  EXPECT_TRUE(command.flag_enabled("-funroll-loops"));
+}
+
+TEST(LibraryAdapterTest, ProposesOptimizedReplacements) {
+  ImageModel model;
+  model.runtime_packages.push_back({"libblas", "3.11-1", "generic"});
+  model.runtime_packages.push_back({"mpich", "4.1-2", "generic"});
+  model.runtime_packages.push_back({"not-in-system-repo", "1", "generic"});
+  LibraryAdapter adapter;
+  std::map<std::string, std::string> replacements;
+  adapter.adapt_packages(replacements, model, x86_context());
+  EXPECT_EQ(replacements.size(), 2u);
+  EXPECT_EQ(replacements.at("libblas"), "libblas");
+  EXPECT_EQ(replacements.at("mpich"), "mpich");
+  EXPECT_EQ(replacements.count("not-in-system-repo"), 0u);
+}
+
+TEST(LibraryAdapterTest, SkipsAlreadyOptimized) {
+  ImageModel model;
+  model.runtime_packages.push_back({"libblas", "3.11-1+sys1", "optimized"});
+  LibraryAdapter adapter;
+  std::map<std::string, std::string> replacements;
+  adapter.adapt_packages(replacements, model, x86_context());
+  EXPECT_TRUE(replacements.empty());
+}
+
+TEST(SchemesTest, AdapterSetsMatchThePaper) {
+  auto adapted = adapted_scheme();
+  ASSERT_EQ(adapted.size(), 2u);
+  EXPECT_EQ(adapted[0]->name(), "libo");
+  EXPECT_EQ(adapted[1]->name(), "cxxo");
+  EXPECT_FALSE(adapted[0]->wants_profile_feedback());
+
+  auto optimized = optimized_scheme();
+  ASSERT_EQ(optimized.size(), 4u);
+  EXPECT_EQ(optimized[2]->name(), "lto");
+  EXPECT_EQ(optimized[3]->name(), "pgo");
+  EXPECT_TRUE(optimized[3]->wants_profile_feedback());
+}
+
+TEST(SchemesTest, AdaptersWorkOnIndependentCopies) {
+  // Running an adapter must not disturb the original graph the caller holds
+  // (the paper: "operate on independent copies of the process models").
+  BuildGraph original = graph_with_command({"gcc", "-O2", "-c", "x.cc"});
+  BuildGraph copy = original;
+  ToolchainAdapter adapter;
+  ASSERT_TRUE(adapter.adapt_graph(copy, x86_context()).ok());
+  EXPECT_EQ(original.node(1).compile->program, "gcc");
+  EXPECT_NE(copy.node(1).compile->program, "gcc");
+}
+
+}  // namespace
+}  // namespace comt::core

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "toolchain/artifact.hpp"
+#include "toolchain/driver.hpp"
+
+namespace comt::toolchain {
+namespace {
+
+ObjectCode sample_object() {
+  ObjectCode object;
+  object.source_path = "/work/src/kernel.cc";
+  object.source_digest = "abc123";
+  object.codegen.toolchain_id = "gnu-generic";
+  object.codegen.opt_level = 2;
+  object.codegen.march = "x86-64";
+  object.codegen.vector_lanes = 2;
+  object.codegen.lto_ir = true;
+  KernelTrait kernel;
+  kernel.name = "hot_loop";
+  kernel.work = 42;
+  kernel.frac_vec = 0.5;
+  kernel.lib = "blas";
+  kernel.frac_lib = 0.2;
+  kernel.pgo_response = -0.3;
+  object.kernels.push_back(std::move(kernel));
+  return object;
+}
+
+TEST(ObjectBlobTest, RoundTrip) {
+  ObjectCode object = sample_object();
+  std::string blob = serialize_object(object);
+  EXPECT_TRUE(is_object_blob(blob));
+  EXPECT_FALSE(is_archive_blob(blob));
+  EXPECT_FALSE(is_image_blob(blob));
+  auto back = parse_object(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), object);
+}
+
+TEST(ObjectBlobTest, BadMagicRejected) {
+  auto result = parse_object("ELF not really");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::corrupt);
+}
+
+TEST(ArchiveBlobTest, RoundTripMultipleMembers) {
+  ObjectCode a = sample_object();
+  ObjectCode b = sample_object();
+  b.source_path = "/work/src/other.cc";
+  b.codegen.opt_level = 3;
+  std::string blob = serialize_archive({a, b});
+  EXPECT_TRUE(is_archive_blob(blob));
+  auto back = parse_archive(blob);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[0], a);
+  EXPECT_EQ(back.value()[1], b);
+}
+
+TEST(ArchiveBlobTest, EmptyArchive) {
+  auto back = parse_archive(serialize_archive({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(ImageBlobTest, RoundTrip) {
+  LinkedImage image;
+  image.is_shared = false;
+  image.target_arch = "amd64";
+  image.codegen.toolchain_id = "vendor-x86";
+  image.codegen.opt_level = 3;
+  image.codegen.lto_applied = true;
+  image.codegen.pgo_quality = 0.8;
+  image.objects = {sample_object()};
+  image.needed = {"m", "blas", "mpi"};
+  image.attributes["libspeed"] = 2.5;
+  std::string blob = serialize_image(image);
+  EXPECT_TRUE(is_image_blob(blob));
+  auto back = parse_image(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), image);
+}
+
+TEST(ImageBlobTest, PaddingAfterJsonTolerated) {
+  // Library packages pad their blobs to realistic sizes; parsing must only
+  // consume the JSON line.
+  std::string blob = make_library_blob("libblas.so", "amd64", {{"libspeed", 3.2}});
+  blob += "\n//PAD//" + std::string(5000, 'x');
+  auto back = parse_image(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().is_shared);
+  EXPECT_EQ(back.value().soname, "libblas.so");
+  EXPECT_DOUBLE_EQ(back.value().attribute("libspeed", 1.0), 3.2);
+  EXPECT_DOUBLE_EQ(back.value().attribute("missing", 7.0), 7.0);
+}
+
+TEST(ImageBlobTest, LibraryBlobCarriesNeeded) {
+  std::string blob = make_library_blob("libscalapack.so", "arm64",
+                                       {{"libspeed", 2.0}}, {"blas", "mpi"});
+  auto back = parse_image(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().needed, (std::vector<std::string>{"blas", "mpi"}));
+  EXPECT_EQ(back.value().target_arch, "arm64");
+}
+
+TEST(ProfileBlobTest, RoundTrip) {
+  std::map<std::string, double> weights{{"hot", 0.7}, {"cold", 0.05}};
+  std::string blob = serialize_profile(weights);
+  auto back = parse_profile(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), weights);
+}
+
+TEST(ProfileBlobTest, BadMagicRejected) {
+  EXPECT_FALSE(parse_profile("{}").ok());
+}
+
+TEST(CodegenTest, DefaultsSurviveRoundTrip) {
+  ObjectCode object;
+  object.source_path = "/x.c";
+  auto back = parse_object(serialize_object(object));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().codegen.vector_lanes, 2);
+  EXPECT_FALSE(back.value().codegen.lto_applied);
+  EXPECT_DOUBLE_EQ(back.value().codegen.pgo_quality, 0.0);
+}
+
+}  // namespace
+}  // namespace comt::toolchain

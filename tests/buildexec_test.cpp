@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "buildexec/builder.hpp"
+#include "buildexec/container.hpp"
+#include "dockerfile/dockerfile.hpp"
+#include "toolchain/artifact.hpp"
+#include "toolchain/toolchains.hpp"
+#include "workloads/environment.hpp"
+
+namespace comt::buildexec {
+namespace {
+
+/// A minimal container with a shell toolchain installed.
+Container make_container(const pkg::Repository* repo = nullptr) {
+  vfs::Filesystem rootfs;
+  EXPECT_TRUE(rootfs.write_file("/usr/bin/gcc",
+                                toolchain::make_toolchain_stub("gnu-generic"), 0755).ok());
+  EXPECT_TRUE(rootfs.write_file("/usr/bin/ar", "#!binutils-ar\n", 0755).ok());
+  oci::ImageConfig config;
+  config.architecture = "amd64";
+  return Container(std::move(rootfs), std::move(config), repo);
+}
+
+TEST(ContainerTest, BuiltinFileUtilities) {
+  Container c = make_container();
+  ASSERT_TRUE(c.run_shell("mkdir -p /a/b && touch /a/b/f && cp /a/b/f /a/copy").ok());
+  EXPECT_TRUE(c.rootfs().is_regular("/a/b/f"));
+  EXPECT_TRUE(c.rootfs().is_regular("/a/copy"));
+  ASSERT_TRUE(c.run_shell("mv /a/copy /a/moved && rm /a/b/f").ok());
+  EXPECT_TRUE(c.rootfs().is_regular("/a/moved"));
+  EXPECT_FALSE(c.rootfs().exists("/a/b/f"));
+}
+
+TEST(ContainerTest, EchoRedirectWritesFile) {
+  Container c = make_container();
+  ASSERT_TRUE(c.run_shell("echo hello world > /greeting").ok());
+  EXPECT_EQ(c.rootfs().read_file("/greeting").value(), "hello world\n");
+}
+
+TEST(ContainerTest, CatConcatenatesAndRedirects) {
+  Container c = make_container();
+  ASSERT_TRUE(c.run_shell("echo one > /1 && echo two > /2").ok());
+  ASSERT_TRUE(c.run_shell("cat /1 /2 > /both").ok());
+  EXPECT_EQ(c.rootfs().read_file("/both").value(), "one\ntwo\n");
+}
+
+TEST(ContainerTest, CdChangesCwdWithinRunLine) {
+  Container c = make_container();
+  ASSERT_TRUE(c.run_shell("mkdir -p /work && cd /work && touch here").ok());
+  EXPECT_TRUE(c.rootfs().is_regular("/work/here"));
+  EXPECT_FALSE(c.run_shell("cd /no/such/dir").ok());
+}
+
+TEST(ContainerTest, SymlinkBuiltin) {
+  Container c = make_container();
+  ASSERT_TRUE(c.run_shell("touch /target && ln -s /target /alias").ok());
+  EXPECT_TRUE(c.rootfs().is_symlink("/alias"));
+}
+
+TEST(ContainerTest, AndChainStopsOnFailure) {
+  Container c = make_container();
+  EXPECT_FALSE(c.run_shell("cp /ghost /x && touch /never").ok());
+  EXPECT_FALSE(c.rootfs().exists("/never"));
+}
+
+TEST(ContainerTest, UnknownCommandFails) {
+  Container c = make_container();
+  auto status = c.run_shell("frobnicate --all");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("command not found"), std::string::npos);
+}
+
+TEST(ContainerTest, CompilerDispatchThroughStub) {
+  Container c = make_container();
+  ASSERT_TRUE(c.rootfs().write_file(
+      "/work/x.cc", "// @comt-kernel name=k work=5\nvoid k();\n").ok());
+  c.set_cwd("/work");
+  ASSERT_TRUE(c.run_shell("gcc -O2 -c x.cc -o x.o").ok());
+  auto blob = c.rootfs().read_file("/work/x.o");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_TRUE(toolchain::is_object_blob(blob.value()));
+}
+
+TEST(ContainerTest, CompilerAbsentIsError) {
+  vfs::Filesystem rootfs;  // no gcc installed
+  oci::ImageConfig config;
+  Container c(std::move(rootfs), config, nullptr);
+  EXPECT_FALSE(c.run_shell("gcc -c x.cc").ok());
+}
+
+TEST(ContainerTest, NonStubCompilerIsError) {
+  Container c = make_container();
+  ASSERT_TRUE(c.rootfs().write_file("/usr/bin/gcc", "garbage binary", 0755).ok());
+  auto status = c.run_shell("gcc -c x.cc");
+  ASSERT_FALSE(status.ok());
+}
+
+TEST(ContainerTest, AptInstallResolvesDependencies) {
+  const pkg::Repository& repo = workloads::ubuntu_repo("amd64");
+  Container c = make_container(&repo);
+  ASSERT_TRUE(c.run_shell("apt-get update && apt-get install -y libblas").ok());
+  EXPECT_TRUE(c.rootfs().is_regular("/usr/lib/libblas.so"));
+  EXPECT_TRUE(c.rootfs().is_regular("/usr/lib/libm.so"));  // dependency
+  auto db = pkg::Database::load(c.rootfs());
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db.value().installed("libblas"));
+  EXPECT_TRUE(db.value().installed("libm"));
+}
+
+TEST(ContainerTest, AptInstallTwiceIsIdempotent) {
+  const pkg::Repository& repo = workloads::ubuntu_repo("amd64");
+  Container c = make_container(&repo);
+  ASSERT_TRUE(c.run_shell("apt-get install -y libm").ok());
+  EXPECT_TRUE(c.run_shell("apt-get install -y libm").ok());
+}
+
+TEST(ContainerTest, AptRemove) {
+  const pkg::Repository& repo = workloads::ubuntu_repo("amd64");
+  Container c = make_container(&repo);
+  ASSERT_TRUE(c.run_shell("apt-get install -y libm").ok());
+  ASSERT_TRUE(c.run_shell("apt-get remove -y libm").ok());
+  EXPECT_FALSE(c.rootfs().exists("/usr/lib/libm.so"));
+}
+
+TEST(ContainerTest, AptWithoutSourcesFails) {
+  Container c = make_container(nullptr);
+  EXPECT_FALSE(c.run_shell("apt-get install -y libm").ok());
+}
+
+TEST(ContainerTest, RecorderCapturesInvocations) {
+  Container c = make_container();
+  BuildRecord record;
+  c.attach_recorder(&record);
+  ASSERT_TRUE(c.rootfs().write_file(
+      "/work/x.cc", "// @comt-kernel name=k work=5\nvoid k();\n").ok());
+  c.set_cwd("/work");
+  ASSERT_TRUE(c.run_shell("gcc -O2 -c x.cc -o x.o && echo done").ok());
+  ASSERT_EQ(record.invocations.size(), 2u);
+  const ToolInvocation& compile = record.invocations[0];
+  EXPECT_EQ(compile.argv[0], "gcc");
+  EXPECT_EQ(compile.toolchain_id, "gnu-generic");
+  EXPECT_EQ(compile.cwd, "/work");
+  EXPECT_EQ(compile.outputs, std::vector<std::string>{"/work/x.o"});
+  EXPECT_TRUE(compile.succeeded);
+  // Point-in-time digests for inputs and outputs.
+  EXPECT_EQ(compile.digests.count("/work/x.cc"), 1u);
+  EXPECT_EQ(compile.digests.count("/work/x.o"), 1u);
+}
+
+TEST(ContainerTest, RecorderCapturesFailures) {
+  Container c = make_container();
+  BuildRecord record;
+  c.attach_recorder(&record);
+  EXPECT_FALSE(c.run_shell("gcc -c missing.cc").ok());
+  ASSERT_EQ(record.invocations.size(), 1u);
+  EXPECT_FALSE(record.invocations[0].succeeded);
+  EXPECT_FALSE(record.invocations[0].message.empty());
+}
+
+TEST(RecordTest, SerializeParseRoundTrip) {
+  BuildRecord record;
+  ToolInvocation invocation;
+  invocation.argv = {"gcc", "-c", "x.cc"};
+  invocation.resolved_program = "/usr/bin/gcc";
+  invocation.toolchain_id = "gnu-generic";
+  invocation.cwd = "/work";
+  invocation.env = {{"PATH", "/usr/bin"}, {"CFLAGS", "-O2"}};
+  invocation.inputs_read = {"/work/x.cc"};
+  invocation.outputs = {"/work/x.o"};
+  invocation.digests = {{"/work/x.cc", "aa"}, {"/work/x.o", "bb"}};
+  record.invocations.push_back(invocation);
+
+  auto back = BuildRecord::parse(record.serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().invocations.size(), 1u);
+  const ToolInvocation& t = back.value().invocations[0];
+  EXPECT_EQ(t.argv, invocation.argv);
+  EXPECT_EQ(t.toolchain_id, "gnu-generic");
+  EXPECT_EQ(t.env.at("CFLAGS"), "-O2");
+  EXPECT_EQ(t.digests.at("/work/x.o"), "bb");
+}
+
+TEST(RecordTest, RejectsMalformed) {
+  EXPECT_FALSE(BuildRecord::parse("not json").ok());
+  EXPECT_FALSE(BuildRecord::parse("{}").ok());
+  EXPECT_FALSE(BuildRecord::parse(R"({"invocations":[{"argv":[]}]})").ok());
+}
+
+// ---- ImageBuilder -------------------------------------------------------------
+
+TEST(BuilderTest, MultiStageBuildWithCopyFrom) {
+  oci::Layout layout;
+  ASSERT_TRUE(workloads::install_user_images(layout, "amd64").ok());
+  ImageBuilder builder(layout);
+  builder.set_apt_source(&workloads::ubuntu_repo("amd64"));
+
+  const char* text = R"(FROM comt/env:amd64 AS build
+ARG CFLAGS=-O2
+WORKDIR /work
+COPY src /work/src
+RUN gcc $CFLAGS -c src/k.cc -o k.o
+RUN gcc k.o -o app
+FROM comt/base:amd64 AS dist
+WORKDIR /app
+COPY --from=build /work/app /app/tool
+ENTRYPOINT ["/app/tool"]
+)";
+  auto file = dockerfile::parse(text);
+  ASSERT_TRUE(file.ok());
+  vfs::Filesystem context;
+  ASSERT_TRUE(context.write_file(
+      "/src/k.cc", "// @comt-kernel name=k work=5\nvoid k();\n").ok());
+
+  BuildRecord record;
+  auto image = builder.build(file.value(), context, "tool:latest", "", &record);
+  ASSERT_TRUE(image.ok()) << image.error().to_string();
+  EXPECT_EQ(image.value().config.config.entrypoint, std::vector<std::string>{"/app/tool"});
+  EXPECT_EQ(image.value().config.config.working_dir, "/app");
+
+  auto rootfs = layout.flatten(image.value());
+  ASSERT_TRUE(rootfs.ok());
+  EXPECT_TRUE(toolchain::is_image_blob(rootfs.value().read_file("/app/tool").value()));
+  // The build stage's sources never reach the dist image (multi-stage point).
+  EXPECT_FALSE(rootfs.value().exists("/work/src/k.cc"));
+
+  // Recording happened (comt/env carries the hijack label), including the
+  // dist stage's COPY movement.
+  EXPECT_GE(record.invocations.size(), 3u);
+  bool saw_copy = false;
+  for (const ToolInvocation& invocation : record.invocations) {
+    saw_copy |= invocation.argv[0] == std::string(kCopyPseudoTool);
+  }
+  EXPECT_TRUE(saw_copy);
+}
+
+TEST(BuilderTest, BuildArgsOverrideDefaults) {
+  oci::Layout layout;
+  ASSERT_TRUE(workloads::install_user_images(layout, "amd64").ok());
+  ImageBuilder builder(layout);
+  builder.set_apt_source(&workloads::ubuntu_repo("amd64"));
+  builder.set_build_args({{"CFLAGS", "-O3"}});
+
+  const char* text = R"(FROM comt/env:amd64 AS build
+ARG CFLAGS=-O2
+WORKDIR /w
+COPY src /w/src
+RUN gcc $CFLAGS -c src/k.cc -o k.o
+)";
+  auto file = dockerfile::parse(text);
+  ASSERT_TRUE(file.ok());
+  vfs::Filesystem context;
+  ASSERT_TRUE(context.write_file(
+      "/src/k.cc", "// @comt-kernel name=k work=5\nvoid k();\n").ok());
+  auto image = builder.build(file.value(), context, "x");
+  ASSERT_TRUE(image.ok()) << image.error().to_string();
+  auto rootfs = layout.flatten(image.value());
+  auto object = toolchain::parse_object(rootfs.value().read_file("/w/k.o").value());
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object.value().codegen.opt_level, 3);
+}
+
+TEST(BuilderTest, TargetStageStopsEarly) {
+  oci::Layout layout;
+  ASSERT_TRUE(workloads::install_user_images(layout, "amd64").ok());
+  ImageBuilder builder(layout);
+  const char* text = "FROM comt/base:amd64 AS first\nRUN touch /first\n"
+                     "FROM comt/base:amd64 AS second\nRUN touch /second\n";
+  auto file = dockerfile::parse(text);
+  ASSERT_TRUE(file.ok());
+  auto image = builder.build(file.value(), vfs::Filesystem{}, "partial", "first");
+  ASSERT_TRUE(image.ok());
+  auto rootfs = layout.flatten(image.value());
+  EXPECT_TRUE(rootfs.value().exists("/first"));
+  EXPECT_FALSE(rootfs.value().exists("/second"));
+  EXPECT_FALSE(builder.build(file.value(), vfs::Filesystem{}, "x", "nope").ok());
+}
+
+TEST(BuilderTest, FailingRunAbortsWithLineNumber) {
+  oci::Layout layout;
+  ASSERT_TRUE(workloads::install_user_images(layout, "amd64").ok());
+  ImageBuilder builder(layout);
+  auto file = dockerfile::parse("FROM comt/base:amd64\nRUN definitely-not-a-tool\n");
+  ASSERT_TRUE(file.ok());
+  auto image = builder.build(file.value(), vfs::Filesystem{}, "x");
+  ASSERT_FALSE(image.ok());
+  EXPECT_NE(image.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(BuilderTest, CopyMissingSourceFails) {
+  oci::Layout layout;
+  ASSERT_TRUE(workloads::install_user_images(layout, "amd64").ok());
+  ImageBuilder builder(layout);
+  auto file = dockerfile::parse("FROM comt/base:amd64\nCOPY ghost /x\n");
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(builder.build(file.value(), vfs::Filesystem{}, "x").ok());
+}
+
+TEST(BuilderTest, UnknownBaseImageFails) {
+  oci::Layout layout;
+  ImageBuilder builder(layout);
+  auto file = dockerfile::parse("FROM nowhere:latest\nRUN true\n");
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(builder.build(file.value(), vfs::Filesystem{}, "x").ok());
+}
+
+TEST(BuilderTest, CommitAddsExactlyOneLayer) {
+  oci::Layout layout;
+  ASSERT_TRUE(workloads::install_user_images(layout, "amd64").ok());
+  ImageBuilder builder(layout);
+  auto base = layout.find_image("comt/base:amd64");
+  ASSERT_TRUE(base.ok());
+  auto container = builder.container_from("comt/base:amd64");
+  ASSERT_TRUE(container.ok());
+  ASSERT_TRUE(container.value().run_shell("touch /new-file").ok());
+  auto committed = builder.commit(container.value(), base.value(), "test step", "derived");
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value().manifest.layers.size(),
+            base.value().manifest.layers.size() + 1);
+  EXPECT_EQ(committed.value().config.history.back(), "test step");
+}
+
+}  // namespace
+}  // namespace comt::buildexec

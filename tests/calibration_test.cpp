@@ -1,0 +1,96 @@
+// Calibration regression guard: pins the evaluation's headline aggregates to
+// the ranges EXPERIMENTS.md documents, so model or corpus edits that silently
+// break the paper-shape reproduction fail loudly here rather than being
+// discovered in a bench printout.
+#include <gtest/gtest.h>
+
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+namespace comt {
+namespace {
+
+struct FleetNumbers {
+  double mean_improvement = 0;  // native vs original, percent
+  double native_avg = 0;
+  std::map<std::string, workloads::SchemeTimes> rows;
+};
+
+FleetNumbers measure(const sysmodel::SystemProfile& system) {
+  FleetNumbers numbers;
+  workloads::Evaluation world(system);
+  double sum_improvement = 0, sum_native = 0;
+  int count = 0;
+  for (const workloads::AppSpec& app : workloads::corpus()) {
+    auto prepared = world.prepare(app);
+    EXPECT_TRUE(prepared.ok()) << app.name;
+    if (!prepared.ok()) continue;
+    for (const workloads::WorkloadInput& input : app.inputs) {
+      auto times = world.run_schemes(app, prepared.value(), input, system.nodes);
+      EXPECT_TRUE(times.ok()) << input.display_name(app.name);
+      if (!times.ok()) continue;
+      sum_improvement +=
+          (times.value().original / times.value().native - 1.0) * 100.0;
+      sum_native += times.value().native;
+      numbers.rows[input.display_name(app.name)] = times.value();
+      ++count;
+    }
+  }
+  numbers.mean_improvement = sum_improvement / count;
+  numbers.native_avg = sum_native / count;
+  return numbers;
+}
+
+TEST(CalibrationTest, X86FleetAggregates) {
+  FleetNumbers x86 = measure(sysmodel::SystemProfile::x86_cluster());
+  // Paper: +96.3 % mean improvement, 21.35 s native average.
+  EXPECT_GT(x86.mean_improvement, 80.0);
+  EXPECT_LT(x86.mean_improvement, 115.0);
+  EXPECT_GT(x86.native_avg, 15.0);
+  EXPECT_LT(x86.native_avg, 28.0);
+  // hpccg is the lone native regression (paper §5.2).
+  EXPECT_LT(x86.rows.at("hpccg").original, x86.rows.at("hpccg").native);
+  int regressions = 0;
+  for (const auto& [name, times] : x86.rows) {
+    regressions += times.native > times.original;
+  }
+  EXPECT_EQ(regressions, 1);
+  // The large applications show the biggest wins (paper: lammps, openmx).
+  double eam_gain = x86.rows.at("lammps.eam").original / x86.rows.at("lammps.eam").native;
+  EXPECT_GT(eam_gain, 2.5);  // paper callout: up to +253 %
+  // Fig. 10 winners/losers.
+  const auto& pt13 = x86.rows.at("openmx.pt13");
+  EXPECT_LT(pt13.optimized, pt13.adapted * 0.85);
+  const auto& chain = x86.rows.at("lammps.chain");
+  EXPECT_GT(chain.optimized, chain.adapted * 1.05);
+}
+
+TEST(CalibrationTest, Aarch64FleetAggregates) {
+  FleetNumbers arm = measure(sysmodel::SystemProfile::aarch64_cluster());
+  // Paper: +66.5 % mean improvement, 67.0 s native average.
+  EXPECT_GT(arm.mean_improvement, 60.0);
+  EXPECT_LT(arm.mean_improvement, 125.0);
+  EXPECT_GT(arm.native_avg, 50.0);
+  EXPECT_LT(arm.native_avg, 85.0);
+  // lulesh collapses without the fabric plugin (paper: +231 %).
+  double lulesh_gain = arm.rows.at("lulesh").original / arm.rows.at("lulesh").native;
+  EXPECT_GT(lulesh_gain, 2.8);
+  EXPECT_LT(lulesh_gain, 4.0);
+  // Its communication explanation: the x86 ratio is far smaller.
+  FleetNumbers x86 = measure(sysmodel::SystemProfile::x86_cluster());
+  double x86_gain = x86.rows.at("lulesh").original / x86.rows.at("lulesh").native;
+  EXPECT_LT(x86_gain, 1.5);
+  // Fig. 10b's lj gain.
+  const auto& lj = arm.rows.at("lammps.lj");
+  EXPECT_LT(lj.optimized, lj.adapted * 0.9);
+}
+
+TEST(CalibrationTest, AdaptedMatchesNativeEverywhere) {
+  FleetNumbers x86 = measure(sysmodel::SystemProfile::x86_cluster());
+  for (const auto& [name, times] : x86.rows) {
+    EXPECT_NEAR(times.adapted / times.native, 1.0, 0.02) << name;
+  }
+}
+
+}  // namespace
+}  // namespace comt

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+
+namespace comt::core {
+namespace {
+
+BuildGraph sample_graph() {
+  BuildGraph graph;
+  GraphNode source;
+  source.kind = NodeKind::source;
+  source.path = "/work/src/main.cc";
+  source.content_digest = "d-main";
+  int source_id = graph.add_node(std::move(source));
+
+  GraphNode header;
+  header.kind = NodeKind::source;
+  header.path = "/work/src/common.h";
+  header.content_digest = "d-header";
+  int header_id = graph.add_node(std::move(header));
+
+  GraphNode object;
+  object.kind = NodeKind::object;
+  object.path = "/work/main.o";
+  object.content_digest = "d-object";
+  object.deps = {source_id, header_id};
+  auto command = toolchain::parse_command(
+      std::vector<std::string>{"gcc", "-O2", "-c", "src/main.cc", "-o", "main.o"});
+  EXPECT_TRUE(command.ok());
+  object.compile = command.value();
+  object.toolchain_id = "gnu-generic";
+  object.cwd = "/work";
+  int object_id = graph.add_node(std::move(object));
+
+  GraphNode exe;
+  exe.kind = NodeKind::executable;
+  exe.path = "/work/app";
+  exe.content_digest = "d-exe";
+  exe.deps = {object_id};
+  auto link = toolchain::parse_command(
+      std::vector<std::string>{"gcc", "main.o", "-o", "app", "-lm"});
+  EXPECT_TRUE(link.ok());
+  exe.compile = link.value();
+  exe.toolchain_id = "gnu-generic";
+  exe.cwd = "/work";
+  graph.add_node(std::move(exe));
+  return graph;
+}
+
+TEST(BuildGraphTest, Lookups) {
+  BuildGraph graph = sample_graph();
+  EXPECT_EQ(graph.size(), 4u);
+  EXPECT_EQ(graph.find_by_path("/work/main.o"), 2);
+  EXPECT_EQ(graph.find_by_path("/ghost"), -1);
+  EXPECT_EQ(graph.find_by_digest("d-exe"), 3);
+  EXPECT_EQ(graph.find_by_digest(""), -1);
+  EXPECT_EQ(graph.find_by_digest("unknown"), -1);
+}
+
+TEST(BuildGraphTest, LatestPathWins) {
+  BuildGraph graph = sample_graph();
+  GraphNode overwrite;
+  overwrite.kind = NodeKind::object;
+  overwrite.path = "/work/main.o";  // recompiled later in the build
+  overwrite.content_digest = "d-object-v2";
+  graph.add_node(std::move(overwrite));
+  EXPECT_EQ(graph.find_by_path("/work/main.o"), 4);
+}
+
+TEST(BuildGraphTest, TopologicalOrderValid) {
+  BuildGraph graph = sample_graph();
+  auto order = graph.topological_order();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> position(graph.size());
+  for (std::size_t i = 0; i < order.value().size(); ++i) {
+    position[static_cast<std::size_t>(order.value()[i])] = static_cast<int>(i);
+  }
+  for (const GraphNode& node : graph.nodes()) {
+    for (int dep : node.deps) {
+      EXPECT_LT(position[static_cast<std::size_t>(dep)],
+                position[static_cast<std::size_t>(node.id)]);
+    }
+  }
+}
+
+TEST(BuildGraphTest, RootsAndClosure) {
+  BuildGraph graph = sample_graph();
+  EXPECT_EQ(graph.roots(), std::vector<int>{3});
+  EXPECT_EQ(graph.closure(3), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(graph.closure(2), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(graph.closure(0), std::vector<int>{0});
+}
+
+TEST(BuildGraphTest, LeafDetection) {
+  BuildGraph graph = sample_graph();
+  EXPECT_TRUE(graph.node(0).is_leaf());
+  EXPECT_FALSE(graph.node(2).is_leaf());
+}
+
+TEST(BuildGraphTest, JsonRoundTrip) {
+  BuildGraph graph = sample_graph();
+  auto back = BuildGraph::from_json(graph.to_json());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const GraphNode& a = graph.node(static_cast<int>(i));
+    const GraphNode& b = back.value().node(static_cast<int>(i));
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.content_digest, b.content_digest);
+    EXPECT_EQ(a.deps, b.deps);
+    EXPECT_EQ(a.compile.has_value(), b.compile.has_value());
+    if (a.compile.has_value()) {
+      EXPECT_EQ(*a.compile, *b.compile);
+    }
+    EXPECT_EQ(a.toolchain_id, b.toolchain_id);
+    EXPECT_EQ(a.cwd, b.cwd);
+  }
+}
+
+TEST(BuildGraphTest, FromJsonRejectsBadIds) {
+  json::Object node;
+  node.emplace_back("id", json::Value(5));  // non-contiguous
+  node.emplace_back("kind", json::Value("source"));
+  json::Object doc;
+  doc.emplace_back("nodes", json::Value(json::Array{json::Value(std::move(node))}));
+  EXPECT_FALSE(BuildGraph::from_json(json::Value(std::move(doc))).ok());
+}
+
+TEST(BuildGraphTest, DotExportMentionsEveryNode) {
+  BuildGraph graph = sample_graph();
+  std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("/work/app"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
+}
+
+TEST(NodeKindTest, NamesRoundTrip) {
+  for (NodeKind kind : {NodeKind::source, NodeKind::object, NodeKind::archive,
+                        NodeKind::shared_lib, NodeKind::executable, NodeKind::data}) {
+    auto back = node_kind_from_name(node_kind_name(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(node_kind_from_name("bogus").ok());
+}
+
+TEST(ImageModelTest, JsonRoundTrip) {
+  ImageModel model;
+  model.image_tag = "app.dist";
+  model.architecture = "amd64";
+  model.entrypoint = {"/app/run"};
+  ImageFileEntry entry;
+  entry.path = "/app/run";
+  entry.origin = FileOrigin::build_process;
+  entry.digest = "0123456789abcdef0123456789abcdef";
+  entry.size = 1234;
+  entry.build_node = 3;
+  model.files.push_back(entry);
+  ImageFileEntry lib;
+  lib.path = "/usr/lib/libm.so";
+  lib.origin = FileOrigin::package_manager;
+  lib.owner_package = "libm";
+  model.files.push_back(lib);
+  model.runtime_packages.push_back({"libm", "1.0", "generic"});
+
+  auto back = ImageModel::from_json(model.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().image_tag, "app.dist");
+  ASSERT_EQ(back.value().files.size(), 2u);
+  EXPECT_EQ(back.value().files[0].origin, FileOrigin::build_process);
+  EXPECT_EQ(back.value().files[0].build_node, 3);
+  // Digests are truncated to 16 chars in serialized form (cache compactness).
+  EXPECT_EQ(back.value().files[0].digest, "0123456789abcdef");
+  EXPECT_EQ(back.value().files[1].owner_package, "libm");
+  ASSERT_EQ(back.value().runtime_packages.size(), 1u);
+  EXPECT_EQ(back.value().runtime_packages[0].variant, "generic");
+  EXPECT_EQ(back.value().entrypoint, std::vector<std::string>{"/app/run"});
+}
+
+TEST(ImageModelTest, OriginHistogram) {
+  ImageModel model;
+  for (FileOrigin origin : {FileOrigin::base_image, FileOrigin::base_image,
+                            FileOrigin::build_process, FileOrigin::unknown}) {
+    ImageFileEntry entry;
+    entry.origin = origin;
+    model.files.push_back(entry);
+  }
+  auto histogram = model.origin_histogram();
+  EXPECT_EQ(histogram[FileOrigin::base_image], 2u);
+  EXPECT_EQ(histogram[FileOrigin::build_process], 1u);
+  EXPECT_EQ(histogram[FileOrigin::unknown], 1u);
+  EXPECT_EQ(histogram.count(FileOrigin::data), 0u);
+}
+
+}  // namespace
+}  // namespace comt::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "oci/disk.hpp"
+
+namespace comt::oci {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+/// Unique temp directory per test, removed on teardown.
+class DiskLayoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("comt-disk-") + info->name());
+    stdfs::remove_all(dir_);
+  }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+  stdfs::path dir_;
+};
+
+Layout sample_layout() {
+  Layout layout;
+  vfs::Filesystem base;
+  EXPECT_TRUE(base.write_file("/etc/release", "v1\n").ok());
+  vfs::Filesystem app;
+  EXPECT_TRUE(app.write_file("/app/run", "#!payload\n", 0755).ok());
+  ImageConfig config;
+  config.config.entrypoint = {"/app/run"};
+  auto image = layout.create_image(config, {base, app}, "demo:latest");
+  EXPECT_TRUE(image.ok());
+  auto second = layout.create_image(config, {base}, "base:latest");
+  EXPECT_TRUE(second.ok());
+  return layout;
+}
+
+TEST_F(DiskLayoutTest, SaveProducesOciLayoutStructure) {
+  Layout layout = sample_layout();
+  ASSERT_TRUE(save_layout(layout, dir()).ok());
+  EXPECT_TRUE(stdfs::exists(dir_ / "oci-layout"));
+  EXPECT_TRUE(stdfs::exists(dir_ / "index.json"));
+  EXPECT_TRUE(stdfs::is_directory(dir_ / "blobs" / "sha256"));
+  // Every blob file's name matches its content digest.
+  for (const auto& entry : stdfs::directory_iterator(dir_ / "blobs" / "sha256")) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(Digest::of_blob(content).value, "sha256:" + entry.path().filename().string());
+  }
+}
+
+TEST_F(DiskLayoutTest, RoundTripPreservesImages) {
+  Layout layout = sample_layout();
+  ASSERT_TRUE(save_layout(layout, dir()).ok());
+  auto loaded = load_layout(dir());
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().tags(), layout.tags());
+  auto original = layout.find_image("demo:latest");
+  auto restored = loaded.value().find_image("demo:latest");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().manifest_digest, original.value().manifest_digest);
+  auto rootfs = loaded.value().flatten(restored.value());
+  ASSERT_TRUE(rootfs.ok());
+  EXPECT_EQ(rootfs.value().read_file("/app/run").value(), "#!payload\n");
+  EXPECT_TRUE(loaded.value().fsck().ok());
+}
+
+TEST_F(DiskLayoutTest, SharedBlobsWrittenOnce) {
+  Layout layout = sample_layout();  // both images share the base layer
+  ASSERT_TRUE(save_layout(layout, dir()).ok());
+  std::size_t files = 0;
+  for (const auto& entry : stdfs::directory_iterator(dir_ / "blobs" / "sha256")) {
+    (void)entry;
+    ++files;
+  }
+  // 2 manifests + 2 configs (diff_ids differ) + 2 distinct layers = 6 blobs;
+  // the shared base layer appears exactly once.
+  EXPECT_EQ(files, 6u);
+}
+
+TEST_F(DiskLayoutTest, LoadMissingDirectoryFails) {
+  auto result = load_layout(dir() + "-nonexistent");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+}
+
+TEST_F(DiskLayoutTest, TamperedBlobDetectedOnLoad) {
+  Layout layout = sample_layout();
+  ASSERT_TRUE(save_layout(layout, dir()).ok());
+  // Corrupt the largest blob (a layer).
+  stdfs::path victim;
+  std::uintmax_t largest = 0;
+  for (const auto& entry : stdfs::directory_iterator(dir_ / "blobs" / "sha256")) {
+    if (entry.file_size() > largest) {
+      largest = entry.file_size();
+      victim = entry.path();
+    }
+  }
+  std::ofstream(victim, std::ios::binary) << "tampered";
+  auto result = load_layout(dir());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::corrupt);
+}
+
+}  // namespace
+}  // namespace comt::oci

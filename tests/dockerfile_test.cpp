@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "dockerfile/dockerfile.hpp"
+
+namespace comt::dockerfile {
+namespace {
+
+constexpr const char* kTwoStage = R"(# build LULESH, two-stage (Fig. 2)
+FROM ubuntu:24.04 AS build
+ARG CFLAGS=-O2
+WORKDIR /work
+RUN apt-get update && \
+    apt-get install -y build-essential
+COPY src /work/src
+RUN gcc $CFLAGS -c src/main.c -o main.o
+RUN gcc main.o -o lulesh -lm
+
+FROM ubuntu:24.04 AS dist
+RUN apt-get install -y libm
+WORKDIR /app
+COPY --from=build /work/lulesh /app/lulesh
+ENTRYPOINT ["/app/lulesh"]
+CMD ["-s", "30"]
+)";
+
+Dockerfile must_parse(std::string_view text) {
+  auto result = parse(text);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return result.ok() ? result.value() : Dockerfile{};
+}
+
+TEST(DockerfileTest, TwoStageStructure) {
+  Dockerfile file = must_parse(kTwoStage);
+  ASSERT_EQ(file.stages.size(), 2u);
+  EXPECT_EQ(file.stages[0].base_image, "ubuntu:24.04");
+  EXPECT_EQ(file.stages[0].name, "build");
+  EXPECT_EQ(file.stages[1].name, "dist");
+  EXPECT_EQ(file.stage_index("build"), 0);
+  EXPECT_EQ(file.stage_index("dist"), 1);
+  EXPECT_EQ(file.stage_index("0"), 0);  // numeric reference
+  EXPECT_EQ(file.stage_index("nope"), -1);
+}
+
+TEST(DockerfileTest, ContinuationsJoined) {
+  Dockerfile file = must_parse(kTwoStage);
+  const Instruction& run = file.stages[0].instructions[2];
+  ASSERT_EQ(run.kind, InstructionKind::run);
+  EXPECT_EQ(run.text, "apt-get update && apt-get install -y build-essential");
+}
+
+TEST(DockerfileTest, CopyFromStage) {
+  Dockerfile file = must_parse(kTwoStage);
+  const auto& dist = file.stages[1].instructions;
+  const Instruction* copy = nullptr;
+  for (const Instruction& instruction : dist) {
+    if (instruction.kind == InstructionKind::copy) copy = &instruction;
+  }
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->stage, "build");
+  EXPECT_EQ(copy->args, (std::vector<std::string>{"/work/lulesh", "/app/lulesh"}));
+}
+
+TEST(DockerfileTest, ExecFormEntrypoint) {
+  Dockerfile file = must_parse(kTwoStage);
+  const auto& dist = file.stages[1].instructions;
+  EXPECT_EQ(dist[3].kind, InstructionKind::entrypoint);
+  EXPECT_EQ(dist[3].args, std::vector<std::string>{"/app/lulesh"});
+  EXPECT_EQ(dist[4].kind, InstructionKind::cmd);
+  EXPECT_EQ(dist[4].args, (std::vector<std::string>{"-s", "30"}));
+}
+
+TEST(DockerfileTest, ShellFormEntrypoint) {
+  Dockerfile file = must_parse("FROM x\nENTRYPOINT ./run --flag\n");
+  EXPECT_EQ(file.stages[0].instructions[0].args,
+            (std::vector<std::string>{"/bin/sh", "-c", "./run --flag"}));
+}
+
+TEST(DockerfileTest, EnvArgLabelForms) {
+  Dockerfile file = must_parse(
+      "FROM x\nENV KEY=value\nENV SPACED legacy form\nARG NAME\nARG WITH=default\n"
+      "LABEL maintainer=\"someone\"\n");
+  const auto& ins = file.stages[0].instructions;
+  EXPECT_EQ(ins[0].args, (std::vector<std::string>{"KEY", "value"}));
+  EXPECT_EQ(ins[1].args, (std::vector<std::string>{"SPACED", "legacy form"}));
+  EXPECT_EQ(ins[2].args, (std::vector<std::string>{"NAME", ""}));
+  EXPECT_EQ(ins[3].args, (std::vector<std::string>{"WITH", "default"}));
+  EXPECT_EQ(ins[4].args, (std::vector<std::string>{"maintainer", "someone"}));
+}
+
+TEST(DockerfileTest, Errors) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("RUN before-from\n").ok());
+  EXPECT_FALSE(parse("FROM\n").ok());
+  EXPECT_FALSE(parse("FROM x\nCOPY onlyone\n").ok());
+  EXPECT_FALSE(parse("FROM x\nWORKDIR\n").ok());
+  EXPECT_FALSE(parse("FROM x\nBOGUS arg\n").ok());
+  EXPECT_FALSE(parse("FROM img AS\n").ok());
+}
+
+TEST(DockerfileTest, CommentsAndBlanksIgnored) {
+  Dockerfile file = must_parse("# header\n\nFROM x\n# mid comment\nRUN ls\n\n");
+  ASSERT_EQ(file.stages.size(), 1u);
+  EXPECT_EQ(file.stages[0].instructions.size(), 1u);
+}
+
+TEST(DockerfileTest, ToTextReparses) {
+  Dockerfile file = must_parse(kTwoStage);
+  Dockerfile again = must_parse(to_text(file));
+  ASSERT_EQ(again.stages.size(), 2u);
+  EXPECT_EQ(again.stages[0].instructions.size(), file.stages[0].instructions.size());
+  EXPECT_EQ(again.stages[1].instructions.size(), file.stages[1].instructions.size());
+}
+
+// ---- line_diff (Fig. 11's measurement) --------------------------------------
+
+TEST(LineDiffTest, IdenticalIsZero) {
+  auto [added, deleted] = line_diff("a\nb\nc\n", "a\nb\nc\n");
+  EXPECT_EQ(added, 0);
+  EXPECT_EQ(deleted, 0);
+}
+
+TEST(LineDiffTest, PureAddition) {
+  auto [added, deleted] = line_diff("a\nb\n", "a\nx\nb\ny\n");
+  EXPECT_EQ(added, 2);
+  EXPECT_EQ(deleted, 0);
+}
+
+TEST(LineDiffTest, PureDeletion) {
+  auto [added, deleted] = line_diff("a\nb\nc\n", "b\n");
+  EXPECT_EQ(added, 0);
+  EXPECT_EQ(deleted, 2);
+}
+
+TEST(LineDiffTest, ChangedLineCountsBoth) {
+  auto [added, deleted] = line_diff("keep\nold\nkeep2\n", "keep\nnew\nkeep2\n");
+  EXPECT_EQ(added, 1);
+  EXPECT_EQ(deleted, 1);
+}
+
+TEST(LineDiffTest, CompletelyDifferent) {
+  auto [added, deleted] = line_diff("a\nb\n", "c\nd\ne\n");
+  EXPECT_EQ(added, 3);
+  EXPECT_EQ(deleted, 2);
+}
+
+TEST(LineDiffTest, EmptyInputs) {
+  auto [added, deleted] = line_diff("", "x\n");
+  EXPECT_EQ(added, 1);
+  EXPECT_EQ(deleted, 0);
+  auto [a2, d2] = line_diff("", "");
+  EXPECT_EQ(a2, 0);
+  EXPECT_EQ(d2, 0);
+}
+
+}  // namespace
+}  // namespace comt::dockerfile

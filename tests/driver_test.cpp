@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "toolchain/driver.hpp"
+#include "toolchain/source.hpp"
+
+namespace comt::toolchain {
+namespace {
+
+const Toolchain& gnu() {
+  const Toolchain* tc = ToolchainRegistry::builtin().find("gnu-generic");
+  EXPECT_NE(tc, nullptr);
+  return *tc;
+}
+
+const Toolchain& vendor_x86() {
+  const Toolchain* tc = ToolchainRegistry::builtin().find("vendor-x86");
+  EXPECT_NE(tc, nullptr);
+  return *tc;
+}
+
+std::string kernel_source(std::string kernel_name, std::string extra = "") {
+  SourceGenSpec spec;
+  spec.unit_name = kernel_name + "_unit";
+  KernelTrait kernel;
+  kernel.name = std::move(kernel_name);
+  kernel.work = 100;
+  kernel.frac_vec = 0.4;
+  spec.kernels = {kernel};
+  spec.filler_lines = 5;
+  return generate_source(spec) + extra;
+}
+
+vfs::Filesystem workspace() {
+  vfs::Filesystem fs;
+  EXPECT_TRUE(fs.write_file("/work/a.cc", kernel_source("alpha")).ok());
+  EXPECT_TRUE(fs.write_file("/work/b.cc", kernel_source("beta")).ok());
+  return fs;
+}
+
+CompileCommand parse(std::vector<std::string> argv) {
+  auto result = parse_command(argv);
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+TEST(DriverTest, CompileProducesObject) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "-O2", "-c", "a.cc", "-o", "a.o"}), fs, "/work");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().outputs, std::vector<std::string>{"/work/a.o"});
+  auto object = parse_object(fs.read_file("/work/a.o").value());
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object.value().codegen.opt_level, 2);
+  EXPECT_EQ(object.value().codegen.toolchain_id, "gnu-generic");
+  EXPECT_EQ(object.value().codegen.march, "x86-64");
+  ASSERT_EQ(object.value().kernels.size(), 1u);
+  EXPECT_EQ(object.value().kernels[0].name, "alpha");
+}
+
+TEST(DriverTest, DefaultObjectName) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "-c", "a.cc"}), fs, "/work");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(fs.is_regular("/work/a.o"));
+}
+
+TEST(DriverTest, MissingInputFails) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  EXPECT_FALSE(driver.run(parse({"gcc", "-c", "ghost.cc"}), fs, "/work").ok());
+  EXPECT_FALSE(driver.run(parse({"gcc"}), fs, "/work").ok());
+}
+
+TEST(DriverTest, MissingIncludeFails) {
+  vfs::Filesystem fs;
+  ASSERT_TRUE(fs.write_file("/work/x.cc", "#include \"nope.h\"\n").ok());
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "-c", "x.cc"}), fs, "/work");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("nope.h"), std::string::npos);
+}
+
+TEST(DriverTest, IncludeResolvedViaMinusI) {
+  vfs::Filesystem fs;
+  ASSERT_TRUE(fs.write_file("/work/x.cc", "#include \"dep.h\"\n").ok());
+  ASSERT_TRUE(fs.write_file("/work/third_party/dep.h", "// dep\n").ok());
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "-Ithird_party", "-c", "x.cc"}), fs, "/work");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  // The header is an input of this compilation (graph provenance needs it).
+  bool saw_header = false;
+  for (const std::string& input : result.value().inputs_read) {
+    saw_header |= input == "/work/third_party/dep.h";
+  }
+  EXPECT_TRUE(saw_header);
+}
+
+TEST(DriverTest, LinkObjectsIntoExecutable) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(driver.run(parse({"gcc", "-c", "a.cc"}), fs, "/work").ok());
+  ASSERT_TRUE(driver.run(parse({"gcc", "-c", "b.cc"}), fs, "/work").ok());
+  auto result = driver.run(parse({"gcc", "a.o", "b.o", "-o", "app"}), fs, "/work");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  auto image = parse_image(fs.read_file("/work/app").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_FALSE(image.value().is_shared);
+  EXPECT_EQ(image.value().target_arch, "amd64");
+  EXPECT_EQ(image.value().objects.size(), 2u);
+  EXPECT_TRUE(fs.lookup("/work/app")->executable());
+}
+
+TEST(DriverTest, CompileAndLinkInOneStep) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "-O2", "a.cc", "b.cc", "-o", "app"}), fs, "/work");
+  ASSERT_TRUE(result.ok());
+  auto image = parse_image(fs.read_file("/work/app").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().objects.size(), 2u);
+}
+
+TEST(DriverTest, UndefinedLibraryReferenceFails) {
+  vfs::Filesystem fs;
+  ASSERT_TRUE(fs.write_file(
+      "/work/x.cc", "// @comt-kernel name=k work=1 lib=blas:0.5\nvoid k();\n").ok());
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "x.cc", "-o", "app"}), fs, "/work");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("undefined reference"), std::string::npos);
+}
+
+TEST(DriverTest, SharedLibrarySatisfiesReference) {
+  vfs::Filesystem fs;
+  ASSERT_TRUE(fs.write_file(
+      "/work/x.cc", "// @comt-kernel name=k work=1 lib=blas:0.5\nvoid k();\n").ok());
+  ASSERT_TRUE(fs.write_file("/usr/lib/libblas.so",
+                            make_library_blob("libblas.so", "amd64", {{"libspeed", 1.0}}),
+                            0755).ok());
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "x.cc", "-lblas", "-o", "app"}), fs, "/work");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  auto image = parse_image(fs.read_file("/work/app").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().needed, std::vector<std::string>{"blas"});
+}
+
+TEST(DriverTest, CannotFindLibraryFails) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "a.cc", "-lexotic", "-o", "app"}), fs, "/work");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("cannot find -lexotic"), std::string::npos);
+}
+
+TEST(DriverTest, MpiKernelNeedsMpiLibrary) {
+  vfs::Filesystem fs;
+  ASSERT_TRUE(fs.write_file(
+      "/work/x.cc", "// @comt-kernel name=k work=1 comm=0.2\nvoid k();\n").ok());
+  Driver driver(gnu(), "amd64");
+  auto without = driver.run(parse({"gcc", "x.cc", "-o", "app"}), fs, "/work");
+  ASSERT_FALSE(without.ok());
+  EXPECT_NE(without.error().message.find("MPI_Init"), std::string::npos);
+
+  ASSERT_TRUE(fs.write_file("/usr/lib/libmpi.so",
+                            make_library_blob("libmpi.so", "amd64", {{"fabric_tcp", 1.0}}),
+                            0755).ok());
+  EXPECT_TRUE(driver.run(parse({"gcc", "x.cc", "-lmpi", "-o", "app"}), fs, "/work").ok());
+}
+
+TEST(DriverTest, StaticArchiveMembersAreMerged) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(driver.run(parse({"gcc", "-c", "a.cc"}), fs, "/work").ok());
+  ASSERT_TRUE(driver.run(parse({"gcc", "-c", "b.cc"}), fs, "/work").ok());
+  std::vector<std::string> ar_argv = {"ar", "rcs", "libcore.a", "a.o", "b.o"};
+  ASSERT_TRUE(run_ar(ar_argv, fs, "/work").ok());
+  ASSERT_TRUE(fs.write_file("/work/main.cc", kernel_source("main_k")).ok());
+  auto result = driver.run(parse({"gcc", "main.cc", "libcore.a", "-o", "app"}), fs, "/work");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  auto image = parse_image(fs.read_file("/work/app").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().objects.size(), 3u);
+}
+
+TEST(DriverTest, ArReplacesSameNamedMembers) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(driver.run(parse({"gcc", "-c", "a.cc"}), fs, "/work").ok());
+  std::vector<std::string> ar_argv = {"ar", "rcs", "lib.a", "a.o"};
+  ASSERT_TRUE(run_ar(ar_argv, fs, "/work").ok());
+  ASSERT_TRUE(run_ar(ar_argv, fs, "/work").ok());  // idempotent, not duplicating
+  auto members = parse_archive(fs.read_file("/work/lib.a").value());
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members.value().size(), 1u);
+}
+
+TEST(DriverTest, ArList) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(driver.run(parse({"gcc", "-c", "a.cc"}), fs, "/work").ok());
+  std::vector<std::string> make_argv = {"ar", "rcs", "lib.a", "a.o"};
+  ASSERT_TRUE(run_ar(make_argv, fs, "/work").ok());
+  std::vector<std::string> list_argv = {"ar", "t", "lib.a"};
+  auto listing = run_ar(list_argv, fs, "/work");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_NE(listing.value().log.find("a.cc"), std::string::npos);
+}
+
+TEST(DriverTest, LtoMarksIrAndApplies) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(driver.run(parse({"gcc", "-O2", "-flto", "-c", "a.cc"}), fs, "/work").ok());
+  auto object = parse_object(fs.read_file("/work/a.o").value());
+  ASSERT_TRUE(object.ok());
+  EXPECT_TRUE(object.value().codegen.lto_ir);
+  EXPECT_FALSE(object.value().codegen.lto_applied);
+
+  ASSERT_TRUE(driver.run(parse({"gcc", "-flto", "a.o", "-o", "app"}), fs, "/work").ok());
+  auto image = parse_image(fs.read_file("/work/app").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_TRUE(image.value().codegen.lto_applied);
+  EXPECT_TRUE(image.value().objects[0].codegen.lto_applied);
+}
+
+TEST(DriverTest, LtoWithoutIrObjectsDoesNotApply) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(driver.run(parse({"gcc", "-c", "a.cc"}), fs, "/work").ok());
+  ASSERT_TRUE(driver.run(parse({"gcc", "-flto", "a.o", "-o", "app"}), fs, "/work").ok());
+  auto image = parse_image(fs.read_file("/work/app").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_FALSE(image.value().codegen.lto_applied);
+}
+
+TEST(DriverTest, ProfileGenerateAndUse) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(
+      driver.run(parse({"gcc", "-fprofile-generate", "-c", "a.cc"}), fs, "/work").ok());
+  auto instrumented = parse_object(fs.read_file("/work/a.o").value());
+  ASSERT_TRUE(instrumented.ok());
+  EXPECT_TRUE(instrumented.value().codegen.pgo_instrumented);
+
+  // Feed a matching profile back.
+  ASSERT_TRUE(fs.write_file(std::string("/work/") + std::string(kDefaultProfileName),
+                            serialize_profile({{"alpha", 0.9}})).ok());
+  ASSERT_TRUE(driver.run(parse({"gcc", "-fprofile-use", "-c", "a.cc"}), fs, "/work").ok());
+  auto trained = parse_object(fs.read_file("/work/a.o").value());
+  ASSERT_TRUE(trained.ok());
+  EXPECT_FALSE(trained.value().codegen.pgo_instrumented);
+  EXPECT_GT(trained.value().codegen.pgo_quality, 0.5);
+}
+
+TEST(DriverTest, ProfileUseMissingDataWarnsButSucceeds) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  auto result = driver.run(parse({"gcc", "-fprofile-use", "-c", "a.cc"}), fs, "/work");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().log.find("profile data not found"), std::string::npos);
+  auto object = parse_object(fs.read_file("/work/a.o").value());
+  EXPECT_DOUBLE_EQ(object.value().codegen.pgo_quality, 0.0);
+}
+
+TEST(DriverTest, UnsupportedMarchFails) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  // The distro compiler does not reach x86-64-v4.
+  auto result = driver.run(parse({"gcc", "-march=x86-64-v4", "-c", "a.cc"}), fs, "/work");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("x86-64-v4"), std::string::npos);
+}
+
+TEST(DriverTest, MarchNativeResolvesToWidest) {
+  vfs::Filesystem fs = workspace();
+  Driver generic_driver(gnu(), "amd64");
+  ASSERT_TRUE(generic_driver.run(parse({"gcc", "-march=native", "-c", "a.cc"}),
+                                 fs, "/work").ok());
+  auto generic_object = parse_object(fs.read_file("/work/a.o").value());
+  EXPECT_EQ(generic_object.value().codegen.march, "x86-64-v3");
+
+  Driver vendor_driver(vendor_x86(), "amd64");
+  ASSERT_TRUE(vendor_driver.run(parse({"gcc", "-march=native", "-c", "a.cc"}),
+                                fs, "/work").ok());
+  auto vendor_object = parse_object(fs.read_file("/work/a.o").value());
+  EXPECT_EQ(vendor_object.value().codegen.march, "x86-64-v4");
+  EXPECT_EQ(vendor_object.value().codegen.vector_lanes, 8);
+}
+
+TEST(DriverTest, CrossArchMachineFlagRejected) {
+  vfs::Filesystem fs = workspace();
+  const Toolchain* arm = ToolchainRegistry::builtin().find("vendor-aarch64");
+  ASSERT_NE(arm, nullptr);
+  Driver driver(*arm, "arm64");
+  auto result = driver.run(parse({"gcc", "-msse4.2", "-c", "a.cc"}), fs, "/work");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("-msse4.2"), std::string::npos);
+}
+
+TEST(DriverTest, ArchSpecificToolchainRefusesOtherArch) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(vendor_x86(), "arm64");
+  auto result = driver.run(parse({"gcc", "-c", "a.cc"}), fs, "/work");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("exec format"), std::string::npos);
+}
+
+TEST(DriverTest, IsaLockedSourceFailsCross) {
+  vfs::Filesystem fs;
+  SourceGenSpec spec;
+  spec.unit_name = "tuned";
+  spec.isa_specific = {"x86_64"};
+  spec.filler_lines = 3;
+  ASSERT_TRUE(fs.write_file("/work/tuned.cc", generate_source(spec)).ok());
+  const Toolchain* arm = ToolchainRegistry::builtin().find("vendor-aarch64");
+  Driver driver(*arm, "arm64");
+  auto result = driver.run(parse({"gcc", "-c", "tuned.cc"}), fs, "/work");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("ISA-specific"), std::string::npos);
+  // Same source on its own ISA compiles fine.
+  Driver x86_driver(gnu(), "amd64");
+  EXPECT_TRUE(x86_driver.run(parse({"gcc", "-c", "tuned.cc"}), fs, "/work").ok());
+}
+
+TEST(DriverTest, IsaLockViaIncludedHeader) {
+  vfs::Filesystem fs;
+  ASSERT_TRUE(fs.write_file("/work/arch_tune.h", "// @comt-isa x86_64\n").ok());
+  ASSERT_TRUE(fs.write_file("/work/x.cc", "#include \"arch_tune.h\"\n").ok());
+  const Toolchain* arm = ToolchainRegistry::builtin().find("vendor-aarch64");
+  Driver driver(*arm, "arm64");
+  EXPECT_FALSE(driver.run(parse({"gcc", "-c", "x.cc"}), fs, "/work").ok());
+}
+
+TEST(DriverTest, SharedLibraryOutput) {
+  vfs::Filesystem fs = workspace();
+  Driver driver(gnu(), "amd64");
+  ASSERT_TRUE(driver.run(parse({"gcc", "-fPIC", "-c", "a.cc"}), fs, "/work").ok());
+  ASSERT_TRUE(
+      driver.run(parse({"gcc", "-shared", "a.o", "-o", "libalpha.so"}), fs, "/work").ok());
+  auto image = parse_image(fs.read_file("/work/libalpha.so").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_TRUE(image.value().is_shared);
+  EXPECT_EQ(image.value().soname, "libalpha.so");
+}
+
+}  // namespace
+}  // namespace comt::toolchain

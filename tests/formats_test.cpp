@@ -1,0 +1,150 @@
+// The generality extensions of §4.6 and the AD: the rpm database dialect and
+// OCI -> Charliecloud/SIF image conversion.
+#include <gtest/gtest.h>
+
+#include "oci/convert.hpp"
+#include "pkg/pkg.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+namespace comt {
+namespace {
+
+pkg::Package sample_package(std::string name) {
+  pkg::Package package;
+  package.name = std::move(name);
+  package.version = "2.0";
+  package.architecture = "amd64";
+  package.depends = {"glibc"};
+  package.attributes["libspeed"] = "2.5";
+  package.files.push_back({"/usr/lib64/lib" + package.name + ".so", "payload", 0755});
+  return package;
+}
+
+// ---- rpm dialect --------------------------------------------------------------
+
+TEST(RpmDialectTest, PersistAndReload) {
+  vfs::Filesystem fs;
+  pkg::Database db;
+  db.set_format(pkg::PackageFormat::rpm);
+  ASSERT_TRUE(db.install(fs, sample_package("openblas")).ok());
+  // rpm layout, not dpkg.
+  EXPECT_TRUE(fs.is_regular(pkg::kRpmStatusPath));
+  EXPECT_FALSE(fs.exists(pkg::kStatusPath));
+  EXPECT_TRUE(fs.is_regular("/var/lib/rpm/files/openblas.list"));
+  // rpm field names in the stanza.
+  std::string status = fs.read_file(pkg::kRpmStatusPath).value();
+  EXPECT_NE(status.find("Name: openblas"), std::string::npos);
+  EXPECT_NE(status.find("Requires: glibc"), std::string::npos);
+  EXPECT_NE(status.find("Arch: amd64"), std::string::npos);
+  EXPECT_EQ(status.find("Package:"), std::string::npos);
+
+  auto reloaded = pkg::Database::load(fs);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().format(), pkg::PackageFormat::rpm);
+  const pkg::InstalledPackage* record = reloaded.value().find("openblas");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->version, "2.0");
+  EXPECT_EQ(record->depends, std::vector<std::string>{"glibc"});
+  EXPECT_EQ(record->attributes.at("libspeed"), "2.5");
+  EXPECT_EQ(reloaded.value().owner_of("/usr/lib64/libopenblas.so"), "openblas");
+}
+
+TEST(RpmDialectTest, RemoveCleansRpmRecords) {
+  vfs::Filesystem fs;
+  pkg::Database db;
+  db.set_format(pkg::PackageFormat::rpm);
+  ASSERT_TRUE(db.install(fs, sample_package("fftw")).ok());
+  ASSERT_TRUE(db.remove(fs, "fftw").ok());
+  EXPECT_FALSE(fs.exists("/var/lib/rpm/files/fftw.list"));
+  auto reloaded = pkg::Database::load(fs);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().size(), 0u);
+}
+
+TEST(RpmDialectTest, DebImagesStayDeb) {
+  vfs::Filesystem fs;
+  pkg::Database db;  // default deb
+  ASSERT_TRUE(db.install(fs, sample_package("libm")).ok());
+  auto reloaded = pkg::Database::load(fs);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().format(), pkg::PackageFormat::deb);
+}
+
+TEST(RpmDialectTest, DebTakesPrecedenceWhenBothPresent) {
+  // A pathological image carrying both databases resolves to dpkg (the
+  // Debian-derived base images our prototype targets, §4.6).
+  vfs::Filesystem fs;
+  ASSERT_TRUE(fs.write_file(pkg::kStatusPath, "Package: a\nVersion: 1\n\n").ok());
+  ASSERT_TRUE(fs.write_file(pkg::kRpmStatusPath, "Name: b\nVersion: 1\n\n").ok());
+  auto db = pkg::Database::load(fs);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().format(), pkg::PackageFormat::deb);
+  EXPECT_TRUE(db.value().installed("a"));
+  EXPECT_FALSE(db.value().installed("b"));
+}
+
+// ---- OCI -> flat / SIF -----------------------------------------------------------
+
+class ConversionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<workloads::Evaluation>(
+        sysmodel::SystemProfile::x86_cluster());
+    app_ = workloads::find_app("hpccg");
+    auto prepared = world_->prepare(*app_);
+    ASSERT_TRUE(prepared.ok());
+    auto image = world_->layout().find_image(prepared.value().dist_tag);
+    ASSERT_TRUE(image.ok());
+    image_ = std::make_unique<oci::Image>(image.value());
+  }
+  std::unique_ptr<workloads::Evaluation> world_;
+  const workloads::AppSpec* app_ = nullptr;
+  std::unique_ptr<oci::Image> image_;
+};
+
+TEST_F(ConversionFixture, FlatImageCarriesChMetadata) {
+  auto flat = oci::to_flat_image(world_->layout(), *image_);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_TRUE(flat.value().rootfs.is_regular("/ch/environment"));
+  std::string environment = flat.value().rootfs.read_file("/ch/environment").value();
+  EXPECT_NE(environment.find("PATH="), std::string::npos);
+  EXPECT_EQ(flat.value().entrypoint, std::vector<std::string>{app_->binary_path()});
+  EXPECT_EQ(flat.value().architecture, "amd64");
+  // The application is in the flat tree and still runnable.
+  sysmodel::ExecutionEngine engine(sysmodel::SystemProfile::x86_cluster());
+  auto report = engine.run(flat.value().rootfs, app_->binary_path(),
+                           app_->inputs.front().run_request(16));
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+}
+
+TEST_F(ConversionFixture, SifRoundTrip) {
+  auto blob = oci::to_sif(world_->layout(), *image_);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value().rfind(std::string(oci::kSifMagic), 0), 0u);
+
+  auto back = oci::from_sif(blob.value());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value().architecture, "amd64");
+  EXPECT_EQ(back.value().entrypoint, std::vector<std::string>{app_->binary_path()});
+  // Runnable straight from the unpacked SIF.
+  sysmodel::ExecutionEngine engine(sysmodel::SystemProfile::x86_cluster());
+  auto report = engine.run(back.value().rootfs, app_->binary_path(),
+                           app_->inputs.front().run_request(16));
+  ASSERT_TRUE(report.ok());
+  // Same runtime behavior as running the OCI image directly.
+  auto oci_rootfs = world_->layout().flatten(*image_);
+  auto direct = engine.run(oci_rootfs.value(), app_->binary_path(),
+                           app_->inputs.front().run_request(16));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(report.value().seconds, direct.value().seconds);
+}
+
+TEST_F(ConversionFixture, SifRejectsGarbage) {
+  EXPECT_FALSE(oci::from_sif("ELF...").ok());
+  EXPECT_FALSE(oci::from_sif(std::string(oci::kSifMagic)).ok());
+  EXPECT_FALSE(oci::from_sif(std::string(oci::kSifMagic) + "\n{bad json\n").ok());
+}
+
+}  // namespace
+}  // namespace comt

@@ -1,0 +1,131 @@
+// The evaluation harness itself: the Evaluation facade, native-build script
+// generation, and the measurement invariants the benches rely on.
+#include <gtest/gtest.h>
+
+#include "dockerfile/dockerfile.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "toolchain/artifact.hpp"
+#include "workloads/harness.hpp"
+
+namespace comt::workloads {
+namespace {
+
+TEST(HarnessTest, PrepareTagsAndSizes) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = find_app("hpccg");
+  auto prepared = world.prepare(*app);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared.value().dist_tag, "hpccg.dist");
+  EXPECT_EQ(prepared.value().extended_tag, "hpccg.dist+coM");
+  EXPECT_GT(prepared.value().image_bytes, 0u);
+  EXPECT_GT(prepared.value().cache_layer_bytes, 0u);
+  EXPECT_LT(prepared.value().cache_layer_bytes, prepared.value().image_bytes);
+  // Both tags resolvable; stage images are kept for coMtainer-build.
+  EXPECT_TRUE(world.layout().find_image("hpccg.dist").ok());
+  EXPECT_TRUE(world.layout().find_image("hpccg.dist+coM").ok());
+  EXPECT_TRUE(world.layout().find_image("hpccg.dist.stage0").ok());
+}
+
+TEST(HarnessTest, PrepareIsRepeatable) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = find_app("minimd");
+  auto first = world.prepare(*app);
+  auto second = world.prepare(*app);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().image_bytes, second.value().image_bytes);
+  EXPECT_EQ(first.value().cache_layer_bytes, second.value().cache_layer_bytes);
+}
+
+TEST(HarnessTest, RunImageErrors) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = find_app("minimd");
+  auto missing = world.run_image("no-such:tag", app->inputs.front(), 1);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, Errc::not_found);
+  // The base image has no entrypoint.
+  auto no_entry = world.run_image(ubuntu_tag("amd64"), app->inputs.front(), 1);
+  ASSERT_FALSE(no_entry.ok());
+  EXPECT_EQ(no_entry.error().code, Errc::invalid_argument);
+}
+
+TEST(HarnessTest, NativeDockerfileUsesSystemStack) {
+  const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
+  const AppSpec* app = find_app("comd");
+  std::string text = dockerfile_native(*app, system);
+  EXPECT_NE(text.find("FROM " + sysenv_tag(system)), std::string::npos);
+  EXPECT_NE(text.find("FROM " + rebase_tag(system)), std::string::npos);
+  EXPECT_NE(text.find("/opt/system/bin"), std::string::npos);
+  EXPECT_EQ(text.find("comt/env"), std::string::npos);
+  auto parsed = dockerfile::parse(text);
+  ASSERT_TRUE(parsed.ok());
+}
+
+TEST(HarnessTest, NativeBinaryUsesVendorToolchainAndNativeMarch) {
+  const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
+  Evaluation world(system);
+  const AppSpec* app = find_app("comd");
+  auto tag = world.build_native(*app);
+  ASSERT_TRUE(tag.ok()) << tag.error().to_string();
+  auto image = world.layout().find_image(tag.value());
+  ASSERT_TRUE(image.ok());
+  auto rootfs = world.layout().flatten(image.value());
+  auto exe = toolchain::parse_image(rootfs.value().read_file(app->binary_path()).value());
+  ASSERT_TRUE(exe.ok());
+  EXPECT_EQ(exe.value().codegen.toolchain_id, "vendor-x86");
+  EXPECT_EQ(exe.value().codegen.opt_level, 3);
+  EXPECT_EQ(exe.value().codegen.march, "x86-64-v4");  // -march=native resolved
+  EXPECT_EQ(exe.value().codegen.vector_lanes, 8);
+}
+
+TEST(HarnessTest, SchemesOrderingForATypicalApp) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = find_app("comd");
+  auto prepared = world.prepare(*app);
+  ASSERT_TRUE(prepared.ok());
+  auto times = world.run_schemes(*app, prepared.value(), app->inputs.front(), 16);
+  ASSERT_TRUE(times.ok());
+  // comd is vec/LTO/PGO-friendly: strict improvement down the ladder.
+  EXPECT_GT(times.value().original, times.value().adapted);
+  EXPECT_GT(times.value().adapted, times.value().optimized);
+  EXPECT_DOUBLE_EQ(times.value().adapted, times.value().native);
+}
+
+TEST(HarnessTest, MoreNodesReduceComputeTime) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = find_app("minimd");
+  auto prepared = world.prepare(*app);
+  ASSERT_TRUE(prepared.ok());
+  auto one = world.run_image(prepared.value().dist_tag, app->inputs.front(), 1);
+  auto sixteen = world.run_image(prepared.value().dist_tag, app->inputs.front(), 16);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(sixteen.ok());
+  EXPECT_GT(one.value(), sixteen.value());
+}
+
+TEST(HarnessTest, MakeDrivenAppsProduceSameModelShape) {
+  // miniaero builds through make; its graph must look exactly like a
+  // hand-written-RUN app's: sources, objects, executable, full provenance.
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = find_app("miniaero");
+  ASSERT_TRUE(app->use_make);
+  auto prepared = world.prepare(*app);
+  ASSERT_TRUE(prepared.ok()) << prepared.error().to_string();
+  auto extended = world.layout().find_image(prepared.value().extended_tag);
+  auto rootfs = world.layout().flatten(extended.value());
+  auto bundle = core::load_cache(rootfs.value());
+  ASSERT_TRUE(bundle.ok());
+  int objects = 0, executables = 0;
+  for (const core::GraphNode& node : bundle.value().models.graph.nodes()) {
+    objects += node.kind == core::NodeKind::object;
+    executables += node.kind == core::NodeKind::executable;
+  }
+  EXPECT_EQ(objects, static_cast<int>(app->units.size()));
+  EXPECT_EQ(executables, 1);
+  // And the whole rebuild pipeline works on the make-recorded graph.
+  auto adapted = world.adapt(*app, prepared.value());
+  ASSERT_TRUE(adapted.ok()) << adapted.error().to_string();
+}
+
+}  // namespace
+}  // namespace comt::workloads

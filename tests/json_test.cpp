@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace comt::json {
+namespace {
+
+Value must_parse(std::string_view text) {
+  auto result = parse(text);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return result.ok() ? result.value() : Value();
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(must_parse("null").is_null());
+  EXPECT_EQ(must_parse("true").as_bool(), true);
+  EXPECT_EQ(must_parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(must_parse("3.25").as_number(), 3.25);
+  EXPECT_EQ(must_parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(must_parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(must_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, Escapes) {
+  EXPECT_EQ(must_parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(must_parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(must_parse(R"("中")").as_string(), "\xe4\xb8\xad");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  Value doc = must_parse(R"({"a": [1, 2, {"b": null}], "c": {"d": true}})");
+  ASSERT_TRUE(doc.is_object());
+  const Value* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].find("b")->is_null());
+  EXPECT_TRUE(doc.find("c")->get_bool("d"));
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(must_parse("[]").as_array().empty());
+  EXPECT_TRUE(must_parse("{}").as_object().empty());
+  EXPECT_TRUE(must_parse(" [ ] ").as_array().empty());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  Value doc = must_parse("  {  \"k\"  :  [ 1 ,\n 2 ]  }  ");
+  EXPECT_EQ(doc.find("k")->as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1,").ok());
+  EXPECT_FALSE(parse("{\"a\"}").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("truefalse").ok());
+  EXPECT_FALSE(parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(parse("nul").ok());
+  EXPECT_FALSE(parse("\"bad \\q escape\"").ok());
+}
+
+TEST(JsonSerializeTest, Compact) {
+  Object object;
+  object.emplace_back("name", Value("x"));
+  object.emplace_back("n", Value(3));
+  object.emplace_back("list", Value(Array{Value(1), Value(true), Value(nullptr)}));
+  EXPECT_EQ(serialize(Value(std::move(object))),
+            R"({"name":"x","n":3,"list":[1,true,null]})");
+}
+
+TEST(JsonSerializeTest, IntegersHaveNoDecimalPoint) {
+  EXPECT_EQ(serialize(Value(42)), "42");
+  EXPECT_EQ(serialize(Value(-7)), "-7");
+  EXPECT_EQ(serialize(Value(0)), "0");
+  EXPECT_EQ(serialize(Value(2.5)), "2.5");
+}
+
+TEST(JsonSerializeTest, EscapesControlCharacters) {
+  EXPECT_EQ(serialize(Value(std::string("a\nb\x01"))), "\"a\\nb\\u0001\"");
+}
+
+TEST(JsonSerializeTest, PrettyIsReparseable) {
+  Value doc = must_parse(R"({"a":[1,{"b":[]}],"c":"text"})");
+  Value again = must_parse(serialize_pretty(doc));
+  EXPECT_EQ(doc, again);
+}
+
+TEST(JsonObjectTest, SetReplacesAndAppends) {
+  Value object{Object{}};
+  object.set("a", Value(1));
+  object.set("b", Value(2));
+  object.set("a", Value(3));
+  EXPECT_EQ(object.as_object().size(), 2u);
+  EXPECT_EQ(object.get_int("a"), 3);
+  // Insertion order preserved.
+  EXPECT_EQ(object.as_object()[0].first, "a");
+}
+
+TEST(JsonObjectTest, GettersWithDefaults) {
+  Value doc = must_parse(R"({"s":"v","n":5,"b":true})");
+  EXPECT_EQ(doc.get_string("s"), "v");
+  EXPECT_EQ(doc.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(doc.get_int("n"), 5);
+  EXPECT_EQ(doc.get_int("missing", -1), -1);
+  EXPECT_TRUE(doc.get_bool("b"));
+  EXPECT_TRUE(doc.get_bool("missing", true));
+  // Type mismatches fall back too.
+  EXPECT_EQ(doc.get_string("n", "dflt"), "dflt");
+}
+
+// Round-trip property over representative documents.
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseSerializeParse) {
+  Value first = must_parse(GetParam());
+  std::string text = serialize(first);
+  Value second = must_parse(text);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(serialize(second), text);  // serialization is a fixed point
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "0", "-1.5", "\"\"", "\"plain\"", "[]", "{}",
+        R"([1,[2,[3,[4]]]])",
+        R"({"deep":{"deeper":{"deepest":[null,true,"x"]}}})",
+        R"({"digest":"sha256:abc","size":1234,"annotations":{"k":"v"}})",
+        R"(["","\\","\"","\n"])",
+        R"({"mixed":[1,"two",false,null,{"k":[]}]})"));
+
+}  // namespace
+}  // namespace comt::json

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "buildexec/container.hpp"
+#include "buildexec/make.hpp"
+#include "toolchain/artifact.hpp"
+#include "toolchain/toolchains.hpp"
+
+namespace comt::buildexec {
+namespace {
+
+constexpr const char* kMakefile =
+    "CC = gcc\n"
+    "CFLAGS = -O2\n"
+    "CFLAGS ?= -O0\n"  // conditional: must not override
+    "OBJS = main.o util.o\n"
+    "\n"
+    "# default goal\n"
+    "app: $(OBJS)\n"
+    "\t$(CC) $(CFLAGS) $^ -o $@\n"
+    "\n"
+    "main.o: src/main.cc src/common.h\n"
+    "\t$(CC) $(CFLAGS) -c $< -o $@\n"
+    "\n"
+    "util.o: src/util.cc src/common.h\n"
+    "\t$(CC) $(CFLAGS) -c $< -o $@\n"
+    "\n"
+    "clean:\n"
+    "\trm -f app main.o util.o\n";
+
+Container make_container() {
+  vfs::Filesystem rootfs;
+  EXPECT_TRUE(rootfs.write_file("/usr/bin/gcc",
+                                toolchain::make_toolchain_stub("gnu-generic"), 0755).ok());
+  EXPECT_TRUE(rootfs.write_file("/work/Makefile", kMakefile).ok());
+  EXPECT_TRUE(rootfs.write_file(
+      "/work/src/main.cc",
+      "#include \"common.h\"\n// @comt-kernel name=m work=5\nvoid m();\n").ok());
+  EXPECT_TRUE(rootfs.write_file(
+      "/work/src/util.cc",
+      "#include \"common.h\"\n// @comt-kernel name=u work=3\nvoid u();\n").ok());
+  EXPECT_TRUE(rootfs.write_file("/work/src/common.h", "// decls\n").ok());
+  oci::ImageConfig config;
+  config.architecture = "amd64";
+  Container container(std::move(rootfs), config, nullptr);
+  container.set_cwd("/work");
+  return container;
+}
+
+TEST(MakefileParseTest, VariablesRulesAndDefaultGoal) {
+  auto makefile = parse_makefile(kMakefile);
+  ASSERT_TRUE(makefile.ok()) << makefile.error().to_string();
+  EXPECT_EQ(makefile.value().variables.at("CC"), "gcc");
+  EXPECT_EQ(makefile.value().variables.at("CFLAGS"), "-O2");  // ?= did not clobber
+  EXPECT_EQ(makefile.value().default_goal, "app");
+  ASSERT_EQ(makefile.value().rules.size(), 4u);
+  const MakeRule* app = makefile.value().find_rule("app");
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->prerequisites, std::vector<std::string>{"$(OBJS)"});
+  EXPECT_EQ(makefile.value().find_rule("ghost"), nullptr);
+}
+
+TEST(MakefileParseTest, Errors) {
+  EXPECT_FALSE(parse_makefile("\techo recipe with no rule\n").ok());
+  EXPECT_FALSE(parse_makefile("just a line\n").ok());
+  EXPECT_FALSE(parse_makefile("").ok());
+  EXPECT_FALSE(parse_makefile("a b: c\n\ttouch x\n").ok());  // malformed target
+}
+
+TEST(RunMakeTest, BuildsDefaultGoalTransitively) {
+  Container container = make_container();
+  auto targets = run_make(container, {"make"});
+  ASSERT_TRUE(targets.ok()) << targets.error().to_string();
+  EXPECT_EQ(targets.value(), (std::vector<std::string>{"main.o", "util.o", "app"}));
+  auto blob = container.rootfs().read_file("/work/app");
+  ASSERT_TRUE(blob.ok());
+  auto image = toolchain::parse_image(blob.value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().objects.size(), 2u);
+  EXPECT_EQ(image.value().objects[0].codegen.opt_level, 2);
+}
+
+TEST(RunMakeTest, OverridesBeatFileVariables) {
+  Container container = make_container();
+  auto targets = run_make(container, {"make", "CFLAGS=-O3 -flto", "app"});
+  ASSERT_TRUE(targets.ok()) << targets.error().to_string();
+  auto image = toolchain::parse_image(container.rootfs().read_file("/work/app").value());
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().objects[0].codegen.opt_level, 3);
+  EXPECT_TRUE(image.value().codegen.lto_applied);
+}
+
+TEST(RunMakeTest, UpToDateTargetsAreSkipped) {
+  Container container = make_container();
+  ASSERT_TRUE(run_make(container, {"make"}).ok());
+  auto again = run_make(container, {"make"});
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().empty());  // nothing to do
+}
+
+TEST(RunMakeTest, ExplicitGoalAndClean) {
+  Container container = make_container();
+  auto only_util = run_make(container, {"make", "util.o"});
+  ASSERT_TRUE(only_util.ok());
+  EXPECT_EQ(only_util.value(), std::vector<std::string>{"util.o"});
+  EXPECT_FALSE(container.rootfs().exists("/work/app"));
+
+  ASSERT_TRUE(run_make(container, {"make"}).ok());
+  ASSERT_TRUE(container.rootfs().exists("/work/app"));
+  // `clean` has no file named after it, so its recipe always runs.
+  auto clean = run_make(container, {"make", "clean"});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(container.rootfs().exists("/work/app"));
+  EXPECT_FALSE(container.rootfs().exists("/work/main.o"));
+}
+
+TEST(RunMakeTest, MissingRuleAndMissingMakefile) {
+  Container container = make_container();
+  auto missing = run_make(container, {"make", "nonexistent-target"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().message.find("No rule to make target"), std::string::npos);
+
+  ASSERT_TRUE(container.rootfs().remove("/work/Makefile").ok());
+  EXPECT_FALSE(run_make(container, {"make"}).ok());
+}
+
+TEST(RunMakeTest, CircularDependencyDetected) {
+  Container container = make_container();
+  ASSERT_TRUE(container.rootfs().write_file(
+      "/work/Makefile", "a: b\n\ttouch a\nb: a\n\ttouch b\n").ok());
+  auto result = run_make(container, {"make"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("circular"), std::string::npos);
+}
+
+TEST(RunMakeTest, DashCChangesDirectory) {
+  Container container = make_container();
+  container.set_cwd("/");
+  auto targets = run_make(container, {"make", "-C", "work"});
+  ASSERT_TRUE(targets.ok()) << targets.error().to_string();
+  EXPECT_TRUE(container.rootfs().exists("/work/app"));
+  EXPECT_EQ(container.cwd(), "/");  // restored
+}
+
+TEST(RunMakeTest, RecipesAreRecordedIndividually) {
+  // The whole point: the hijacker sees through make.
+  Container container = make_container();
+  BuildRecord record;
+  container.attach_recorder(&record);
+  ASSERT_TRUE(container.run_shell("make").ok());
+  int compiler_invocations = 0;
+  bool saw_make = false;
+  for (const ToolInvocation& invocation : record.invocations) {
+    if (invocation.argv[0] == "gcc") ++compiler_invocations;
+    if (invocation.argv[0] == "make") saw_make = true;
+  }
+  EXPECT_EQ(compiler_invocations, 3);  // 2 compiles + 1 link
+  EXPECT_TRUE(saw_make);
+}
+
+TEST(RunMakeTest, FailingRecipeStops) {
+  Container container = make_container();
+  ASSERT_TRUE(container.rootfs().write_file(
+      "/work/Makefile", "app: main.o\n\tgcc main.o -o app\nmain.o: src/ghost.cc\n"
+                        "\tgcc -c src/ghost.cc -o main.o\n").ok());
+  auto result = run_make(container, {"make"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(container.rootfs().exists("/work/app"));
+}
+
+}  // namespace
+}  // namespace comt::buildexec

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "oci/oci.hpp"
+
+namespace comt::oci {
+namespace {
+
+vfs::Filesystem layer_tree(std::string_view marker) {
+  vfs::Filesystem fs;
+  EXPECT_TRUE(fs.write_file("/marker", std::string(marker)).ok());
+  EXPECT_TRUE(fs.write_file("/shared", "same in every layer").ok());
+  return fs;
+}
+
+ImageConfig sample_config() {
+  ImageConfig config;
+  config.architecture = "amd64";
+  config.config.env = {"PATH=/usr/bin", "LANG=C"};
+  config.config.entrypoint = {"/app/run"};
+  config.config.cmd = {"--default"};
+  config.config.working_dir = "/app";
+  config.config.labels["vendor"] = "comtainer";
+  return config;
+}
+
+TEST(DigestTest, MatchesSha256) {
+  Digest digest = Digest::of_blob("abc");
+  EXPECT_EQ(digest.value,
+            "sha256:ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(DescriptorTest, JsonRoundTrip) {
+  Descriptor descriptor;
+  descriptor.media_type = std::string(kMediaTypeLayer);
+  descriptor.digest = Digest::of_blob("x");
+  descriptor.size = 1;
+  descriptor.annotations["note"] = "hello";
+  auto back = Descriptor::from_json(descriptor.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().media_type, descriptor.media_type);
+  EXPECT_EQ(back.value().digest, descriptor.digest);
+  EXPECT_EQ(back.value().size, 1u);
+  EXPECT_EQ(back.value().annotations.at("note"), "hello");
+}
+
+TEST(DescriptorTest, MissingDigestRejected) {
+  json::Object object;
+  object.emplace_back("mediaType", json::Value("x"));
+  EXPECT_FALSE(Descriptor::from_json(json::Value(std::move(object))).ok());
+}
+
+TEST(ImageConfigTest, JsonRoundTrip) {
+  ImageConfig config = sample_config();
+  config.diff_ids = {Digest::of_blob("l1"), Digest::of_blob("l2")};
+  config.history = {"step one", "step two"};
+  auto back = ImageConfig::from_json(config.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().architecture, "amd64");
+  EXPECT_EQ(back.value().config.env, config.config.env);
+  EXPECT_EQ(back.value().config.entrypoint, config.config.entrypoint);
+  EXPECT_EQ(back.value().config.labels.at("vendor"), "comtainer");
+  EXPECT_EQ(back.value().diff_ids, config.diff_ids);
+  EXPECT_EQ(back.value().history, config.history);
+}
+
+TEST(LayoutTest, BlobStoreIsContentAddressed) {
+  Layout layout;
+  Descriptor a = layout.put_blob("hello", "text/plain");
+  Descriptor b = layout.put_blob("hello", "text/plain");
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(layout.blob_count(), 1u);
+  EXPECT_EQ(layout.get_blob(a.digest).value(), "hello");
+  EXPECT_FALSE(layout.get_blob(Digest{"sha256:0000"}).ok());
+}
+
+TEST(LayoutTest, CreateAndFindImage) {
+  Layout layout;
+  auto image = layout.create_image(sample_config(), {layer_tree("one")}, "app:v1");
+  ASSERT_TRUE(image.ok());
+  auto found = layout.find_image("app:v1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().manifest_digest, image.value().manifest_digest);
+  EXPECT_EQ(found.value().config.config.entrypoint,
+            std::vector<std::string>{"/app/run"});
+  EXPECT_FALSE(layout.find_image("missing:tag").ok());
+}
+
+TEST(LayoutTest, FlattenAppliesLayersInOrder) {
+  Layout layout;
+  vfs::Filesystem lower = layer_tree("lower");
+  vfs::Filesystem upper;
+  ASSERT_TRUE(upper.write_file("/marker", "upper").ok());
+  ASSERT_TRUE(upper.write_file("/.wh.shared", "").ok());
+  auto image = layout.create_image(sample_config(), {lower, upper}, "stacked");
+  ASSERT_TRUE(image.ok());
+  auto rootfs = layout.flatten(image.value());
+  ASSERT_TRUE(rootfs.ok());
+  EXPECT_EQ(rootfs.value().read_file("/marker").value(), "upper");
+  EXPECT_FALSE(rootfs.value().exists("/shared"));
+}
+
+TEST(LayoutTest, AppendLayerDerivesNewImage) {
+  Layout layout;
+  auto base = layout.create_image(sample_config(), {layer_tree("base")}, "app:v1");
+  ASSERT_TRUE(base.ok());
+  vfs::Filesystem extra;
+  ASSERT_TRUE(extra.write_file("/.coMtainer/cache/x", "cache data").ok());
+  auto extended = layout.append_layer(base.value(), extra, "coMtainer-build", "app:v1+coM");
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended.value().manifest.layers.size(), 2u);
+  EXPECT_EQ(extended.value().config.history.back(), "coMtainer-build");
+  // The original image is untouched (the paper's layering argument).
+  auto original = layout.find_image("app:v1");
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(original.value().manifest.layers.size(), 1u);
+  auto rootfs = layout.flatten(extended.value());
+  ASSERT_TRUE(rootfs.ok());
+  EXPECT_EQ(rootfs.value().read_file("/.coMtainer/cache/x").value(), "cache data");
+  EXPECT_EQ(rootfs.value().read_file("/marker").value(), "base");
+}
+
+TEST(LayoutTest, RetaggingReplacesIndexEntry) {
+  Layout layout;
+  auto v1 = layout.create_image(sample_config(), {layer_tree("one")}, "app:latest");
+  ASSERT_TRUE(v1.ok());
+  auto v2 = layout.create_image(sample_config(), {layer_tree("two")}, "app:latest");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(layout.tags(), std::vector<std::string>{"app:latest"});
+  auto found = layout.find_image("app:latest");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().manifest_digest, v2.value().manifest_digest);
+}
+
+TEST(LayoutTest, ManifestRequiresBlobsPresent) {
+  Layout layout;
+  Manifest manifest;
+  manifest.config.media_type = std::string(kMediaTypeConfig);
+  manifest.config.digest = Digest::of_blob("not stored");
+  auto result = layout.add_manifest(manifest, "broken");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+}
+
+TEST(LayoutTest, IndexJsonCarriesRefNames) {
+  Layout layout;
+  ASSERT_TRUE(layout.create_image(sample_config(), {layer_tree("a")}, "a:1").ok());
+  ASSERT_TRUE(layout.create_image(sample_config(), {layer_tree("b")}, "b:2").ok());
+  json::Value index = layout.index_json();
+  const json::Value* manifests = index.find("manifests");
+  ASSERT_NE(manifests, nullptr);
+  ASSERT_EQ(manifests->as_array().size(), 2u);
+  EXPECT_EQ(manifests->as_array()[0]
+                .find("annotations")
+                ->get_string(std::string(kRefNameAnnotation)),
+            "a:1");
+}
+
+TEST(LayoutTest, FsckDetectsHealthyStore) {
+  Layout layout;
+  ASSERT_TRUE(layout.create_image(sample_config(), {layer_tree("x")}, "x:1").ok());
+  EXPECT_TRUE(layout.fsck().ok());
+}
+
+TEST(LayoutTest, ManifestJsonRoundTrip) {
+  Layout layout;
+  auto image = layout.create_image(sample_config(), {layer_tree("m")}, "m:1");
+  ASSERT_TRUE(image.ok());
+  auto back = Manifest::from_json(image.value().manifest.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().config.digest, image.value().manifest.config.digest);
+  ASSERT_EQ(back.value().layers.size(), 1u);
+  EXPECT_EQ(back.value().layers[0].digest, image.value().manifest.layers[0].digest);
+}
+
+// The paper's §4.5 file-system simulator: flattening multiple layers with
+// deletes/opaque markers, parameterized over layer counts.
+class FlattenDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlattenDepth, LastWriterWins) {
+  Layout layout;
+  std::vector<vfs::Filesystem> layers;
+  for (int i = 0; i < GetParam(); ++i) {
+    vfs::Filesystem layer;
+    ASSERT_TRUE(layer.write_file("/generation", std::to_string(i)).ok());
+    ASSERT_TRUE(layer.write_file("/file" + std::to_string(i), "mine").ok());
+    layers.push_back(std::move(layer));
+  }
+  auto image = layout.create_image(sample_config(), layers, "depth");
+  ASSERT_TRUE(image.ok());
+  auto rootfs = layout.flatten(image.value());
+  ASSERT_TRUE(rootfs.ok());
+  EXPECT_EQ(rootfs.value().read_file("/generation").value(),
+            std::to_string(GetParam() - 1));
+  for (int i = 0; i < GetParam(); ++i) {
+    EXPECT_TRUE(rootfs.value().exists("/file" + std::to_string(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FlattenDepth, ::testing::Values(1, 2, 5, 16));
+
+}  // namespace
+}  // namespace comt::oci

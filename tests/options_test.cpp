@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "toolchain/options.hpp"
+
+namespace comt::toolchain {
+namespace {
+
+CompileCommand must_parse(std::vector<std::string> argv) {
+  auto result = parse_command(argv);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return result.ok() ? result.value() : CompileCommand{};
+}
+
+TEST(OptionTableTest, HasSubstantialCoverage) {
+  // The paper's compilation model is derived from the full GCC manual; the
+  // reproduction carries several hundred options across all classes.
+  EXPECT_GE(OptionTable::gcc().size(), 400u);
+}
+
+TEST(OptionTableTest, LookupKinds) {
+  const OptionTable& table = OptionTable::gcc();
+  ASSERT_NE(table.find("-o"), nullptr);
+  EXPECT_EQ(table.find("-o")->kind, OptionKind::separate);
+  ASSERT_NE(table.find("-ffast-math"), nullptr);
+  EXPECT_EQ(table.find("-ffast-math")->kind, OptionKind::negatable);
+  ASSERT_NE(table.find("-std"), nullptr);
+  EXPECT_EQ(table.find("-std")->kind, OptionKind::joined_eq);
+  EXPECT_EQ(table.find("-made-up-option"), nullptr);
+  ASSERT_NE(table.find_joined_prefix("-DNAME"), nullptr);
+  EXPECT_EQ(table.find_joined_prefix("-DNAME")->name, "-D");
+  // A bare joined option with no glued argument is not a prefix hit.
+  EXPECT_EQ(table.find_joined_prefix("-D"), nullptr);
+}
+
+TEST(ParseTest, AssembleMode) {
+  CompileCommand cmd = must_parse({"gcc", "-O2", "-c", "main.c", "-o", "main.o"});
+  EXPECT_EQ(cmd.mode, DriverMode::assemble);
+  EXPECT_EQ(cmd.opt_level, 2);
+  EXPECT_EQ(cmd.inputs, std::vector<std::string>{"main.c"});
+  EXPECT_EQ(cmd.output, "main.o");
+}
+
+TEST(ParseTest, LinkModeDefault) {
+  CompileCommand cmd = must_parse({"gcc", "a.o", "b.o", "-o", "prog", "-lm", "-lblas"});
+  EXPECT_EQ(cmd.mode, DriverMode::link);
+  EXPECT_EQ(cmd.inputs, (std::vector<std::string>{"a.o", "b.o"}));
+  EXPECT_EQ(cmd.libraries, (std::vector<std::string>{"m", "blas"}));
+}
+
+TEST(ParseTest, OptimizationLevels) {
+  EXPECT_EQ(must_parse({"gcc", "-O0", "x.c"}).opt_level, 0);
+  EXPECT_EQ(must_parse({"gcc", "-O", "x.c"}).opt_level, 1);
+  EXPECT_EQ(must_parse({"gcc", "-O1", "x.c"}).opt_level, 1);
+  EXPECT_EQ(must_parse({"gcc", "-O3", "x.c"}).opt_level, 3);
+  EXPECT_EQ(must_parse({"gcc", "-Ofast", "x.c"}).opt_level, 3);
+  CompileCommand size = must_parse({"gcc", "-Os", "x.c"});
+  EXPECT_EQ(size.opt_level, 2);
+  EXPECT_TRUE(size.size_opt);
+  EXPECT_FALSE(parse_command(std::vector<std::string>{"gcc", "-O9x", "x.c"}).ok());
+}
+
+TEST(ParseTest, MachineAndStandard) {
+  CompileCommand cmd = must_parse(
+      {"g++", "-std=c++20", "-march=x86-64-v3", "-mtune=native", "x.cc"});
+  EXPECT_EQ(cmd.std_version, "c++20");
+  EXPECT_EQ(cmd.march, "x86-64-v3");
+  EXPECT_EQ(cmd.mtune, "native");
+}
+
+TEST(ParseTest, LtoForms) {
+  EXPECT_TRUE(must_parse({"gcc", "-flto", "x.c"}).lto);
+  CompileCommand with_value = must_parse({"gcc", "-flto=auto", "x.c"});
+  EXPECT_TRUE(with_value.lto);
+  EXPECT_EQ(with_value.lto_value, "auto");
+  CompileCommand negated = must_parse({"gcc", "-flto", "-fno-lto", "x.c"});
+  EXPECT_FALSE(negated.lto);
+}
+
+TEST(ParseTest, ProfileForms) {
+  EXPECT_TRUE(must_parse({"gcc", "-fprofile-generate", "x.c"}).profile_generate);
+  EXPECT_EQ(must_parse({"gcc", "-fprofile-use", "x.c"}).profile_use, ".");
+  EXPECT_EQ(must_parse({"gcc", "-fprofile-use=prof.d", "x.c"}).profile_use, "prof.d");
+}
+
+TEST(ParseTest, PreprocessorPaths) {
+  CompileCommand cmd = must_parse({"gcc", "-Iinclude", "-I", "/usr/inc", "-DA=1",
+                                   "-DB", "-UC", "-c", "x.c"});
+  EXPECT_EQ(cmd.include_dirs, (std::vector<std::string>{"include", "/usr/inc"}));
+  EXPECT_EQ(cmd.defines, (std::vector<std::string>{"A=1", "B"}));
+  EXPECT_EQ(cmd.undefines, (std::vector<std::string>{"C"}));
+}
+
+TEST(ParseTest, LinkerPassthrough) {
+  CompileCommand cmd = must_parse(
+      {"gcc", "x.o", "-Wl,-rpath,/opt/lib", "-Xlinker", "--as-needed", "-o", "out"});
+  EXPECT_EQ(cmd.linker_args,
+            (std::vector<std::string>{"-rpath", "/opt/lib", "--as-needed"}));
+}
+
+TEST(ParseTest, NegatedGenericFlags) {
+  CompileCommand cmd = must_parse({"gcc", "-ffast-math", "-fno-strict-aliasing",
+                                   "-Wno-unused-variable", "-mno-avx2", "x.c"});
+  EXPECT_TRUE(cmd.flag_enabled("-ffast-math"));
+  bool saw_disabled_alias = false, saw_disabled_warn = false, saw_disabled_avx = false;
+  for (const GenericOption& option : cmd.generic) {
+    if (option.name == "-fstrict-aliasing") saw_disabled_alias = !option.enabled;
+    if (option.name == "-Wunused-variable") saw_disabled_warn = !option.enabled;
+    if (option.name == "-mavx2") saw_disabled_avx = !option.enabled;
+  }
+  EXPECT_TRUE(saw_disabled_alias);
+  EXPECT_TRUE(saw_disabled_warn);
+  EXPECT_TRUE(saw_disabled_avx);
+}
+
+TEST(ParseTest, LastFlagWins) {
+  CompileCommand cmd = must_parse({"gcc", "-ffast-math", "-fno-fast-math", "x.c"});
+  EXPECT_FALSE(cmd.flag_enabled("-ffast-math"));
+}
+
+TEST(ParseTest, SharedAndPic) {
+  CompileCommand cmd = must_parse({"gcc", "-shared", "-fPIC", "x.o", "-o", "libx.so"});
+  EXPECT_TRUE(cmd.shared);
+  EXPECT_TRUE(cmd.pic);
+  EXPECT_TRUE(must_parse({"gcc", "-static", "x.o"}).static_link);
+}
+
+TEST(ParseTest, UnknownDashFOptionsPreserved) {
+  CompileCommand cmd = must_parse({"gcc", "-fbrand-new-pass=3", "x.c"});
+  bool found = false;
+  for (const GenericOption& option : cmd.generic) {
+    if (option.name == "-fbrand-new-pass" && option.value == "3") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ParseTest, TrulyUnknownOptionsKeptVerbatim) {
+  CompileCommand cmd = must_parse({"gcc", "--weird-thing", "x.c"});
+  EXPECT_EQ(cmd.unrecognized, std::vector<std::string>{"--weird-thing"});
+}
+
+TEST(ParseTest, ErasGeneric) {
+  CompileCommand cmd = must_parse({"gcc", "-funroll-loops", "-funroll-loops", "x.c"});
+  EXPECT_EQ(cmd.erase_generic("-funroll-loops"), 2u);
+  EXPECT_FALSE(cmd.flag_enabled("-funroll-loops"));
+}
+
+TEST(ParseTest, MissingArgumentErrors) {
+  EXPECT_FALSE(parse_command(std::vector<std::string>{"gcc", "-o"}).ok());
+  EXPECT_FALSE(parse_command(std::vector<std::string>{"gcc", "x.c", "-I"}).ok());
+  EXPECT_FALSE(parse_command(std::vector<std::string>{"gcc", "x.o", "-Xlinker"}).ok());
+  EXPECT_FALSE(parse_command(std::vector<std::string>{}).ok());
+}
+
+TEST(JsonTest, CommandRoundTripsThroughJson) {
+  CompileCommand cmd = must_parse({"gcc", "-O2", "-march=native", "-flto", "-c",
+                                   "k.c", "-o", "k.o"});
+  auto back = CompileCommand::from_json(cmd.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), cmd);
+}
+
+// The round-trip invariant over a broad sweep of real-world command lines:
+// parse(render(parse(argv))) == parse(argv).
+class RenderRoundTrip : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(RenderRoundTrip, ParseRenderParse) {
+  CompileCommand first = must_parse(GetParam());
+  std::vector<std::string> rendered = first.render();
+  CompileCommand second = must_parse(rendered);
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommandLines, RenderRoundTrip,
+    ::testing::Values(
+        std::vector<std::string>{"gcc", "-c", "x.c"},
+        std::vector<std::string>{"gcc", "-O3", "-march=x86-64-v4", "-c", "x.c", "-o", "x.o"},
+        std::vector<std::string>{"g++", "-std=c++17", "-O2", "-g", "-Wall", "-Wextra",
+                                 "-c", "x.cc"},
+        std::vector<std::string>{"gcc", "a.o", "b.o", "-Ldeps", "-lm", "-lblas", "-o", "app"},
+        std::vector<std::string>{"gcc", "-shared", "-fPIC", "x.o", "-o", "libx.so"},
+        std::vector<std::string>{"gcc", "-flto=8", "-ffat-lto-objects", "-O2", "-c", "x.c"},
+        std::vector<std::string>{"gcc", "-fprofile-generate", "-O2", "x.c", "-o", "prog"},
+        std::vector<std::string>{"gcc", "-fprofile-use=data", "-fprofile-correction",
+                                 "-O3", "x.c", "-o", "prog"},
+        std::vector<std::string>{"gcc", "-ffast-math", "-fno-math-errno",
+                                 "-funsafe-math-optimizations", "-c", "x.c"},
+        std::vector<std::string>{"gcc", "-mavx2", "-mno-avx512f", "-mfma", "-c", "x.c"},
+        std::vector<std::string>{"gcc", "-Wno-unused-parameter", "-Werror=format",
+                                 "-c", "x.c"},
+        std::vector<std::string>{"gcc", "-DNDEBUG", "-DVER=2", "-UOLD", "-Iinc",
+                                 "-I/abs/inc", "-c", "x.c"},
+        std::vector<std::string>{"gcc", "x.o", "-Wl,--gc-sections,-O1", "-static",
+                                 "-o", "app"},
+        std::vector<std::string>{"gcc", "--param", "max-inline-insns=400", "-O2",
+                                 "-c", "x.c"},
+        std::vector<std::string>{"mpicc", "-O2", "main.o", "-lmpi", "-lm", "-o", "app"},
+        std::vector<std::string>{"gcc", "-Os", "-ffunction-sections", "-fdata-sections",
+                                 "-c", "tiny.c"}));
+
+}  // namespace
+}  // namespace comt::toolchain

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "pkg/pkg.hpp"
+
+namespace comt::pkg {
+namespace {
+
+Package make_package(std::string name, std::vector<std::string> depends = {},
+                     Variant variant = Variant::generic) {
+  Package package;
+  package.name = name;
+  package.version = "1.0";
+  package.architecture = "amd64";
+  package.variant = variant;
+  package.depends = std::move(depends);
+  package.files.push_back({"/usr/lib/" + name + ".so", name + " payload", 0755});
+  package.files.push_back({"/usr/share/doc/" + name, "docs", 0644});
+  return package;
+}
+
+Repository sample_repo() {
+  Repository repo;
+  EXPECT_TRUE(repo.add(make_package("libc")).ok());
+  EXPECT_TRUE(repo.add(make_package("libm", {"libc"})).ok());
+  EXPECT_TRUE(repo.add(make_package("libblas", {"libm"})).ok());
+  Package mpi = make_package("mpich", {"libc"});
+  mpi.provides = {"libmpi"};
+  EXPECT_TRUE(repo.add(std::move(mpi)).ok());
+  return repo;
+}
+
+TEST(RepositoryTest, AddAndFind) {
+  Repository repo = sample_repo();
+  EXPECT_NE(repo.find("libm"), nullptr);
+  EXPECT_EQ(repo.find("ghost"), nullptr);
+  EXPECT_EQ(repo.size(), 4u);
+}
+
+TEST(RepositoryTest, DuplicateRejected) {
+  Repository repo = sample_repo();
+  auto status = repo.add(make_package("libm"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::already_exists);
+}
+
+TEST(RepositoryTest, VirtualProvides) {
+  Repository repo = sample_repo();
+  const Package* provider = repo.find("libmpi");
+  ASSERT_NE(provider, nullptr);
+  EXPECT_EQ(provider->name, "mpich");
+}
+
+TEST(PackageTest, Attributes) {
+  Package package = make_package("libblas");
+  package.attributes["libspeed"] = "3.2";
+  package.attributes["fabric"] = "hsn";
+  EXPECT_DOUBLE_EQ(package.attribute_double("libspeed", 1.0), 3.2);
+  EXPECT_DOUBLE_EQ(package.attribute_double("missing", 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(package.attribute_double("fabric", 9.0), 9.0);  // non-numeric
+  EXPECT_EQ(package.attribute("fabric"), "hsn");
+  EXPECT_EQ(package.attribute("missing", "dflt"), "dflt");
+  EXPECT_EQ(package.installed_size(), std::string("libblas payload").size() + 4);
+}
+
+TEST(ResolveTest, DependenciesBeforeDependents) {
+  Repository repo = sample_repo();
+  auto plan = resolve(repo, {"libblas"});
+  ASSERT_TRUE(plan.ok());
+  std::vector<std::string> names;
+  for (const Package* package : plan.value()) names.push_back(package->name);
+  EXPECT_EQ(names, (std::vector<std::string>{"libc", "libm", "libblas"}));
+}
+
+TEST(ResolveTest, SharedDependencyOnce) {
+  Repository repo = sample_repo();
+  auto plan = resolve(repo, {"libblas", "mpich"});
+  ASSERT_TRUE(plan.ok());
+  int libc_count = 0;
+  for (const Package* package : plan.value()) {
+    if (package->name == "libc") ++libc_count;
+  }
+  EXPECT_EQ(libc_count, 1);
+  EXPECT_EQ(plan.value().size(), 4u);
+}
+
+TEST(ResolveTest, AlreadyInstalledSkipped) {
+  Repository repo = sample_repo();
+  auto plan = resolve(repo, {"libblas"}, {"libc", "libm"});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().size(), 1u);
+  EXPECT_EQ(plan.value()[0]->name, "libblas");
+}
+
+TEST(ResolveTest, MissingPackageFails) {
+  Repository repo = sample_repo();
+  auto plan = resolve(repo, {"no-such-package"});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, Errc::not_found);
+}
+
+TEST(ResolveTest, MissingDependencyFails) {
+  Repository repo;
+  ASSERT_TRUE(repo.add(make_package("top", {"absent"})).ok());
+  auto plan = resolve(repo, {"top"});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, Errc::not_found);
+}
+
+TEST(ResolveTest, CycleDetected) {
+  Repository repo;
+  ASSERT_TRUE(repo.add(make_package("a", {"b"})).ok());
+  ASSERT_TRUE(repo.add(make_package("b", {"a"})).ok());
+  auto plan = resolve(repo, {"a"});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, Errc::invalid_argument);
+}
+
+TEST(ResolveTest, VirtualDependency) {
+  Repository repo = sample_repo();
+  ASSERT_TRUE(repo.add(make_package("app", {"libmpi"})).ok());
+  auto plan = resolve(repo, {"app"});
+  ASSERT_TRUE(plan.ok());
+  bool saw_mpich = false;
+  for (const Package* package : plan.value()) saw_mpich |= package->name == "mpich";
+  EXPECT_TRUE(saw_mpich);
+}
+
+TEST(DatabaseTest, InstallWritesFilesAndRecords) {
+  vfs::Filesystem fs;
+  Database db;
+  ASSERT_TRUE(db.install(fs, make_package("libm")).ok());
+  EXPECT_TRUE(fs.is_regular("/usr/lib/libm.so"));
+  EXPECT_TRUE(fs.is_regular(kStatusPath));
+  EXPECT_TRUE(fs.is_regular("/var/lib/dpkg/info/libm.list"));
+  EXPECT_TRUE(db.installed("libm"));
+  EXPECT_EQ(db.owner_of("/usr/lib/libm.so"), "libm");
+  EXPECT_EQ(db.owner_of("/unowned"), "");
+}
+
+TEST(DatabaseTest, DoubleInstallRejected) {
+  vfs::Filesystem fs;
+  Database db;
+  ASSERT_TRUE(db.install(fs, make_package("libm")).ok());
+  auto status = db.install(fs, make_package("libm"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::already_exists);
+}
+
+TEST(DatabaseTest, FileConflictRejected) {
+  vfs::Filesystem fs;
+  Database db;
+  ASSERT_TRUE(db.install(fs, make_package("libm")).ok());
+  Package rival = make_package("libm2");
+  rival.files[0].path = "/usr/lib/libm.so";  // collide
+  auto status = db.install(fs, rival);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::already_exists);
+}
+
+TEST(DatabaseTest, RemoveDeletesFilesAndRecords) {
+  vfs::Filesystem fs;
+  Database db;
+  ASSERT_TRUE(db.install(fs, make_package("libm")).ok());
+  ASSERT_TRUE(db.remove(fs, "libm").ok());
+  EXPECT_FALSE(fs.exists("/usr/lib/libm.so"));
+  EXPECT_FALSE(db.installed("libm"));
+  EXPECT_EQ(db.owner_of("/usr/lib/libm.so"), "");
+  EXPECT_FALSE(db.remove(fs, "libm").ok());
+}
+
+TEST(DatabaseTest, PersistAndReloadRoundTrip) {
+  vfs::Filesystem fs;
+  {
+    Database db;
+    Package package = make_package("libblas", {"libm", "libc"}, Variant::optimized);
+    package.attributes["libspeed"] = "3.2";
+    ASSERT_TRUE(db.install(fs, package).ok());
+    ASSERT_TRUE(db.install(fs, make_package("libm")).ok());
+  }
+  // A fresh Database reconstructed purely from the image contents — the
+  // property the coMtainer front-end relies on (§4.5).
+  auto reloaded = Database::load(fs);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().size(), 2u);
+  const InstalledPackage* blas = reloaded.value().find("libblas");
+  ASSERT_NE(blas, nullptr);
+  EXPECT_EQ(blas->version, "1.0");
+  EXPECT_EQ(blas->variant, Variant::optimized);
+  EXPECT_EQ(blas->depends, (std::vector<std::string>{"libm", "libc"}));
+  EXPECT_EQ(blas->attributes.at("libspeed"), "3.2");
+  EXPECT_EQ(reloaded.value().owner_of("/usr/lib/libblas.so"), "libblas");
+}
+
+TEST(DatabaseTest, LoadFromEmptyImage) {
+  vfs::Filesystem fs;
+  auto db = Database::load(fs);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 0u);
+}
+
+TEST(DatabaseTest, ReplaceFlow) {
+  // The libo adapter's mechanic: remove the generic package, install the
+  // optimized one at the same paths.
+  vfs::Filesystem fs;
+  Database db;
+  ASSERT_TRUE(db.install(fs, make_package("libblas")).ok());
+  ASSERT_TRUE(db.remove(fs, "libblas").ok());
+  Package optimized = make_package("libblas", {}, Variant::optimized);
+  optimized.files[0].content = "optimized payload";
+  ASSERT_TRUE(db.install(fs, optimized).ok());
+  EXPECT_EQ(fs.read_file("/usr/lib/libblas.so").value(), "optimized payload");
+  EXPECT_EQ(db.find("libblas")->variant, Variant::optimized);
+}
+
+}  // namespace
+}  // namespace comt::pkg

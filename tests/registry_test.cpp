@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "registry/registry.hpp"
+
+namespace comt::registry {
+namespace {
+
+oci::ImageConfig config() {
+  oci::ImageConfig c;
+  c.config.entrypoint = {"/app"};
+  return c;
+}
+
+vfs::Filesystem tree(std::string_view marker) {
+  vfs::Filesystem fs;
+  EXPECT_TRUE(fs.write_file("/data", std::string(marker)).ok());
+  return fs;
+}
+
+TEST(RegistryTest, PushPullRoundTrip) {
+  oci::Layout local;
+  auto image = local.create_image(config(), {tree("payload")}, "app:dev");
+  ASSERT_TRUE(image.ok());
+
+  Registry hub;
+  ASSERT_TRUE(hub.push(local, "app:dev", "org/app", "1.0").ok());
+  EXPECT_TRUE(hub.has("org/app", "1.0"));
+  EXPECT_FALSE(hub.has("org/app", "2.0"));
+
+  oci::Layout remote;
+  ASSERT_TRUE(hub.pull("org/app", "1.0", remote, "pulled").ok());
+  auto pulled = remote.find_image("pulled");
+  ASSERT_TRUE(pulled.ok());
+  EXPECT_EQ(pulled.value().manifest_digest, image.value().manifest_digest);
+  auto rootfs = remote.flatten(pulled.value());
+  ASSERT_TRUE(rootfs.ok());
+  EXPECT_EQ(rootfs.value().read_file("/data").value(), "payload");
+}
+
+TEST(RegistryTest, PullUnknownFails) {
+  Registry hub;
+  oci::Layout local;
+  auto result = hub.pull("no/such", "tag", local, "x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+}
+
+TEST(RegistryTest, PushUnknownLocalTagFails) {
+  Registry hub;
+  oci::Layout local;
+  EXPECT_FALSE(hub.push(local, "ghost:tag", "org/x", "1").ok());
+}
+
+TEST(RegistryTest, SharedLayersDeduplicate) {
+  oci::Layout local;
+  vfs::Filesystem base_layer = tree("shared-base");
+  auto a = local.create_image(config(), {base_layer, tree("a")}, "a:1");
+  auto b = local.create_image(config(), {base_layer, tree("b")}, "b:1");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  Registry hub;
+  ASSERT_TRUE(hub.push(local, "a:1", "org/a", "1").ok());
+  std::uint64_t after_first = hub.stats().pushed_bytes;
+  ASSERT_TRUE(hub.push(local, "b:1", "org/b", "1").ok());
+  std::uint64_t second_push = hub.stats().pushed_bytes - after_first;
+  // The shared base layer must not be re-transferred.
+  EXPECT_LT(second_push, after_first);
+  EXPECT_EQ(hub.stats().repositories, 2u);
+}
+
+TEST(RegistryTest, RepushSameImageTransfersAlmostNothing) {
+  oci::Layout local;
+  ASSERT_TRUE(local.create_image(config(), {tree("v")}, "app:v").ok());
+  Registry hub;
+  ASSERT_TRUE(hub.push(local, "app:v", "org/app", "1").ok());
+  std::uint64_t first = hub.stats().pushed_bytes;
+  ASSERT_TRUE(hub.push(local, "app:v", "org/app", "2").ok());
+  EXPECT_EQ(hub.stats().pushed_bytes, first);  // everything deduplicated
+  EXPECT_TRUE(hub.has("org/app", "2"));
+}
+
+TEST(RegistryTest, StatsTrackStore) {
+  oci::Layout local;
+  ASSERT_TRUE(local.create_image(config(), {tree("z")}, "z:1").ok());
+  Registry hub;
+  ASSERT_TRUE(hub.push(local, "z:1", "org/z", "1").ok());
+  Stats stats = hub.stats();
+  EXPECT_EQ(stats.repositories, 1u);
+  EXPECT_GT(stats.blobs, 0u);
+  EXPECT_GT(stats.stored_bytes, 0u);
+  EXPECT_EQ(stats.pushed_bytes, stats.stored_bytes);
+  EXPECT_EQ(stats.pulled_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace comt::registry

@@ -1,0 +1,243 @@
+// Failure injection and hostile-input robustness: corrupt caches, tampered
+// blobs, broken graphs, missing environments — every failure must surface as
+// a typed error, never as silent wrong output. Plus scoped-LTO behavior.
+#include <gtest/gtest.h>
+
+#include "core/adapters.hpp"
+#include "core/backend.hpp"
+#include "core/cache.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+namespace comt {
+namespace {
+
+using workloads::AppSpec;
+using workloads::Evaluation;
+using workloads::PreparedApp;
+
+/// Builds an extended image, hands the flattened rootfs to `tamper`, then
+/// re-wraps it as a fresh single-layer image and tries the given operation.
+class CacheTampering : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<Evaluation>(sysmodel::SystemProfile::x86_cluster());
+    app_ = workloads::find_app("hpccg");
+    ASSERT_NE(app_, nullptr);
+    auto prepared = world_->prepare(*app_);
+    ASSERT_TRUE(prepared.ok());
+    prepared_ = prepared.value();
+  }
+
+  /// Applies `tamper` to the extended image's flattened tree and retags the
+  /// result so the rebuild sees the damaged content.
+  void retag_tampered(const std::function<void(vfs::Filesystem&)>& tamper) {
+    auto extended = world_->layout().find_image(prepared_.extended_tag);
+    ASSERT_TRUE(extended.ok());
+    auto rootfs = world_->layout().flatten(extended.value());
+    ASSERT_TRUE(rootfs.ok());
+    vfs::Filesystem damaged = rootfs.value();
+    tamper(damaged);
+    oci::ImageConfig config = extended.value().config;
+    config.diff_ids.clear();
+    config.history.clear();
+    auto image = world_->layout().create_image(config, {damaged}, prepared_.extended_tag);
+    ASSERT_TRUE(image.ok());
+  }
+
+  Result<core::RebuildReport> rebuild() {
+    owned_ = core::adapted_scheme();
+    adapters_.clear();
+    for (const auto& adapter : owned_) adapters_.push_back(adapter.get());
+    core::RebuildOptions options;
+    options.system = &world_->system();
+    options.system_repo = &workloads::system_repo(world_->system());
+    options.sysenv_tag = workloads::sysenv_tag(world_->system());
+    options.adapters = adapters_;
+    return core::comtainer_rebuild(world_->layout(), prepared_.extended_tag, options);
+  }
+
+  std::unique_ptr<Evaluation> world_;
+  const AppSpec* app_ = nullptr;
+  PreparedApp prepared_;
+  std::vector<std::unique_ptr<core::SystemAdapter>> owned_;
+  std::vector<const core::SystemAdapter*> adapters_;
+};
+
+TEST_F(CacheTampering, CorruptSourceBlobDetected) {
+  retag_tampered([](vfs::Filesystem& fs) {
+    auto names = fs.list_directory(std::string(core::kCacheDir) + "/sources");
+    ASSERT_TRUE(names.ok());
+    ASSERT_FALSE(names.value().empty());
+    std::string victim =
+        std::string(core::kCacheDir) + "/sources/" + names.value().front();
+    ASSERT_TRUE(fs.write_file(victim, "tampered contents").ok());
+  });
+  auto result = rebuild();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::corrupt);
+}
+
+TEST_F(CacheTampering, MissingGraphDetected) {
+  retag_tampered([](vfs::Filesystem& fs) {
+    ASSERT_TRUE(fs.remove(std::string(core::kCacheDir) + "/build_graph.json").ok());
+  });
+  EXPECT_FALSE(rebuild().ok());
+}
+
+TEST_F(CacheTampering, MalformedGraphJsonDetected) {
+  retag_tampered([](vfs::Filesystem& fs) {
+    ASSERT_TRUE(fs.write_file(std::string(core::kCacheDir) + "/build_graph.json",
+                              "{not json").ok());
+  });
+  auto result = rebuild();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::invalid_argument);
+}
+
+TEST_F(CacheTampering, ForwardEdgeGraphRejected) {
+  retag_tampered([](vfs::Filesystem& fs) {
+    // A graph whose node 0 depends on node 1 (a cycle once ids are honored).
+    std::string doc =
+        R"({"nodes":[{"id":0,"kind":"object","path":"/x.o","digest":"","deps":[1],)"
+        R"("compile":{"program":"gcc","argv":["gcc","-c","x.cc"]}},)"
+        R"({"id":1,"kind":"source","path":"/x.cc","digest":""}]})";
+    ASSERT_TRUE(
+        fs.write_file(std::string(core::kCacheDir) + "/build_graph.json", doc).ok());
+  });
+  EXPECT_FALSE(rebuild().ok());
+}
+
+TEST_F(CacheTampering, WholeCacheRemovedIsNotExtended) {
+  retag_tampered([](vfs::Filesystem& fs) {
+    ASSERT_TRUE(fs.remove("/.coMtainer").ok());
+  });
+  auto result = rebuild();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+}
+
+TEST_F(CacheTampering, MissingSysenvImageFails) {
+  core::RebuildOptions options;
+  auto owned = core::adapted_scheme();
+  std::vector<const core::SystemAdapter*> adapters;
+  for (const auto& adapter : owned) adapters.push_back(adapter.get());
+  options.system = &world_->system();
+  options.system_repo = &workloads::system_repo(world_->system());
+  options.sysenv_tag = "no/such:image";
+  options.adapters = adapters;
+  auto result =
+      core::comtainer_rebuild(world_->layout(), prepared_.extended_tag, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+}
+
+TEST_F(CacheTampering, RedirectOnPlainImageFails) {
+  core::RedirectOptions options;
+  options.system = &world_->system();
+  options.system_repo = &workloads::system_repo(world_->system());
+  options.rebase_tag = workloads::rebase_tag(world_->system());
+  auto result = core::comtainer_redirect(world_->layout(), prepared_.dist_tag, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+}
+
+TEST(LayoutIntegrityTest, FsckCatchesTamperedBlob) {
+  // fsck on a healthy store passes (exercised elsewhere); verify the digest
+  // invariant directly: a blob keyed under the wrong digest is detectable.
+  oci::Layout layout;
+  oci::Descriptor good = layout.put_blob("payload", "text/plain");
+  EXPECT_TRUE(layout.fsck().ok());
+  EXPECT_EQ(oci::Digest::of_blob("payload"), good.digest);
+  EXPECT_NE(oci::Digest::of_blob("other"), good.digest);
+}
+
+// ---- scoped LTO -----------------------------------------------------------------
+
+TEST(ScopedLtoTest, OnlyScopedUnitsCarryIr) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = workloads::find_app("lammps");
+  ASSERT_NE(app, nullptr);
+  auto prepared = world.prepare(*app);
+  ASSERT_TRUE(prepared.ok());
+
+  core::LibraryAdapter libo;
+  core::ToolchainAdapter cxxo;
+  core::LtoAdapter scoped_lto({"lmp_pair_lj"});  // only the lj pair style
+  auto tag = world.transform(prepared.value(), {&libo, &cxxo, &scoped_lto},
+                             app->inputs.front(), 16);
+  ASSERT_TRUE(tag.ok()) << tag.error().to_string();
+
+  auto image = world.layout().find_image(tag.value());
+  auto rootfs = world.layout().flatten(image.value());
+  auto blob = rootfs.value().read_file(app->binary_path());
+  ASSERT_TRUE(blob.ok());
+  auto exe = toolchain::parse_image(blob.value());
+  ASSERT_TRUE(exe.ok());
+  int with_ir = 0, without_ir = 0;
+  for (const toolchain::ObjectCode& object : exe.value().objects) {
+    bool scoped = object.source_path.find("lmp_pair_lj") != std::string::npos;
+    if (object.codegen.lto_ir) {
+      EXPECT_TRUE(scoped) << object.source_path;
+      ++with_ir;
+    } else {
+      EXPECT_FALSE(scoped) << object.source_path;
+      ++without_ir;
+    }
+  }
+  EXPECT_EQ(with_ir, 1);
+  EXPECT_GT(without_ir, 0);
+  // The link still applies LTO to the IR that arrived.
+  EXPECT_TRUE(exe.value().codegen.lto_applied);
+}
+
+TEST(ScopedLtoTest, FullScopeCoversEverything) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = workloads::find_app("comd");
+  auto prepared = world.prepare(*app);
+  ASSERT_TRUE(prepared.ok());
+  core::LibraryAdapter libo;
+  core::ToolchainAdapter cxxo;
+  core::LtoAdapter full_lto;
+  auto tag = world.transform(prepared.value(), {&libo, &cxxo, &full_lto},
+                             app->inputs.front(), 16);
+  ASSERT_TRUE(tag.ok());
+  auto image = world.layout().find_image(tag.value());
+  auto rootfs = world.layout().flatten(image.value());
+  auto exe = toolchain::parse_image(
+      rootfs.value().read_file(app->binary_path()).value());
+  ASSERT_TRUE(exe.ok());
+  for (const toolchain::ObjectCode& object : exe.value().objects) {
+    EXPECT_TRUE(object.codegen.lto_applied) << object.source_path;
+  }
+}
+
+// ---- corpus-wide invariant sweep --------------------------------------------
+
+class CorpusSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusSweep, PrepareAdaptRunOnX86) {
+  Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  const AppSpec* app = workloads::find_app(GetParam());
+  ASSERT_NE(app, nullptr);
+  auto prepared = world.prepare(*app);
+  ASSERT_TRUE(prepared.ok()) << prepared.error().to_string();
+  auto adapted = world.adapt(*app, prepared.value());
+  ASSERT_TRUE(adapted.ok()) << adapted.error().to_string();
+  for (const workloads::WorkloadInput& input : app->inputs) {
+    auto original = world.run_image(prepared.value().dist_tag, input, 16);
+    auto optimized = world.run_image(adapted.value(), input, 16);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(optimized.ok());
+    EXPECT_GT(original.value(), 0);
+    EXPECT_GT(optimized.value(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CorpusSweep,
+                         ::testing::Values("hpl", "hpcg", "lulesh", "comd", "hpccg",
+                                           "miniaero", "miniamr", "minife", "minimd",
+                                           "lammps", "openmx"));
+
+}  // namespace
+}  // namespace comt

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "shell/shell.hpp"
+
+namespace comt::shell {
+namespace {
+
+std::vector<std::string> words(std::string_view line, const Environment& env = {}) {
+  auto result = tokenize(line, env);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return result.ok() ? result.value() : std::vector<std::string>{};
+}
+
+TEST(TokenizeTest, PlainWords) {
+  EXPECT_EQ(words("gcc -O2 -c main.c"),
+            (std::vector<std::string>{"gcc", "-O2", "-c", "main.c"}));
+  EXPECT_TRUE(words("").empty());
+  EXPECT_TRUE(words("   \t ").empty());
+}
+
+TEST(TokenizeTest, SingleQuotesAreLiteral) {
+  Environment env{{"X", "val"}};
+  EXPECT_EQ(words("echo '$X literal  spaces'", env),
+            (std::vector<std::string>{"echo", "$X literal  spaces"}));
+}
+
+TEST(TokenizeTest, DoubleQuotesExpandButDontSplit) {
+  Environment env{{"FLAGS", "-O2 -g"}};
+  EXPECT_EQ(words("cc \"$FLAGS\" x.c", env),
+            (std::vector<std::string>{"cc", "-O2 -g", "x.c"}));
+}
+
+TEST(TokenizeTest, UnquotedExpansionFieldSplits) {
+  Environment env{{"CFLAGS", "-O3 -march=native"}};
+  EXPECT_EQ(words("gcc $CFLAGS -c a.c", env),
+            (std::vector<std::string>{"gcc", "-O3", "-march=native", "-c", "a.c"}));
+}
+
+TEST(TokenizeTest, EmptyExpansionProducesNoWord) {
+  EXPECT_EQ(words("a $UNSET b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TokenizeTest, AdjacentExpansion) {
+  Environment env{{"D", "/work"}};
+  EXPECT_EQ(words("cd $D/src", env), (std::vector<std::string>{"cd", "/work/src"}));
+  EXPECT_EQ(words("cd ${D}dir", env), (std::vector<std::string>{"cd", "/workdir"}));
+}
+
+TEST(TokenizeTest, BackslashEscapes) {
+  EXPECT_EQ(words(R"(echo a\ b \$HOME)"),
+            (std::vector<std::string>{"echo", "a b", "$HOME"}));
+}
+
+TEST(TokenizeTest, QuotesInsideWords) {
+  EXPECT_EQ(words("-DNAME='\"quoted\"'"),
+            (std::vector<std::string>{"-DNAME=\"quoted\""}));
+}
+
+TEST(TokenizeTest, DollarWithoutNameIsLiteral) {
+  EXPECT_EQ(words("price $ 5"), (std::vector<std::string>{"price", "$", "5"}));
+  EXPECT_EQ(words("x${unclosed"), (std::vector<std::string>{"x${unclosed"}));
+}
+
+TEST(TokenizeTest, UnterminatedQuotesFail) {
+  EXPECT_FALSE(tokenize("echo 'open", {}).ok());
+  EXPECT_FALSE(tokenize("echo \"open", {}).ok());
+}
+
+TEST(ExpandTest, BothForms) {
+  Environment env{{"A", "1"}, {"LONG_name2", "2"}};
+  EXPECT_EQ(expand_variables("$A ${LONG_name2} $missing", env), "1 2 ");
+  EXPECT_EQ(expand_variables("no vars", env), "no vars");
+  EXPECT_EQ(expand_variables("\\$A", env), "$A");
+}
+
+TEST(CommandListTest, AndChain) {
+  auto commands = parse_command_list("mkdir -p /x && cd /x && touch f", {});
+  ASSERT_TRUE(commands.ok());
+  ASSERT_EQ(commands.value().size(), 3u);
+  EXPECT_TRUE(commands.value()[0].and_next);
+  EXPECT_TRUE(commands.value()[1].and_next);
+  EXPECT_FALSE(commands.value()[2].and_next);
+  EXPECT_EQ(commands.value()[0].argv,
+            (std::vector<std::string>{"mkdir", "-p", "/x"}));
+}
+
+TEST(CommandListTest, SemicolonSequence) {
+  auto commands = parse_command_list("a ; b", {});
+  ASSERT_TRUE(commands.ok());
+  ASSERT_EQ(commands.value().size(), 2u);
+  EXPECT_FALSE(commands.value()[0].and_next);
+}
+
+TEST(CommandListTest, SeparatorsInsideQuotesIgnored) {
+  auto commands = parse_command_list("echo 'a && b ; c' && next", {});
+  ASSERT_TRUE(commands.ok());
+  ASSERT_EQ(commands.value().size(), 2u);
+  EXPECT_EQ(commands.value()[0].argv[1], "a && b ; c");
+}
+
+TEST(CommandListTest, EmptySegmentsSkipped) {
+  auto commands = parse_command_list("a && ", {});
+  ASSERT_TRUE(commands.ok());
+  EXPECT_EQ(commands.value().size(), 1u);
+}
+
+TEST(CommandListTest, ExpansionHappensPerCommand) {
+  Environment env{{"T", "target"}};
+  auto commands = parse_command_list("make $T && echo done", env);
+  ASSERT_TRUE(commands.ok());
+  EXPECT_EQ(commands.value()[0].argv, (std::vector<std::string>{"make", "target"}));
+}
+
+}  // namespace
+}  // namespace comt::shell

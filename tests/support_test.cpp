@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/sha256.hpp"
+#include "support/strings.hpp"
+
+namespace comt {
+namespace {
+
+// ---- Result / Status --------------------------------------------------------
+
+Result<int> parse_positive(int value) {
+  if (value <= 0) return make_error(Errc::invalid_argument, "not positive");
+  return value;
+}
+
+TEST(ResultTest, SuccessCarriesValue) {
+  Result<int> result = parse_positive(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_TRUE(static_cast<bool>(result));
+}
+
+TEST(ResultTest, ErrorCarriesCategoryAndMessage) {
+  Result<int> result = parse_positive(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::invalid_argument);
+  EXPECT_EQ(result.error().to_string(), "invalid_argument: not positive");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(-5).value_or(42), 42);
+  EXPECT_EQ(parse_positive(5).value_or(42), 5);
+}
+
+Result<int> doubled(int value) {
+  COMT_TRY(int positive, parse_positive(value));
+  return positive * 2;
+}
+
+TEST(ResultTest, TryMacroPropagates) {
+  EXPECT_EQ(doubled(4).value(), 8);
+  EXPECT_FALSE(doubled(-4).ok());
+  EXPECT_EQ(doubled(-4).error().code, Errc::invalid_argument);
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(StatusTest, ErrorStatus) {
+  Status status = make_error(Errc::not_found, "nope");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::not_found);
+}
+
+TEST(ErrcTest, AllNamesDistinct) {
+  EXPECT_STREQ(errc_name(Errc::invalid_argument), "invalid_argument");
+  EXPECT_STREQ(errc_name(Errc::not_found), "not_found");
+  EXPECT_STREQ(errc_name(Errc::already_exists), "already_exists");
+  EXPECT_STREQ(errc_name(Errc::corrupt), "corrupt");
+  EXPECT_STREQ(errc_name(Errc::unsupported), "unsupported");
+  EXPECT_STREQ(errc_name(Errc::failed), "failed");
+}
+
+// ---- SHA-256 -----------------------------------------------------------------
+
+TEST(Sha256Test, KnownVectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(Sha256::hex_digest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::hex_digest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::hex_digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(Sha256::hex_digest(input),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog, repeatedly";
+  Sha256 hasher;
+  // Feed in awkward chunk sizes crossing block boundaries.
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    hasher.update(data.substr(i, 7));
+  }
+  auto digest = hasher.finish();
+  EXPECT_EQ(to_hex(digest.data(), digest.size()), Sha256::hex_digest(data));
+}
+
+TEST(Sha256Test, BlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes hit every padding branch.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string data(n, 'x');
+    Sha256 hasher;
+    hasher.update(data);
+    auto digest = hasher.finish();
+    EXPECT_EQ(to_hex(digest.data(), digest.size()), Sha256::hex_digest(data)) << n;
+  }
+}
+
+TEST(Sha256Test, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::hex_digest("a"), Sha256::hex_digest("b"));
+}
+
+// ---- strings ------------------------------------------------------------------
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitWhitespaceSkipsRuns) {
+  EXPECT_EQ(split_whitespace("  a \t b\n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_whitespace("   ").empty());
+  EXPECT_TRUE(split_whitespace("").empty());
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(contains("foobar", "oba"));
+  EXPECT_FALSE(contains("foobar", "xyz"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("none here", "xyz", "!"), "none here");
+  EXPECT_EQ(replace_all("x", "", "!"), "x");  // empty needle is a no-op
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+}
+
+TEST(PathsTest, NormalizeCollapses) {
+  EXPECT_EQ(normalize_path("/a//b/./c"), "/a/b/c");
+  EXPECT_EQ(normalize_path("/a/b/../c"), "/a/c");
+  EXPECT_EQ(normalize_path("/../x"), "/x");  // lexical: .. above root drops
+  EXPECT_EQ(normalize_path("a/../../b"), "../b");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path(""), ".");
+  EXPECT_EQ(normalize_path("./"), ".");
+}
+
+TEST(PathsTest, Join) {
+  EXPECT_EQ(path_join("/usr", "bin"), "/usr/bin");
+  EXPECT_EQ(path_join("/usr/", "/etc"), "/etc");  // absolute tail wins
+  EXPECT_EQ(path_join("/a/b", "../c"), "/a/c");
+  EXPECT_EQ(path_join("", "x"), "x");
+}
+
+TEST(PathsTest, DirnameBasename) {
+  EXPECT_EQ(path_dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(path_dirname("/x"), "/");
+  EXPECT_EQ(path_dirname("plain"), ".");
+  EXPECT_EQ(path_basename("/a/b/c"), "c");
+  EXPECT_EQ(path_basename("/"), "/");
+  EXPECT_EQ(path_basename("plain"), "plain");
+}
+
+TEST(PathsTest, Extension) {
+  EXPECT_EQ(path_extension("a/b.c.o"), ".o");
+  EXPECT_EQ(path_extension("noext"), "");
+  EXPECT_EQ(path_extension("/.hidden"), "");  // leading dot is not an extension
+  EXPECT_EQ(path_extension("x.tar"), ".tar");
+}
+
+}  // namespace
+}  // namespace comt

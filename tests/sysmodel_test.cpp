@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "sysmodel/sysmodel.hpp"
+#include "toolchain/driver.hpp"
+
+namespace comt::sysmodel {
+namespace {
+
+using toolchain::KernelTrait;
+using toolchain::LinkedImage;
+using toolchain::ObjectCode;
+
+/// Builds an executable blob directly (bypassing the driver) so each test
+/// controls codegen state precisely.
+LinkedImage make_executable(KernelTrait kernel, std::string toolchain_id = "gnu-generic",
+                            int opt = 2, std::string march = "x86-64", int lanes = 2) {
+  LinkedImage exe;
+  exe.target_arch = "amd64";
+  ObjectCode object;
+  object.source_path = "/src/k.cc";
+  object.codegen.toolchain_id = std::move(toolchain_id);
+  object.codegen.opt_level = opt;
+  object.codegen.march = std::move(march);
+  object.codegen.vector_lanes = lanes;
+  object.kernels = {std::move(kernel)};
+  exe.codegen = object.codegen;
+  exe.objects = {std::move(object)};
+  return exe;
+}
+
+KernelTrait kernel(double work = 100, double vec = 0, double mem = 0, double call = 0,
+                   double branch = 0) {
+  KernelTrait k;
+  k.name = "k";
+  k.work = work;
+  k.frac_vec = vec;
+  k.frac_mem = mem;
+  k.frac_call = call;
+  k.frac_branch = branch;
+  return k;
+}
+
+vfs::Filesystem rootfs_with(const LinkedImage& exe) {
+  vfs::Filesystem fs;
+  EXPECT_TRUE(fs.write_file("/app/run", serialize_image(exe), 0755).ok());
+  return fs;
+}
+
+double run_seconds(const LinkedImage& exe, const SystemProfile& system,
+                   RunRequest request = {}) {
+  vfs::Filesystem fs = rootfs_with(exe);
+  ExecutionEngine engine(system);
+  auto report = engine.run(fs, "/app/run", request);
+  EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.error().to_string());
+  return report.ok() ? report.value().seconds : -1;
+}
+
+TEST(ProfileTest, BuiltinsExist) {
+  EXPECT_EQ(SystemProfile::x86_cluster().arch, "amd64");
+  EXPECT_EQ(SystemProfile::aarch64_cluster().arch, "arm64");
+  EXPECT_EQ(SystemProfile::x86_cluster().nodes, 16);
+  EXPECT_TRUE(SystemProfile::x86_cluster().march_is_tuned("x86-64-v4"));
+  EXPECT_FALSE(SystemProfile::x86_cluster().march_is_tuned("x86-64"));
+}
+
+TEST(EngineTest, ScalarTimeMatchesModel) {
+  // Pure scalar kernel on the x86 profile with generic codegen at O2:
+  // t = work / (ips * codegen * untuned).
+  double seconds = run_seconds(make_executable(kernel(100)),
+                               SystemProfile::x86_cluster());
+  const SystemProfile& sys = SystemProfile::x86_cluster();
+  EXPECT_NEAR(seconds, 100.0 / (sys.scalar_ips * 1.0 * sys.untuned_factor), 1e-9);
+}
+
+TEST(EngineTest, WiderLanesSpeedUpVectorCode) {
+  KernelTrait k = kernel(100, /*vec=*/0.8);
+  double narrow = run_seconds(make_executable(k, "vendor-x86", 2, "x86-64-v3", 2),
+                              SystemProfile::x86_cluster());
+  double wide = run_seconds(make_executable(k, "vendor-x86", 2, "x86-64-v3", 8),
+                            SystemProfile::x86_cluster());
+  EXPECT_LT(wide, narrow);
+  // Lanes are capped by the hardware.
+  double too_wide = run_seconds(make_executable(k, "vendor-x86", 2, "x86-64-v3", 64),
+                                SystemProfile::x86_cluster());
+  EXPECT_NEAR(too_wide, run_seconds(make_executable(k, "vendor-x86", 2, "x86-64-v3",
+                                                    SystemProfile::x86_cluster().max_lanes),
+                                    SystemProfile::x86_cluster()),
+              1e-9);
+}
+
+TEST(EngineTest, HigherOptLevelIsFaster) {
+  KernelTrait k = kernel(100, 0.3, 0.1);
+  double o0 = run_seconds(make_executable(k, "gnu-generic", 0), SystemProfile::x86_cluster());
+  double o2 = run_seconds(make_executable(k, "gnu-generic", 2), SystemProfile::x86_cluster());
+  EXPECT_LT(o2, o0);
+}
+
+TEST(EngineTest, MemoryBoundTimeUnaffectedByCodegen) {
+  KernelTrait k = kernel(100, 0, /*mem=*/1.0);
+  double generic = run_seconds(make_executable(k, "gnu-generic", 2),
+                               SystemProfile::x86_cluster());
+  double vendor = run_seconds(make_executable(k, "vendor-x86", 3, "x86-64-v4", 8),
+                              SystemProfile::x86_cluster());
+  EXPECT_NEAR(generic, vendor, 1e-9);
+}
+
+TEST(EngineTest, LibrarySpeedComesFromInstalledLibrary) {
+  KernelTrait k = kernel(100);
+  k.lib = "blas";
+  k.frac_lib = 1.0;
+  LinkedImage exe = make_executable(k);
+  exe.needed = {"blas"};
+
+  vfs::Filesystem slow = rootfs_with(exe);
+  ASSERT_TRUE(slow.write_file("/usr/lib/libblas.so",
+                              toolchain::make_library_blob("libblas.so", "amd64",
+                                                           {{"libspeed", 1.0}}),
+                              0755).ok());
+  vfs::Filesystem fast = rootfs_with(exe);
+  ASSERT_TRUE(fast.write_file("/usr/lib/libblas.so",
+                              toolchain::make_library_blob("libblas.so", "amd64",
+                                                           {{"libspeed", 4.0}}),
+                              0755).ok());
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  double slow_seconds = engine.run(slow, "/app/run").value().seconds;
+  double fast_seconds = engine.run(fast, "/app/run").value().seconds;
+  EXPECT_NEAR(slow_seconds / fast_seconds, 4.0, 1e-9);
+}
+
+TEST(EngineTest, MissingLibraryIsLoaderError) {
+  KernelTrait k = kernel(10);
+  LinkedImage exe = make_executable(k);
+  exe.needed = {"blas"};
+  vfs::Filesystem fs = rootfs_with(exe);
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  auto report = engine.run(fs, "/app/run");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("libblas.so"), std::string::npos);
+}
+
+TEST(EngineTest, LoaderBuiltinsAlwaysResolve) {
+  KernelTrait k = kernel(10);
+  LinkedImage exe = make_executable(k);
+  exe.needed = {"m", "pthread", "stdc++"};
+  vfs::Filesystem fs = rootfs_with(exe);
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  auto report = engine.run(fs, "/app/run");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().warnings.size(), 3u);
+}
+
+TEST(EngineTest, ArchMismatchIsExecFormatError) {
+  LinkedImage exe = make_executable(kernel(10));
+  exe.target_arch = "arm64";
+  vfs::Filesystem fs = rootfs_with(exe);
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  auto report = engine.run(fs, "/app/run");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("Exec format error"), std::string::npos);
+}
+
+TEST(EngineTest, CannotRunSharedLibraryOrGarbage) {
+  LinkedImage lib = make_executable(kernel(10));
+  lib.is_shared = true;
+  vfs::Filesystem fs = rootfs_with(lib);
+  ASSERT_TRUE(fs.write_file("/etc/passwd", "root:x\n").ok());
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  EXPECT_FALSE(engine.run(fs, "/app/run").ok());
+  EXPECT_FALSE(engine.run(fs, "/etc/passwd").ok());
+  EXPECT_FALSE(engine.run(fs, "/no/such/file").ok());
+}
+
+TEST(EngineTest, LtoRemovesCallOverhead) {
+  KernelTrait k = kernel(100, 0, 0, /*call=*/1.0);
+  k.lto_response = 0.6;
+  LinkedImage plain = make_executable(k);
+  LinkedImage optimized = make_executable(k);
+  optimized.objects[0].codegen.lto_applied = true;
+  double before = run_seconds(plain, SystemProfile::x86_cluster());
+  double after = run_seconds(optimized, SystemProfile::x86_cluster());
+  EXPECT_NEAR(after / before, 0.4, 1e-9);
+}
+
+TEST(EngineTest, NegativePgoResponseSlowsDown) {
+  KernelTrait k = kernel(100, 0, 0, 0, /*branch=*/1.0);
+  k.pgo_response = -0.5;
+  LinkedImage trained = make_executable(k);
+  trained.objects[0].codegen.pgo_quality = 1.0;
+  double plain = run_seconds(make_executable(k), SystemProfile::x86_cluster());
+  double regressed = run_seconds(trained, SystemProfile::x86_cluster());
+  EXPECT_GT(regressed, plain);
+}
+
+TEST(EngineTest, InstrumentationCostsAndEmitsProfile) {
+  KernelTrait hot = kernel(90);
+  hot.name = "hot";
+  KernelTrait cold = kernel(10);
+  cold.name = "cold";
+  LinkedImage exe = make_executable(hot);
+  exe.objects[0].kernels.push_back(cold);
+  LinkedImage instrumented = exe;
+  instrumented.codegen.pgo_instrumented = true;
+  instrumented.objects[0].codegen.pgo_instrumented = true;
+
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  auto plain = engine.run(rootfs_with(exe), "/app/run");
+  auto traced = engine.run(rootfs_with(instrumented), "/app/run");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(traced.ok());
+  EXPECT_GT(traced.value().seconds, plain.value().seconds);
+  ASSERT_FALSE(traced.value().profile_blob.empty());
+  auto weights = toolchain::parse_profile(traced.value().profile_blob);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_NEAR(weights.value().at("hot"), 0.9, 1e-9);
+  EXPECT_TRUE(plain.value().profile_blob.empty());
+}
+
+TEST(EngineTest, CommunicationZeroOnOneNode) {
+  KernelTrait k = kernel(100);
+  k.frac_comm = 0.5;
+  LinkedImage exe = make_executable(k);
+  exe.needed = {"mpi"};
+  vfs::Filesystem fs = rootfs_with(exe);
+  ASSERT_TRUE(fs.write_file("/usr/lib/libmpi.so",
+                            toolchain::make_library_blob("libmpi.so", "amd64",
+                                                         {{"fabric_tcp", 1.0}}),
+                            0755).ok());
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  RunRequest single;
+  single.nodes = 1;
+  RunRequest sixteen;
+  sixteen.nodes = 16;
+  auto one = engine.run(fs, "/app/run", single);
+  auto many = engine.run(fs, "/app/run", sixteen);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(many.ok());
+  EXPECT_DOUBLE_EQ(one.value().breakdown.comm, 0.0);
+  EXPECT_GT(many.value().breakdown.comm, 0.0);
+}
+
+TEST(EngineTest, FasterFabricCutsCommTime) {
+  KernelTrait k = kernel(100);
+  k.frac_comm = 0.5;
+  LinkedImage exe = make_executable(k);
+  exe.needed = {"mpi"};
+
+  auto with_fabric = [&](std::map<std::string, double> attributes) {
+    vfs::Filesystem fs = rootfs_with(exe);
+    EXPECT_TRUE(fs.write_file("/usr/lib/libmpi.so",
+                              toolchain::make_library_blob("libmpi.so", "amd64",
+                                                           attributes),
+                              0755).ok());
+    ExecutionEngine engine(SystemProfile::x86_cluster());
+    RunRequest request;
+    request.nodes = 16;
+    return engine.run(fs, "/app/run", request).value().breakdown.comm;
+  };
+  double tcp_only = with_fabric({{"fabric_tcp", 1.0}});
+  double with_ib = with_fabric({{"fabric_tcp", 1.0}, {"fabric_ib", 1.0}});
+  double with_hsn = with_fabric({{"fabric_tcp", 1.0}, {"fabric_hsn", 1.0}});
+  EXPECT_GT(tcp_only, with_ib);
+  EXPECT_GT(with_ib, with_hsn);
+}
+
+TEST(EngineTest, StrongScalingDividesComputeAcrossNodes) {
+  KernelTrait k = kernel(160);
+  LinkedImage exe = make_executable(k);
+  RunRequest one;
+  RunRequest sixteen;
+  sixteen.nodes = 16;
+  double t1 = run_seconds(exe, SystemProfile::x86_cluster(), one);
+  double t16 = run_seconds(exe, SystemProfile::x86_cluster(), sixteen);
+  EXPECT_NEAR(t1 / t16, 16.0, 1e-9);
+}
+
+TEST(EngineTest, KernelWeightsScaleSelectively) {
+  KernelTrait a = kernel(100);
+  a.name = "a";
+  KernelTrait b = kernel(100);
+  b.name = "b";
+  LinkedImage exe = make_executable(a);
+  exe.objects[0].kernels.push_back(b);
+  RunRequest request;
+  request.kernel_weight = {{"a", 3.0}, {"b", 0.0}};
+  vfs::Filesystem fs = rootfs_with(exe);
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  auto report = engine.run(fs, "/app/run", request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().kernel_seconds.at("a"), 0.0);
+  EXPECT_DOUBLE_EQ(report.value().kernel_seconds.at("b"), 0.0);
+}
+
+TEST(EngineTest, AggressiveToolchainCanRegress) {
+  KernelTrait k = kernel(100);
+  k.aggr_response = -0.5;
+  // vendor-x86 has aggressiveness 1.0, gnu-generic 0.1.
+  double generic = run_seconds(make_executable(k, "gnu-generic", 3, "x86-64-v3"),
+                               SystemProfile::x86_cluster());
+  double vendor = run_seconds(make_executable(k, "vendor-x86", 3, "x86-64-v3"),
+                              SystemProfile::x86_cluster());
+  EXPECT_GT(vendor, generic);
+}
+
+TEST(EngineTest, BreakdownSumsToTotal) {
+  KernelTrait k = kernel(100, 0.2, 0.2, 0.1, 0.1);
+  k.lib = "m";
+  k.frac_lib = 0.1;
+  LinkedImage exe = make_executable(k);
+  exe.needed = {"m"};
+  vfs::Filesystem fs = rootfs_with(exe);
+  ExecutionEngine engine(SystemProfile::x86_cluster());
+  auto report = engine.run(fs, "/app/run");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().breakdown.total(), report.value().seconds, 1e-9);
+}
+
+// Monotonicity sweep: more nodes never increases per-run compute time.
+class NodeScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeScaling, ComputeMonotone) {
+  KernelTrait k = kernel(320, 0.3, 0.3);
+  LinkedImage exe = make_executable(k);
+  RunRequest fewer;
+  fewer.nodes = GetParam();
+  RunRequest more;
+  more.nodes = GetParam() * 2;
+  double t_fewer = run_seconds(exe, SystemProfile::x86_cluster(), fewer);
+  double t_more = run_seconds(exe, SystemProfile::x86_cluster(), more);
+  EXPECT_GT(t_fewer, t_more);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, NodeScaling, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace comt::sysmodel

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "tar/tar.hpp"
+
+namespace comt::tar {
+namespace {
+
+vfs::Filesystem sample_tree() {
+  vfs::Filesystem fs;
+  EXPECT_TRUE(fs.write_file("/etc/conf", "key=value\n").ok());
+  EXPECT_TRUE(fs.write_file("/bin/prog", std::string(1500, 'b'), 0755).ok());
+  EXPECT_TRUE(fs.make_symlink("/bin/sh", "prog").ok());
+  EXPECT_TRUE(fs.make_directories("/empty-dir").ok());
+  EXPECT_TRUE(fs.write_file("/zero", "").ok());
+  return fs;
+}
+
+TEST(TarTest, RoundTripPreservesTree) {
+  vfs::Filesystem tree = sample_tree();
+  auto back = unpack(pack(tree));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == tree);
+}
+
+TEST(TarTest, EmptyTree) {
+  vfs::Filesystem tree;
+  std::string blob = pack(tree);
+  EXPECT_EQ(blob.size(), 1024u);  // just the two terminator blocks
+  auto back = unpack(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().node_count(), 0u);
+}
+
+TEST(TarTest, Deterministic) {
+  EXPECT_EQ(pack(sample_tree()), pack(sample_tree()));
+}
+
+TEST(TarTest, BlockAlignment) {
+  vfs::Filesystem tree;
+  // Sizes straddling the 512-byte block boundary.
+  for (std::size_t n : {0u, 1u, 511u, 512u, 513u, 1024u}) {
+    ASSERT_TRUE(tree.write_file("/f" + std::to_string(n), std::string(n, 'x')).ok());
+  }
+  std::string blob = pack(tree);
+  EXPECT_EQ(blob.size() % 512, 0u);
+  auto back = unpack(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == tree);
+}
+
+TEST(TarTest, LongPathsUseLongLink) {
+  vfs::Filesystem tree;
+  std::string long_dir = "/";
+  for (int i = 0; i < 12; ++i) long_dir += "very-long-directory-name-" + std::to_string(i) + "/";
+  std::string path = long_dir + "leaf-file.txt";
+  ASSERT_GT(path.size(), 100u);
+  ASSERT_TRUE(tree.write_file(path, "deep content").ok());
+  auto back = unpack(pack(tree));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().read_file(path).value(), "deep content");
+}
+
+TEST(TarTest, PreservesModes) {
+  vfs::Filesystem tree;
+  ASSERT_TRUE(tree.write_file("/x", "1", 0400).ok());
+  ASSERT_TRUE(tree.write_file("/y", "2", 0755).ok());
+  auto back = unpack(pack(tree));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().lookup("/x")->mode, 0400u);
+  EXPECT_TRUE(back.value().lookup("/y")->executable());
+}
+
+TEST(TarTest, TruncatedArchiveFails) {
+  std::string blob = pack(sample_tree());
+  // Cut inside /bin/prog's 1500-byte payload, after its header is complete.
+  auto result = unpack(std::string_view(blob).substr(0, 1100));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::corrupt);
+}
+
+TEST(TarTest, GarbageTypeflagFails) {
+  vfs::Filesystem tree;
+  ASSERT_TRUE(tree.write_file("/f", "x").ok());
+  std::string blob = pack(tree);
+  blob[156] = 'Z';  // typeflag byte of the first header
+  auto result = unpack(blob);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::unsupported);
+}
+
+TEST(TarTest, WhiteoutFilesSurviveRoundTrip) {
+  // Layer trees carry OCI whiteouts as plain files; tar must not mangle them.
+  vfs::Filesystem tree;
+  ASSERT_TRUE(tree.write_file("/dir/.wh.removed", "").ok());
+  ASSERT_TRUE(tree.write_file("/dir/.wh..wh..opq", "").ok());
+  auto back = unpack(pack(tree));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().is_regular("/dir/.wh.removed"));
+  EXPECT_TRUE(back.value().is_regular("/dir/.wh..wh..opq"));
+}
+
+TEST(TarTest, BinaryContentSurvives) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  vfs::Filesystem tree;
+  ASSERT_TRUE(tree.write_file("/bin.dat", binary).ok());
+  auto back = unpack(pack(tree));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().read_file("/bin.dat").value(), binary);
+}
+
+}  // namespace
+}  // namespace comt::tar

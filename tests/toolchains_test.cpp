@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "toolchain/toolchains.hpp"
+
+namespace comt::toolchain {
+namespace {
+
+TEST(RegistryTest, BuiltinsPresent) {
+  const ToolchainRegistry& registry = ToolchainRegistry::builtin();
+  for (const char* id : {"gnu-generic", "llvm", "vendor-x86", "vendor-aarch64"}) {
+    EXPECT_NE(registry.find(id), nullptr) << id;
+  }
+  EXPECT_EQ(registry.find("tcc"), nullptr);
+  EXPECT_EQ(registry.ids().size(), 4u);
+}
+
+TEST(RegistryTest, VendorCompilersAreArchBound) {
+  const ToolchainRegistry& registry = ToolchainRegistry::builtin();
+  EXPECT_EQ(registry.find("gnu-generic")->target_arch, "any");
+  EXPECT_EQ(registry.find("vendor-x86")->target_arch, "amd64");
+  EXPECT_EQ(registry.find("vendor-aarch64")->target_arch, "arm64");
+}
+
+TEST(RegistryTest, CodegenQualityOrdering) {
+  const ToolchainRegistry& registry = ToolchainRegistry::builtin();
+  const Toolchain* gnu = registry.find("gnu-generic");
+  const Toolchain* llvm = registry.find("llvm");
+  const Toolchain* vendor = registry.find("vendor-x86");
+  // At -O3: distro < LLVM < vendor (the artifact's "diminished with LLVM").
+  EXPECT_LT(gnu->codegen[3], llvm->codegen[3]);
+  EXPECT_LT(llvm->codegen[3], vendor->codegen[3]);
+  // Quality increases with -O level for every toolchain.
+  for (const char* id : {"gnu-generic", "llvm", "vendor-x86", "vendor-aarch64"}) {
+    const Toolchain* tc = registry.find(id);
+    EXPECT_LT(tc->codegen[0], tc->codegen[1]) << id;
+    EXPECT_LT(tc->codegen[1], tc->codegen[2]) << id;
+    EXPECT_LE(tc->codegen[2], tc->codegen[3]) << id;
+  }
+}
+
+TEST(ToolchainTest, LanesLookup) {
+  const Toolchain* vendor = ToolchainRegistry::builtin().find("vendor-x86");
+  EXPECT_EQ(vendor->lanes_for("x86-64"), 2);
+  EXPECT_EQ(vendor->lanes_for("x86-64-v4"), 8);
+  EXPECT_EQ(vendor->lanes_for("native"), 8);
+  EXPECT_EQ(vendor->lanes_for(""), vendor->lanes_for(vendor->default_march));
+  // Unknown march falls back to the default's width.
+  EXPECT_EQ(vendor->lanes_for("riscv-rv64"), vendor->lanes_for(vendor->default_march));
+}
+
+TEST(ToolchainTest, MarchSupport) {
+  const Toolchain* gnu = ToolchainRegistry::builtin().find("gnu-generic");
+  EXPECT_TRUE(gnu->supports("x86-64-v3"));
+  EXPECT_FALSE(gnu->supports("x86-64-v4"));  // distro compiler stops short
+  EXPECT_TRUE(gnu->supports(""));
+  EXPECT_TRUE(gnu->supports("native"));
+  const Toolchain* vendor = ToolchainRegistry::builtin().find("vendor-x86");
+  EXPECT_TRUE(vendor->supports("x86-64-v4"));
+}
+
+TEST(ToolchainTest, ResolveMarch) {
+  const Toolchain* gnu = ToolchainRegistry::builtin().find("gnu-generic");
+  EXPECT_EQ(gnu->resolve_march(""), "x86-64");
+  EXPECT_EQ(gnu->resolve_march("native"), "x86-64-v3");
+  EXPECT_EQ(gnu->resolve_march("x86-64-v2"), "x86-64-v2");
+  const Toolchain* arm = ToolchainRegistry::builtin().find("vendor-aarch64");
+  EXPECT_EQ(arm->resolve_march(""), "armv8.2-a+sve");
+}
+
+TEST(StubTest, RoundTrip) {
+  std::string stub = make_toolchain_stub("vendor-x86");
+  EXPECT_EQ(parse_toolchain_stub(stub), "vendor-x86");
+  EXPECT_EQ(parse_toolchain_stub("#!/bin/sh\necho hi\n"), "");
+  EXPECT_EQ(parse_toolchain_stub(""), "");
+  // Trailing content after the first line is ignored.
+  EXPECT_EQ(parse_toolchain_stub(stub + "extra lines\n"), "vendor-x86");
+}
+
+}  // namespace
+}  // namespace comt::toolchain

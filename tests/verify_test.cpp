@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/cache.hpp"
+#include "core/verify.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+namespace comt::core {
+namespace {
+
+class VerifyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<workloads::Evaluation>(
+        sysmodel::SystemProfile::x86_cluster());
+    app_ = workloads::find_app("comd");
+    ASSERT_NE(app_, nullptr);
+    auto prepared = world_->prepare(*app_);
+    ASSERT_TRUE(prepared.ok());
+    prepared_ = prepared.value();
+  }
+
+  /// Re-tags the extended image with a tampered flattened tree.
+  void retag(const std::function<void(vfs::Filesystem&)>& tamper) {
+    auto extended = world_->layout().find_image(prepared_.extended_tag);
+    ASSERT_TRUE(extended.ok());
+    auto rootfs = world_->layout().flatten(extended.value());
+    ASSERT_TRUE(rootfs.ok());
+    vfs::Filesystem damaged = rootfs.value();
+    tamper(damaged);
+    oci::ImageConfig config = extended.value().config;
+    config.diff_ids.clear();
+    config.history.clear();
+    ASSERT_TRUE(world_->layout()
+                    .create_image(config, {damaged}, prepared_.extended_tag)
+                    .ok());
+  }
+
+  std::unique_ptr<workloads::Evaluation> world_;
+  const workloads::AppSpec* app_ = nullptr;
+  workloads::PreparedApp prepared_;
+};
+
+TEST_F(VerifyFixture, HealthyExtendedImagePasses) {
+  auto report = verify_extended_image(world_->layout(), prepared_.extended_tag);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_TRUE(report.value().ok()) << (report.value().problems.empty()
+                                           ? ""
+                                           : report.value().problems.front());
+  EXPECT_TRUE(report.value().is_extended);
+  EXPECT_TRUE(report.value().graph_valid);
+  EXPECT_GT(report.value().graph_nodes, 0u);
+  EXPECT_GT(report.value().sources_cached, 0u);
+  EXPECT_EQ(report.value().sources_missing, 0u);
+  EXPECT_TRUE(report.value().entrypoint_is_build_product);
+  EXPECT_GT(report.value().origin_histogram[FileOrigin::build_process], 0u);
+}
+
+TEST_F(VerifyFixture, PlainImageIsNotExtended) {
+  auto report = verify_extended_image(world_->layout(), prepared_.dist_tag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().is_extended);
+  EXPECT_FALSE(report.value().ok());
+}
+
+TEST_F(VerifyFixture, MissingSourceReported) {
+  retag([](vfs::Filesystem& fs) {
+    auto names = fs.list_directory(std::string(kCacheDir) + "/sources");
+    ASSERT_TRUE(names.ok());
+    ASSERT_FALSE(names.value().empty());
+    ASSERT_TRUE(fs.remove(std::string(kCacheDir) + "/sources/" + names.value().front())
+                    .ok());
+  });
+  auto report = verify_extended_image(world_->layout(), prepared_.extended_tag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().is_extended);
+  EXPECT_GT(report.value().sources_missing, 0u);
+  EXPECT_FALSE(report.value().ok());
+}
+
+TEST_F(VerifyFixture, UnclassifiedFileReported) {
+  retag([](vfs::Filesystem& fs) {
+    ASSERT_TRUE(fs.write_file("/smuggled-binary", "payload", 0755).ok());
+  });
+  auto report = verify_extended_image(world_->layout(), prepared_.extended_tag);
+  ASSERT_TRUE(report.ok());
+  bool flagged = false;
+  for (const std::string& problem : report.value().problems) {
+    flagged |= problem.find("/smuggled-binary") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_FALSE(report.value().ok());
+}
+
+TEST_F(VerifyFixture, VanishedBuildProductReported) {
+  retag([this](vfs::Filesystem& fs) {
+    ASSERT_TRUE(fs.remove(app_->binary_path()).ok());
+  });
+  auto report = verify_extended_image(world_->layout(), prepared_.extended_tag);
+  ASSERT_TRUE(report.ok());
+  bool flagged = false;
+  for (const std::string& problem : report.value().problems) {
+    flagged |= problem.find("vanished") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST_F(VerifyFixture, UnknownTagIsHardError) {
+  auto report = verify_extended_image(world_->layout(), "ghost:tag");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, Errc::not_found);
+}
+
+}  // namespace
+}  // namespace comt::core

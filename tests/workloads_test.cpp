@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "dockerfile/dockerfile.hpp"
+#include "toolchain/source.hpp"
+#include "toolchain/toolchains.hpp"
+#include "workloads/corpus.hpp"
+#include "workloads/environment.hpp"
+
+namespace comt::workloads {
+namespace {
+
+TEST(EnvironmentTest, FillerSizing) {
+  EXPECT_EQ(filler(2.0, "x").size(), 2 * kSimBytesPerMiB);
+  EXPECT_TRUE(filler(0, "x").empty());
+  EXPECT_TRUE(filler(-1, "x").empty());
+  EXPECT_DOUBLE_EQ(to_sim_mib(3 * kSimBytesPerMiB), 3.0);
+}
+
+TEST(EnvironmentTest, ReposCarryTheStack) {
+  const pkg::Repository& distro = ubuntu_repo("amd64");
+  for (const char* name : {"gcc", "build-essential", "clang", "mpich", "libm",
+                           "libblas", "libfftw", "libscalapack", "libelpa", "libxc"}) {
+    EXPECT_NE(distro.find(name), nullptr) << name;
+  }
+  // All generic.
+  EXPECT_EQ(distro.find("libblas")->variant, pkg::Variant::generic);
+  EXPECT_DOUBLE_EQ(distro.find("libblas")->attribute_double("libspeed", 0), 1.0);
+  // Virtual provides.
+  EXPECT_EQ(distro.find("libmpi")->name, "mpich");
+}
+
+TEST(EnvironmentTest, SystemReposAreOptimized) {
+  const pkg::Repository& x86 = system_repo(sysmodel::SystemProfile::x86_cluster());
+  EXPECT_EQ(x86.find("libblas")->variant, pkg::Variant::optimized);
+  EXPECT_GT(x86.find("libblas")->attribute_double("libspeed", 0), 1.5);
+  EXPECT_NE(x86.find("system-toolchain"), nullptr);
+  EXPECT_EQ(x86.find("mpich")->attribute("fabric"), "hsn");
+  const pkg::Repository& arm = system_repo(sysmodel::SystemProfile::aarch64_cluster());
+  EXPECT_EQ(arm.find("mpich")->attribute("fabric"), "glex");
+}
+
+TEST(EnvironmentTest, UserImagesInstall) {
+  oci::Layout layout;
+  ASSERT_TRUE(install_user_images(layout, "amd64").ok());
+  for (const std::string& tag :
+       {ubuntu_tag("amd64"), env_tag("amd64"), base_tag("amd64")}) {
+    auto image = layout.find_image(tag);
+    ASSERT_TRUE(image.ok()) << tag;
+    EXPECT_EQ(image.value().config.architecture, "amd64");
+  }
+  // Env image: toolchain preinstalled, hijack label set.
+  auto env = layout.find_image(env_tag("amd64"));
+  auto rootfs = layout.flatten(env.value());
+  ASSERT_TRUE(rootfs.ok());
+  EXPECT_TRUE(rootfs.value().is_regular("/usr/bin/gcc"));
+  EXPECT_TRUE(rootfs.value().is_regular("/usr/bin/ar"));
+  EXPECT_EQ(env.value().config.config.labels.count("comtainer.hijack"), 1u);
+  // Base image is runtime-only: no toolchain.
+  auto base = layout.find_image(base_tag("amd64"));
+  auto base_rootfs = layout.flatten(base.value());
+  EXPECT_FALSE(base_rootfs.value().exists("/usr/bin/gcc"));
+}
+
+TEST(EnvironmentTest, SystemImagesInstall) {
+  oci::Layout layout;
+  const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
+  ASSERT_TRUE(install_system_images(layout, system).ok());
+  auto sysenv = layout.find_image(sysenv_tag(system));
+  ASSERT_TRUE(sysenv.ok());
+  auto rootfs = layout.flatten(sysenv.value());
+  ASSERT_TRUE(rootfs.ok());
+  // Both toolchains co-exist: generic at /usr/bin, vendor under /opt/system.
+  EXPECT_EQ(toolchain::parse_toolchain_stub(
+                rootfs.value().read_file("/usr/bin/gcc").value()),
+            "gnu-generic");
+  EXPECT_EQ(toolchain::parse_toolchain_stub(
+                rootfs.value().read_file("/opt/system/bin/gcc").value()),
+            "vendor-x86");
+  // The optimized library stack is present.
+  EXPECT_TRUE(rootfs.value().is_regular("/usr/lib/libblas.so"));
+  auto db = pkg::Database::load(rootfs.value());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().find("libblas")->variant, pkg::Variant::optimized);
+}
+
+TEST(EnvironmentTest, BaseImageSizesMatchTable3) {
+  oci::Layout layout;
+  ASSERT_TRUE(install_user_images(layout, "amd64").ok());
+  ASSERT_TRUE(install_user_images(layout, "arm64").ok());
+  auto x86 = layout.find_image(ubuntu_tag("amd64"));
+  auto arm = layout.find_image(ubuntu_tag("arm64"));
+  double x86_mib = to_sim_mib(x86.value().manifest.layers[0].size);
+  double arm_mib = to_sim_mib(arm.value().manifest.layers[0].size);
+  // Table 3: small apps' images ~170 MiB (x86) / ~95 MiB (arm); the base
+  // accounts for almost all of it.
+  EXPECT_NEAR(x86_mib, 165, 20);
+  EXPECT_NEAR(arm_mib, 92, 15);
+  EXPECT_GT(x86_mib, arm_mib);  // "x86-64 has a more bloated software stack"
+}
+
+TEST(CorpusTest, MatchesTable2Inventory) {
+  const auto& apps = corpus();
+  EXPECT_EQ(apps.size(), 11u);  // 9 benchmarks + lammps + openmx
+  int workload_rows = 0;
+  for (const AppSpec& app : apps) workload_rows += static_cast<int>(app.inputs.size());
+  EXPECT_EQ(workload_rows, 18);
+  ASSERT_NE(find_app("lammps"), nullptr);
+  EXPECT_EQ(find_app("lammps")->inputs.size(), 5u);
+  EXPECT_EQ(find_app("openmx")->inputs.size(), 4u);
+  EXPECT_EQ(find_app("nope"), nullptr);
+  EXPECT_EQ(find_app("lammps")->paper_loc, 2273423);
+}
+
+TEST(CorpusTest, KernelFractionsAreValid) {
+  for (const AppSpec& app : corpus()) {
+    for (const toolchain::SourceGenSpec& unit : app.units) {
+      for (const toolchain::KernelTrait& kernel : unit.kernels) {
+        double sum = kernel.frac_vec + kernel.frac_mem + kernel.frac_call +
+                     kernel.frac_branch + kernel.frac_lib;
+        EXPECT_LE(sum, 1.0 + 1e-9) << app.name << "/" << kernel.name;
+        EXPECT_GT(kernel.work, 0) << app.name << "/" << kernel.name;
+        if (!kernel.lib.empty()) {
+          // Library-calling kernels must be linkable: the app links that lib.
+          bool linked = false;
+          for (const std::string& lib : app.link_libraries) linked |= lib == kernel.lib;
+          EXPECT_TRUE(linked) << app.name << " kernel " << kernel.name
+                              << " calls unlinked lib " << kernel.lib;
+        }
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, ContextMatchesUnits) {
+  const AppSpec* app = find_app("lammps");
+  vfs::Filesystem context = build_context(*app);
+  EXPECT_TRUE(context.is_regular("/src/common.h"));
+  for (const toolchain::SourceGenSpec& unit : app->units) {
+    EXPECT_TRUE(context.is_regular("/src/" + unit.unit_name + ".cc")) << unit.unit_name;
+  }
+}
+
+TEST(CorpusTest, GeneratedSourcesReparse) {
+  for (const AppSpec& app : corpus()) {
+    for (const toolchain::SourceGenSpec& unit : app.units) {
+      auto info = toolchain::analyze_source(toolchain::generate_source(unit));
+      ASSERT_TRUE(info.ok()) << app.name << "/" << unit.unit_name;
+      EXPECT_EQ(info.value().kernels.size(), unit.kernels.size());
+    }
+  }
+}
+
+TEST(CorpusTest, DockerfilesParse) {
+  for (const AppSpec& app : corpus()) {
+    for (const char* arch : {"amd64", "arm64"}) {
+      for (bool comt : {false, true}) {
+        auto file = dockerfile::parse(dockerfile_text(app, arch, comt));
+        ASSERT_TRUE(file.ok()) << app.name << " " << arch;
+        EXPECT_EQ(file.value().stages.size(), 2u);
+        EXPECT_EQ(file.value().stages[0].name, "build");
+        EXPECT_EQ(file.value().stages[1].name, "dist");
+      }
+    }
+    EXPECT_TRUE(dockerfile::parse(dockerfile_cross_comt(app, "amd64")).ok());
+    EXPECT_TRUE(dockerfile::parse(dockerfile_xbuild(app, "amd64", "arm64")).ok());
+  }
+}
+
+TEST(CorpusTest, CrossScriptIsSmallChange) {
+  for (const AppSpec& app : corpus()) {
+    std::string original = dockerfile_text(app, "amd64", true);
+    auto [comt_added, comt_deleted] =
+        dockerfile::line_diff(original, dockerfile_cross_comt(app, "amd64"));
+    auto [xb_added, xb_deleted] =
+        dockerfile::line_diff(original, dockerfile_xbuild(app, "amd64", "arm64"));
+    EXPECT_LE(comt_added + comt_deleted, 10) << app.name;
+    EXPECT_GE(xb_added + xb_deleted, 20) << app.name;
+  }
+}
+
+TEST(CorpusTest, WorkloadInputNames) {
+  const AppSpec* lulesh = find_app("lulesh");
+  EXPECT_EQ(lulesh->inputs.front().display_name("lulesh"), "lulesh");
+  const AppSpec* lammps = find_app("lammps");
+  EXPECT_EQ(lammps->inputs.front().display_name("lammps"), "lammps.chain");
+  sysmodel::RunRequest request = lammps->inputs.front().run_request(16);
+  EXPECT_EQ(request.nodes, 16);
+  EXPECT_GT(request.kernel_weight.at("bond_chain"), 1.0);
+}
+
+TEST(CorpusTest, IsaLockedAppsAreTheBigThree) {
+  std::vector<std::string> locked;
+  for (const AppSpec& app : corpus()) {
+    if (app.isa_locked) locked.push_back(app.name);
+  }
+  EXPECT_EQ(locked, (std::vector<std::string>{"hpl", "lammps", "openmx"}));
+}
+
+TEST(CorpusTest, CorpusLocIsPositiveAndOrdered) {
+  // lammps and openmx are by far the largest corpora, mirroring Table 2/3.
+  int lulesh_loc = find_app("lulesh")->corpus_loc();
+  int lammps_loc = find_app("lammps")->corpus_loc();
+  int openmx_loc = find_app("openmx")->corpus_loc();
+  EXPECT_GT(lulesh_loc, 50);
+  EXPECT_GT(lammps_loc, lulesh_loc * 5);
+  EXPECT_GT(openmx_loc, lammps_loc);
+}
+
+}  // namespace
+}  // namespace comt::workloads
