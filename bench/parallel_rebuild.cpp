@@ -1,0 +1,170 @@
+// Microbenchmark for the parallel rebuild engine: comtainer_rebuild of the
+// lammps extended image at 1/2/4/8 scheduler threads, sequential baseline
+// first, plus a warm-cache rerun showing the content-addressed compile
+// cache replaying every job.
+//
+// Usage: parallel_rebuild [--smoke]
+//   --smoke   one repetition at 1 and 2 threads only (CI-friendly).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "sched/compile_cache.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+namespace {
+
+struct World {
+  oci::Layout layout;
+  std::string extended_tag;
+};
+
+int build_world(const sysmodel::SystemProfile& system, World& world) {
+  if (!workloads::install_user_images(world.layout, system.arch).ok() ||
+      !workloads::install_system_images(world.layout, system).ok()) {
+    std::fprintf(stderr, "installing evaluation images failed\n");
+    return 1;
+  }
+  const workloads::AppSpec* app = workloads::find_app("lammps");
+  if (app == nullptr) {
+    std::fprintf(stderr, "lammps workload missing from corpus\n");
+    return 1;
+  }
+  auto file = dockerfile::parse(workloads::dockerfile_text(*app, system.arch, true));
+  if (!file.ok()) {
+    std::fprintf(stderr, "dockerfile: %s\n", file.error().to_string().c_str());
+    return 1;
+  }
+  buildexec::ImageBuilder builder(world.layout);
+  builder.set_apt_source(&workloads::ubuntu_repo(system.arch));
+  buildexec::BuildRecord record;
+  auto built = builder.build(file.value(), workloads::build_context(*app), "lammps.dist",
+                             "", &record);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  auto stage = world.layout.find_image("lammps.dist.stage0");
+  auto build_rootfs = world.layout.flatten(stage.value());
+  auto extended =
+      core::comtainer_build(world.layout, "lammps.dist", workloads::base_tag(system.arch),
+                            record, build_rootfs.value());
+  if (!extended.ok()) {
+    std::fprintf(stderr, "comtainer_build: %s\n", extended.error().to_string().c_str());
+    return 1;
+  }
+  world.extended_tag = "lammps.dist+coM";
+  return 0;
+}
+
+core::RebuildOptions options_for(const sysmodel::SystemProfile& system,
+                                 std::size_t threads, sched::CompileCache* cache) {
+  core::RebuildOptions options;
+  options.system = &system;
+  options.system_repo = &workloads::system_repo(system);
+  options.sysenv_tag = workloads::sysenv_tag(system);
+  options.threads = threads;
+  options.compile_cache = cache;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int repetitions = smoke ? 1 : 5;
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+
+  const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
+  World world;
+  if (int rc = build_world(system, world); rc != 0) return rc;
+
+  std::printf("parallel rebuild of %s on %s (%d repetition%s, best time)\n",
+              world.extended_tag.c_str(), system.name.c_str(), repetitions,
+              repetitions == 1 ? "" : "s");
+  std::printf("host reports %u hardware thread%s — speedups above that (or on a "
+              "1-core host, above 1) are not expected\n",
+              std::thread::hardware_concurrency(),
+              std::thread::hardware_concurrency() == 1 ? "" : "s");
+  std::printf("%-8s %12s %10s %10s %8s %12s\n", "threads", "best-ms", "sched-ms",
+              "speedup", "jobs", "image-digest");
+
+  double baseline_ms = 0;
+  std::string baseline_digest;
+  for (std::size_t threads : thread_counts) {
+    double best_ms = 0;
+    double sched_ms = 0;
+    std::size_t jobs = 0;
+    std::string digest;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      auto report =
+          core::comtainer_rebuild(world.layout, world.extended_tag,
+                                  options_for(system, threads, nullptr));
+      double ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      if (!report.ok()) {
+        std::fprintf(stderr, "rebuild (threads=%zu): %s\n", threads,
+                     report.error().to_string().c_str());
+        return 1;
+      }
+      if (rep == 0 || ms < best_ms) {
+        best_ms = ms;
+        sched_ms = report.value().wall_ms;
+      }
+      jobs = report.value().jobs;
+      digest = report.value().image.manifest_digest.value;
+    }
+    if (threads == thread_counts.front()) {
+      baseline_ms = best_ms;
+      baseline_digest = digest;
+    }
+    if (digest != baseline_digest) {
+      std::fprintf(stderr, "DIGEST MISMATCH at %zu threads: parallel rebuild is not "
+                           "bit-identical\n", threads);
+      return 1;
+    }
+    std::printf("%-8zu %12.2f %10.2f %9.2fx %8zu %12.12s\n", threads, best_ms,
+                sched_ms, baseline_ms / best_ms, jobs, digest.c_str());
+  }
+
+  // Warm-cache rerun: every compile job replays from the cache.
+  sched::CompileCache cache;
+  auto cold = core::comtainer_rebuild(world.layout, world.extended_tag,
+                                      options_for(system, 2, &cache));
+  auto warm_start = std::chrono::steady_clock::now();
+  auto warm = core::comtainer_rebuild(world.layout, world.extended_tag,
+                                      options_for(system, 2, &cache));
+  double warm_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - warm_start)
+                       .count();
+  if (!cold.ok() || !warm.ok()) {
+    std::fprintf(stderr, "cached rebuild failed\n");
+    return 1;
+  }
+  std::printf("\nwarm compile cache (2 threads): %.2f ms, %zu/%zu jobs replayed "
+              "(hit rate %.0f%%)\n",
+              warm_ms, warm.value().cache_hits, warm.value().jobs,
+              warm.value().jobs == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(warm.value().cache_hits) /
+                        static_cast<double>(warm.value().jobs));
+  if (warm.value().cache_misses != 0) {
+    std::fprintf(stderr, "expected a fully warm cache, saw %zu misses\n",
+                 warm.value().cache_misses);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, run the full test suite, then smoke-test
+# the parallel-rebuild benchmark (which also asserts that parallel rebuilds
+# are bit-identical and that a warm compile cache hits 100%).
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B "$build_dir" -S "$repo"
+
+echo "== build =="
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== test =="
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "== bench smoke =="
+"$build_dir/bench/parallel_rebuild" --smoke
+
+echo "check.sh: all green"

@@ -1,0 +1,53 @@
+// Dockerfile executor: drives Containers through multi-stage builds against
+// an OCI layout. Each stage is committed as "<tag>.stage<N>" (so later stages
+// and the coMtainer front-end can reach intermediate rootfs trees); the
+// target stage is additionally tagged `tag`. When the stage's base image
+// carries the hijack label and a recorder is supplied, every RUN command and
+// COPY movement lands in the BuildRecord — the paper's Fig. 6 hijacked build.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "buildexec/container.hpp"
+#include "buildexec/record.hpp"
+#include "dockerfile/dockerfile.hpp"
+#include "oci/oci.hpp"
+
+namespace comt::buildexec {
+
+class ImageBuilder {
+ public:
+  explicit ImageBuilder(oci::Layout& layout) : layout_(layout) {}
+
+  /// Package repository backing apt-get inside build containers (nullable).
+  void set_apt_source(const pkg::Repository* repo) { apt_source_ = repo; }
+
+  /// `docker build --build-arg` equivalents; they override ARG defaults.
+  void set_build_args(std::map<std::string, std::string> args) {
+    build_args_ = std::move(args);
+  }
+
+  /// Executes the Dockerfile against `context` and tags the result `tag`.
+  /// `target_stage` ("" = last) stops the build at a named/numbered stage.
+  Result<oci::Image> build(const dockerfile::Dockerfile& file,
+                           const vfs::Filesystem& context, std::string_view tag,
+                           std::string_view target_stage = "",
+                           BuildRecord* record = nullptr);
+
+  /// Instantiates a container from a tagged image (flattened rootfs + config).
+  Result<Container> container_from(std::string_view tag) const;
+
+  /// Commits a container as a one-layer derivation of `base` (docker commit):
+  /// the layer is the rootfs diff, the config is the container's current one.
+  Result<oci::Image> commit(const Container& container, const oci::Image& base,
+                            std::string_view created_by, std::string_view tag);
+
+ private:
+  oci::Layout& layout_;
+  const pkg::Repository* apt_source_ = nullptr;
+  std::map<std::string, std::string> build_args_;
+};
+
+}  // namespace comt::buildexec

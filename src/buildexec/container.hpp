@@ -1,0 +1,81 @@
+// The simulated build container: an in-memory rootfs plus an image config,
+// a working directory and an environment, executing RUN command lines through
+// the shell front end. Shell builtins cover the file utilities build scripts
+// use; everything else resolves through $PATH to an installed program — a
+// compiler stub (dispatched to the toolchain driver), the archiver, the apt
+// front end, or the make interpreter. With a recorder attached, every command
+// is logged as a ToolInvocation (the paper's build-process hijack, §4.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buildexec/record.hpp"
+#include "oci/oci.hpp"
+#include "pkg/pkg.hpp"
+#include "shell/shell.hpp"
+#include "vfs/vfs.hpp"
+
+namespace comt::buildexec {
+
+/// Outcome of resolving and executing one non-builtin tool.
+struct ToolExecution {
+  std::vector<std::string> outputs;      ///< absolute paths written
+  std::vector<std::string> inputs_read;  ///< absolute paths consumed
+  std::string resolved_program;          ///< where argv[0] resolved to
+  std::string toolchain_id;              ///< set for compiler dispatches
+  std::string log;
+};
+
+/// Resolves argv[0] (against $PATH from `env`, or as a path relative to
+/// `cwd`) inside `fs` and executes the program it names: a compiler stub runs
+/// the toolchain driver for `arch`, /usr/bin/ar runs the archiver, coMtainer
+/// toolset stubs are no-ops. Exposed separately from Container so the rebuild
+/// scheduler can run compile jobs against private filesystem snapshots.
+Result<ToolExecution> exec_tool(const std::vector<std::string>& argv,
+                                vfs::Filesystem& fs, const std::string& cwd,
+                                const std::string& arch,
+                                const shell::Environment& env);
+
+class Container {
+ public:
+  /// `apt_source` may be null: apt-get then fails, as without sources.list.
+  Container(vfs::Filesystem rootfs, oci::ImageConfig config,
+            const pkg::Repository* apt_source);
+
+  vfs::Filesystem& rootfs() { return rootfs_; }
+  const vfs::Filesystem& rootfs() const { return rootfs_; }
+  oci::ImageConfig& config() { return config_; }
+  const oci::ImageConfig& config() const { return config_; }
+
+  const std::string& cwd() const { return cwd_; }
+  void set_cwd(std::string cwd) { cwd_ = std::move(cwd); }
+
+  shell::Environment& env() { return env_; }
+  const shell::Environment& env() const { return env_; }
+
+  /// Attaches (or detaches, with nullptr) the hijacker's log. Every
+  /// subsequently executed command — builtin or tool — is appended to it.
+  void attach_recorder(BuildRecord* record) { record_ = record; }
+
+  /// Runs a full shell line (`&&`/`;` lists, quoting, $VAR expansion).
+  Status run_shell(std::string_view line);
+
+  /// Runs a single pre-tokenized command.
+  Status run_argv(const std::vector<std::string>& argv);
+
+ private:
+  Status execute(const std::vector<std::string>& argv);
+  Status dispatch(const std::vector<std::string>& argv, ToolInvocation& invocation);
+  Status builtin_apt(const std::vector<std::string>& argv);
+
+  vfs::Filesystem rootfs_;
+  oci::ImageConfig config_;
+  const pkg::Repository* apt_source_ = nullptr;
+  std::string cwd_ = "/";
+  shell::Environment env_;
+  BuildRecord* record_ = nullptr;
+};
+
+}  // namespace comt::buildexec

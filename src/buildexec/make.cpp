@@ -1,0 +1,256 @@
+#include "buildexec/make.hpp"
+
+#include <functional>
+#include <set>
+
+#include "buildexec/container.hpp"
+#include "support/strings.hpp"
+
+namespace comt::buildexec {
+namespace {
+
+/// Expands $(VAR), ${VAR} and single-character $X references (which is how
+/// the $@ $< $^ automatics are stored: under keys "@", "<", "^"). Variable
+/// values may reference further variables; recursion is depth-capped.
+std::string expand_make(std::string_view text,
+                        const std::map<std::string, std::string>& variables,
+                        int depth = 0) {
+  if (depth > 16) return std::string(text);
+  std::string result;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '$' || i + 1 >= text.size()) {
+      result += text[i];
+      continue;
+    }
+    char next = text[i + 1];
+    if (next == '$') {
+      result += '$';
+      ++i;
+      continue;
+    }
+    std::string name;
+    if (next == '(' || next == '{') {
+      char close = next == '(' ? ')' : '}';
+      std::size_t end = text.find(close, i + 2);
+      if (end == std::string_view::npos) {
+        result += text[i];
+        continue;
+      }
+      name = std::string(text.substr(i + 2, end - i - 2));
+      i = end;
+    } else {
+      name = std::string(1, next);
+      ++i;
+    }
+    auto it = variables.find(name);
+    if (it != variables.end()) result += expand_make(it->second, variables, depth + 1);
+  }
+  return result;
+}
+
+/// Restores the container's working directory on every exit path (make -C).
+class CwdGuard {
+ public:
+  explicit CwdGuard(Container& container)
+      : container_(container), saved_(container.cwd()) {}
+  ~CwdGuard() { container_.set_cwd(saved_); }
+  CwdGuard(const CwdGuard&) = delete;
+  CwdGuard& operator=(const CwdGuard&) = delete;
+
+ private:
+  Container& container_;
+  std::string saved_;
+};
+
+}  // namespace
+
+const MakeRule* Makefile::find_rule(std::string_view target) const {
+  for (const MakeRule& rule : rules) {
+    if (rule.target == target) return &rule;
+  }
+  return nullptr;
+}
+
+Result<Makefile> parse_makefile(std::string_view text) {
+  Makefile makefile;
+  int current_rule = -1;
+  int line_number = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_number;
+    if (!line.empty() && line[0] == '\t') {
+      if (current_rule < 0) {
+        return make_error(Errc::invalid_argument,
+                          "makefile line " + std::to_string(line_number) +
+                              ": recipe commences before first target");
+      }
+      std::string command(trim(line));
+      if (!command.empty()) makefile.rules[current_rule].recipe.push_back(command);
+      continue;
+    }
+    std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    std::size_t eq = trimmed.find('=');
+    std::size_t colon = trimmed.find(':');
+    bool assignment = eq != std::string_view::npos &&
+                      (colon == std::string_view::npos || eq < colon || eq == colon + 1);
+    if (assignment) {
+      char op = '=';
+      std::size_t name_end = eq;
+      if (eq > 0 && (trimmed[eq - 1] == '?' || trimmed[eq - 1] == ':' ||
+                     trimmed[eq - 1] == '+')) {
+        op = trimmed[eq - 1];
+        name_end = eq - 1;
+      }
+      std::string name(trim(trimmed.substr(0, name_end)));
+      std::string value(trim(trimmed.substr(eq + 1)));
+      if (name.empty() || name.find(' ') != std::string::npos) {
+        return make_error(Errc::invalid_argument,
+                          "makefile line " + std::to_string(line_number) +
+                              ": malformed variable name");
+      }
+      if (op == '+') {
+        std::string& slot = makefile.variables[name];
+        slot = slot.empty() ? value : slot + " " + value;
+      } else if (op != '?' || makefile.variables.count(name) == 0) {
+        makefile.variables[name] = value;
+      }
+      current_rule = -1;
+      continue;
+    }
+    if (colon != std::string_view::npos) {
+      std::string target(trim(trimmed.substr(0, colon)));
+      if (target.empty() || split_whitespace(target).size() != 1) {
+        return make_error(Errc::invalid_argument,
+                          "makefile line " + std::to_string(line_number) +
+                              ": malformed target '" + target + "'");
+      }
+      MakeRule rule;
+      rule.target = target;
+      rule.prerequisites = split_whitespace(trim(trimmed.substr(colon + 1)));
+      makefile.rules.push_back(std::move(rule));
+      current_rule = static_cast<int>(makefile.rules.size()) - 1;
+      if (makefile.default_goal.empty()) makefile.default_goal = target;
+      continue;
+    }
+    return make_error(Errc::invalid_argument,
+                      "makefile line " + std::to_string(line_number) +
+                          ": missing separator");
+  }
+  if (makefile.rules.empty()) {
+    return make_error(Errc::invalid_argument, "makefile: no targets");
+  }
+  return makefile;
+}
+
+Result<std::vector<std::string>> run_make(Container& container,
+                                          const std::vector<std::string>& argv) {
+  std::string directory;
+  std::map<std::string, std::string> overrides;
+  std::vector<std::string> goals;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg == "-C") {
+      if (i + 1 >= argv.size()) {
+        return make_error(Errc::invalid_argument, "make: option -C requires a directory");
+      }
+      directory = argv[++i];
+    } else if (starts_with(arg, "-j") || arg == "-s" || arg == "-k") {
+      continue;  // parallelism/verbosity flags: accepted, irrelevant here
+    } else if (arg.find('=') != std::string::npos) {
+      std::size_t eq = arg.find('=');
+      overrides[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      goals.push_back(arg);
+    }
+  }
+
+  CwdGuard guard(container);
+  if (!directory.empty()) {
+    std::string target = normalize_path(path_join(container.cwd(), directory));
+    if (!container.rootfs().is_directory(target)) {
+      return make_error(Errc::not_found, "make: chdir " + directory + ": no such directory");
+    }
+    container.set_cwd(target);
+  }
+  const std::string cwd = container.cwd();
+
+  auto text = container.rootfs().read_file(path_join(cwd, "Makefile"));
+  if (!text.ok()) {
+    return make_error(Errc::not_found, "make: *** No makefile found in " + cwd);
+  }
+  COMT_TRY(Makefile makefile, parse_makefile(text.value()));
+  for (const auto& [name, value] : overrides) makefile.variables[name] = value;
+  if (goals.empty()) goals.push_back(makefile.default_goal);
+
+  std::vector<std::string> built;
+  std::map<std::string, bool> finished;  // target -> its recipe ran
+  std::set<std::string> visiting;
+
+  std::function<Result<bool>(const std::string&)> build =
+      [&](const std::string& target) -> Result<bool> {
+    if (visiting.count(target) != 0) {
+      return make_error(Errc::failed,
+                        "make: circular dependency dropped at '" + target + "'");
+    }
+    auto memo = finished.find(target);
+    if (memo != finished.end()) return memo->second;
+
+    const MakeRule* rule = makefile.find_rule(target);
+    std::string target_path = path_join(cwd, target);
+    if (rule == nullptr) {
+      if (container.rootfs().exists(target_path)) return false;
+      return make_error(Errc::not_found,
+                        "make: *** No rule to make target '" + target + "'");
+    }
+
+    visiting.insert(target);
+    std::vector<std::string> prerequisites;
+    for (const std::string& raw : rule->prerequisites) {
+      for (std::string& word :
+           split_whitespace(expand_make(raw, makefile.variables))) {
+        prerequisites.push_back(std::move(word));
+      }
+    }
+    bool dependency_rebuilt = false;
+    for (const std::string& prerequisite : prerequisites) {
+      auto rebuilt = build(prerequisite);
+      if (!rebuilt.ok()) {
+        visiting.erase(target);
+        return rebuilt.error();
+      }
+      dependency_rebuilt = dependency_rebuilt || rebuilt.value();
+    }
+    visiting.erase(target);
+
+    // Up-to-date check is existence-based: the vfs has no mtimes, and the
+    // recorded builds only ever run from clean trees.
+    bool needs_build = !container.rootfs().exists(target_path) || dependency_rebuilt;
+    bool ran = false;
+    if (needs_build && !rule->recipe.empty()) {
+      std::map<std::string, std::string> variables = makefile.variables;
+      variables["@"] = target;
+      variables["<"] = prerequisites.empty() ? "" : prerequisites.front();
+      variables["^"] = join(prerequisites, " ");
+      for (const std::string& line : rule->recipe) {
+        Status status = container.run_shell(expand_make(line, variables));
+        if (!status.ok()) {
+          return make_error(status.error().code,
+                            "make: *** [" + target + "] " + status.error().message);
+        }
+      }
+      ran = true;
+      built.push_back(target);
+    }
+    finished[target] = ran;
+    return ran;
+  };
+
+  for (const std::string& goal : goals) {
+    auto result = build(goal);
+    if (!result.ok()) return result.error();
+  }
+  return built;
+}
+
+}  // namespace comt::buildexec

@@ -1,0 +1,47 @@
+// A small GNU-make interpreter: variable assignments (=, ?=, :=), rules with
+// prerequisites and tab-indented recipes, $(VAR)/${VAR} expansion, the $@ $<
+// $^ automatics, and existence-based up-to-date checks. Recipes execute
+// through the container shell, so a hijacked `make` still records each
+// compiler invocation individually — the paper's point that recording at the
+// tool boundary sees through arbitrary build drivers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace comt::buildexec {
+
+class Container;
+
+/// One parsed rule. Prerequisites and recipe lines are stored unexpanded;
+/// expansion happens at execution time against the effective variable set
+/// (file variables overridden by command-line NAME=value arguments).
+struct MakeRule {
+  std::string target;
+  std::vector<std::string> prerequisites;
+  std::vector<std::string> recipe;
+};
+
+struct Makefile {
+  std::map<std::string, std::string> variables;
+  std::vector<MakeRule> rules;
+  std::string default_goal;  ///< first rule's target
+
+  const MakeRule* find_rule(std::string_view target) const;
+};
+
+/// Parses makefile text. Errors: a recipe line before any rule, a line that
+/// is neither assignment nor rule, a multi-word rule target, no rules at all.
+Result<Makefile> parse_makefile(std::string_view text);
+
+/// Runs `make` inside the container: argv is the full command line
+/// ("make [-C dir] [NAME=value...] [goals...]"; -j is accepted and ignored).
+/// Returns the targets whose recipes ran, in build order.
+Result<std::vector<std::string>> run_make(Container& container,
+                                          const std::vector<std::string>& argv);
+
+}  // namespace comt::buildexec

@@ -1,0 +1,126 @@
+#include "buildexec/record.hpp"
+
+namespace comt::buildexec {
+namespace {
+
+json::Value string_array(const std::vector<std::string>& items) {
+  json::Value array{json::Array{}};
+  for (const std::string& item : items) array.push_back(json::Value(item));
+  return array;
+}
+
+json::Value string_map(const std::map<std::string, std::string>& items) {
+  json::Value object{json::Object{}};
+  for (const auto& [key, value] : items) object.set(key, json::Value(value));
+  return object;
+}
+
+Result<std::vector<std::string>> parse_string_array(const json::Value* value,
+                                                    std::string_view what) {
+  std::vector<std::string> items;
+  if (value == nullptr) return items;
+  if (!value->is_array()) {
+    return make_error(Errc::corrupt, std::string(what) + " is not an array");
+  }
+  for (const json::Value& item : value->as_array()) {
+    if (!item.is_string()) {
+      return make_error(Errc::corrupt, std::string(what) + " element is not a string");
+    }
+    items.push_back(item.as_string());
+  }
+  return items;
+}
+
+Result<std::map<std::string, std::string>> parse_string_map(
+    const json::Value* value, std::string_view what) {
+  std::map<std::string, std::string> items;
+  if (value == nullptr) return items;
+  if (!value->is_object()) {
+    return make_error(Errc::corrupt, std::string(what) + " is not an object");
+  }
+  for (const auto& [key, entry] : value->as_object()) {
+    if (!entry.is_string()) {
+      return make_error(Errc::corrupt, std::string(what) + " value is not a string");
+    }
+    items.emplace(key, entry.as_string());
+  }
+  return items;
+}
+
+}  // namespace
+
+json::Value ToolInvocation::to_json() const {
+  json::Value object{json::Object{}};
+  object.set("argv", string_array(argv));
+  object.set("resolved_program", json::Value(resolved_program));
+  object.set("toolchain_id", json::Value(toolchain_id));
+  object.set("cwd", json::Value(cwd));
+  object.set("env", string_map(env));
+  object.set("inputs_read", string_array(inputs_read));
+  object.set("outputs", string_array(outputs));
+  object.set("digests", string_map(digests));
+  object.set("succeeded", json::Value(succeeded));
+  object.set("message", json::Value(message));
+  return object;
+}
+
+Result<ToolInvocation> ToolInvocation::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return make_error(Errc::corrupt,
+                                      "invocation is not an object");
+  }
+  ToolInvocation invocation;
+  COMT_TRY(invocation.argv, parse_string_array(value.find("argv"), "argv"));
+  if (invocation.argv.empty()) {
+    return make_error(Errc::corrupt,
+                                      "invocation has an empty argv");
+  }
+  invocation.resolved_program = value.get_string("resolved_program");
+  invocation.toolchain_id = value.get_string("toolchain_id");
+  invocation.cwd = value.get_string("cwd", "/");
+  COMT_TRY(invocation.env, parse_string_map(value.find("env"), "env"));
+  COMT_TRY(invocation.inputs_read,
+           parse_string_array(value.find("inputs_read"), "inputs_read"));
+  COMT_TRY(invocation.outputs,
+           parse_string_array(value.find("outputs"), "outputs"));
+  COMT_TRY(invocation.digests,
+           parse_string_map(value.find("digests"), "digests"));
+  invocation.succeeded = value.get_bool("succeeded", true);
+  invocation.message = value.get_string("message");
+  return invocation;
+}
+
+json::Value BuildRecord::to_json() const {
+  json::Value object{json::Object{}};
+  json::Value array{json::Array{}};
+  for (const ToolInvocation& invocation : invocations) {
+    array.push_back(invocation.to_json());
+  }
+  object.set("invocations", std::move(array));
+  return object;
+}
+
+std::string BuildRecord::serialize() const {
+  return json::serialize_pretty(to_json());
+}
+
+Result<BuildRecord> BuildRecord::parse(std::string_view text) {
+  COMT_TRY(json::Value document, json::parse(text));
+  if (!document.is_object()) {
+    return make_error(Errc::corrupt,
+                                   "build record is not an object");
+  }
+  const json::Value* array = document.find("invocations");
+  if (array == nullptr || !array->is_array()) {
+    return make_error(Errc::corrupt,
+                                   "build record has no invocations array");
+  }
+  BuildRecord record;
+  for (const json::Value& entry : array->as_array()) {
+    COMT_TRY(ToolInvocation invocation, ToolInvocation::from_json(entry));
+    record.invocations.push_back(std::move(invocation));
+  }
+  return record;
+}
+
+}  // namespace comt::buildexec

@@ -1,0 +1,57 @@
+// Build-process recording (§4.1): the hijacking build container logs every
+// tool invocation — compilers, the archiver, file movements, package-manager
+// runs — together with point-in-time content digests of the files each tool
+// read and wrote. The record is the raw material the front-end distills into
+// the build-graph process model.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+#include "support/error.hpp"
+
+namespace comt::buildexec {
+
+/// Image-config label that switches invocation recording on. The coMtainer
+/// Env/Base images carry it; ordinary bases don't, so builds from mainstream
+/// images are never recorded (Fig. 6's opt-in hijack).
+inline constexpr std::string_view kHijackLabel = "comtainer.hijack";
+
+/// argv[0] of the pseudo-invocation recorded for a Dockerfile COPY movement
+/// (COPY has no real tool, but the file flow matters to the image model).
+inline constexpr std::string_view kCopyPseudoTool = "comt::copy";
+
+/// One recorded tool invocation.
+struct ToolInvocation {
+  std::vector<std::string> argv;       ///< as invoked, after shell expansion
+  std::string resolved_program;        ///< absolute path argv[0] resolved to
+  std::string toolchain_id;            ///< for compiler stubs, the toolchain
+  std::string cwd = "/";               ///< working directory of the invocation
+  std::map<std::string, std::string> env;  ///< environment at invocation time
+  std::vector<std::string> inputs_read;    ///< absolute paths consumed
+  std::vector<std::string> outputs;        ///< absolute paths written
+  /// Point-in-time sha256 of every input and output, keyed by path.
+  std::map<std::string, std::string> digests;
+  bool succeeded = true;
+  std::string message;  ///< error text for failed invocations
+
+  json::Value to_json() const;
+  static Result<ToolInvocation> from_json(const json::Value& value);
+};
+
+/// The full log of one hijacked build.
+struct BuildRecord {
+  std::vector<ToolInvocation> invocations;
+
+  json::Value to_json() const;
+  std::string serialize() const;
+
+  /// Parses a serialized record. Rejects non-JSON input, documents without an
+  /// "invocations" array, and invocations with an empty argv.
+  static Result<BuildRecord> parse(std::string_view text);
+};
+
+}  // namespace comt::buildexec

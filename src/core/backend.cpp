@@ -1,10 +1,18 @@
 #include "core/backend.hpp"
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <shared_mutex>
 
 #include "buildexec/builder.hpp"
 #include "buildexec/container.hpp"
 #include "core/frontend.hpp"
+#include "sched/dag.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/sha256.hpp"
 #include "support/strings.hpp"
 #include "toolchain/driver.hpp"
 
@@ -99,13 +107,104 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
     COMT_TRY_STATUS(container.rootfs().write_file(node.path, source->second));
   }
 
+  // The compile scheduler. Each non-leaf graph node becomes one job whose
+  // dependency edges are the node's non-leaf producers, so independent
+  // translation units compile concurrently while links wait for their
+  // objects. The job body is identical in sequential (threads == 1, jobs run
+  // inline in topological order) and pooled mode: every job executes against
+  // a private snapshot of the shared rootfs taken under a reader lock and
+  // commits its outputs under the writer lock, so both modes produce
+  // bit-identical rebuilt images.
   COMT_TRY(std::vector<int> order, graph.topological_order());
+  const std::string arch = container.config().architecture;
+  const shell::Environment env = container.env();
+  std::shared_mutex rootfs_mutex;
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+
+  // Current digest of `path` in the shared rootfs; "" when unreadable. The
+  // cache verifies its per-entry input manifest through this, so a changed
+  // source, header, object or toolchain stub turns a candidate into a miss.
+  auto digest_in_rootfs = [&](const std::string& path) -> std::string {
+    std::shared_lock<std::shared_mutex> lock(rootfs_mutex);
+    auto content = container.rootfs().read_file(path);
+    return content.ok() ? Sha256::hex_digest(content.value()) : std::string();
+  };
+
+  auto run_job = [&](const std::vector<std::string>& argv,
+                     const std::string& cwd) -> Status {
+    sched::CacheKey key{options.system->name, arch, cwd, argv};
+    const std::string key_digest = key.digest();
+    if (options.compile_cache != nullptr) {
+      auto hit = options.compile_cache->lookup(key_digest, digest_in_rootfs);
+      if (hit != nullptr) {
+        std::unique_lock<std::shared_mutex> lock(rootfs_mutex);
+        for (const sched::CachedOutput& out : hit->outputs) {
+          COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
+        }
+        cache_hits.fetch_add(1);
+        return Status::success();
+      }
+    }
+    // Sequential mode executes directly on the shared rootfs (nothing else
+    // runs, so no snapshot is needed and no copy is paid). Concurrent mode
+    // executes against a private snapshot and commits the declared outputs
+    // under the writer lock — the rebuilt files are identical because the
+    // tool sees the same committed dependency outputs either way.
+    const bool concurrent = options.threads > 1;
+    vfs::Filesystem snapshot;
+    vfs::Filesystem* fs = &container.rootfs();
+    if (concurrent) {
+      std::shared_lock<std::shared_mutex> lock(rootfs_mutex);
+      snapshot = container.rootfs();
+      fs = &snapshot;
+    }
+    auto executed = buildexec::exec_tool(argv, *fs, cwd, arch, env);
+    if (!executed.ok()) return executed.error();
+    cache_misses.fetch_add(1);
+    std::vector<sched::CachedOutput> outputs;
+    if (concurrent || options.compile_cache != nullptr) {
+      for (const std::string& out_path : executed.value().outputs) {
+        auto content = fs->read_file(out_path);
+        if (!content.ok()) continue;  // e.g. an output the tool itself removed
+        std::uint32_t mode = 0644;
+        if (const vfs::Node* node = fs->lookup(out_path)) mode = node->mode;
+        outputs.push_back({out_path, std::move(content).value(), mode});
+      }
+    }
+    if (concurrent) {
+      std::unique_lock<std::shared_mutex> lock(rootfs_mutex);
+      for (const sched::CachedOutput& out : outputs) {
+        COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
+      }
+    }
+    if (options.compile_cache != nullptr) {
+      sched::CacheEntry entry;
+      for (const std::string& in_path : executed.value().inputs_read) {
+        auto content = fs->read_file(in_path);
+        entry.input_digests[in_path] =
+            content.ok() ? Sha256::hex_digest(content.value()) : std::string();
+      }
+      if (!executed.value().resolved_program.empty()) {
+        auto program = fs->read_file(executed.value().resolved_program);
+        entry.input_digests[executed.value().resolved_program] =
+            program.ok() ? Sha256::hex_digest(program.value()) : std::string();
+      }
+      entry.outputs = std::move(outputs);
+      options.compile_cache->store(key_digest, std::move(entry));
+    }
+    return Status::success();
+  };
+
+  std::unique_ptr<sched::ThreadPool> pool;
+  if (options.threads > 1) pool = std::make_unique<sched::ThreadPool>(options.threads);
+
   auto execute_graph = [&](bool profile_generate, bool profile_use) -> Status {
+    sched::DagScheduler scheduler;
     for (int id : order) {
       const GraphNode& node = graph.node(id);
       if (node.is_leaf()) continue;
-      container.set_cwd(node.cwd.empty() ? "/" : node.cwd);
-      Status status = Status::success();
+      std::vector<std::string> argv;
       if (node.compile.has_value()) {
         toolchain::CompileCommand command = *node.compile;
         if (profile_generate) {
@@ -116,18 +215,35 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
           command.profile_generate = false;
           command.profile_use = ".";
         }
-        status = container.run_argv(command.render());
+        argv = command.render();
       } else if (!node.archive_argv.empty()) {
-        status = container.run_argv(node.archive_argv);
+        argv = node.archive_argv;
       }
-      if (!status.ok()) {
-        return make_error(status.error().code,
-                          "rebuild of node " + std::to_string(id) + " (" + node.path +
-                              "): " + status.error().message);
+      std::vector<std::string> dep_jobs;
+      for (int dep : node.deps) {
+        if (!graph.node(dep).is_leaf()) dep_jobs.push_back(std::to_string(dep));
       }
-      ++report.nodes_executed;
+      std::string cwd = node.cwd.empty() ? "/" : node.cwd;
+      std::string path = node.path;
+      COMT_TRY_STATUS(scheduler.add_job(
+          std::to_string(id), std::move(dep_jobs),
+          [&run_job, id, path = std::move(path), argv = std::move(argv),
+           cwd = std::move(cwd)]() -> Status {
+            if (argv.empty()) return Status::success();
+            Status status = run_job(argv, cwd);
+            if (!status.ok()) {
+              return make_error(status.error().code,
+                                "rebuild of node " + std::to_string(id) + " (" + path +
+                                    "): " + status.error().message);
+            }
+            return Status::success();
+          }));
     }
-    return Status::success();
+    report.jobs += scheduler.job_count();
+    COMT_TRY(sched::ScheduleReport schedule, scheduler.run(pool.get()));
+    report.nodes_executed += schedule.executed;
+    report.wall_ms += schedule.wall_ms;
+    return schedule.first_error();
   };
 
   if (want_profile) {
@@ -197,6 +313,9 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
       std::string(kRebuildMetaPath),
       json::serialize(replacements_to_json(report.package_replacements))));
 
+  report.cache_hits = cache_hits.load();
+  report.cache_misses = cache_misses.load();
+
   std::string rebuilt_tag = base_tag_of(extended_tag) + std::string(kRebuiltSuffix);
   COMT_TRY(report.image,
            layout.append_layer(extended, rebuild_layer, "coMtainer-rebuild", rebuilt_tag));
@@ -255,19 +374,45 @@ Result<RedirectReport> comtainer_redirect(oci::Layout& layout, std::string_view 
     }
   }
 
+  // Stage rebuilt content out of the source image through the scheduler:
+  // each build-produced entry reads its rebuild-layer blob into a private
+  // slot (reads of the immutable source rootfs are safe concurrently).
+  // Writes into the optimized image happen afterwards, sequentially in
+  // model order, so the result is identical at any thread count.
+  std::vector<std::optional<std::string>> staged(model.files.size());
+  {
+    sched::DagScheduler scheduler;
+    for (std::size_t i = 0; i < model.files.size(); ++i) {
+      const ImageFileEntry& entry = model.files[i];
+      if (entry.origin != FileOrigin::build_process) continue;
+      std::string rebuilt_path = std::string(kRebuildDir) + entry.path;
+      COMT_TRY_STATUS(scheduler.add_job(
+          std::to_string(i), {},
+          [&source_rootfs, &staged, i, rebuilt_path = std::move(rebuilt_path)]() -> Status {
+            auto content = source_rootfs.read_file(rebuilt_path);
+            if (content.ok()) staged[i] = std::move(content).value();
+            return Status::success();
+          }));
+    }
+    std::unique_ptr<sched::ThreadPool> pool;
+    if (options.threads > 1) pool = std::make_unique<sched::ThreadPool>(options.threads);
+    COMT_TRY(sched::ScheduleReport schedule, scheduler.run(pool.get()));
+    COMT_TRY_STATUS(schedule.first_error());
+    report.wall_ms += schedule.wall_ms;
+  }
+
   // Place application files at their original paths: rebuilt content where a
   // rebuild layer provides it, otherwise the original image's bytes.
-  for (const ImageFileEntry& entry : model.files) {
+  for (std::size_t i = 0; i < model.files.size(); ++i) {
+    const ImageFileEntry& entry = model.files[i];
     switch (entry.origin) {
       case FileOrigin::base_image:
       case FileOrigin::package_manager:
         break;  // supplied by the Rebase image / installed packages
       case FileOrigin::build_process: {
-        std::string rebuilt_path = std::string(kRebuildDir) + entry.path;
-        if (source_rootfs.is_regular(rebuilt_path)) {
-          COMT_TRY(std::string content, source_rootfs.read_file(rebuilt_path));
+        if (staged[i].has_value()) {
           COMT_TRY_STATUS(
-              container.rootfs().write_file(entry.path, std::move(content), 0755));
+              container.rootfs().write_file(entry.path, std::move(*staged[i]), 0755));
           ++report.files_from_rebuild;
         } else {
           COMT_TRY_STATUS(

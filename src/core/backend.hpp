@@ -8,6 +8,11 @@
 //                       a rebuild layer, tag "<tag>+coMre" (rebuilt image).
 //                       When a PGO adapter is active, runs the automated
 //                       instrument -> execute -> recompile feedback loop.
+//                       Compile jobs run through the sched:: DAG scheduler:
+//                       independent jobs execute concurrently when
+//                       RebuildOptions::threads > 1, and an optional
+//                       content-addressed compile cache replays unchanged
+//                       jobs without running the toolchain.
 //  comtainer_redirect — system side: in a fresh Rebase container, install
 //                       (optimized) runtime packages, place the rebuilt or
 //                       original application files at their original paths,
@@ -24,6 +29,7 @@
 #include "core/cache.hpp"
 #include "core/models.hpp"
 #include "oci/oci.hpp"
+#include "sched/compile_cache.hpp"
 #include "support/error.hpp"
 #include "sysmodel/sysmodel.hpp"
 
@@ -40,40 +46,84 @@ Result<oci::Image> comtainer_build(oci::Layout& layout, std::string_view dist_ta
                                    const CacheOptions& cache_options = {});
 
 struct RebuildOptions {
+  /// Target system the rebuild adapts to. Required.
   const sysmodel::SystemProfile* system = nullptr;
+  /// The system's package repository (optimized builds of the stack). Required.
   const pkg::Repository* system_repo = nullptr;
-  std::string sysenv_tag;  ///< Sysenv image tag in the layout
+  /// Sysenv image tag in the layout: the system's build environment.
+  std::string sysenv_tag;
+  /// Adapters to apply, in order, to the build graph / packages / artifacts.
   std::vector<const SystemAdapter*> adapters;
   /// Input for the PGO feedback run (should mirror the deployment input).
   sysmodel::RunRequest profile_run;
+  /// Worker threads for the compile scheduler. 1 (default) runs every job
+  /// inline on the calling thread in topological order; >= 2 runs
+  /// independent jobs concurrently. Both modes share one job code path and
+  /// produce bit-identical rebuilt images.
+  std::size_t threads = 1;
+  /// Optional content-addressed compile cache. When set, each job first
+  /// looks up (toolchain, ISA, cwd, argv) + input digests and replays the
+  /// cached outputs on a hit; misses execute and populate the cache. Keep
+  /// one cache alive across rebuilds to skip unchanged compilations.
+  /// May be shared between concurrent rebuilds (it is thread-safe).
+  sched::CompileCache* compile_cache = nullptr;
 };
 
 /// Diagnostics from a rebuild (how many nodes re-ran, profile feedback, …).
 struct RebuildReport {
-  oci::Image image;               ///< the rebuilt image ("…+coMre")
+  /// The rebuilt image ("…+coMre").
+  oci::Image image;
+  /// Build-graph nodes whose job body ran, summed over PGO passes.
   std::size_t nodes_executed = 0;
+  /// Files captured into the rebuild layer (/.coMtainer/rebuild/...).
   std::size_t files_rebuilt = 0;
+  /// True when a PGO adapter drove the instrument→run→recompile loop.
   bool profile_feedback = false;
+  /// Package substitutions the adapters proposed (original → system build).
   std::map<std::string, std::string> package_replacements;
+  /// Compile jobs submitted to the scheduler, summed over PGO passes.
+  std::size_t jobs = 0;
+  /// Jobs replayed from the compile cache without running the toolchain.
+  std::size_t cache_hits = 0;
+  /// Jobs that executed the toolchain (includes all jobs when no cache is
+  /// configured).
+  std::size_t cache_misses = 0;
+  /// Wall-clock milliseconds spent inside the compile scheduler, summed
+  /// over PGO passes.
+  double wall_ms = 0;
 };
 
 Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view extended_tag,
                                         const RebuildOptions& options);
 
 struct RedirectOptions {
+  /// Target system (currently informational for redirect). Optional.
   const sysmodel::SystemProfile* system = nullptr;
+  /// The system's package repository; source of replacement packages. Required.
   const pkg::Repository* system_repo = nullptr;
-  std::string rebase_tag;  ///< Rebase image tag in the layout
+  /// Rebase image tag in the layout: the minimal runtime base.
+  std::string rebase_tag;
   /// Extra package replacements applied even without a rebuild layer
   /// (redirect-only flows, e.g. the motivation figure's libo step).
   std::map<std::string, std::string> package_replacements;
+  /// Worker threads for staging file content out of the source image.
+  /// 1 (default) stages inline; >= 2 stages concurrently. Writes into the
+  /// optimized image are always applied sequentially in model order, so the
+  /// result is identical either way.
+  std::size_t threads = 1;
 };
 
 struct RedirectReport {
-  oci::Image image;  ///< the optimized image ("…+opt")
+  /// The optimized image ("…+opt").
+  oci::Image image;
+  /// Runtime packages installed from the system repository (substitutions).
   std::size_t packages_installed = 0;
+  /// Application files placed from the rebuild layer's content.
   std::size_t files_from_rebuild = 0;
+  /// Application files carried over byte-for-byte from the original image.
   std::size_t files_from_original = 0;
+  /// Wall-clock milliseconds spent in the staging scheduler.
+  double wall_ms = 0;
 };
 
 Result<RedirectReport> comtainer_redirect(oci::Layout& layout, std::string_view source_tag,

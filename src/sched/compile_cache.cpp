@@ -1,0 +1,70 @@
+#include "sched/compile_cache.hpp"
+
+#include "support/sha256.hpp"
+
+namespace comt::sched {
+namespace {
+
+void append_field(std::string& buffer, const std::string& field) {
+  buffer += std::to_string(field.size());
+  buffer += ':';
+  buffer += field;
+}
+
+}  // namespace
+
+std::string CacheKey::digest() const {
+  std::string buffer;
+  append_field(buffer, toolchain_id);
+  append_field(buffer, target_arch);
+  append_field(buffer, cwd);
+  buffer += std::to_string(argv.size());
+  buffer += ';';
+  for (const std::string& arg : argv) append_field(buffer, arg);
+  return Sha256::hex_digest(buffer);
+}
+
+std::shared_ptr<const CacheEntry> CompileCache::lookup(const std::string& key_digest,
+                                                       const DigestFn& digest_of) {
+  std::shared_ptr<const CacheEntry> candidate;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = entries_.find(key_digest);
+    if (found != entries_.end()) candidate = found->second;
+  }
+  // Verify the input manifest outside the lock: digest_of may do real work.
+  if (candidate) {
+    for (const auto& [path, digest] : candidate->input_digests) {
+      if (digest_of(path) != digest) {
+        candidate = nullptr;
+        break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (candidate) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return candidate;
+}
+
+void CompileCache::store(const std::string& key_digest, CacheEntry entry) {
+  auto shared = std::make_shared<const CacheEntry>(std::move(entry));
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key_digest] = std::move(shared);
+  ++stats_.stores;
+}
+
+CacheStats CompileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t CompileCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace comt::sched

@@ -1,0 +1,84 @@
+// Content-addressed compile cache for the rebuild engine.
+//
+// Works like ccache's "direct mode": the key digest is computed from
+// everything that selects the computation — toolchain id, target ISA, working
+// directory, and the exact argument vector — and each entry carries a
+// manifest of the input files (path → content sha256) observed when the
+// entry was stored. A lookup only hits when every manifest input still has
+// the same digest, so a changed header or source transparently misses and
+// recompiles. Entries store the produced output blobs, so a hit replays the
+// outputs without running the toolchain at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace comt::sched {
+
+/// Everything that identifies a compile computation, before inputs are read.
+struct CacheKey {
+  std::string toolchain_id;       ///< which simulated toolchain runs
+  std::string target_arch;        ///< target ISA the driver lowers to
+  std::string cwd;                ///< directory relative paths resolve in
+  std::vector<std::string> argv;  ///< full rendered command line
+
+  /// Stable sha256 over all four fields (length-prefixed so field
+  /// boundaries can't collide).
+  std::string digest() const;
+};
+
+/// One output blob a cached job produced.
+struct CachedOutput {
+  std::string path;     ///< absolute path inside the rebuild rootfs
+  std::string content;  ///< full file content
+  std::uint32_t mode = 0644;
+};
+
+/// A stored computation: the inputs it read (with their digests at store
+/// time) and the outputs it wrote.
+struct CacheEntry {
+  /// Input path → sha256 at the time the entry was stored. Verified on
+  /// lookup; any mismatch (or unreadable input) is a miss.
+  std::map<std::string, std::string> input_digests;
+  std::vector<CachedOutput> outputs;
+};
+
+/// Hit/miss/store counters for one cache over its lifetime.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+};
+
+/// Thread-safe in-memory compile cache shared by all jobs of a rebuild (and
+/// across rebuilds, when the caller keeps it alive).
+class CompileCache {
+ public:
+  /// Returns the current digest of `path` in the caller's filesystem, or an
+  /// empty string when the file can't be read.
+  using DigestFn = std::function<std::string(const std::string& path)>;
+
+  /// Looks up `key_digest`. On a candidate entry, re-digests every manifest
+  /// input through `digest_of`; the entry only hits when all match. Returns
+  /// the entry on a hit, nullptr on a miss. Counts one hit or one miss.
+  std::shared_ptr<const CacheEntry> lookup(const std::string& key_digest,
+                                           const DigestFn& digest_of);
+
+  /// Stores (or replaces) the entry for `key_digest`. Counts one store.
+  void store(const std::string& key_digest, CacheEntry entry);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const CacheEntry>> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace comt::sched

@@ -1,0 +1,173 @@
+#include "sched/dag.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <queue>
+
+namespace comt::sched {
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   since)
+      .count();
+}
+
+}  // namespace
+
+Status ScheduleReport::first_error() const {
+  // Prefer a job's own failure over a "skipped because a dependency failed"
+  // notice — the root cause is what callers should surface.
+  for (const JobOutcome& job : jobs) {
+    if (!job.status.ok() && !job.skipped) return job.status.error();
+  }
+  for (const JobOutcome& job : jobs) {
+    if (!job.status.ok()) return job.status.error();
+  }
+  return Status::success();
+}
+
+Status DagScheduler::add_job(std::string id, std::vector<std::string> deps, JobFn fn) {
+  for (const Job& job : jobs_) {
+    if (job.id == id) {
+      return make_error(Errc::already_exists, "sched: duplicate job '" + id + "'");
+    }
+  }
+  jobs_.push_back(Job{std::move(id), std::move(deps), std::move(fn)});
+  return Status::success();
+}
+
+Result<ScheduleReport> DagScheduler::run(ThreadPool* pool) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t count = jobs_.size();
+
+  // Resolve names to indices and validate edges.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < count; ++i) index[jobs_[i].id] = i;
+  std::vector<std::vector<std::size_t>> dependents(count);
+  std::vector<std::size_t> indegree(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const std::string& dep : jobs_[i].deps) {
+      auto found = index.find(dep);
+      if (found == index.end()) {
+        return make_error(Errc::not_found, "sched: job '" + jobs_[i].id +
+                                               "' depends on unknown job '" + dep + "'");
+      }
+      dependents[found->second].push_back(i);
+      ++indegree[i];
+    }
+  }
+
+  // Kahn's algorithm up front: a cycle must be an error, not a deadlock.
+  {
+    std::vector<std::size_t> degree = indegree;
+    std::queue<std::size_t> ready;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (degree[i] == 0) ready.push(i);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+      std::size_t job = ready.front();
+      ready.pop();
+      ++visited;
+      for (std::size_t dependent : dependents[job]) {
+        if (--degree[dependent] == 0) ready.push(dependent);
+      }
+    }
+    if (visited != count) {
+      std::string cyclic;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (degree[i] != 0) {
+          cyclic = jobs_[i].id;
+          break;
+        }
+      }
+      return make_error(Errc::invalid_argument,
+                        "sched: dependency cycle involving job '" + cyclic + "'");
+    }
+  }
+
+  ScheduleReport report;
+  report.jobs.resize(count);
+  for (std::size_t i = 0; i < count; ++i) report.jobs[i].id = jobs_[i].id;
+
+  // Shared execution state. `waiting` counts unresolved dependencies; a job
+  // becomes ready at zero. `poisoned` marks jobs with a failed dependency.
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<std::size_t> waiting = indegree;
+  std::vector<bool> poisoned(count, false);
+  std::size_t remaining = count;
+
+  // Runs one ready job (or skips it), records its outcome, and returns the
+  // dependents this freed. This is the single execution path shared by the
+  // sequential and pooled modes, so both produce identical effects.
+  auto execute_one = [&](std::size_t job_index) -> std::vector<std::size_t> {
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      skip = poisoned[job_index];
+    }
+    Status status = Status::success();
+    double ms = 0;
+    if (skip) {
+      status = make_error(Errc::failed, "sched: skipped '" + jobs_[job_index].id +
+                                            "': a dependency failed");
+    } else {
+      const auto job_start = std::chrono::steady_clock::now();
+      status = jobs_[job_index].fn();
+      ms = elapsed_ms(job_start);
+    }
+    std::vector<std::size_t> freed;
+    std::lock_guard<std::mutex> lock(mutex);
+    JobOutcome& outcome = report.jobs[job_index];
+    outcome.status = status;
+    outcome.skipped = skip;
+    outcome.wall_ms = ms;
+    if (skip) {
+      ++report.skipped;
+    } else {
+      ++report.executed;
+      if (!status.ok()) ++report.failed;
+    }
+    bool ok = status.ok() && !skip;
+    for (std::size_t dependent : dependents[job_index]) {
+      if (!ok) poisoned[dependent] = true;
+      if (--waiting[dependent] == 0) freed.push_back(dependent);
+    }
+    if (--remaining == 0) done_cv.notify_all();
+    return freed;
+  };
+
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (indegree[i] == 0) frontier.push_back(i);
+  }
+
+  if (pool == nullptr) {
+    // Inline: an explicit worklist instead of recursion, FIFO order.
+    std::deque<std::size_t> worklist(frontier.begin(), frontier.end());
+    while (!worklist.empty()) {
+      std::size_t job = worklist.front();
+      worklist.pop_front();
+      for (std::size_t next : execute_one(job)) worklist.push_back(next);
+    }
+  } else {
+    // Pooled: completion dispatches the freed dependents back into the pool.
+    std::function<void(std::size_t)> submit_job = [&](std::size_t job_index) {
+      pool->submit([&submit_job, &execute_one, job_index] {
+        for (std::size_t next : execute_one(job_index)) submit_job(next);
+      });
+    };
+    for (std::size_t job : frontier) submit_job(job);
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  report.wall_ms = elapsed_ms(start);
+  return report;
+}
+
+}  // namespace comt::sched

@@ -1,0 +1,74 @@
+// Dependency-aware job scheduler for the rebuild engine.
+//
+// Jobs are named, carry explicit dependency edges (compile jobs depend on the
+// jobs producing their inputs, links on their objects, archives on their
+// members — exactly the edges the process models record), and run through a
+// ThreadPool once every dependency succeeded. The schedule is validated
+// up front with Kahn's algorithm, so a cyclic graph is an error before any
+// job runs — never a deadlock. Results are reported in submission order
+// regardless of completion order, which is what makes parallel rebuilds
+// reproducible job-for-job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace comt::sched {
+
+/// A job body: does the work, reports success/failure.
+using JobFn = std::function<Status()>;
+
+/// Per-job outcome, in submission order.
+struct JobOutcome {
+  std::string id;
+  Status status;        ///< success, the job's own error, or the skip reason
+  bool skipped = false; ///< true when a dependency failed and the job never ran
+  double wall_ms = 0;   ///< job body execution time (0 when skipped)
+};
+
+/// Outcome of one scheduler run.
+struct ScheduleReport {
+  std::vector<JobOutcome> jobs;  ///< one per add_job call, in that order
+  std::size_t executed = 0;      ///< job bodies that ran (succeeded or failed)
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  double wall_ms = 0;            ///< schedule wall time
+
+  /// Error of the first failed/skipped job in submission order, or success.
+  Status first_error() const;
+};
+
+class DagScheduler {
+ public:
+  /// Registers a job. `deps` name jobs this one must run after; forward
+  /// references are allowed (edges are resolved at run()). Duplicate ids
+  /// are an error.
+  Status add_job(std::string id, std::vector<std::string> deps, JobFn fn);
+
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Executes the graph. With a pool, independent jobs run concurrently;
+  /// with `pool == nullptr` jobs run inline on the calling thread, in
+  /// topological submission order — the same code path either way, so both
+  /// modes produce identical filesystem effects. Fails without running
+  /// anything when the graph has an unknown dependency or a cycle.
+  /// A failed job skips its transitive dependents; independent jobs still
+  /// run (make -k semantics, so one bad unit doesn't hide other errors).
+  Result<ScheduleReport> run(ThreadPool* pool);
+
+ private:
+  struct Job {
+    std::string id;
+    std::vector<std::string> deps;
+    JobFn fn;
+  };
+
+  std::vector<Job> jobs_;
+};
+
+}  // namespace comt::sched

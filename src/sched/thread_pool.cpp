@@ -1,0 +1,109 @@
+#include "sched/thread_pool.hpp"
+
+namespace comt::sched {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> state(state_mutex_);
+    if (stopping_) return;
+    ++outstanding_;
+  }
+  std::size_t slot = next_queue_.fetch_add(1) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->queue.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::take(std::size_t self, std::function<void()>& task) {
+  // Own queue first (front: LIFO locality is irrelevant for compile jobs,
+  // FIFO keeps dispatch order close to submission order)…
+  {
+    Worker& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.front());
+      own.queue.pop_front();
+      return true;
+    }
+  }
+  // …then steal from the back of a sibling.
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    Worker& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.back());
+      victim.queue.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (take(self, task)) {
+      task();
+      executed_.fetch_add(1);
+      std::lock_guard<std::mutex> state(state_mutex_);
+      if (--outstanding_ == 0) all_done_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> state(state_mutex_);
+    if (stopping_) return;
+    work_available_.wait(state, [this, self] {
+      if (stopping_) return true;
+      for (const auto& worker : queues_) {
+        std::lock_guard<std::mutex> lock(worker->mutex);
+        if (!worker->queue.empty()) return true;
+      }
+      (void)self;
+      return false;
+    });
+    if (stopping_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> state(state_mutex_);
+  all_done_.wait(state, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  std::size_t discarded = 0;
+  {
+    std::lock_guard<std::mutex> state(state_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Drain the queues: unstarted work is dropped, running tasks finish.
+    for (const auto& worker : queues_) {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      discarded += worker->queue.size();
+      worker->queue.clear();
+    }
+    outstanding_ -= discarded;
+    if (outstanding_ == 0) all_done_.notify_all();
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace comt::sched

@@ -1,0 +1,66 @@
+// Work-stealing thread pool backing the parallel rebuild engine.
+//
+// Each worker owns a deque: it pops its own work from the front and steals
+// from the back of sibling deques when idle (Blumofe/Leiserson discipline).
+// Submission round-robins across the deques, so independent compile jobs
+// spread over workers without a single contended global queue.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comt::sched {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Equivalent to shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. No-op after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Stops the workers. Tasks already running finish; tasks still queued are
+  /// discarded — shutting down under pending work must never hang.
+  void shutdown();
+
+  /// Number of tasks that have run to completion.
+  std::uint64_t executed() const { return executed_.load(); }
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+  };
+
+  void worker_loop(std::size_t self);
+  bool take(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::size_t outstanding_ = 0;  // queued + running, guarded by state_mutex_
+  bool stopping_ = false;
+};
+
+}  // namespace comt::sched
