@@ -1,0 +1,282 @@
+// Load generator for the multi-tenant rebuild service: N client threads
+// submit rebuild requests for a mix of images across M simulated target
+// systems and the run reports throughput, p50/p99 service latency, the
+// request-coalescing rate, retry counts under injected transient faults,
+// and a drain-under-load pass.
+//
+// Usage: service_throughput [--smoke] [--clients N] [--systems M] [--requests R]
+//   --smoke   small deterministic run with hard assertions (CI-friendly):
+//             duplicate submissions must coalesce, injected transient faults
+//             must recover via retry with zero failed tickets, and a drain
+//             during load must leave every ticket in a terminal state.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "registry/registry.hpp"
+#include "service/service.hpp"
+#include "support/fault.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+namespace {
+
+int publish(registry::Registry& hub, const char* app_name, const std::string& name) {
+  const workloads::AppSpec* app = workloads::find_app(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "%s missing from corpus\n", app_name);
+    return 1;
+  }
+  workloads::Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  auto prepared = world.prepare(*app);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare %s: %s\n", app_name, prepared.error().to_string().c_str());
+    return 1;
+  }
+  auto pushed = hub.push(world.layout(), prepared.value().extended_tag, name, "1.0");
+  if (!pushed.ok()) {
+    std::fprintf(stderr, "push %s: %s\n", app_name, pushed.error().to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int add_systems(service::RebuildService& svc, int count, std::vector<std::string>& names) {
+  const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
+  for (int i = 0; i < count; ++i) {
+    service::TargetSystem target;
+    target.profile = &system;
+    target.repo = &workloads::system_repo(system);
+    if (!workloads::install_system_images(target.base_layout, system).ok()) {
+      std::fprintf(stderr, "installing sysenv for site%d failed\n", i);
+      return 1;
+    }
+    target.sysenv_tag = workloads::sysenv_tag(system);
+    std::string fp = "site" + std::to_string(i);
+    if (!svc.add_system(fp, target).ok()) {
+      std::fprintf(stderr, "add_system(%s) failed\n", fp.c_str());
+      return 1;
+    }
+    names.push_back(std::move(fp));
+  }
+  return 0;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double service_ms(const service::JobTrace& trace) {
+  return trace.queue_ms + trace.pull_ms + trace.rebuild_ms + trace.push_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int clients = 8;
+  int systems = 4;
+  int requests = 8;  // per client
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--systems") == 0 && i + 1 < argc) {
+      systems = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    }
+  }
+  if (smoke) {
+    clients = 4;
+    systems = 2;
+    requests = 4;
+  }
+  const std::vector<const char*> apps =
+      smoke ? std::vector<const char*>{"minimd", "comd"}
+            : std::vector<const char*>{"minimd", "comd", "hpccg"};
+
+  registry::Registry hub;
+  support::FaultInjector hub_faults;
+  support::FaultInjector compile_faults;
+  hub.set_fault_injector(&hub_faults);
+  std::vector<std::string> images;
+  for (const char* app : apps) {
+    std::string name = std::string("hub/") + app;
+    if (publish(hub, app, name) != 0) return 1;
+    images.push_back(std::move(name));
+  }
+
+  service::ServiceOptions options;
+  options.workers_per_system = 2;
+  options.queue_capacity =
+      static_cast<std::size_t>(systems) * images.size() * 2 +
+      static_cast<std::size_t>(clients) * static_cast<std::size_t>(requests);
+  options.faults = &compile_faults;
+  service::RebuildService svc(hub, options);
+  std::vector<std::string> sites;
+  if (add_systems(svc, systems, sites) != 0) return 1;
+
+  // Transient faults: the first two registry pulls and the first compile job
+  // fail; the affected jobs must recover through retry with backoff.
+  hub_faults.fail_next(registry::kPullFaultSite, 2);
+  compile_faults.fail_next(core::kCompileFaultSite, 1);
+
+  // Hold starts while the clients race submissions so duplicate (image,
+  // system) requests deterministically coalesce onto queued jobs.
+  svc.pause();
+  std::vector<std::vector<service::Ticket>> per_client(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < requests; ++r) {
+        int pick = c * requests + r;
+        service::SubmitRequest request;
+        request.name = images[static_cast<std::size_t>(pick) % images.size()];
+        request.tag = "1.0";
+        request.system = sites[static_cast<std::size_t>(pick / 2) % sites.size()];
+        request.priority = (pick % 3 == 0) ? service::Priority::interactive
+                                           : service::Priority::normal;
+        auto ticket = svc.submit(request);
+        if (ticket.ok()) per_client[static_cast<std::size_t>(c)].push_back(ticket.value());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  auto start = std::chrono::steady_clock::now();
+  svc.resume();
+
+  std::vector<double> latencies;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t other = 0;
+  std::size_t coalesced_tickets = 0;
+  for (const auto& tickets : per_client) {
+    for (service::Ticket ticket : tickets) {
+      auto done = svc.wait(ticket);
+      if (!done.ok()) return 1;
+      switch (done.value().state) {
+        case service::JobState::succeeded: ++succeeded; break;
+        case service::JobState::failed: ++failed; break;
+        default: ++other; break;
+      }
+      if (done.value().trace.coalesced) ++coalesced_tickets;
+      latencies.push_back(service_ms(done.value().trace));
+    }
+  }
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  service::ServiceStats stats = svc.stats();
+  double coalesce_rate =
+      stats.submitted == 0
+          ? 0.0
+          : static_cast<double>(stats.coalesced) / static_cast<double>(stats.submitted);
+  std::printf("rebuild service: %d clients x %d requests over %zu images x %d systems\n",
+              clients, requests, images.size(), systems);
+  std::printf("%-24s %10zu\n", "tickets", stats.submitted);
+  std::printf("%-24s %10zu\n", "distinct jobs", stats.admitted);
+  std::printf("%-24s %9.0f%%\n", "coalescing rate", 100.0 * coalesce_rate);
+  std::printf("%-24s %10.2f\n", "wall ms", wall_ms);
+  std::printf("%-24s %10.1f\n", "jobs/s",
+              wall_ms == 0 ? 0.0 : 1000.0 * static_cast<double>(stats.admitted) / wall_ms);
+  std::printf("%-24s %10.2f\n", "p50 service ms", percentile(latencies, 50));
+  std::printf("%-24s %10.2f\n", "p99 service ms", percentile(latencies, 99));
+  std::printf("%-24s %10zu\n", "retries", stats.retries);
+  std::printf("%-24s %10zu / %zu\n", "compile cache hits", stats.compile_cache_hits,
+              stats.compile_cache_hits + stats.compile_cache_misses);
+  std::printf("%-24s %10zu succeeded, %zu failed, %zu other\n", "final states",
+              succeeded, failed, other);
+
+  if (smoke) {
+    if (stats.coalesced == 0) {
+      std::fprintf(stderr, "SMOKE: expected duplicate submissions to coalesce\n");
+      return 1;
+    }
+    if (failed != 0 || other != 0) {
+      std::fprintf(stderr, "SMOKE: %zu failed / %zu non-succeeded tickets despite "
+                           "retryable faults\n", failed, other);
+      return 1;
+    }
+    if (stats.retries == 0) {
+      std::fprintf(stderr, "SMOKE: injected transient faults never triggered a retry\n");
+      return 1;
+    }
+  }
+
+  // ---- drain under load ----------------------------------------------------
+  // A fresh service takes the same request mix, then drains mid-flight: every
+  // in-flight job must complete, every still-queued job must fail as drained,
+  // and no ticket may be left in a non-terminal state.
+  service::ServiceOptions drain_options;
+  drain_options.workers_per_system = 1;
+  drain_options.queue_capacity = options.queue_capacity;
+  service::RebuildService drain_svc(hub, drain_options);
+  std::vector<std::string> drain_sites;
+  if (add_systems(drain_svc, systems, drain_sites) != 0) return 1;
+  std::vector<service::Ticket> drain_tickets;
+  for (std::size_t i = 0; i < images.size() * drain_sites.size(); ++i) {
+    service::SubmitRequest request;
+    request.name = images[i % images.size()];
+    request.tag = "1.0";
+    request.system = drain_sites[i / images.size()];
+    auto ticket = drain_svc.submit(request);
+    if (ticket.ok()) drain_tickets.push_back(ticket.value());
+  }
+  while (drain_svc.running() == 0 && drain_svc.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  drain_svc.drain();
+
+  std::size_t drain_succeeded = 0;
+  std::size_t drain_drained = 0;
+  for (service::Ticket ticket : drain_tickets) {
+    auto done = drain_svc.status(ticket);
+    if (!done.ok() || !service::is_terminal(done.value().state)) {
+      std::fprintf(stderr, "drain left ticket %llu non-terminal\n",
+                   static_cast<unsigned long long>(ticket));
+      return 1;
+    }
+    if (done.value().state == service::JobState::succeeded) {
+      ++drain_succeeded;
+      // A completed job's output must actually be pullable from the hub.
+      oci::Layout out;
+      if (!hub.pull(done.value().output.substr(0, done.value().output.find(':')),
+                    done.value().output.substr(done.value().output.find(':') + 1), out,
+                    "check")
+               .ok()) {
+        std::fprintf(stderr, "drained service pushed an unpullable output: %s\n",
+                     done.value().output.c_str());
+        return 1;
+      }
+    } else if (done.value().state == service::JobState::drained) {
+      ++drain_drained;
+    } else {
+      std::fprintf(stderr, "unexpected terminal state under drain: %s\n",
+                   service::to_string(done.value().state));
+      return 1;
+    }
+  }
+  std::printf("\ndrain under load: %zu jobs -> %zu completed in flight, %zu drained\n",
+              drain_tickets.size(), drain_succeeded, drain_drained);
+  if (smoke && drain_succeeded + drain_drained != drain_tickets.size()) {
+    std::fprintf(stderr, "SMOKE: drain accounting mismatch\n");
+    return 1;
+  }
+  return 0;
+}

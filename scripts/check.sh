@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the full test suite, then smoke-test
-# the parallel-rebuild benchmark (which also asserts that parallel rebuilds
-# are bit-identical and that a warm compile cache hits 100%).
+# the parallel-rebuild and rebuild-service benchmarks (which assert that
+# parallel rebuilds are bit-identical, a warm compile cache hits 100%,
+# duplicate service requests coalesce, and injected faults recover via
+# retry). A second build under ThreadSanitizer reruns the concurrency layer
+# (scheduler, registry, rebuild service) and the service smoke bench.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
+#   COMT_SKIP_TSAN=1   skip the ThreadSanitizer stage.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,5 +25,20 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
 echo "== bench smoke =="
 "$build_dir/bench/parallel_rebuild" --smoke
+"$build_dir/bench/service_throughput" --smoke
+
+if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
+  tsan_dir="${build_dir}-tsan"
+  echo "== tsan build =="
+  cmake -B "$tsan_dir" -S "$repo" -DCOMT_SANITIZE=thread
+  cmake --build "$tsan_dir" -j "$jobs"
+
+  echo "== tsan test (concurrency layer) =="
+  ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
+        -R 'Sched|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector'
+
+  echo "== tsan bench smoke =="
+  "$tsan_dir/bench/service_throughput" --smoke
+fi
 
 echo "check.sh: all green"

@@ -133,6 +133,9 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
 
   auto run_job = [&](const std::vector<std::string>& argv,
                      const std::string& cwd) -> Status {
+    if (options.fault_injector != nullptr) {
+      COMT_TRY_STATUS(options.fault_injector->check(kCompileFaultSite));
+    }
     sched::CacheKey key{options.system->name, arch, cwd, argv};
     const std::string key_digest = key.digest();
     if (options.compile_cache != nullptr) {

@@ -31,9 +31,14 @@
 #include "oci/oci.hpp"
 #include "sched/compile_cache.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "sysmodel/sysmodel.hpp"
 
 namespace comt::core {
+
+/// Fault-injection site each compile job checks when RebuildOptions carries
+/// an injector (spurious compile failures, the kind a flaky build node gives).
+inline constexpr std::string_view kCompileFaultSite = "compile.job";
 
 /// User-side coMtainer-build. `dist_tag` is the application image built by
 /// the two-stage Dockerfile, `base_tag` the dist stage's base image; the
@@ -67,6 +72,10 @@ struct RebuildOptions {
   /// one cache alive across rebuilds to skip unchanged compilations.
   /// May be shared between concurrent rebuilds (it is thread-safe).
   sched::CompileCache* compile_cache = nullptr;
+  /// Optional fault-injection hook: every compile job checks
+  /// kCompileFaultSite before running, so callers with retry logic (the
+  /// rebuild service) can be exercised against transient build failures.
+  support::FaultInjector* fault_injector = nullptr;
 };
 
 /// Diagnostics from a rebuild (how many nodes re-ran, profile feedback, …).

@@ -191,6 +191,21 @@ std::uint64_t Layout::total_blob_bytes() const {
   return total;
 }
 
+std::vector<Digest> Layout::blob_digests() const {
+  std::vector<Digest> out;
+  out.reserve(blobs_.size());
+  for (const auto& [digest, blob] : blobs_) out.push_back(digest);
+  return out;
+}
+
+std::uint64_t Layout::remove_blob(const Digest& digest) {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end()) return 0;
+  std::uint64_t freed = it->second.size();
+  blobs_.erase(it);
+  return freed;
+}
+
 Result<Digest> Layout::add_manifest(const Manifest& manifest, std::string_view tag) {
   if (!has_blob(manifest.config.digest)) {
     return make_error(Errc::not_found,

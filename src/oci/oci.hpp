@@ -105,6 +105,14 @@ class Layout {
   /// Total bytes across all stored blobs.
   std::uint64_t total_blob_bytes() const;
 
+  /// Digests of every stored blob (sorted; the map order).
+  std::vector<Digest> blob_digests() const;
+
+  /// Drops a blob from the store. Returns the bytes freed, 0 when absent.
+  /// The caller owns referential integrity — a registry garbage-collecting
+  /// unreferenced blobs, never a reachable one.
+  std::uint64_t remove_blob(const Digest& digest);
+
   /// Serializes `manifest`, stores it, and records `tag` in the index
   /// (replacing any previous manifest with the same tag).
   Result<Digest> add_manifest(const Manifest& manifest, std::string_view tag);

@@ -1,5 +1,8 @@
 #include "registry/registry.hpp"
 
+#include <mutex>
+#include <set>
+
 namespace comt::registry {
 namespace {
 
@@ -22,7 +25,9 @@ Status transfer_blob(const oci::Layout& from, oci::Layout& to, const oci::Descri
 
 Status Registry::push(const oci::Layout& source, std::string_view local_tag,
                       std::string_view name, std::string_view tag) {
+  if (faults_ != nullptr) COMT_TRY_STATUS(faults_->check(kPushFaultSite));
   COMT_TRY(oci::Image image, source.find_image(local_tag));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   COMT_TRY_STATUS(transfer_blob(source, store_, image.manifest.config, transfer_.pushed_bytes));
   for (const oci::Descriptor& layer : image.manifest.layers) {
     COMT_TRY_STATUS(transfer_blob(source, store_, layer, transfer_.pushed_bytes));
@@ -36,6 +41,9 @@ Status Registry::push(const oci::Layout& source, std::string_view local_tag,
 
 Status Registry::pull(std::string_view name, std::string_view tag, oci::Layout& destination,
                       std::string_view local_tag) const {
+  if (faults_ != nullptr) COMT_TRY_STATUS(faults_->check(kPullFaultSite));
+  // Writer lock: pull reads the store but also updates the transfer counters.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = references_.find(make_reference(name, tag));
   if (it == references_.end()) {
     return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
@@ -52,10 +60,56 @@ Status Registry::pull(std::string_view name, std::string_view tag, oci::Layout& 
 }
 
 bool Registry::has(std::string_view name, std::string_view tag) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return references_.count(make_reference(name, tag)) != 0;
 }
 
+Result<oci::Digest> Registry::resolve(std::string_view name, std::string_view tag) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = references_.find(make_reference(name, tag));
+  if (it == references_.end()) {
+    return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
+  }
+  return it->second;
+}
+
+std::vector<std::string> Registry::list() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(references_.size());
+  for (const auto& [reference, digest] : references_) out.push_back(reference);
+  return out;
+}
+
+Status Registry::remove(std::string_view name, std::string_view tag) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = references_.find(make_reference(name, tag));
+  if (it == references_.end()) {
+    return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
+  }
+  references_.erase(it);
+
+  // Mark: everything any remaining reference reaches stays.
+  std::set<oci::Digest> reachable;
+  for (const auto& [reference, digest] : references_) {
+    COMT_TRY(oci::Image image, store_.load_image(digest));
+    reachable.insert(digest);
+    reachable.insert(image.manifest.config.digest);
+    for (const oci::Descriptor& layer : image.manifest.layers) {
+      reachable.insert(layer.digest);
+    }
+  }
+  // Sweep: unreferenced blobs are reclaimed and counted.
+  for (const oci::Digest& digest : store_.blob_digests()) {
+    if (reachable.count(digest) != 0) continue;
+    transfer_.reclaimed_bytes += store_.remove_blob(digest);
+    ++transfer_.removed_blobs;
+  }
+  return Status::success();
+}
+
 Stats Registry::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   Stats out = transfer_;
   out.repositories = references_.size();
   out.blobs = store_.blob_count();

@@ -2,16 +2,29 @@
 // workflow (Fig. 1/4). Push copies an image (manifest, config, layers) from a
 // local layout into the registry store; pull copies it back out. Blobs are
 // content-addressed, so repeated pushes of shared base layers deduplicate.
+//
+// The registry is shared by every tenant of the rebuild service, so all
+// operations are thread-safe: mutations (push, pull's transfer accounting,
+// remove) run under the writer lock, queries under the reader lock. An
+// optional support::FaultInjector hook lets tests and benchmarks make
+// push/pull fail transiently like a real network registry would.
 #pragma once
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "oci/oci.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace comt::registry {
+
+/// Fault-injection sites checked when an injector is attached.
+inline constexpr std::string_view kPullFaultSite = "registry.pull";
+inline constexpr std::string_view kPushFaultSite = "registry.push";
 
 /// Registry statistics for reporting distribution overhead (Table 3).
 struct Stats {
@@ -20,6 +33,8 @@ struct Stats {
   std::uint64_t stored_bytes = 0;
   std::uint64_t pushed_bytes = 0;  ///< bytes actually transferred by pushes
   std::uint64_t pulled_bytes = 0;  ///< bytes actually transferred by pulls
+  std::uint64_t reclaimed_bytes = 0;  ///< bytes freed by remove()'s garbage collection
+  std::size_t removed_blobs = 0;      ///< blobs freed by remove()'s garbage collection
 };
 
 class Registry {
@@ -35,12 +50,32 @@ class Registry {
 
   bool has(std::string_view name, std::string_view tag) const;
 
+  /// Manifest digest of "name:tag" — the stable identity of the pushed image
+  /// (the rebuild service coalesces concurrent requests on it).
+  Result<oci::Digest> resolve(std::string_view name, std::string_view tag) const;
+
+  /// Every "name:tag" reference, sorted.
+  std::vector<std::string> list() const;
+
+  /// Drops "name:tag" and garbage-collects every blob no remaining reference
+  /// reaches (manifests, configs, layers). Shared blobs survive as long as
+  /// any reference still uses them. Reclaimed bytes/blobs are counted in
+  /// Stats.
+  Status remove(std::string_view name, std::string_view tag);
+
   Stats stats() const;
 
+  /// Attaches a fault injector: push/pull check kPushFaultSite/kPullFaultSite
+  /// before touching the store. Pass nullptr to detach. Not synchronized with
+  /// concurrent operations — wire it up before sharing the registry.
+  void set_fault_injector(support::FaultInjector* faults) { faults_ = faults; }
+
  private:
+  mutable std::shared_mutex mutex_;
   oci::Layout store_;
   std::map<std::string, oci::Digest> references_;  // "name:tag" -> manifest
   mutable Stats transfer_;
+  support::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace comt::registry

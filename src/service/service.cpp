@@ -1,0 +1,405 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace comt::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Local tag a job pulls the extended image under inside its private
+/// workspace; comtainer_rebuild derives "work+coMre" from it.
+constexpr std::string_view kWorkTag = "work+coM";
+constexpr std::string_view kWorkRebuiltTag = "work+coMre";
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Deterministic jitter in [0, 1): splitmix64 finalizer over (ticket, attempt).
+/// No global RNG — the same job retries with the same delays on every run.
+double jitter01(std::uint64_t ticket, int attempt) {
+  std::uint64_t x = ticket * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(attempt);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Transient failures are retried; everything else (not_found, corrupt,
+/// unsupported, …) is a property of the request and permanent.
+bool is_retryable(const Error& error) { return error.code == Errc::failed; }
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::queued: return "queued";
+    case JobState::running: return "running";
+    case JobState::succeeded: return "succeeded";
+    case JobState::failed: return "failed";
+    case JobState::rejected: return "rejected";
+    case JobState::expired: return "expired";
+    case JobState::drained: return "drained";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) {
+  return state != JobState::queued && state != JobState::running;
+}
+
+std::string fingerprint(const sysmodel::SystemProfile& profile) {
+  return profile.name + "/" + profile.arch + "/" + profile.native_toolchain + "/" +
+         profile.native_march;
+}
+
+/// One distinct rebuild: possibly many tickets, exactly one execution.
+struct RebuildService::Job {
+  SubmitRequest request;
+  std::string key;  ///< manifest digest + system — the coalescing key
+  std::vector<Ticket> tickets;
+  JobState state = JobState::queued;
+  Status result;
+  std::string output;
+  JobTrace trace;
+  Clock::time_point enqueued_at;
+  std::pair<int, std::uint64_t> queue_key;  ///< position while queued
+};
+
+/// Per-target state: the tenant config, its worker pool, its slice of the
+/// admission queue ordered by (priority desc, arrival order).
+struct RebuildService::SystemState {
+  TargetSystem target;
+  std::unique_ptr<sched::ThreadPool> pool;
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> queue;
+};
+
+RebuildService::RebuildService(registry::Registry& hub, ServiceOptions options)
+    : hub_(hub), options_(std::move(options)) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.workers_per_system == 0) options_.workers_per_system = 1;
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+RebuildService::~RebuildService() { drain(); }
+
+Status RebuildService::add_system(std::string fingerprint, TargetSystem target) {
+  if (target.profile == nullptr || target.repo == nullptr) {
+    return make_error(Errc::invalid_argument,
+                      "service: target system needs a profile and a repository");
+  }
+  COMT_TRY_STATUS(target.base_layout.find_image(target.sysenv_tag));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (systems_.count(fingerprint) != 0) {
+    return make_error(Errc::already_exists, "service: system already registered: " + fingerprint);
+  }
+  auto state = std::make_unique<SystemState>();
+  state->target = std::move(target);
+  state->pool = std::make_unique<sched::ThreadPool>(options_.workers_per_system);
+  systems_.emplace(std::move(fingerprint), std::move(state));
+  return Status::success();
+}
+
+Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
+  // Resolve outside the service lock (the hub has its own).
+  COMT_TRY(oci::Digest digest, hub_.resolve(request.name, request.tag));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) {
+    return make_error(Errc::failed, "service: draining, not accepting submissions");
+  }
+  auto sys_it = systems_.find(request.system);
+  if (sys_it == systems_.end()) {
+    return make_error(Errc::not_found, "service: unknown target system " + request.system);
+  }
+  SystemState& sys = *sys_it->second;
+
+  Ticket ticket = next_ticket_++;
+  ++stats_.submitted;
+
+  // Coalesce: a queued or running job for the same (image digest, system)
+  // serves this ticket too.
+  std::string key = digest.value + "|" + request.system;
+  if (auto active = active_.find(key); active != active_.end()) {
+    active->second->tickets.push_back(ticket);
+    tickets_[ticket] = TicketRecord{active->second, /*coalesced=*/true};
+    ++stats_.coalesced;
+    return ticket;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = request;
+  job->key = key;
+  job->tickets = {ticket};
+  job->enqueued_at = Clock::now();
+  tickets_[ticket] = TicketRecord{job, /*coalesced=*/false};
+
+  // Bounded admission with priority-aware load shedding: a full queue sheds
+  // the newest lowest-priority queued job when the arrival outranks it,
+  // otherwise the arrival itself.
+  if (queued_count_ >= options_.queue_capacity) {
+    SystemState* worst_sys = nullptr;
+    std::shared_ptr<Job> worst;
+    for (auto& [name, candidate_sys] : systems_) {
+      if (candidate_sys->queue.empty()) continue;
+      auto last = std::prev(candidate_sys->queue.end());
+      if (worst == nullptr || last->first > worst->queue_key) {
+        worst = last->second;
+        worst_sys = candidate_sys.get();
+      }
+    }
+    if (worst != nullptr &&
+        static_cast<int>(worst->request.priority) < static_cast<int>(request.priority)) {
+      worst_sys->queue.erase(worst->queue_key);
+      --queued_count_;
+      ++stats_.shed;
+      finalize_locked(*worst, JobState::rejected,
+                      make_error(Errc::failed,
+                                 "service: load shed by a higher-priority arrival"));
+    } else {
+      ++stats_.shed;
+      finalize_locked(*job, JobState::rejected,
+                      make_error(Errc::failed, "service: admission queue full"));
+      return ticket;
+    }
+  }
+
+  ++stats_.admitted;
+  job->queue_key = {-static_cast<int>(request.priority), next_seq_++};
+  sys.queue.emplace(job->queue_key, job);
+  ++queued_count_;
+  active_[key] = job;
+  sys.pool->submit([this, &sys] { run_next(sys); });
+  return ticket;
+}
+
+void RebuildService::run_next(SystemState& sys) {
+  std::shared_ptr<Job> job;
+  JobTrace trace;
+  Ticket seed = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    start_cv_.wait(lock, [this] { return !paused_ || draining_; });
+    // The queue may have shrunk under us (eviction, drain): one runner task
+    // is submitted per admitted job, so a missing job just means this runner
+    // has nothing to do.
+    if (sys.queue.empty()) return;
+    auto it = sys.queue.begin();
+    job = it->second;
+    sys.queue.erase(it);
+    --queued_count_;
+    job->trace.queue_ms = ms_between(job->enqueued_at, Clock::now());
+    if (job->request.deadline_ms > 0 && job->trace.queue_ms > job->request.deadline_ms) {
+      ++stats_.expired;
+      finalize_locked(*job, JobState::expired,
+                      make_error(Errc::failed, "service: queue-wait deadline exceeded"));
+      return;
+    }
+    job->state = JobState::running;
+    ++running_count_;
+    // Work on a private copy of the trace: status() snapshots job->trace
+    // under the lock while this worker runs. The ticket seeding the backoff
+    // jitter is captured here too — the tickets vector can grow concurrently
+    // as requests coalesce onto this job.
+    trace = job->trace;
+    seed = job->tickets.front();
+  }
+
+  // The heavy part — no service lock held. job->request/key are immutable
+  // after submit, so reading them unlocked is safe.
+  Status result = Status::success();
+  std::string output;
+  execute(sys.target, job->request, seed, trace, result, output);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_count_;
+    job->trace = std::move(trace);
+    job->output = std::move(output);
+    if (result.ok()) {
+      ++stats_.succeeded;
+      finalize_locked(*job, JobState::succeeded, Status::success());
+    } else {
+      ++stats_.failed;
+      finalize_locked(*job, JobState::failed, std::move(result));
+    }
+  }
+}
+
+void RebuildService::execute(const TargetSystem& target, const SubmitRequest& request,
+                             Ticket seed, JobTrace& trace, Status& result,
+                             std::string& output) {
+  Status last = Status::success();
+  double prev_delay_ms = 0;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    trace.attempts = attempt;
+    Status status = attempt_once(target, request, trace, output);
+    if (status.ok()) {
+      result = Status::success();
+      return;
+    }
+    last = status;
+    if (!is_retryable(status.error()) || attempt == options_.max_attempts) break;
+
+    // Exponential backoff with deterministic jitter. The explicit clamp to
+    // the previous delay keeps the sequence monotonically non-decreasing
+    // even once the exponential curve saturates at backoff_max_ms.
+    double delay = options_.backoff_base_ms * std::pow(2.0, attempt - 1);
+    delay = std::min(delay, options_.backoff_max_ms);
+    delay *= 1.0 + jitter01(seed, attempt);
+    delay = std::max(delay, prev_delay_ms);
+    prev_delay_ms = delay;
+    trace.backoff_ms.push_back(delay);
+    if (options_.sleep_on_backoff) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    }
+  }
+  result = make_error(
+      last.error().code,
+      "service: rebuild of " + request.name + ":" + request.tag + " for " +
+          request.system + " failed after " + std::to_string(trace.attempts) +
+          " attempt(s): " + last.error().message);
+}
+
+Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequest& request,
+                                    JobTrace& trace, std::string& output) {
+  // Every attempt starts from a pristine private workspace, so a failed
+  // attempt leaves no partial state behind — the hub only ever sees a
+  // complete push.
+  oci::Layout workspace = target.base_layout;
+
+  Clock::time_point t0 = Clock::now();
+  Status pulled = hub_.pull(request.name, request.tag, workspace, kWorkTag);
+  trace.pull_ms += ms_between(t0, Clock::now());
+  COMT_TRY_STATUS(pulled);
+
+  core::RebuildOptions options;
+  options.system = target.profile;
+  options.system_repo = target.repo;
+  options.sysenv_tag = target.sysenv_tag;
+  options.adapters = target.adapters;
+  options.threads = options_.rebuild_threads;
+  options.compile_cache = &cache_;
+  options.fault_injector = options_.faults;
+
+  Clock::time_point t1 = Clock::now();
+  auto report = core::comtainer_rebuild(workspace, kWorkTag, options);
+  trace.rebuild_ms += ms_between(t1, Clock::now());
+  if (!report.ok()) return report.error();
+  trace.compile_jobs += report.value().jobs;
+  trace.cache_hits += report.value().cache_hits;
+  trace.cache_misses += report.value().cache_misses;
+
+  std::string output_tag = request.tag + "+coMre." + request.system;
+  Clock::time_point t2 = Clock::now();
+  Status pushed = hub_.push(workspace, kWorkRebuiltTag, request.name, output_tag);
+  trace.push_ms += ms_between(t2, Clock::now());
+  COMT_TRY_STATUS(pushed);
+
+  output = request.name + ":" + output_tag;
+  return Status::success();
+}
+
+void RebuildService::finalize_locked(Job& job, JobState state, Status result) {
+  job.state = state;
+  job.result = std::move(result);
+  active_.erase(job.key);
+  stats_.retries += job.trace.backoff_ms.size();
+  stats_.compile_cache_hits += job.trace.cache_hits;
+  stats_.compile_cache_misses += job.trace.cache_misses;
+  stats_.queue_ms += job.trace.queue_ms;
+  stats_.pull_ms += job.trace.pull_ms;
+  stats_.rebuild_ms += job.trace.rebuild_ms;
+  stats_.push_ms += job.trace.push_ms;
+  done_cv_.notify_all();
+}
+
+Result<TicketStatus> RebuildService::status(Ticket ticket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return make_error(Errc::not_found, "service: unknown ticket " + std::to_string(ticket));
+  }
+  const Job& job = *it->second.job;
+  TicketStatus out;
+  out.state = job.state;
+  out.result = job.result;
+  out.output = job.output;
+  out.trace = job.trace;
+  out.trace.coalesced = it->second.coalesced;
+  return out;
+}
+
+Result<TicketStatus> RebuildService::wait(Ticket ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return make_error(Errc::not_found, "service: unknown ticket " + std::to_string(ticket));
+  }
+  std::shared_ptr<Job> job = it->second.job;
+  bool coalesced = it->second.coalesced;
+  done_cv_.wait(lock, [&job] { return is_terminal(job->state); });
+  TicketStatus out;
+  out.state = job->state;
+  out.result = job->result;
+  out.output = job->output;
+  out.trace = job->trace;
+  out.trace.coalesced = coalesced;
+  return out;
+}
+
+void RebuildService::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void RebuildService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  start_cv_.notify_all();
+}
+
+void RebuildService::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    for (auto& [name, sys] : systems_) {
+      // Fail queued jobs in queue order; their runner tasks will pop nothing.
+      while (!sys->queue.empty()) {
+        std::shared_ptr<Job> job = sys->queue.begin()->second;
+        sys->queue.erase(sys->queue.begin());
+        --queued_count_;
+        ++stats_.drained;
+        finalize_locked(*job, JobState::drained,
+                        make_error(Errc::failed, "service: drained while queued"));
+      }
+    }
+  }
+  start_cv_.notify_all();  // wake runners held by pause()
+  for (auto& [name, sys] : systems_) sys->pool->wait_idle();
+}
+
+ServiceStats RebuildService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t RebuildService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_count_;
+}
+
+std::size_t RebuildService::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_count_;
+}
+
+}  // namespace comt::service

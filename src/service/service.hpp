@@ -1,0 +1,241 @@
+// The rebuild service: a multi-tenant build-farm daemon over the registry
+// and the coMtainer backend.
+//
+// The paper's workflow ends with one HPC system pulling one extended image
+// and calling comtainer_rebuild. At production scale that call sits behind a
+// service (the centralized conversion daemons of the Sarus suite, the
+// per-target specialization pipeline of XaaS): many users submit images, many
+// target systems want each image specialized for themselves. RebuildService
+// is that daemon:
+//
+//   submit ─▶ admission queue ─▶ coalesce ─▶ per-system worker pool ─▶
+//             (bounded, priority   (same image      pull → rebuild → push
+//              classes, load        + system key
+//              shedding)            share one job)
+//
+//  - Admission is bounded (ServiceOptions::queue_capacity). When the queue is
+//    full, a higher-priority arrival evicts the newest lowest-priority queued
+//    job; otherwise the arrival itself is shed. Shed jobs finish in
+//    JobState::rejected.
+//  - Concurrent requests for the same (extended-image manifest digest, target
+//    system) attach to the in-flight job and share its result — one rebuild,
+//    N tickets (JobTrace::coalesced marks the attached ones).
+//  - Each registered target system owns a sched::ThreadPool of
+//    workers_per_system workers, so independent images rebuild concurrently
+//    per system and systems do not starve each other. One content-addressed
+//    sched::CompileCache is shared across every tenant and system.
+//  - Transient faults (Errc::failed — injected registry faults, spurious
+//    compile failures, tool exit != 0) are retried up to max_attempts with
+//    exponential backoff plus deterministic jitter; recorded delays are
+//    monotonically non-decreasing. Any other error category is permanent and
+//    surfaces in the ticket immediately.
+//  - drain() stops admission, fails still-queued jobs with
+//    JobState::drained, and completes every in-flight job, so the registry
+//    only ever holds fully pushed results.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "oci/oci.hpp"
+#include "registry/registry.hpp"
+#include "sched/compile_cache.hpp"
+#include "sched/thread_pool.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "sysmodel/sysmodel.hpp"
+
+namespace comt::service {
+
+/// Admission priority. Higher classes are served first and shed last.
+enum class Priority { batch = 0, normal = 1, interactive = 2 };
+
+/// Lifecycle of a submitted rebuild.
+enum class JobState {
+  queued,     ///< admitted, waiting for a worker
+  running,    ///< a worker is executing pull → rebuild → push
+  succeeded,  ///< result pushed to the hub registry (see TicketStatus::output)
+  failed,     ///< permanent failure — retries exhausted or non-retryable error
+  rejected,   ///< shed at admission (queue full / evicted by higher priority)
+  expired,    ///< deadline passed while still queued
+  drained,    ///< still queued when drain()/shutdown began
+};
+
+const char* to_string(JobState state);
+bool is_terminal(JobState state);
+
+/// Handle to a submitted request. Tickets are never reused.
+using Ticket = std::uint64_t;
+
+struct SubmitRequest {
+  std::string name;  ///< extended image reference in the hub registry…
+  std::string tag;   ///< …as pushed by the user ("org/app", "1.0+coM")
+  std::string system;  ///< fingerprint of a registered target system
+  Priority priority = Priority::normal;
+  /// Maximum queue wait. A job popped later than this fails as expired
+  /// (running jobs are never killed). 0 = no deadline.
+  double deadline_ms = 0;
+};
+
+/// Structured per-job diagnostics, shared by all coalesced tickets.
+struct JobTrace {
+  double queue_ms = 0;    ///< admission → worker pickup
+  double pull_ms = 0;     ///< registry pulls, summed over attempts
+  double rebuild_ms = 0;  ///< comtainer_rebuild, summed over attempts
+  double push_ms = 0;     ///< result pushes, summed over attempts
+  int attempts = 0;       ///< executions of pull→rebuild→push (retries + 1)
+  /// Backoff delay before each retry; monotonically non-decreasing.
+  std::vector<double> backoff_ms;
+  std::size_t compile_jobs = 0;  ///< scheduler jobs, summed over attempts
+  std::size_t cache_hits = 0;    ///< compile-cache replays (shared cache)
+  std::size_t cache_misses = 0;
+  bool coalesced = false;  ///< this ticket attached to another's in-flight job
+};
+
+/// Snapshot of one ticket.
+struct TicketStatus {
+  JobState state = JobState::queued;
+  Status result;       ///< the failure detail for failed/rejected/expired/drained
+  std::string output;  ///< "name:tag" of the rebuilt image in the hub when succeeded
+  JobTrace trace;
+};
+
+/// One tenant target: everything a rebuild for that system needs.
+struct TargetSystem {
+  const sysmodel::SystemProfile* profile = nullptr;
+  const pkg::Repository* repo = nullptr;  ///< the system's optimized stack
+  /// Template layout holding the system's Sysenv image; every job works on a
+  /// private copy, so jobs never see each other's intermediate state.
+  oci::Layout base_layout;
+  std::string sysenv_tag;
+  /// Adapters applied to every rebuild for this system, in order.
+  std::vector<const core::SystemAdapter*> adapters;
+};
+
+/// Stable identity of a target system: the profile facets the rebuild output
+/// depends on. Two hosts with equal fingerprints can share rebuilt images.
+std::string fingerprint(const sysmodel::SystemProfile& profile);
+
+struct ServiceOptions {
+  /// Bound on jobs queued across all systems (running jobs do not count).
+  std::size_t queue_capacity = 64;
+  /// Worker threads per registered target system.
+  std::size_t workers_per_system = 2;
+  /// `threads` passed to each comtainer_rebuild (intra-job parallelism).
+  std::size_t rebuild_threads = 1;
+  /// Executions of pull→rebuild→push per job before the failure is permanent.
+  int max_attempts = 3;
+  /// First retry delay; doubles per retry, capped at backoff_max_ms, then
+  /// scaled by a deterministic jitter in [1, 2).
+  double backoff_base_ms = 0.2;
+  double backoff_max_ms = 50.0;
+  /// When false, backoff delays are recorded in the trace but not slept —
+  /// deterministic schedule tests don't have to wait out the clock.
+  bool sleep_on_backoff = true;
+  /// Passed to every rebuild as RebuildOptions::fault_injector. To also
+  /// inject registry faults, arm the same injector on the hub registry.
+  support::FaultInjector* faults = nullptr;
+};
+
+/// Aggregate counters. Ticket counters count submissions; job counters count
+/// distinct rebuilds (coalesced tickets share one job).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< tickets issued
+  std::uint64_t coalesced = 0;  ///< tickets attached to an in-flight job
+  std::uint64_t admitted = 0;   ///< jobs that entered the queue
+  std::uint64_t shed = 0;       ///< jobs rejected at admission or evicted
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t retries = 0;  ///< backoff delays taken across all jobs
+  std::uint64_t compile_cache_hits = 0;
+  std::uint64_t compile_cache_misses = 0;
+  double queue_ms = 0, pull_ms = 0, rebuild_ms = 0, push_ms = 0;  ///< summed
+};
+
+class RebuildService {
+ public:
+  /// The service serves images out of (and pushes results back into) `hub`,
+  /// which must outlive it. The registry is shared with outside pushers —
+  /// it is thread-safe.
+  explicit RebuildService(registry::Registry& hub, ServiceOptions options = {});
+
+  /// Drains: queued jobs fail as drained, in-flight jobs complete.
+  ~RebuildService();
+
+  RebuildService(const RebuildService&) = delete;
+  RebuildService& operator=(const RebuildService&) = delete;
+
+  /// Registers a tenant target under `fingerprint` and spins up its worker
+  /// pool. Register every system before sharing the service across threads.
+  Status add_system(std::string fingerprint, TargetSystem target);
+
+  /// Submits a rebuild. Returns a ticket immediately; the ticket may already
+  /// be terminal (rejected) when the request was shed at admission. Fails
+  /// only for requests the queue can never serve: unknown image, unknown
+  /// system, or a draining service.
+  Result<Ticket> submit(const SubmitRequest& request);
+
+  /// Snapshot of a ticket's current state.
+  Result<TicketStatus> status(Ticket ticket) const;
+
+  /// Blocks until the ticket is terminal and returns its final status.
+  Result<TicketStatus> wait(Ticket ticket) const;
+
+  /// Holds job starts (admission continues) until resume() — lets tests and
+  /// benchmarks build a known queue state deterministically.
+  void pause();
+  void resume();
+
+  /// Graceful shutdown: stops admission, fails every still-queued job with
+  /// JobState::drained, and blocks until all in-flight jobs finished (their
+  /// results are pushed normally). Idempotent.
+  void drain();
+
+  ServiceStats stats() const;
+  std::size_t queue_depth() const;
+  std::size_t running() const;
+
+ private:
+  struct Job;
+  struct SystemState;
+  struct TicketRecord {
+    std::shared_ptr<Job> job;
+    bool coalesced = false;
+  };
+
+  void run_next(SystemState& sys);
+  void execute(const TargetSystem& target, const SubmitRequest& request, Ticket seed,
+               JobTrace& trace, Status& result, std::string& output);
+  Status attempt_once(const TargetSystem& target, const SubmitRequest& request,
+                      JobTrace& trace, std::string& output);
+  void finalize_locked(Job& job, JobState state, Status result);
+
+  registry::Registry& hub_;
+  ServiceOptions options_;
+  sched::CompileCache cache_;  ///< shared across all tenants and systems
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable done_cv_;  ///< signalled on job completion
+  std::condition_variable start_cv_;         ///< pause()/resume()/drain() gate
+  std::map<std::string, std::unique_ptr<SystemState>> systems_;
+  std::map<Ticket, TicketRecord> tickets_;
+  std::map<std::string, std::shared_ptr<Job>> active_;  ///< coalescing index
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t queued_count_ = 0;
+  std::size_t running_count_ = 0;
+  bool paused_ = false;
+  bool draining_ = false;
+  ServiceStats stats_;
+};
+
+}  // namespace comt::service

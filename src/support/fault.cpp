@@ -1,0 +1,84 @@
+#include "support/fault.hpp"
+
+namespace comt::support {
+namespace {
+
+std::string describe(std::string_view site, std::uint64_t call) {
+  return "injected fault at " + std::string(site) + " (call #" + std::to_string(call) + ")";
+}
+
+}  // namespace
+
+void FaultInjector::fail_next(std::string_view site, int count, Errc code,
+                              std::string message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  s.fail_next = count > 0 ? count : 0;
+  s.code = code;
+  if (!message.empty()) s.message = std::move(message);
+}
+
+void FaultInjector::fail_every(std::string_view site, int period, Errc code,
+                               std::string message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  s.fail_every = period > 0 ? period : 0;
+  s.every_base = s.calls;
+  s.code = code;
+  if (!message.empty()) s.message = std::move(message);
+}
+
+void FaultInjector::clear(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.fail_next = 0;
+  it->second.fail_every = 0;
+}
+
+void FaultInjector::clear_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, s] : sites_) {
+    s.fail_next = 0;
+    s.fail_every = 0;
+  }
+}
+
+Status FaultInjector::check(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  ++s.calls;
+  bool fire = false;
+  if (s.fail_next > 0) {
+    --s.fail_next;
+    fire = true;
+  } else if (s.fail_every > 0 && (s.calls - s.every_base) % s.fail_every == 0) {
+    fire = true;
+  }
+  if (!fire) return Status::success();
+  ++s.injected;
+  std::string message = s.message.empty() ? describe(site, s.calls)
+                                          : s.message + " (call #" + std::to_string(s.calls) + ")";
+  return make_error(s.code, std::move(message));
+}
+
+std::uint64_t FaultInjector::calls(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FaultInjector::injected(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : sites_) total += s.injected;
+  return total;
+}
+
+}  // namespace comt::support

@@ -1,0 +1,71 @@
+// Deterministic fault injection for exercising retry/recovery paths.
+//
+// Production code calls `check(site)` at each operation that can fail
+// transiently in a real deployment (a registry pull over a flaky network, a
+// compile job on a wobbly node). Tests and benchmarks arm per-site schedules —
+// "fail the next 2 calls", "fail every 3rd call" — and the instrumented code
+// observes an ordinary Status error, indistinguishable from a genuine fault.
+// With no schedule armed a site always succeeds, so leaving the hooks wired in
+// release builds costs one pointer test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace comt::support {
+
+/// Thread-safe named-site fault injector. Sites come into existence on first
+/// use; call counters are kept per site so schedules are deterministic under
+/// any interleaving of *other* sites (calls to one site never advance
+/// another's schedule).
+class FaultInjector {
+ public:
+  /// Arms `site` to fail its next `count` calls with `code`.
+  void fail_next(std::string_view site, int count, Errc code = Errc::failed,
+                 std::string message = "");
+
+  /// Arms `site` to fail every `period`-th call from now on (1-based: with
+  /// period 3, calls 3, 6, 9, ... fail). `period <= 0` disarms.
+  void fail_every(std::string_view site, int period, Errc code = Errc::failed,
+                  std::string message = "");
+
+  /// Disarms every schedule at `site`; counters keep their values.
+  void clear(std::string_view site);
+
+  /// Disarms all sites.
+  void clear_all();
+
+  /// The instrumented operation's hook: counts the call and returns the
+  /// injected error when a schedule fires, success otherwise.
+  Status check(std::string_view site);
+
+  /// Calls made to `site` so far (including successful ones).
+  std::uint64_t calls(std::string_view site) const;
+
+  /// Faults fired at `site` so far.
+  std::uint64_t injected(std::string_view site) const;
+
+  /// Faults fired across all sites.
+  std::uint64_t total_injected() const;
+
+ private:
+  struct Site {
+    std::uint64_t calls = 0;
+    std::uint64_t injected = 0;
+    int fail_next = 0;       ///< remaining forced failures
+    int fail_every = 0;      ///< 0 = off
+    std::uint64_t every_base = 0;  ///< call count when fail_every was armed
+    Errc code = Errc::failed;
+    std::string message;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+}  // namespace comt::support

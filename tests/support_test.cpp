@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/sha256.hpp"
 #include "support/strings.hpp"
 
@@ -184,6 +188,80 @@ TEST(PathsTest, Extension) {
   EXPECT_EQ(path_extension("noext"), "");
   EXPECT_EQ(path_extension("/.hidden"), "");  // leading dot is not an extension
   EXPECT_EQ(path_extension("x.tar"), ".tar");
+}
+
+// ---- FaultInjector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, UnarmedSiteAlwaysSucceeds) {
+  support::FaultInjector faults;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(faults.check("quiet").ok());
+  EXPECT_EQ(faults.calls("quiet"), 5u);
+  EXPECT_EQ(faults.injected("quiet"), 0u);
+  EXPECT_EQ(faults.calls("never-touched"), 0u);
+}
+
+TEST(FaultInjectorTest, FailNextFiresExactlyNTimes) {
+  support::FaultInjector faults;
+  faults.fail_next("pull", 2);
+  auto first = faults.check("pull");
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code, Errc::failed);
+  EXPECT_NE(first.error().message.find("pull"), std::string::npos);
+  EXPECT_FALSE(faults.check("pull").ok());
+  EXPECT_TRUE(faults.check("pull").ok());
+  EXPECT_TRUE(faults.check("pull").ok());
+  EXPECT_EQ(faults.injected("pull"), 2u);
+}
+
+TEST(FaultInjectorTest, FailEveryIsPeriodicFromArming) {
+  support::FaultInjector faults;
+  EXPECT_TRUE(faults.check("job").ok());  // pre-arming calls don't count
+  faults.fail_every("job", 3);
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 9; ++i) outcomes.push_back(faults.check("job").ok());
+  // Calls 3, 6, 9 after arming fail.
+  EXPECT_EQ(outcomes, (std::vector<bool>{true, true, false, true, true, false,
+                                         true, true, false}));
+  EXPECT_EQ(faults.injected("job"), 3u);
+}
+
+TEST(FaultInjectorTest, CustomCodeAndMessage) {
+  support::FaultInjector faults;
+  faults.fail_next("net", 1, Errc::corrupt, "checksum mismatch");
+  auto status = faults.check("net");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::corrupt);
+  EXPECT_NE(status.error().message.find("checksum mismatch"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, SitesAreIndependentAndClearable) {
+  support::FaultInjector faults;
+  faults.fail_next("a", 100);
+  faults.fail_every("b", 1);
+  EXPECT_TRUE(faults.check("c").ok());  // other sites don't advance a/b
+  EXPECT_FALSE(faults.check("a").ok());
+  EXPECT_FALSE(faults.check("b").ok());
+  faults.clear("a");
+  EXPECT_TRUE(faults.check("a").ok());
+  faults.clear_all();
+  EXPECT_TRUE(faults.check("b").ok());
+  EXPECT_EQ(faults.total_injected(), 2u);
+}
+
+TEST(FaultInjectorTest, ConcurrentChecksCountEveryCall) {
+  support::FaultInjector faults;
+  faults.fail_every("hot", 4);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&faults] {
+      for (int i = 0; i < kCallsPerThread; ++i) (void)faults.check("hot");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(faults.calls("hot"), static_cast<std::uint64_t>(kThreads * kCallsPerThread));
+  EXPECT_EQ(faults.injected("hot"), static_cast<std::uint64_t>(kThreads * kCallsPerThread / 4));
 }
 
 }  // namespace
