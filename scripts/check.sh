@@ -4,10 +4,15 @@
 # parallel rebuilds are bit-identical, a warm compile cache hits 100%,
 # duplicate service requests coalesce, and injected faults recover via
 # retry). A second build under ThreadSanitizer reruns the concurrency layer
-# (scheduler, registry, rebuild service) and the service smoke bench.
+# (scheduler, registry, rebuild service) and the service smoke bench. A third
+# build under AddressSanitizer reruns the durability layer (write-ahead
+# journal, crash/torn-write injection, fsck/repair) plus the crash-resume
+# smoke bench — crash paths unwind through partially written state, exactly
+# where ASAN finds lifetime bugs.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 #   COMT_SKIP_TSAN=1   skip the ThreadSanitizer stage.
+#   COMT_SKIP_ASAN=1   skip the AddressSanitizer stage.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,6 +31,7 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 echo "== bench smoke =="
 "$build_dir/bench/parallel_rebuild" --smoke
 "$build_dir/bench/service_throughput" --smoke
+"$build_dir/bench/crash_resume" --smoke
 
 if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
   tsan_dir="${build_dir}-tsan"
@@ -39,6 +45,20 @@ if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
 
   echo "== tsan bench smoke =="
   "$tsan_dir/bench/service_throughput" --smoke
+fi
+
+if [ "${COMT_SKIP_ASAN:-0}" != "1" ]; then
+  asan_dir="${build_dir}-asan"
+  echo "== asan build =="
+  cmake -B "$asan_dir" -S "$repo" -DCOMT_SANITIZE=address
+  cmake --build "$asan_dir" -j "$jobs"
+
+  echo "== asan test (durability layer) =="
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
+        -R 'Journal|Durable|Fsck|CrashResume|ServiceCrashRecovery|FaultInjector|LayoutPin|RegistryPin'
+
+  echo "== asan bench smoke =="
+  "$asan_dir/bench/crash_resume" --smoke
 fi
 
 echo "check.sh: all green"

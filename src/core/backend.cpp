@@ -36,6 +36,71 @@ std::map<std::string, std::string> replacements_from_json(const json::Value& val
   return out;
 }
 
+/// Pins an image's blobs (manifest, config, layers) in a layout for the
+/// guard's lifetime. A journaled rebuild holds one over its source image so
+/// garbage collection or fsck quarantine running against the same layout
+/// cannot reclaim bytes the rebuild — or a crash-resume of it — still needs.
+class PinGuard {
+ public:
+  PinGuard() = default;
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+  ~PinGuard() {
+    if (layout_ == nullptr) return;
+    for (const oci::Digest& digest : digests_) layout_->unpin_blob(digest);
+  }
+
+  void pin(oci::Layout& layout, const oci::Image& image) {
+    layout_ = &layout;
+    digests_.push_back(image.manifest_digest);
+    digests_.push_back(image.manifest.config.digest);
+    for (const oci::Descriptor& layer : image.manifest.layers) {
+      digests_.push_back(layer.digest);
+    }
+    for (const oci::Digest& digest : digests_) layout.pin_blob(digest);
+  }
+
+ private:
+  oci::Layout* layout_ = nullptr;
+  std::vector<oci::Digest> digests_;
+};
+
+/// Identity of a rebuild for the journal's begin record: the extended image,
+/// the target, and the (adapter-transformed) compile DAG. A journal written
+/// for one identity must not drive another — replaying foreign outputs would
+/// silently corrupt the rebuilt image.
+std::string rebuild_inputs_digest(const oci::Image& extended,
+                                  const sysmodel::SystemProfile& system,
+                                  const std::string& arch, const BuildGraph& graph,
+                                  const std::vector<int>& order) {
+  Sha256 hasher;
+  auto put = [&hasher](std::string_view field) {
+    std::uint64_t size = field.size();
+    hasher.update(&size, sizeof(size));
+    hasher.update(field);
+  };
+  put(extended.manifest_digest.value);
+  put(system.name);
+  put(arch);
+  for (int id : order) {
+    const GraphNode& node = graph.node(id);
+    put(std::to_string(id));
+    put(node.path);
+    put(node.cwd);
+    if (node.is_leaf()) {
+      put(node.content_digest);
+      continue;
+    }
+    if (node.compile.has_value()) {
+      for (const std::string& arg : node.compile->render()) put(arg);
+    }
+    for (const std::string& arg : node.archive_argv) put(arg);
+    for (int dep : node.deps) put(std::to_string(dep));
+  }
+  auto digest = hasher.finish();
+  return to_hex(digest.data(), digest.size());
+}
+
 }  // namespace
 
 std::string base_tag_of(std::string_view tag) {
@@ -121,6 +186,39 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   std::shared_mutex rootfs_mutex;
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> journal_replayed{0};
+  std::atomic<std::uint64_t> journal_committed{0};
+
+  // Write-ahead journal: bind this rebuild to the journal's begin record and
+  // recover whatever a previous interrupted run already committed. The source
+  // image's blobs stay pinned while the journal is live.
+  durable::ReplayState replay_state;
+  PinGuard pins;
+  if (options.journal != nullptr) {
+    pins.pin(layout, extended);
+    const std::string inputs_digest =
+        rebuild_inputs_digest(extended, *options.system, arch, graph, order);
+    COMT_TRY(replay_state, options.journal->replay());
+    report.journal_truncated_bytes = replay_state.truncated_bytes;
+    if (replay_state.begin.has_value()) {
+      if (replay_state.begin->inputs_digest != inputs_digest) {
+        return make_error(Errc::invalid_argument,
+                          "rebuild: journal was begun for different inputs (" +
+                              replay_state.begin->inputs_digest + " != " + inputs_digest +
+                              ")");
+      }
+      report.resumed = true;
+    } else {
+      durable::BeginRecord begin;
+      begin.inputs_digest = inputs_digest;
+      begin.system = options.system->name;
+      begin.metadata = options.journal_metadata;
+      for (int id : order) {
+        if (!graph.node(id).is_leaf()) ++begin.planned_jobs;
+      }
+      COMT_TRY_STATUS(options.journal->append_begin(begin));
+    }
+  }
 
   // Current digest of `path` in the shared rootfs; "" when unreadable. The
   // cache verifies its per-entry input manifest through this, so a changed
@@ -131,70 +229,114 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
     return content.ok() ? Sha256::hex_digest(content.value()) : std::string();
   };
 
-  auto run_job = [&](const std::vector<std::string>& argv,
+  auto run_job = [&](const std::string& job_key, const std::vector<std::string>& argv,
                      const std::string& cwd) -> Status {
+    if (options.fault_injector != nullptr) {
+      options.fault_injector->check_crash(kCrashJobStart);
+    }
+    // Crash-resume replay: a commit record means this job's outputs are
+    // already durable — re-apply them instead of re-running the tool.
+    if (options.journal != nullptr) {
+      auto committed = replay_state.commits.find(job_key);
+      if (committed != replay_state.commits.end()) {
+        if (durable::digest_outputs(committed->second.outputs) !=
+            committed->second.output_digest) {
+          return make_error(Errc::corrupt, "rebuild: journal commit for job " + job_key +
+                                               " fails its output digest");
+        }
+        std::unique_lock<std::shared_mutex> lock(rootfs_mutex);
+        for (const durable::JournalOutput& out : committed->second.outputs) {
+          COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
+        }
+        journal_replayed.fetch_add(1);
+        return Status::success();
+      }
+    }
     if (options.fault_injector != nullptr) {
       COMT_TRY_STATUS(options.fault_injector->check(kCompileFaultSite));
     }
     sched::CacheKey key{options.system->name, arch, cwd, argv};
     const std::string key_digest = key.digest();
+    const bool concurrent = options.threads > 1;
+    std::vector<sched::CachedOutput> outputs;
+    bool from_cache = false;
     if (options.compile_cache != nullptr) {
       auto hit = options.compile_cache->lookup(key_digest, digest_in_rootfs);
       if (hit != nullptr) {
-        std::unique_lock<std::shared_mutex> lock(rootfs_mutex);
-        for (const sched::CachedOutput& out : hit->outputs) {
-          COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
-        }
+        outputs = hit->outputs;
+        from_cache = true;
         cache_hits.fetch_add(1);
-        return Status::success();
       }
     }
-    // Sequential mode executes directly on the shared rootfs (nothing else
-    // runs, so no snapshot is needed and no copy is paid). Concurrent mode
-    // executes against a private snapshot and commits the declared outputs
-    // under the writer lock — the rebuilt files are identical because the
-    // tool sees the same committed dependency outputs either way.
-    const bool concurrent = options.threads > 1;
-    vfs::Filesystem snapshot;
-    vfs::Filesystem* fs = &container.rootfs();
-    if (concurrent) {
-      std::shared_lock<std::shared_mutex> lock(rootfs_mutex);
-      snapshot = container.rootfs();
-      fs = &snapshot;
-    }
-    auto executed = buildexec::exec_tool(argv, *fs, cwd, arch, env);
-    if (!executed.ok()) return executed.error();
-    cache_misses.fetch_add(1);
-    std::vector<sched::CachedOutput> outputs;
-    if (concurrent || options.compile_cache != nullptr) {
-      for (const std::string& out_path : executed.value().outputs) {
-        auto content = fs->read_file(out_path);
-        if (!content.ok()) continue;  // e.g. an output the tool itself removed
-        std::uint32_t mode = 0644;
-        if (const vfs::Node* node = fs->lookup(out_path)) mode = node->mode;
-        outputs.push_back({out_path, std::move(content).value(), mode});
+    if (!from_cache) {
+      // Sequential mode executes directly on the shared rootfs (nothing else
+      // runs, so no snapshot is needed and no copy is paid). Concurrent mode
+      // executes against a private snapshot and commits the declared outputs
+      // under the writer lock — the rebuilt files are identical because the
+      // tool sees the same committed dependency outputs either way.
+      vfs::Filesystem snapshot;
+      vfs::Filesystem* fs = &container.rootfs();
+      if (concurrent) {
+        std::shared_lock<std::shared_mutex> lock(rootfs_mutex);
+        snapshot = container.rootfs();
+        fs = &snapshot;
+      }
+      auto executed = buildexec::exec_tool(argv, *fs, cwd, arch, env);
+      if (!executed.ok()) return executed.error();
+      cache_misses.fetch_add(1);
+      if (concurrent || options.compile_cache != nullptr || options.journal != nullptr) {
+        for (const std::string& out_path : executed.value().outputs) {
+          auto content = fs->read_file(out_path);
+          if (!content.ok()) continue;  // e.g. an output the tool itself removed
+          std::uint32_t mode = 0644;
+          if (const vfs::Node* node = fs->lookup(out_path)) mode = node->mode;
+          outputs.push_back({out_path, std::move(content).value(), mode});
+        }
+      }
+      if (options.compile_cache != nullptr) {
+        sched::CacheEntry entry;
+        for (const std::string& in_path : executed.value().inputs_read) {
+          auto content = fs->read_file(in_path);
+          entry.input_digests[in_path] =
+              content.ok() ? Sha256::hex_digest(content.value()) : std::string();
+        }
+        if (!executed.value().resolved_program.empty()) {
+          auto program = fs->read_file(executed.value().resolved_program);
+          entry.input_digests[executed.value().resolved_program] =
+              program.ok() ? Sha256::hex_digest(program.value()) : std::string();
+        }
+        if (concurrent || options.journal != nullptr) {
+          entry.outputs = outputs;  // the write-back / journal commit below still needs them
+        } else {
+          entry.outputs = std::move(outputs);
+        }
+        options.compile_cache->store(key_digest, std::move(entry));
       }
     }
-    if (concurrent) {
+    // Cache hits and concurrent executions commit their outputs to the
+    // shared rootfs here; sequential executions already wrote in place.
+    if (concurrent || from_cache) {
       std::unique_lock<std::shared_mutex> lock(rootfs_mutex);
       for (const sched::CachedOutput& out : outputs) {
         COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
       }
     }
-    if (options.compile_cache != nullptr) {
-      sched::CacheEntry entry;
-      for (const std::string& in_path : executed.value().inputs_read) {
-        auto content = fs->read_file(in_path);
-        entry.input_digests[in_path] =
-            content.ok() ? Sha256::hex_digest(content.value()) : std::string();
+    if (options.journal != nullptr) {
+      if (options.fault_injector != nullptr) {
+        options.fault_injector->check_crash(kCrashJobCommitted);
       }
-      if (!executed.value().resolved_program.empty()) {
-        auto program = fs->read_file(executed.value().resolved_program);
-        entry.input_digests[executed.value().resolved_program] =
-            program.ok() ? Sha256::hex_digest(program.value()) : std::string();
+      durable::CommitRecord record;
+      record.job_id = job_key;
+      record.outputs.reserve(outputs.size());
+      for (sched::CachedOutput& out : outputs) {
+        record.outputs.push_back({std::move(out.path), std::move(out.content), out.mode});
       }
-      entry.outputs = std::move(outputs);
-      options.compile_cache->store(key_digest, std::move(entry));
+      record.output_digest = durable::digest_outputs(record.outputs);
+      COMT_TRY_STATUS(options.journal->append_commit(record));
+      journal_committed.fetch_add(1);
+      if (options.fault_injector != nullptr) {
+        options.fault_injector->check_crash(kCrashJournalCommitted);
+      }
     }
     return Status::success();
   };
@@ -202,7 +344,10 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   std::unique_ptr<sched::ThreadPool> pool;
   if (options.threads > 1) pool = std::make_unique<sched::ThreadPool>(options.threads);
 
-  auto execute_graph = [&](bool profile_generate, bool profile_use) -> Status {
+  // `pass` prefixes journal job keys so the two PGO passes (which run the
+  // same node ids with different flags) never share commit records.
+  auto execute_graph = [&](bool profile_generate, bool profile_use,
+                           std::string_view pass) -> Status {
     sched::DagScheduler scheduler;
     for (int id : order) {
       const GraphNode& node = graph.node(id);
@@ -228,12 +373,13 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
       }
       std::string cwd = node.cwd.empty() ? "/" : node.cwd;
       std::string path = node.path;
+      std::string job_key = std::string(pass) + ":" + std::to_string(id);
       COMT_TRY_STATUS(scheduler.add_job(
           std::to_string(id), std::move(dep_jobs),
-          [&run_job, id, path = std::move(path), argv = std::move(argv),
-           cwd = std::move(cwd)]() -> Status {
+          [&run_job, id, job_key = std::move(job_key), path = std::move(path),
+           argv = std::move(argv), cwd = std::move(cwd)]() -> Status {
             if (argv.empty()) return Status::success();
-            Status status = run_job(argv, cwd);
+            Status status = run_job(job_key, argv, cwd);
             if (!status.ok()) {
               return make_error(status.error().code,
                                 "rebuild of node " + std::to_string(id) + " (" + path +
@@ -251,7 +397,7 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
 
   if (want_profile) {
     // Pass 1: instrumented build.
-    COMT_TRY_STATUS(execute_graph(/*profile_generate=*/true, /*profile_use=*/false));
+    COMT_TRY_STATUS(execute_graph(/*profile_generate=*/true, /*profile_use=*/false, "pg"));
     // Trial runs on the target system produce the profiles.
     sysmodel::ExecutionEngine engine(*options.system);
     for (int id : graph.roots()) {
@@ -269,10 +415,10 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
       }
     }
     // Pass 2: profile-guided build.
-    COMT_TRY_STATUS(execute_graph(/*profile_generate=*/false, /*profile_use=*/true));
+    COMT_TRY_STATUS(execute_graph(/*profile_generate=*/false, /*profile_use=*/true, "pu"));
     report.profile_feedback = true;
   } else {
-    COMT_TRY_STATUS(execute_graph(false, false));
+    COMT_TRY_STATUS(execute_graph(false, false, "p0"));
   }
 
   // Post-link artifact transformations (binary-level optimizations such as
@@ -318,6 +464,14 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
 
   report.cache_hits = cache_hits.load();
   report.cache_misses = cache_misses.load();
+  report.journal_replayed = journal_replayed.load();
+  report.journal_committed = journal_committed.load();
+
+  // The last crash window: every job is journaled but the rebuilt image is
+  // not assembled yet. A resume replays everything and lands here again.
+  if (options.fault_injector != nullptr) {
+    options.fault_injector->check_crash(kCrashFinish);
+  }
 
   std::string rebuilt_tag = base_tag_of(extended_tag) + std::string(kRebuiltSuffix);
   COMT_TRY(report.image,

@@ -28,6 +28,7 @@
 #include "core/adapters.hpp"
 #include "core/cache.hpp"
 #include "core/models.hpp"
+#include "durable/journal.hpp"
 #include "oci/oci.hpp"
 #include "sched/compile_cache.hpp"
 #include "support/error.hpp"
@@ -39,6 +40,26 @@ namespace comt::core {
 /// Fault-injection site each compile job checks when RebuildOptions carries
 /// an injector (spurious compile failures, the kind a flaky build node gives).
 inline constexpr std::string_view kCompileFaultSite = "compile.job";
+
+// Crash-injection sites a journaled rebuild passes through, in execution
+// order. Arming one (FaultInjector::crash_at / crash_next) makes the rebuild
+// die there by throwing support::CrashInjected — the in-process equivalent of
+// SIGKILL at that instant. Together with the torn-write sites
+// (durable::kJournalAppendSite, oci::kBlobPutSite) they cover every
+// durability-relevant moment of a rebuild.
+/// Entry of a compile job, before any work or journal replay.
+inline constexpr std::string_view kCrashJobStart = "crash.rebuild.job_start";
+/// Job outputs are committed to the rootfs but NOT yet journaled — the
+/// classic window where a crash loses completed work (the resume re-runs it).
+inline constexpr std::string_view kCrashJobCommitted = "crash.rebuild.job_committed";
+/// The commit record hit the journal; a crash here must not re-run the job.
+inline constexpr std::string_view kCrashJournalCommitted =
+    "crash.rebuild.journal_committed";
+/// All jobs done, right before the rebuilt image is assembled and tagged.
+inline constexpr std::string_view kCrashFinish = "crash.rebuild.finish";
+/// Every crash site above, for exhaustive crash-sweep tests.
+inline constexpr std::string_view kRebuildCrashSites[] = {
+    kCrashJobStart, kCrashJobCommitted, kCrashJournalCommitted, kCrashFinish};
 
 /// User-side coMtainer-build. `dist_tag` is the application image built by
 /// the two-stage Dockerfile, `base_tag` the dist stage's base image; the
@@ -75,7 +96,20 @@ struct RebuildOptions {
   /// Optional fault-injection hook: every compile job checks
   /// kCompileFaultSite before running, so callers with retry logic (the
   /// rebuild service) can be exercised against transient build failures.
+  /// With a journal attached the same injector also drives the
+  /// kCrash*/torn-write sites above.
   support::FaultInjector* fault_injector = nullptr;
+  /// Optional write-ahead journal making the rebuild crash-safe and
+  /// resumable. An empty journal gets a begin record (inputs digest, system,
+  /// planned DAG) and one commit record per completed compile job; re-running
+  /// with the same journal replays committed jobs from their recorded outputs
+  /// instead of executing them and produces a bit-identical image. A journal
+  /// whose begin record names different inputs is rejected
+  /// (Errc::invalid_argument) — plans must not silently mix.
+  durable::Journal* journal = nullptr;
+  /// Caller-owned context stored in the journal's begin record (the rebuild
+  /// service serializes the submit request here so recover() can resubmit).
+  std::string journal_metadata;
 };
 
 /// Diagnostics from a rebuild (how many nodes re-ran, profile feedback, …).
@@ -100,6 +134,15 @@ struct RebuildReport {
   /// Wall-clock milliseconds spent inside the compile scheduler, summed
   /// over PGO passes.
   double wall_ms = 0;
+  /// Jobs replayed from journal commit records (crash-resume; never ran).
+  std::size_t journal_replayed = 0;
+  /// Jobs whose commit record was appended to the journal this run.
+  std::size_t journal_committed = 0;
+  /// Torn journal bytes dropped during replay (a crash mid-append).
+  std::uint64_t journal_truncated_bytes = 0;
+  /// True when an existing begin record matched — this run resumed a
+  /// previously interrupted rebuild.
+  bool resumed = false;
 };
 
 Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view extended_tag,

@@ -1,0 +1,314 @@
+#include "durable/journal.hpp"
+
+#include <cstring>
+
+#include "support/sha256.hpp"
+
+namespace comt::durable {
+namespace {
+
+// Wire format, little-endian throughout:
+//   record  := [u32 payload size][u64 fnv1a64(payload)][payload]
+//   payload := [u8 kind][kind-specific fields]
+//   begin   := str inputs_digest, str system, str metadata, u64 planned_jobs
+//   commit  := str job_id, str output_digest, u32 count, count × output
+//   output  := str path, str content, u32 mode
+//   str     := [u32 size][bytes]
+constexpr std::uint8_t kKindBegin = 1;
+constexpr std::uint8_t kKindCommit = 2;
+constexpr std::size_t kHeaderSize = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+void put_str(std::string& out, std::string_view value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(value);
+}
+
+/// Bounds-checked forward reader over a payload; any short read trips `ok`.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos + 1 > data.size()) return fail<std::uint8_t>();
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    if (pos + 4 > data.size()) return fail<std::uint32_t>();
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return value;
+  }
+  std::uint64_t u64() {
+    if (pos + 8 > data.size()) return fail<std::uint64_t>();
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 8;
+    return value;
+  }
+  std::string str() {
+    std::uint32_t size = u32();
+    if (!ok || pos + size > data.size()) return fail<std::string>();
+    std::string value(data.substr(pos, size));
+    pos += size;
+    return value;
+  }
+
+  template <typename T>
+  T fail() {
+    ok = false;
+    return T{};
+  }
+};
+
+std::string serialize_begin(const BeginRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kKindBegin));
+  put_str(payload, record.inputs_digest);
+  put_str(payload, record.system);
+  put_str(payload, record.metadata);
+  put_u64(payload, record.planned_jobs);
+  return payload;
+}
+
+std::string serialize_commit(const CommitRecord& record) {
+  std::string payload;
+  std::size_t size = 1 + 4 + record.job_id.size() + 4 + record.output_digest.size() + 4;
+  for (const JournalOutput& output : record.outputs) {
+    size += 4 + output.path.size() + 4 + output.content.size() + 4;
+  }
+  payload.reserve(size);
+  payload.push_back(static_cast<char>(kKindCommit));
+  put_str(payload, record.job_id);
+  put_str(payload, record.output_digest);
+  put_u32(payload, static_cast<std::uint32_t>(record.outputs.size()));
+  for (const JournalOutput& output : record.outputs) {
+    put_str(payload, output.path);
+    put_str(payload, output.content);
+    put_u32(payload, output.mode);
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::string digest_outputs(const std::vector<JournalOutput>& outputs) {
+  Sha256 hasher;
+  // Length-prefix every field so boundaries can't collide. Fields are hashed
+  // in place — no framed copy of the (possibly large) content.
+  auto frame = [&hasher](std::string_view data) {
+    std::string len;
+    put_u32(len, static_cast<std::uint32_t>(data.size()));
+    hasher.update(len);
+    hasher.update(data);
+  };
+  for (const JournalOutput& output : outputs) {
+    frame(output.path);
+    frame(output.content);
+    std::string mode;
+    put_u32(mode, output.mode);
+    hasher.update(mode);
+  }
+  auto digest = hasher.finish();
+  return to_hex(digest.data(), digest.size());
+}
+
+Status Journal::append_begin(const BeginRecord& record) {
+  return append(serialize_begin(record));
+}
+
+Status Journal::append_commit(const CommitRecord& record) {
+  return append(serialize_commit(record));
+}
+
+Status Journal::append(std::string payload) {
+  std::string header;
+  header.reserve(kHeaderSize);
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u64(header, fnv1a64(payload));
+
+  std::optional<std::size_t> torn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (faults_ != nullptr) {
+      torn = faults_->check_torn(kJournalAppendSite, header.size() + payload.size());
+    }
+    if (torn.has_value()) {
+      // The simulated medium persisted only a prefix; the process dies before
+      // it could finish the write. replay() truncates this tail.
+      const std::size_t from_header = std::min(*torn, header.size());
+      data_.append(header, 0, from_header);
+      data_.append(payload, 0, *torn - from_header);
+    } else {
+      data_.append(header);
+      data_.append(payload);
+    }
+  }
+  if (torn.has_value()) throw support::CrashInjected{std::string(kJournalAppendSite)};
+  return Status::success();
+}
+
+Result<ReplayState> Journal::replay() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplayState state;
+  std::size_t pos = 0;
+  while (pos < data_.size()) {
+    const std::size_t record_start = pos;
+    // A record whose header or payload runs past the buffer, or whose
+    // checksum disagrees, is a torn tail: the crash hit mid-append. Nothing
+    // after it can be intact (the log is append-only), so drop it all.
+    if (data_.size() - pos < kHeaderSize) break;
+    Reader header{std::string_view(data_).substr(pos, kHeaderSize)};
+    std::uint32_t payload_size = header.u32();
+    std::uint64_t checksum = header.u64();
+    pos += kHeaderSize;
+    if (data_.size() - pos < payload_size) {
+      pos = record_start;
+      break;
+    }
+    std::string_view payload = std::string_view(data_).substr(pos, payload_size);
+    if (fnv1a64(payload) != checksum) {
+      pos = record_start;
+      break;
+    }
+    pos += payload_size;
+
+    Reader reader{payload};
+    std::uint8_t kind = reader.u8();
+    if (kind == kKindBegin) {
+      BeginRecord begin;
+      begin.inputs_digest = reader.str();
+      begin.system = reader.str();
+      begin.metadata = reader.str();
+      begin.planned_jobs = reader.u64();
+      if (!reader.ok) {
+        return make_error(Errc::corrupt, "journal: malformed begin record");
+      }
+      if (state.begin.has_value()) {
+        return make_error(Errc::corrupt, "journal: second begin record");
+      }
+      state.begin = std::move(begin);
+    } else if (kind == kKindCommit) {
+      CommitRecord commit;
+      commit.job_id = reader.str();
+      commit.output_digest = reader.str();
+      std::uint32_t count = reader.u32();
+      for (std::uint32_t i = 0; i < count && reader.ok; ++i) {
+        JournalOutput output;
+        output.path = reader.str();
+        output.content = reader.str();
+        output.mode = reader.u32();
+        commit.outputs.push_back(std::move(output));
+      }
+      if (!reader.ok) {
+        return make_error(Errc::corrupt, "journal: malformed commit record");
+      }
+      if (!state.begin.has_value()) {
+        return make_error(Errc::corrupt, "journal: commit before begin");
+      }
+      state.commits[commit.job_id] = std::move(commit);
+    } else {
+      return make_error(Errc::corrupt,
+                        "journal: unknown record kind " + std::to_string(kind));
+    }
+    ++state.records;
+  }
+  if (pos < data_.size()) {
+    state.truncated_bytes = data_.size() - pos;
+    data_.resize(pos);
+  }
+  return state;
+}
+
+bool Journal::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.empty();
+}
+
+std::size_t Journal::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.size();
+}
+
+std::string Journal::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void Journal::set_bytes(std::string bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = std::move(bytes);
+}
+
+void Journal::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.clear();
+}
+
+std::shared_ptr<Journal> JournalStore::open(const std::string& key,
+                                            std::string_view metadata) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.key = key;
+    entry.metadata = std::string(metadata);
+    entry.journal = std::make_shared<Journal>();
+    entry.journal->set_fault_injector(faults_);
+    it = entries_.emplace(key, std::move(entry)).first;
+  }
+  return it->second.journal;
+}
+
+void JournalStore::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(key);
+}
+
+bool JournalStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) != 0;
+}
+
+std::size_t JournalStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<JournalStore::Entry> JournalStore::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+void JournalStore::set_fault_injector(support::FaultInjector* faults) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_ = faults;
+  for (auto& [key, entry] : entries_) entry.journal->set_fault_injector(faults);
+}
+
+}  // namespace comt::durable

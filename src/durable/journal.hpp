@@ -1,0 +1,143 @@
+// Write-ahead journal for crash-safe, resumable rebuilds.
+//
+// A rebuild that may die mid-way (node failure, preemption) records its
+// progress in a Journal: one begin record naming the inputs (extended-image
+// digest, target system, compile DAG) and one commit record per completed
+// compile job carrying the job's produced outputs. Records are
+// length-prefixed and checksummed, so a crash in the middle of an append — a
+// torn write — leaves a tail the next replay detects and truncates instead of
+// misparsing. Re-running the rebuild with the same journal replays committed
+// jobs from their recorded outputs and only executes what never committed;
+// the resumed run produces a bit-identical image to an uninterrupted one.
+//
+// The backing store is an in-memory append-only byte buffer, mirroring the
+// journal file a production deployment would fsync next to its OCI layout.
+// Torn-write and crash injection (support::FaultInjector) exercise exactly
+// the failure modes a real file would exhibit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace comt::durable {
+
+/// Torn-write injection site checked on every journal append.
+inline constexpr std::string_view kJournalAppendSite = "journal.append";
+
+/// One output blob a committed job produced (path inside the rebuild rootfs).
+struct JournalOutput {
+  std::string path;
+  std::string content;
+  std::uint32_t mode = 0644;
+
+  bool operator==(const JournalOutput&) const = default;
+};
+
+/// The journal's first record: what rebuild this journal belongs to. A replay
+/// whose caller computes a different inputs digest must not reuse the
+/// journal — the plan changed under it.
+struct BeginRecord {
+  std::string inputs_digest;  ///< sha256 over image digest + system + DAG
+  std::string system;         ///< target-system fingerprint (diagnostic)
+  std::string metadata;       ///< caller-owned context (the service stores the request)
+  std::uint64_t planned_jobs = 0;  ///< compile jobs the DAG schedules
+};
+
+/// One committed compile job: its scheduler key and the outputs it wrote,
+/// digested so replay can verify integrity end-to-end.
+struct CommitRecord {
+  std::string job_id;         ///< scheduler job key ("<pass>:<node id>")
+  std::string output_digest;  ///< sha256 over all outputs (path, content, mode)
+  std::vector<JournalOutput> outputs;
+};
+
+/// Digest a commit record's outputs the way replay re-verifies them.
+std::string digest_outputs(const std::vector<JournalOutput>& outputs);
+
+/// State recovered from a journal's bytes.
+struct ReplayState {
+  std::optional<BeginRecord> begin;
+  std::map<std::string, CommitRecord> commits;  ///< job id → committed record
+  std::size_t records = 0;           ///< intact records parsed (incl. begin)
+  std::uint64_t truncated_bytes = 0; ///< torn tail dropped from the buffer
+};
+
+/// Append-only, checksummed record log. Thread-safe: concurrent compile jobs
+/// of one rebuild commit through the same journal.
+class Journal {
+ public:
+  /// Attaches torn-write injection to every append. Pass nullptr to detach.
+  void set_fault_injector(support::FaultInjector* faults) { faults_ = faults; }
+
+  Status append_begin(const BeginRecord& record);
+  Status append_commit(const CommitRecord& record);
+
+  /// Parses the buffer into ReplayState. A torn or checksum-corrupt record
+  /// ends the valid prefix: it and everything after it are truncated from
+  /// the buffer (append-only logs cannot have intact records after a torn
+  /// one) and counted in ReplayState::truncated_bytes. A begin record
+  /// anywhere but first, or a commit before begin, is Errc::corrupt.
+  Result<ReplayState> replay();
+
+  bool empty() const;
+  std::size_t size_bytes() const;
+
+  /// Raw backing bytes (tests corrupt them to exercise replay).
+  std::string bytes() const;
+  void set_bytes(std::string bytes);
+
+  void clear();
+
+ private:
+  Status append(std::string payload);
+
+  mutable std::mutex mutex_;
+  std::string data_;
+  support::FaultInjector* faults_ = nullptr;
+};
+
+/// Keyed collection of journals, shared between a rebuild service and its
+/// restart: journals survive the service object's death the way files
+/// survive a process, so recover() on the next incarnation finds them.
+/// Thread-safe.
+class JournalStore {
+ public:
+  struct Entry {
+    std::string key;
+    std::string metadata;  ///< as passed to the creating open()
+    std::shared_ptr<Journal> journal;
+  };
+
+  /// Returns the journal for `key`, creating it (with `metadata`) on first
+  /// open. An existing journal keeps its original metadata.
+  std::shared_ptr<Journal> open(const std::string& key, std::string_view metadata = "");
+
+  /// Drops `key`'s journal — called once the work it guards is fully
+  /// committed downstream (the rebuilt image is pushed).
+  void remove(const std::string& key);
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const;
+
+  /// Snapshot of every live journal, sorted by key.
+  std::vector<Entry> list() const;
+
+  /// Attaches `faults` to every current and future journal in the store.
+  void set_fault_injector(support::FaultInjector* faults);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  support::FaultInjector* faults_ = nullptr;
+};
+
+}  // namespace comt::durable

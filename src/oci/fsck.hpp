@@ -1,0 +1,86 @@
+// OCI layout fsck: integrity scan, corruption classification, and repair.
+//
+// A blob store that survived a crash (or a torn write) can hold four classes
+// of damage, mirrored from what the Sarus/Shifter image stores treat as
+// operational incidents:
+//
+//   corrupt_blob      stored bytes do not hash to the digest they sit under
+//   truncated_blob    like corrupt_blob, but the bytes are shorter than a
+//                     referencing descriptor says — a partially flushed write
+//   missing_blob      a manifest references a digest the store does not hold
+//   dangling_manifest an index tag points at a manifest blob that is missing
+//                     or unparseable
+//
+// fsck() re-hashes every blob and walks every index entry, returning all
+// findings classified. fsck_repair() additionally heals what it can: damaged
+// or missing blobs are re-fetched from an origin (a registry the content was
+// pulled from) when the fetched bytes verify against the wanted digest;
+// unrepairable damaged blobs are quarantined (dropped) unless pinned, and
+// index tags whose manifests stay unrecoverable are cut. The report records
+// the action taken per finding plus a rescan's remaining-problem count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "oci/oci.hpp"
+#include "support/error.hpp"
+
+namespace comt::oci {
+
+/// Corruption classes fsck distinguishes.
+enum class FsckIssue {
+  corrupt_blob,
+  truncated_blob,
+  missing_blob,
+  dangling_manifest,
+};
+
+const char* to_string(FsckIssue issue);
+
+/// What repair did about a finding.
+enum class FsckAction {
+  none,       ///< scan-only, or nothing applicable (e.g. the blob is pinned)
+  refetched,  ///< re-fetched from the origin and verified against the digest
+  dropped,    ///< quarantined: blob removed / dangling tag cut from the index
+};
+
+struct FsckFinding {
+  FsckIssue issue = FsckIssue::corrupt_blob;
+  Digest digest;        ///< the damaged/missing blob (or the missing manifest)
+  std::string context;  ///< where the reference came from ("tag 'x' layer 2", "orphan")
+  FsckAction action = FsckAction::none;
+  /// For dangling_manifest: the index tag repair would cut. Empty otherwise.
+  std::string tag;
+};
+
+struct FsckReport {
+  std::vector<FsckFinding> findings;  ///< in scan order
+  std::size_t corrupt = 0;
+  std::size_t truncated = 0;
+  std::size_t missing = 0;
+  std::size_t dangling = 0;
+  std::size_t refetched = 0;  ///< findings healed from the origin
+  std::size_t dropped = 0;    ///< findings quarantined
+  /// Findings a post-repair rescan still sees (always == findings.size() for
+  /// a scan-only fsck() when damage exists; 0 after a complete repair).
+  std::size_t remaining = 0;
+
+  bool clean() const { return findings.empty(); }
+};
+
+/// Supplies the true bytes for a digest during repair — typically a
+/// registry::Registry the layout's content was pulled from. Fetched content
+/// is verified against the requested digest before it is accepted.
+using BlobFetcher = std::function<Result<std::string>(const Digest&)>;
+
+/// Scan only: classify every problem, touch nothing.
+FsckReport fsck(const Layout& layout);
+
+/// Scan, then repair: refetch damaged/missing blobs from `origin` (when given
+/// and the bytes verify), drop unrepairable unpinned blobs, cut index tags
+/// whose manifests cannot be recovered. Pinned blobs are never dropped.
+FsckReport fsck_repair(Layout& layout, const BlobFetcher& origin = {});
+
+}  // namespace comt::oci

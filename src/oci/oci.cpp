@@ -173,8 +173,25 @@ Descriptor Layout::put_blob(std::string blob, std::string_view media_type) {
   descriptor.media_type = std::string(media_type);
   descriptor.digest = Digest::of_blob(blob);
   descriptor.size = blob.size();
-  blobs_.emplace(descriptor.digest, std::move(blob));
+  if (faults_ != nullptr) {
+    if (auto torn = faults_->check_torn(kBlobPutSite, blob.size()); torn.has_value()) {
+      // The medium persisted a prefix under the full content's digest — the
+      // classic torn blob fsck must find — and the process dies here.
+      blobs_.insert_or_assign(descriptor.digest, blob.substr(0, *torn));
+      throw support::CrashInjected{std::string(kBlobPutSite)};
+    }
+  }
+  // insert_or_assign, not emplace: under content addressing same digest means
+  // same bytes, so a re-put is normally a no-op rewrite — but it heals a
+  // blob an earlier torn write left truncated under this digest.
+  blobs_.insert_or_assign(descriptor.digest, std::move(blob));
   return descriptor;
+}
+
+void Layout::set_blob_bytes(const Digest& digest, std::string bytes) {
+  auto it = blobs_.find(digest);
+  COMT_ASSERT(it != blobs_.end(), ("set_blob_bytes: no such blob: " + digest.value).c_str());
+  it->second = std::move(bytes);
 }
 
 Result<std::string> Layout::get_blob(const Digest& digest) const {
@@ -199,11 +216,20 @@ std::vector<Digest> Layout::blob_digests() const {
 }
 
 std::uint64_t Layout::remove_blob(const Digest& digest) {
+  if (is_pinned(digest)) return 0;
   auto it = blobs_.find(digest);
   if (it == blobs_.end()) return 0;
   std::uint64_t freed = it->second.size();
   blobs_.erase(it);
   return freed;
+}
+
+void Layout::pin_blob(const Digest& digest) { ++pins_[digest]; }
+
+void Layout::unpin_blob(const Digest& digest) {
+  auto it = pins_.find(digest);
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
 }
 
 Result<Digest> Layout::add_manifest(const Manifest& manifest, std::string_view tag) {
@@ -233,6 +259,30 @@ std::vector<std::string> Layout::tags() const {
   out.reserve(index_.size());
   for (const auto& [tag, digest] : index_) out.push_back(tag);
   return out;
+}
+
+std::vector<std::pair<std::string, Digest>> Layout::index_entries() const {
+  return index_;
+}
+
+void Layout::tag_manifest(std::string_view tag, const Digest& manifest_digest) {
+  for (auto& [existing_tag, digest] : index_) {
+    if (existing_tag == tag) {
+      digest = manifest_digest;
+      return;
+    }
+  }
+  index_.emplace_back(std::string(tag), manifest_digest);
+}
+
+bool Layout::remove_tag(std::string_view tag) {
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    if (it->first == tag) {
+      index_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 Result<Image> Layout::find_image(std::string_view tag) const {

@@ -14,9 +14,13 @@
 
 #include "json/json.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "vfs/vfs.hpp"
 
 namespace comt::oci {
+
+/// Torn-write injection site checked on every Layout::put_blob.
+inline constexpr std::string_view kBlobPutSite = "oci.blob.put";
 
 // Media types (OCI image-spec v1).
 inline constexpr std::string_view kMediaTypeManifest =
@@ -95,8 +99,22 @@ struct Image {
 /// paper's workflow mounts into containers at /.coMtainer/io.
 class Layout {
  public:
-  /// Stores a blob and returns its descriptor.
+  /// Stores a blob and returns its descriptor. Re-putting a digest replaces
+  /// the stored bytes, so writing the true content heals a previously torn
+  /// blob under the same digest.
   Descriptor put_blob(std::string blob, std::string_view media_type);
+
+  /// Attaches torn-write injection to put_blob: when an armed schedule fires
+  /// the store keeps only a prefix of the bytes under the full content's
+  /// digest — a partially flushed blob file — and CrashInjected is thrown.
+  /// Pass nullptr to detach.
+  void set_fault_injector(support::FaultInjector* faults) { faults_ = faults; }
+
+  /// Overwrites the bytes stored under `digest` without re-hashing — the
+  /// in-memory stand-in for on-disk bit rot under a content address. fsck
+  /// tests corrupt blobs through this; no production path calls it. The
+  /// blob must already exist.
+  void set_blob_bytes(const Digest& digest, std::string bytes);
 
   Result<std::string> get_blob(const Digest& digest) const;
   bool has_blob(const Digest& digest) const { return blobs_.count(digest) != 0; }
@@ -108,10 +126,21 @@ class Layout {
   /// Digests of every stored blob (sorted; the map order).
   std::vector<Digest> blob_digests() const;
 
-  /// Drops a blob from the store. Returns the bytes freed, 0 when absent.
-  /// The caller owns referential integrity — a registry garbage-collecting
-  /// unreferenced blobs, never a reachable one.
+  /// Drops a blob from the store. Returns the bytes freed, 0 when absent or
+  /// pinned. The caller owns referential integrity — a registry
+  /// garbage-collecting unreferenced blobs, never a reachable one.
   std::uint64_t remove_blob(const Digest& digest);
+
+  /// Pins `digest` against remove_blob and fsck-repair quarantine. Pins are
+  /// refcounted: a blob stays protected until every pin is released. Live
+  /// journaled rebuilds pin the blobs they still name so GC never reclaims
+  /// state a resume would need.
+  void pin_blob(const Digest& digest);
+
+  /// Releases one pin on `digest` (no-op when unpinned).
+  void unpin_blob(const Digest& digest);
+
+  bool is_pinned(const Digest& digest) const { return pins_.count(digest) != 0; }
 
   /// Serializes `manifest`, stores it, and records `tag` in the index
   /// (replacing any previous manifest with the same tag).
@@ -119,6 +148,19 @@ class Layout {
 
   /// All tags in the index, in insertion order.
   std::vector<std::string> tags() const;
+
+  /// The index as (tag, manifest digest) pairs, in insertion order.
+  std::vector<std::pair<std::string, Digest>> index_entries() const;
+
+  /// Drops `tag` from the index (the manifest blob stays). Returns whether
+  /// the tag existed. fsck repair uses this to cut dangling references.
+  bool remove_tag(std::string_view tag);
+
+  /// Records `tag` -> `manifest_digest` in the index without re-serializing a
+  /// manifest (replacing any previous entry for the tag). The registry mirrors
+  /// its reference map into its backing store's index with this, so fsck sees
+  /// which blobs are reachable.
+  void tag_manifest(std::string_view tag, const Digest& manifest_digest);
 
   Result<Image> find_image(std::string_view tag) const;
   Result<Image> load_image(const Digest& manifest_digest) const;
@@ -146,13 +188,17 @@ class Layout {
   /// index.json document (for inspection / serialization round-trips).
   json::Value index_json() const;
 
-  /// Verifies every blob's content against its digest key.
+  /// Verifies every blob's content against its digest key and every index
+  /// entry against the blob store. First problem wins; fsck.hpp's
+  /// oci::fsck() gives the full classified report.
   Status fsck() const;
 
  private:
   std::map<Digest, std::string> blobs_;
   // tag -> manifest digest, in insertion order (index.json manifest list).
   std::vector<std::pair<std::string, Digest>> index_;
+  std::map<Digest, int> pins_;  // digest -> pin refcount (GC exclusion set)
+  support::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace comt::oci

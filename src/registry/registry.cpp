@@ -35,7 +35,11 @@ Status Registry::push(const oci::Layout& source, std::string_view local_tag,
   COMT_TRY(std::string manifest_blob, source.get_blob(image.manifest_digest));
   if (!store_.has_blob(image.manifest_digest)) transfer_.pushed_bytes += manifest_blob.size();
   store_.put_blob(std::move(manifest_blob), oci::kMediaTypeManifest);
-  references_[make_reference(name, tag)] = image.manifest_digest;
+  const std::string reference = make_reference(name, tag);
+  references_[reference] = image.manifest_digest;
+  // Mirror the reference into the store's index so oci::fsck on the backing
+  // layout sees which blobs are reachable from which repository.
+  store_.tag_manifest(reference, image.manifest_digest);
   return Status::success();
 }
 
@@ -88,8 +92,17 @@ Status Registry::remove(std::string_view name, std::string_view tag) {
     return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
   }
   references_.erase(it);
+  store_.remove_tag(make_reference(name, tag));
+  return sweep_locked();
+}
 
-  // Mark: everything any remaining reference reaches stays.
+Status Registry::gc() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return sweep_locked();
+}
+
+Status Registry::sweep_locked() {
+  // Mark: everything any reference reaches stays.
   std::set<oci::Digest> reachable;
   for (const auto& [reference, digest] : references_) {
     COMT_TRY(oci::Image image, store_.load_image(digest));
@@ -99,13 +112,61 @@ Status Registry::remove(std::string_view name, std::string_view tag) {
       reachable.insert(layer.digest);
     }
   }
-  // Sweep: unreferenced blobs are reclaimed and counted.
+  // Sweep: unreferenced, unpinned blobs are reclaimed and counted. A pinned
+  // blob belongs to a live journaled rebuild — its resume still needs the
+  // bytes even though no reference names them anymore.
   for (const oci::Digest& digest : store_.blob_digests()) {
-    if (reachable.count(digest) != 0) continue;
-    transfer_.reclaimed_bytes += store_.remove_blob(digest);
+    if (reachable.count(digest) != 0 || store_.is_pinned(digest)) continue;
+    std::uint64_t freed = store_.remove_blob(digest);
+    if (freed == 0) continue;
+    transfer_.reclaimed_bytes += freed;
     ++transfer_.removed_blobs;
   }
   return Status::success();
+}
+
+Status Registry::pin(std::string_view name, std::string_view tag) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = references_.find(make_reference(name, tag));
+  if (it == references_.end()) {
+    return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
+  }
+  COMT_TRY(oci::Image image, store_.load_image(it->second));
+  store_.pin_blob(it->second);
+  store_.pin_blob(image.manifest.config.digest);
+  for (const oci::Descriptor& layer : image.manifest.layers) store_.pin_blob(layer.digest);
+  return Status::success();
+}
+
+Status Registry::unpin(std::string_view name, std::string_view tag) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = references_.find(make_reference(name, tag));
+  if (it == references_.end()) {
+    return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
+  }
+  COMT_TRY(oci::Image image, store_.load_image(it->second));
+  store_.unpin_blob(it->second);
+  store_.unpin_blob(image.manifest.config.digest);
+  for (const oci::Descriptor& layer : image.manifest.layers) store_.unpin_blob(layer.digest);
+  return Status::success();
+}
+
+Result<std::string> Registry::fetch_blob(const oci::Digest& digest) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return store_.get_blob(digest);
+}
+
+oci::FsckReport Registry::fsck(bool repair, const oci::BlobFetcher& origin) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!repair) return oci::fsck(store_);
+  oci::FsckReport report = oci::fsck_repair(store_, origin);
+  // Repair may have cut dangling tags from the store index; mirror that back
+  // into the reference map so resolve()/pull() stop offering broken images.
+  references_.clear();
+  for (const auto& [reference, digest] : store_.index_entries()) {
+    references_[reference] = digest;
+  }
+  return report;
 }
 
 Stats Registry::stats() const {

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "oci/fsck.hpp"
 #include "oci/oci.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
@@ -63,14 +64,43 @@ class Registry {
   /// Stats.
   Status remove(std::string_view name, std::string_view tag);
 
+  /// Garbage-collects every blob no reference (and no pin) reaches, without
+  /// dropping any reference. Reclaimed bytes/blobs are counted in Stats.
+  Status gc();
+
+  /// Pins every blob "name:tag" reaches (manifest, config, layers) against
+  /// remove()/gc() reclamation. Pins are refcounted per blob. A journaled
+  /// rebuild pins its source image so a concurrent remove of the tag cannot
+  /// sweep blobs a crash-resume would still need.
+  Status pin(std::string_view name, std::string_view tag);
+
+  /// Releases the pins taken by a matching pin() call.
+  Status unpin(std::string_view name, std::string_view tag);
+
+  /// Raw blob access for fsck repair: the registry acts as the origin that
+  /// re-supplies true bytes for a damaged local layout.
+  Result<std::string> fetch_blob(const oci::Digest& digest) const;
+
+  /// Integrity-checks the backing store. With `repair`, heals what it can
+  /// (refetching from `origin` when provided) and prunes references whose
+  /// manifests are unrecoverable.
+  oci::FsckReport fsck(bool repair = false, const oci::BlobFetcher& origin = {});
+
   Stats stats() const;
 
   /// Attaches a fault injector: push/pull check kPushFaultSite/kPullFaultSite
-  /// before touching the store. Pass nullptr to detach. Not synchronized with
-  /// concurrent operations — wire it up before sharing the registry.
-  void set_fault_injector(support::FaultInjector* faults) { faults_ = faults; }
+  /// before touching the store, and the backing store checks
+  /// oci::kBlobPutSite on every blob write (torn-push injection). Pass
+  /// nullptr to detach. Not synchronized with concurrent operations — wire it
+  /// up before sharing the registry.
+  void set_fault_injector(support::FaultInjector* faults) {
+    faults_ = faults;
+    store_.set_fault_injector(faults);
+  }
 
  private:
+  Status sweep_locked();
+
   mutable std::shared_mutex mutex_;
   oci::Layout store_;
   std::map<std::string, oci::Digest> references_;  // "name:tag" -> manifest

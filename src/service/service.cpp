@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <utility>
+
+#include "json/json.hpp"
 
 namespace comt::service {
 namespace {
@@ -34,6 +37,57 @@ double jitter01(std::uint64_t ticket, int attempt) {
 /// Transient failures are retried; everything else (not_found, corrupt,
 /// unsupported, …) is a property of the request and permanent.
 bool is_retryable(const Error& error) { return error.code == Errc::failed; }
+
+/// Journal-store key of a request: one journal per (image reference, system).
+std::string journal_key(const SubmitRequest& request) {
+  return request.name + ":" + request.tag + "|" + request.system;
+}
+
+/// The submit request, serialized into the journal metadata so recover() on a
+/// later service incarnation can rebuild and resubmit it.
+std::string request_metadata(const SubmitRequest& request) {
+  json::Object object;
+  object.emplace_back("name", json::Value(request.name));
+  object.emplace_back("tag", json::Value(request.tag));
+  object.emplace_back("system", json::Value(request.system));
+  object.emplace_back("priority",
+                      json::Value(static_cast<double>(static_cast<int>(request.priority))));
+  return json::serialize(json::Value(std::move(object)));
+}
+
+bool parse_request_metadata(const std::string& metadata, SubmitRequest& request) {
+  auto parsed = json::parse(metadata);
+  if (!parsed.ok() || !parsed.value().is_object()) return false;
+  for (const auto& [field, value] : parsed.value().as_object()) {
+    if (field == "name" && value.is_string()) request.name = value.as_string();
+    if (field == "tag" && value.is_string()) request.tag = value.as_string();
+    if (field == "system" && value.is_string()) request.system = value.as_string();
+    if (field == "priority" && value.is_number()) {
+      request.priority = static_cast<Priority>(static_cast<int>(value.as_number()));
+    }
+  }
+  return !request.name.empty() && !request.tag.empty() && !request.system.empty();
+}
+
+/// Releases the hub pins a journaled attempt takes on its source image — on
+/// every exit path, including an injected crash unwinding.
+class HubPinGuard {
+ public:
+  HubPinGuard(registry::Registry& hub, const SubmitRequest& request)
+      : hub_(&hub), name_(request.name), tag_(request.tag) {
+    pinned_ = hub_->pin(name_, tag_).ok();
+  }
+  ~HubPinGuard() {
+    if (pinned_) (void)hub_->unpin(name_, tag_);
+  }
+  HubPinGuard(const HubPinGuard&) = delete;
+  HubPinGuard& operator=(const HubPinGuard&) = delete;
+
+ private:
+  registry::Registry* hub_;
+  std::string name_, tag_;
+  bool pinned_ = false;
+};
 
 }  // namespace
 
@@ -227,6 +281,7 @@ void RebuildService::run_next(SystemState& sys) {
       finalize_locked(*job, JobState::succeeded, Status::success());
     } else {
       ++stats_.failed;
+      if (job->trace.crashed) ++stats_.crashed;
       finalize_locked(*job, JobState::failed, std::move(result));
     }
   }
@@ -239,7 +294,19 @@ void RebuildService::execute(const TargetSystem& target, const SubmitRequest& re
   double prev_delay_ms = 0;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     trace.attempts = attempt;
-    Status status = attempt_once(target, request, trace, output);
+    Status status = Status::success();
+    try {
+      status = attempt_once(target, request, trace, output);
+    } catch (const support::CrashInjected& crash) {
+      // The in-process stand-in for the rebuild dying (SIGKILL, node loss).
+      // No retry: the journal stays in the store, and recover() on the next
+      // service incarnation resumes the work from it.
+      trace.crashed = true;
+      result = make_error(Errc::failed, "service: rebuild crashed at injected site '" +
+                                            crash.site + "'; journal retained, " +
+                                            "recover() resumes it");
+      return;
+    }
     if (status.ok()) {
       result = Status::success();
       return;
@@ -271,8 +338,19 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
                                     JobTrace& trace, std::string& output) {
   // Every attempt starts from a pristine private workspace, so a failed
   // attempt leaves no partial state behind — the hub only ever sees a
-  // complete push.
+  // complete push. Journaled attempts are the exception by design: committed
+  // compile jobs survive in the journal and replay into the next attempt's
+  // fresh workspace.
   oci::Layout workspace = target.base_layout;
+
+  std::shared_ptr<durable::Journal> journal;
+  std::optional<HubPinGuard> hub_pins;
+  if (options_.journals != nullptr) {
+    journal = options_.journals->open(journal_key(request), request_metadata(request));
+    // While the journal names this image, the hub must not sweep its blobs —
+    // a resume still needs to pull them.
+    hub_pins.emplace(hub_, request);
+  }
 
   Clock::time_point t0 = Clock::now();
   Status pulled = hub_.pull(request.name, request.tag, workspace, kWorkTag);
@@ -287,6 +365,8 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
   options.threads = options_.rebuild_threads;
   options.compile_cache = &cache_;
   options.fault_injector = options_.faults;
+  options.journal = journal.get();
+  if (journal != nullptr) options.journal_metadata = request_metadata(request);
 
   Clock::time_point t1 = Clock::now();
   auto report = core::comtainer_rebuild(workspace, kWorkTag, options);
@@ -295,6 +375,8 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
   trace.compile_jobs += report.value().jobs;
   trace.cache_hits += report.value().cache_hits;
   trace.cache_misses += report.value().cache_misses;
+  trace.journal_replayed += report.value().journal_replayed;
+  trace.journal_committed += report.value().journal_committed;
 
   std::string output_tag = request.tag + "+coMre." + request.system;
   Clock::time_point t2 = Clock::now();
@@ -302,8 +384,38 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
   trace.push_ms += ms_between(t2, Clock::now());
   COMT_TRY_STATUS(pushed);
 
+  // The result is durable downstream; the journal has served its purpose.
+  if (options_.journals != nullptr) options_.journals->remove(journal_key(request));
+
   output = request.name + ":" + output_tag;
   return Status::success();
+}
+
+Result<RecoveryReport> RebuildService::recover() {
+  RecoveryReport report;
+  // Heal the hub first: a crash mid-push can leave torn blobs behind, and a
+  // resumed rebuild is about to pull from it.
+  report.fsck = hub_.fsck(/*repair=*/true);
+  if (options_.journals == nullptr) return report;
+  for (const durable::JournalStore::Entry& entry : options_.journals->list()) {
+    ++report.journals_found;
+    SubmitRequest request;
+    if (!parse_request_metadata(entry.metadata, request)) {
+      options_.journals->remove(entry.key);
+      ++report.skipped;
+      continue;
+    }
+    auto ticket = submit(request);
+    if (!ticket.ok()) {
+      // The image or target system is gone — this journal can never be
+      // served again.
+      options_.journals->remove(entry.key);
+      ++report.skipped;
+      continue;
+    }
+    report.resubmitted.push_back(ticket.value());
+  }
+  return report;
 }
 
 void RebuildService::finalize_locked(Job& job, JobState state, Status result) {

@@ -44,6 +44,8 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "durable/journal.hpp"
+#include "oci/fsck.hpp"
 #include "oci/oci.hpp"
 #include "registry/registry.hpp"
 #include "sched/compile_cache.hpp"
@@ -97,6 +99,12 @@ struct JobTrace {
   std::size_t cache_hits = 0;    ///< compile-cache replays (shared cache)
   std::size_t cache_misses = 0;
   bool coalesced = false;  ///< this ticket attached to another's in-flight job
+  bool crashed = false;    ///< the job died at an injected crash site
+  /// Compile jobs replayed from write-ahead journal commit records instead of
+  /// executing (crash-resume and journaled retries), summed over attempts.
+  std::size_t journal_replayed = 0;
+  /// Commit records this job appended to its journal, summed over attempts.
+  std::size_t journal_committed = 0;
 };
 
 /// Snapshot of one ticket.
@@ -142,6 +150,29 @@ struct ServiceOptions {
   /// Passed to every rebuild as RebuildOptions::fault_injector. To also
   /// inject registry faults, arm the same injector on the hub registry.
   support::FaultInjector* faults = nullptr;
+  /// Optional write-ahead journal store making every rebuild crash-safe.
+  /// Each job opens a journal keyed "name:tag|system" (metadata = the submit
+  /// request as JSON) and removes it once its result is pushed. The store
+  /// outlives the service the way files outlive a process: hand the same
+  /// store to the next service incarnation and call recover(). While a job's
+  /// journal is live, the job's source image is pinned in the hub so
+  /// Registry::remove/gc cannot sweep blobs a resume still needs.
+  /// Crash injection requires rebuild_threads == 1 (a crash must unwind the
+  /// submitting thread, not a pool worker).
+  durable::JournalStore* journals = nullptr;
+};
+
+/// What recover() found and did after a restart.
+struct RecoveryReport {
+  /// Hub integrity scan + repair (torn blobs a crash left behind, …).
+  oci::FsckReport fsck;
+  /// Tickets of interrupted rebuilds resubmitted from their journals; their
+  /// committed compile jobs replay instead of re-executing.
+  std::vector<Ticket> resubmitted;
+  std::size_t journals_found = 0;
+  /// Journals dropped because their request can no longer be served (image
+  /// or target system gone, metadata unreadable).
+  std::size_t skipped = 0;
 };
 
 /// Aggregate counters. Ticket counters count submissions; job counters count
@@ -156,6 +187,7 @@ struct ServiceStats {
   std::uint64_t expired = 0;
   std::uint64_t drained = 0;
   std::uint64_t retries = 0;  ///< backoff delays taken across all jobs
+  std::uint64_t crashed = 0;  ///< jobs that died at an injected crash site
   std::uint64_t compile_cache_hits = 0;
   std::uint64_t compile_cache_misses = 0;
   double queue_ms = 0, pull_ms = 0, rebuild_ms = 0, push_ms = 0;  ///< summed
@@ -199,6 +231,14 @@ class RebuildService {
   /// JobState::drained, and blocks until all in-flight jobs finished (their
   /// results are pushed normally). Idempotent.
   void drain();
+
+  /// Crash recovery, run once after constructing a service over a hub and
+  /// journal store a previous incarnation crashed on: fscks + repairs the
+  /// hub, then resubmits every surviving journal's request. Resumed rebuilds
+  /// replay their committed compile jobs from the journal and produce images
+  /// bit-identical to an uninterrupted run. Journals whose image or system
+  /// vanished are dropped and counted as skipped.
+  Result<RecoveryReport> recover();
 
   ServiceStats stats() const;
   std::size_t queue_depth() const;

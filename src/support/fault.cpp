@@ -28,12 +28,41 @@ void FaultInjector::fail_every(std::string_view site, int period, Errc code,
   if (!message.empty()) s.message = std::move(message);
 }
 
+void FaultInjector::crash_next(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[std::string(site)].crash_next = true;
+}
+
+void FaultInjector::crash_at(std::string_view site, std::uint64_t nth_call) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[std::string(site)].crash_at = nth_call;
+}
+
+void FaultInjector::tear_next(std::string_view site, double keep_fraction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  s.tear_next = true;
+  s.tear_fraction = keep_fraction;
+}
+
+void FaultInjector::tear_at(std::string_view site, std::uint64_t nth_call,
+                            double keep_fraction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  s.tear_at = nth_call;
+  s.tear_fraction = keep_fraction;
+}
+
 void FaultInjector::clear(std::string_view site) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return;
   it->second.fail_next = 0;
   it->second.fail_every = 0;
+  it->second.crash_next = false;
+  it->second.crash_at = 0;
+  it->second.tear_next = false;
+  it->second.tear_at = 0;
 }
 
 void FaultInjector::clear_all() {
@@ -41,6 +70,10 @@ void FaultInjector::clear_all() {
   for (auto& [name, s] : sites_) {
     s.fail_next = 0;
     s.fail_every = 0;
+    s.crash_next = false;
+    s.crash_at = 0;
+    s.tear_next = false;
+    s.tear_at = 0;
   }
 }
 
@@ -60,6 +93,51 @@ Status FaultInjector::check(std::string_view site) {
   std::string message = s.message.empty() ? describe(site, s.calls)
                                           : s.message + " (call #" + std::to_string(s.calls) + ")";
   return make_error(s.code, std::move(message));
+}
+
+void FaultInjector::check_crash(std::string_view site) {
+  CrashInjected crash;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Site& s = sites_[std::string(site)];
+    ++s.calls;
+    bool fire = false;
+    if (s.crash_next) {
+      s.crash_next = false;
+      fire = true;
+    } else if (s.crash_at != 0 && s.calls == s.crash_at) {
+      s.crash_at = 0;
+      fire = true;
+    }
+    if (!fire) return;
+    ++s.injected;
+    crash = CrashInjected{std::string(site), s.calls};
+  }
+  throw crash;
+}
+
+std::optional<std::size_t> FaultInjector::check_torn(std::string_view site,
+                                                     std::size_t total_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  ++s.calls;
+  bool fire = false;
+  if (s.tear_next) {
+    s.tear_next = false;
+    fire = true;
+  } else if (s.tear_at != 0 && s.calls == s.tear_at) {
+    s.tear_at = 0;
+    fire = true;
+  }
+  if (!fire) return std::nullopt;
+  ++s.injected;
+  if (total_bytes == 0) return 0;
+  double fraction = s.tear_fraction;
+  if (fraction < 0) fraction = 0;
+  auto keep = static_cast<std::size_t>(static_cast<double>(total_bytes) * fraction);
+  // A "torn" write that persisted everything would be a completed write.
+  if (keep >= total_bytes) keep = total_bytes - 1;
+  return keep;
 }
 
 std::uint64_t FaultInjector::calls(std::string_view site) const {

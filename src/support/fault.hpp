@@ -7,17 +7,37 @@
 // observes an ordinary Status error, indistinguishable from a genuine fault.
 // With no schedule armed a site always succeeds, so leaving the hooks wired in
 // release builds costs one pointer test.
+//
+// Beyond transient Status faults, two harder failure modes are injectable for
+// crash-safety testing:
+//  - crash points: `check_crash(site)` throws CrashInjected when armed,
+//    simulating the process dying at exactly that instruction. CrashInjected
+//    is deliberately not a std::exception, so no ordinary recovery path can
+//    swallow it — only a harness that expects the crash catches it.
+//  - torn writes: `check_torn(site, size)` tells an instrumented writer to
+//    persist only a prefix of its bytes and then crash, the way a power cut
+//    tears a partially flushed file. The write-ahead journal and the blob
+//    store call it on every append/put.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "support/error.hpp"
 
 namespace comt::support {
+
+/// Simulated process death, thrown by check_crash()/torn writes. Not derived
+/// from std::exception on purpose: a `catch (const std::exception&)` recovery
+/// path must not be able to turn a crash into a handled error.
+struct CrashInjected {
+  std::string site;
+  std::uint64_t call = 0;  ///< the site's call count when the crash fired
+};
 
 /// Thread-safe named-site fault injector. Sites come into existence on first
 /// use; call counters are kept per site so schedules are deterministic under
@@ -34,6 +54,24 @@ class FaultInjector {
   void fail_every(std::string_view site, int period, Errc code = Errc::failed,
                   std::string message = "");
 
+  /// Arms `site` to crash (throw CrashInjected) on its next check_crash call.
+  void crash_next(std::string_view site);
+
+  /// Arms `site` to crash when its lifetime call counter reaches `nth_call`
+  /// (1-based, counting every check/check_crash/check_torn at that site).
+  /// `nth_call == 0` disarms. Exhaustive crash sweeps use this: learn a
+  /// site's call count from a clean run, then crash at 1..N in turn.
+  void crash_at(std::string_view site, std::uint64_t nth_call);
+
+  /// Arms `site` so its next torn-write check fires, persisting
+  /// `keep_fraction` of the payload (clamped to [0, size-1]) before crashing.
+  void tear_next(std::string_view site, double keep_fraction = 0.5);
+
+  /// Like crash_at, but for torn-write checks: tears the write made on the
+  /// site's `nth_call`-th call.
+  void tear_at(std::string_view site, std::uint64_t nth_call,
+               double keep_fraction = 0.5);
+
   /// Disarms every schedule at `site`; counters keep their values.
   void clear(std::string_view site);
 
@@ -43,6 +81,19 @@ class FaultInjector {
   /// The instrumented operation's hook: counts the call and returns the
   /// injected error when a schedule fires, success otherwise.
   Status check(std::string_view site);
+
+  /// Crash-point hook: counts the call and throws CrashInjected when a crash
+  /// schedule fires (the armed schedule is consumed first, so a resumed run
+  /// with a cleared injector sails through).
+  void check_crash(std::string_view site);
+
+  /// Torn-write hook for a writer about to persist `total_bytes`. Returns
+  /// the number of bytes to persist before dying when a tear schedule fires
+  /// (always < total_bytes when total_bytes > 0), std::nullopt to write
+  /// normally. The caller persists the prefix and then throws
+  /// CrashInjected{site, calls}.
+  std::optional<std::size_t> check_torn(std::string_view site,
+                                        std::size_t total_bytes);
 
   /// Calls made to `site` so far (including successful ones).
   std::uint64_t calls(std::string_view site) const;
@@ -60,6 +111,11 @@ class FaultInjector {
     int fail_next = 0;       ///< remaining forced failures
     int fail_every = 0;      ///< 0 = off
     std::uint64_t every_base = 0;  ///< call count when fail_every was armed
+    bool crash_next = false;       ///< crash on the next check_crash
+    std::uint64_t crash_at = 0;    ///< crash when calls reaches this (0 = off)
+    bool tear_next = false;        ///< tear the next checked write
+    std::uint64_t tear_at = 0;     ///< tear the write on this call (0 = off)
+    double tear_fraction = 0.5;    ///< bytes kept = floor(size * fraction)
     Errc code = Errc::failed;
     std::string message;
   };

@@ -1,0 +1,197 @@
+// Write-ahead journal: record round-trips, torn-tail truncation, checksum
+// corruption, and the journal store's cross-incarnation semantics.
+#include "durable/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/fault.hpp"
+
+namespace comt::durable {
+namespace {
+
+BeginRecord make_begin() {
+  BeginRecord begin;
+  begin.inputs_digest = "sha256:abc";
+  begin.system = "cluster-a";
+  begin.metadata = "{\"name\":\"org/app\"}";
+  begin.planned_jobs = 7;
+  return begin;
+}
+
+CommitRecord make_commit(const std::string& job_id) {
+  CommitRecord commit;
+  commit.job_id = job_id;
+  commit.outputs.push_back({"/src/main.o", "object-bytes-" + job_id, 0644});
+  commit.outputs.push_back({"/src/app", "linked-bytes", 0755});
+  commit.output_digest = digest_outputs(commit.outputs);
+  return commit;
+}
+
+TEST(JournalTest, EmptyJournalReplaysToNothing) {
+  Journal journal;
+  EXPECT_TRUE(journal.empty());
+  auto state = journal.replay();
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state.value().begin.has_value());
+  EXPECT_TRUE(state.value().commits.empty());
+  EXPECT_EQ(state.value().records, 0u);
+  EXPECT_EQ(state.value().truncated_bytes, 0u);
+}
+
+TEST(JournalTest, BeginAndCommitsRoundTrip) {
+  Journal journal;
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:3")).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:5")).ok());
+
+  auto state = journal.replay();
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state.value().begin.has_value());
+  EXPECT_EQ(state.value().begin->inputs_digest, "sha256:abc");
+  EXPECT_EQ(state.value().begin->system, "cluster-a");
+  EXPECT_EQ(state.value().begin->metadata, "{\"name\":\"org/app\"}");
+  EXPECT_EQ(state.value().begin->planned_jobs, 7u);
+  EXPECT_EQ(state.value().records, 3u);
+  ASSERT_EQ(state.value().commits.size(), 2u);
+  const CommitRecord& commit = state.value().commits.at("p0:3");
+  EXPECT_EQ(commit.outputs, make_commit("p0:3").outputs);
+  EXPECT_EQ(commit.output_digest, digest_outputs(commit.outputs));
+}
+
+TEST(JournalTest, ReplayIsIdempotent) {
+  Journal journal;
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:1")).ok());
+  auto first = journal.replay();
+  auto second = journal.replay();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().records, second.value().records);
+  EXPECT_EQ(journal.size_bytes(), journal.bytes().size());
+}
+
+TEST(JournalTest, TornTailIsDetectedAndTruncated) {
+  Journal journal;
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:1")).ok());
+  const std::size_t intact = journal.size_bytes();
+
+  // A crash mid-append: only a prefix of the next record hits the "disk".
+  support::FaultInjector faults;
+  journal.set_fault_injector(&faults);
+  faults.tear_next(std::string(kJournalAppendSite), 0.6);
+  bool crashed = false;
+  try {
+    (void)journal.append_commit(make_commit("p0:2"));
+  } catch (const support::CrashInjected& crash) {
+    crashed = true;
+    EXPECT_EQ(crash.site, kJournalAppendSite);
+  }
+  ASSERT_TRUE(crashed);
+  ASSERT_GT(journal.size_bytes(), intact);  // a torn prefix was persisted
+
+  auto state = journal.replay();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().records, 2u);
+  EXPECT_EQ(state.value().commits.count("p0:2"), 0u);
+  EXPECT_GT(state.value().truncated_bytes, 0u);
+  // The torn tail is gone: appends after recovery extend a clean log.
+  EXPECT_EQ(journal.size_bytes(), intact);
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:2")).ok());
+  auto again = journal.replay();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().commits.count("p0:2"), 1u);
+}
+
+TEST(JournalTest, ChecksumCorruptionTruncatesFromDamage) {
+  Journal journal;
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  const std::size_t begin_size = journal.size_bytes();
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:1")).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:2")).ok());
+
+  // Flip one payload byte in the first commit record: it and everything after
+  // it are dropped (an append-only log has no intact records past damage).
+  std::string bytes = journal.bytes();
+  bytes[begin_size + 20] ^= 0x01;
+  journal.set_bytes(std::move(bytes));
+  auto state = journal.replay();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().records, 1u);
+  EXPECT_TRUE(state.value().commits.empty());
+  EXPECT_GT(state.value().truncated_bytes, 0u);
+  EXPECT_EQ(journal.size_bytes(), begin_size);
+}
+
+TEST(JournalTest, SecondBeginIsCorrupt) {
+  Journal journal;
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());  // append is mechanical
+  auto state = journal.replay();
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.error().code, Errc::corrupt);
+}
+
+TEST(JournalTest, CommitBeforeBeginIsCorrupt) {
+  Journal journal;
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:1")).ok());
+  auto state = journal.replay();
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.error().code, Errc::corrupt);
+}
+
+TEST(JournalTest, DigestOutputsCoversPathContentAndMode) {
+  std::vector<JournalOutput> outputs = {{"/a", "x", 0644}};
+  std::string base = digest_outputs(outputs);
+  EXPECT_EQ(base, digest_outputs(outputs));
+  EXPECT_NE(base, digest_outputs({{"/b", "x", 0644}}));
+  EXPECT_NE(base, digest_outputs({{"/a", "y", 0644}}));
+  EXPECT_NE(base, digest_outputs({{"/a", "x", 0755}}));
+}
+
+TEST(JournalStoreTest, OpenCreatesOnceAndKeepsMetadata) {
+  JournalStore store;
+  auto first = store.open("org/app:1.0+coM|sys", "{\"tag\":\"1.0+coM\"}");
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(first->append_begin(make_begin()).ok());
+
+  auto second = store.open("org/app:1.0+coM|sys", "ignored-on-reopen");
+  EXPECT_EQ(first.get(), second.get());
+  ASSERT_EQ(store.list().size(), 1u);
+  EXPECT_EQ(store.list()[0].metadata, "{\"tag\":\"1.0+coM\"}");
+  EXPECT_TRUE(store.contains("org/app:1.0+coM|sys"));
+
+  store.remove("org/app:1.0+coM|sys");
+  EXPECT_FALSE(store.contains("org/app:1.0+coM|sys"));
+  EXPECT_EQ(store.size(), 0u);
+  // The removed journal object stays usable through surviving handles.
+  EXPECT_FALSE(first->empty());
+}
+
+TEST(JournalStoreTest, ListIsSortedByKey) {
+  JournalStore store;
+  store.open("b");
+  store.open("a");
+  store.open("c");
+  auto entries = store.list();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, "a");
+  EXPECT_EQ(entries[1].key, "b");
+  EXPECT_EQ(entries[2].key, "c");
+}
+
+TEST(JournalStoreTest, FaultInjectorReachesCurrentAndFutureJournals) {
+  JournalStore store;
+  auto before = store.open("before");
+  support::FaultInjector faults;
+  store.set_fault_injector(&faults);
+  auto after = store.open("after");
+  for (auto journal : {before, after}) {
+    faults.tear_next(std::string(kJournalAppendSite));
+    EXPECT_THROW((void)journal->append_begin(make_begin()),
+                 support::CrashInjected);
+  }
+}
+
+}  // namespace
+}  // namespace comt::durable

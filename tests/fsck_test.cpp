@@ -1,0 +1,347 @@
+// OCI fsck: detection and repair of all four corruption classes, pin
+// protection, and the registry-level integrity surface (fsck, gc, pin).
+#include "oci/fsck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "registry/registry.hpp"
+#include "support/fault.hpp"
+
+namespace comt::oci {
+namespace {
+
+vfs::Filesystem layer_tree(std::string_view marker) {
+  vfs::Filesystem fs;
+  EXPECT_TRUE(fs.write_file("/marker", std::string(marker)).ok());
+  EXPECT_TRUE(fs.write_file("/bin/tool", "tool bytes " + std::string(marker), 0755).ok());
+  return fs;
+}
+
+Image make_image(Layout& layout, std::string_view tag, std::string_view marker) {
+  auto image = layout.create_image(ImageConfig{}, {layer_tree(marker)}, tag);
+  EXPECT_TRUE(image.ok());
+  return image.value();
+}
+
+/// A pristine copy of `layout` acting as the origin registry fsck refetches
+/// true bytes from.
+BlobFetcher origin_of(const Layout& origin) {
+  return [&origin](const Digest& digest) { return origin.get_blob(digest); };
+}
+
+const FsckFinding* find_issue(const FsckReport& report, FsckIssue issue) {
+  for (const FsckFinding& finding : report.findings) {
+    if (finding.issue == issue) return &finding;
+  }
+  return nullptr;
+}
+
+TEST(FsckTest, CleanLayoutHasNoFindings) {
+  Layout layout;
+  make_image(layout, "app:v1", "one");
+  FsckReport report = fsck(layout);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.remaining, 0u);
+}
+
+TEST(FsckTest, CorruptByteDetectedAndRefetched) {
+  Layout layout;
+  Image image = make_image(layout, "app:v1", "one");
+  Layout pristine = layout;
+
+  // Flip one byte of the layer blob, length unchanged: corrupt, not truncated.
+  const Digest layer = image.manifest.layers[0].digest;
+  std::string bytes = layout.get_blob(layer).value();
+  bytes[bytes.size() / 2] ^= 0x40;
+  layout.set_blob_bytes(layer, std::move(bytes));
+
+  FsckReport scan = fsck(layout);
+  ASSERT_EQ(scan.findings.size(), 1u);
+  EXPECT_EQ(scan.corrupt, 1u);
+  EXPECT_EQ(scan.findings[0].digest, layer);
+  EXPECT_NE(scan.findings[0].context.find("layer 0"), std::string::npos);
+  EXPECT_STREQ(to_string(scan.findings[0].issue), "corrupt-blob");
+
+  FsckReport repair = fsck_repair(layout, origin_of(pristine));
+  EXPECT_EQ(repair.refetched, 1u);
+  EXPECT_EQ(repair.remaining, 0u);
+  EXPECT_EQ(layout.get_blob(layer).value(), pristine.get_blob(layer).value());
+  EXPECT_TRUE(layout.fsck().ok());
+}
+
+TEST(FsckTest, TruncatedBlobDetectedAndRefetched) {
+  Layout layout;
+  Image image = make_image(layout, "app:v1", "one");
+  Layout pristine = layout;
+
+  const Digest layer = image.manifest.layers[0].digest;
+  std::string bytes = layout.get_blob(layer).value();
+  layout.set_blob_bytes(layer, bytes.substr(0, bytes.size() / 3));
+
+  FsckReport scan = fsck(layout);
+  ASSERT_EQ(scan.findings.size(), 1u);
+  EXPECT_EQ(scan.truncated, 1u);
+  EXPECT_EQ(scan.findings[0].issue, FsckIssue::truncated_blob);
+
+  FsckReport repair = fsck_repair(layout, origin_of(pristine));
+  EXPECT_EQ(repair.refetched, 1u);
+  EXPECT_EQ(repair.remaining, 0u);
+}
+
+TEST(FsckTest, MissingBlobDetectedAndRefetched) {
+  Layout layout;
+  Image image = make_image(layout, "app:v1", "one");
+  Layout pristine = layout;
+
+  const Digest config = image.manifest.config.digest;
+  EXPECT_GT(layout.remove_blob(config), 0u);
+
+  FsckReport scan = fsck(layout);
+  ASSERT_EQ(scan.findings.size(), 1u);
+  EXPECT_EQ(scan.missing, 1u);
+  EXPECT_EQ(scan.findings[0].issue, FsckIssue::missing_blob);
+  EXPECT_NE(scan.findings[0].context.find("config"), std::string::npos);
+
+  FsckReport repair = fsck_repair(layout, origin_of(pristine));
+  EXPECT_EQ(repair.refetched, 1u);
+  EXPECT_EQ(repair.remaining, 0u);
+  EXPECT_TRUE(layout.has_blob(config));
+}
+
+TEST(FsckTest, DanglingManifestRefetchedFromOrigin) {
+  Layout layout;
+  Image image = make_image(layout, "app:v1", "one");
+  Layout pristine = layout;
+
+  EXPECT_GT(layout.remove_blob(image.manifest_digest), 0u);
+  FsckReport scan = fsck(layout);
+  ASSERT_EQ(scan.findings.size(), 1u);
+  EXPECT_EQ(scan.dangling, 1u);
+  EXPECT_EQ(scan.findings[0].tag, "app:v1");
+
+  FsckReport repair = fsck_repair(layout, origin_of(pristine));
+  EXPECT_EQ(repair.refetched, 1u);
+  EXPECT_EQ(repair.remaining, 0u);
+  EXPECT_TRUE(layout.find_image("app:v1").ok());
+}
+
+TEST(FsckTest, DanglingManifestWithoutOriginCutsTheTag) {
+  Layout layout;
+  Image image = make_image(layout, "app:v1", "one");
+  make_image(layout, "app:v2", "two");
+  EXPECT_GT(layout.remove_blob(image.manifest_digest), 0u);
+
+  FsckReport repair = fsck_repair(layout);
+  EXPECT_EQ(repair.dangling, 1u);
+  EXPECT_EQ(repair.dropped, 1u);
+  EXPECT_EQ(repair.remaining, 0u);
+  EXPECT_FALSE(layout.find_image("app:v1").ok());
+  EXPECT_TRUE(layout.find_image("app:v2").ok());
+  // index_json asserts every indexed manifest exists — the cut restored that.
+  (void)layout.index_json();
+}
+
+TEST(FsckTest, AllFourClassesInOneScan) {
+  Layout layout;
+  Image victim = make_image(layout, "app:corrupt", "one");
+  Image truncated = make_image(layout, "app:trunc", "two");
+  Image missing = make_image(layout, "app:missing", "three");
+  Image dangling = make_image(layout, "app:dangling", "four");
+  Layout pristine = layout;
+
+  std::string bytes = layout.get_blob(victim.manifest.layers[0].digest).value();
+  bytes.back() ^= 0x01;
+  layout.set_blob_bytes(victim.manifest.layers[0].digest, std::move(bytes));
+  std::string short_bytes = layout.get_blob(truncated.manifest.layers[0].digest).value();
+  short_bytes.resize(short_bytes.size() / 2);
+  layout.set_blob_bytes(truncated.manifest.layers[0].digest, std::move(short_bytes));
+  EXPECT_GT(layout.remove_blob(missing.manifest.config.digest), 0u);
+  EXPECT_GT(layout.remove_blob(dangling.manifest_digest), 0u);
+
+  FsckReport scan = fsck(layout);
+  EXPECT_EQ(scan.corrupt, 1u);
+  EXPECT_EQ(scan.truncated, 1u);
+  EXPECT_EQ(scan.missing, 1u);
+  EXPECT_EQ(scan.dangling, 1u);
+  EXPECT_EQ(scan.remaining, scan.findings.size());
+  ASSERT_NE(find_issue(scan, FsckIssue::corrupt_blob), nullptr);
+  ASSERT_NE(find_issue(scan, FsckIssue::dangling_manifest), nullptr);
+
+  FsckReport repair = fsck_repair(layout, origin_of(pristine));
+  EXPECT_EQ(repair.refetched, 4u);
+  EXPECT_EQ(repair.dropped, 0u);
+  EXPECT_EQ(repair.remaining, 0u);
+  for (std::string_view tag : {"app:corrupt", "app:trunc", "app:missing", "app:dangling"}) {
+    EXPECT_TRUE(layout.find_image(tag).ok()) << tag;
+  }
+}
+
+TEST(FsckTest, OrphanDamageIsQuarantined) {
+  Layout layout;
+  make_image(layout, "app:v1", "one");
+  Descriptor orphan = layout.put_blob("orphan bytes nothing references", "text/plain");
+  std::string bytes = layout.get_blob(orphan.digest).value();
+  bytes[0] ^= 0x01;
+  layout.set_blob_bytes(orphan.digest, std::move(bytes));
+
+  FsckReport scan = fsck(layout);
+  ASSERT_EQ(scan.findings.size(), 1u);
+  EXPECT_EQ(scan.findings[0].context, "unreferenced blob");
+
+  // Even with an origin, unreferenced damage is dropped, not refetched.
+  Layout pristine;
+  pristine.put_blob("orphan bytes nothing references", "text/plain");
+  FsckReport repair = fsck_repair(layout, origin_of(pristine));
+  EXPECT_EQ(repair.dropped, 1u);
+  EXPECT_EQ(repair.refetched, 0u);
+  EXPECT_EQ(repair.remaining, 0u);
+  EXPECT_FALSE(layout.has_blob(orphan.digest));
+}
+
+TEST(FsckTest, PinnedBlobIsNeverDropped) {
+  Layout layout;
+  Descriptor orphan = layout.put_blob("journaled intermediate state", "text/plain");
+  layout.pin_blob(orphan.digest);
+  std::string bytes = layout.get_blob(orphan.digest).value();
+  bytes[0] ^= 0x01;
+  layout.set_blob_bytes(orphan.digest, std::move(bytes));
+
+  FsckReport repair = fsck_repair(layout);
+  ASSERT_EQ(repair.findings.size(), 1u);
+  EXPECT_EQ(repair.findings[0].action, FsckAction::none);
+  EXPECT_EQ(repair.dropped, 0u);
+  EXPECT_EQ(repair.remaining, 1u);  // honest: still damaged, but protected
+  EXPECT_TRUE(layout.has_blob(orphan.digest));
+
+  layout.unpin_blob(orphan.digest);
+  FsckReport second = fsck_repair(layout);
+  EXPECT_EQ(second.dropped, 1u);
+  EXPECT_EQ(second.remaining, 0u);
+}
+
+TEST(FsckTest, RepairWithoutOriginDropsDamagedReferencedBlob) {
+  Layout layout;
+  Image image = make_image(layout, "app:v1", "one");
+  const Digest layer = image.manifest.layers[0].digest;
+  std::string bytes = layout.get_blob(layer).value();
+  bytes[0] ^= 0x01;
+  layout.set_blob_bytes(layer, std::move(bytes));
+
+  FsckReport repair = fsck_repair(layout);
+  EXPECT_EQ(repair.dropped, 1u);
+  // The manifest still references the dropped blob — the rescan reports it
+  // as missing, which is the truthful remaining state.
+  EXPECT_EQ(repair.remaining, 1u);
+  EXPECT_FALSE(layout.has_blob(layer));
+}
+
+// ---- Layout pins vs GC (the journaled-rebuild regression) -------------------
+
+TEST(LayoutPinTest, RemoveBlobRespectsRefcountedPins) {
+  Layout layout;
+  Descriptor blob = layout.put_blob("pinned content", "text/plain");
+  layout.pin_blob(blob.digest);
+  layout.pin_blob(blob.digest);
+  EXPECT_TRUE(layout.is_pinned(blob.digest));
+  EXPECT_EQ(layout.remove_blob(blob.digest), 0u);
+  layout.unpin_blob(blob.digest);
+  EXPECT_EQ(layout.remove_blob(blob.digest), 0u);  // one pin still held
+  layout.unpin_blob(blob.digest);
+  EXPECT_FALSE(layout.is_pinned(blob.digest));
+  EXPECT_GT(layout.remove_blob(blob.digest), 0u);
+}
+
+TEST(LayoutPinTest, UnpinWithoutPinIsANoop) {
+  Layout layout;
+  Descriptor blob = layout.put_blob("x", "text/plain");
+  layout.unpin_blob(blob.digest);
+  EXPECT_FALSE(layout.is_pinned(blob.digest));
+  EXPECT_GT(layout.remove_blob(blob.digest), 0u);
+}
+
+// ---- Registry integrity surface ---------------------------------------------
+
+void push_sample(registry::Registry& hub, std::string_view name, std::string_view tag,
+                 std::string_view marker) {
+  Layout local;
+  make_image(local, "local", marker);
+  EXPECT_TRUE(hub.push(local, "local", name, tag).ok());
+}
+
+TEST(RegistryFsckTest, CleanHubScansClean) {
+  registry::Registry hub;
+  push_sample(hub, "org/app", "1.0", "one");
+  FsckReport report = hub.fsck();
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(RegistryFsckTest, TornPushIsDetectedAndQuarantined) {
+  registry::Registry hub;
+  Layout local;
+  make_image(local, "local", "one");
+  ASSERT_TRUE(hub.push(local, "local", "org/app", "1.0").ok());
+
+  // A second image dies mid-push: its first new blob is torn, the reference
+  // is never written — exactly what a crashed pusher leaves behind.
+  Layout other;
+  make_image(other, "local", "two");
+  support::FaultInjector faults;
+  hub.set_fault_injector(&faults);
+  faults.tear_next(std::string(kBlobPutSite), 0.4);
+  EXPECT_THROW((void)hub.push(other, "local", "org/app", "2.0"), support::CrashInjected);
+  hub.set_fault_injector(nullptr);
+  EXPECT_FALSE(hub.has("org/app", "2.0"));
+
+  FsckReport scan = hub.fsck();
+  ASSERT_FALSE(scan.clean());
+
+  FsckReport repair = hub.fsck(/*repair=*/true);
+  EXPECT_GE(repair.dropped, 1u);
+  EXPECT_EQ(repair.remaining, 0u);
+  EXPECT_TRUE(hub.fsck().clean());
+  // The intact image is untouched.
+  Layout check;
+  EXPECT_TRUE(hub.pull("org/app", "1.0", check, "pulled").ok());
+}
+
+TEST(RegistryPinTest, PinProtectsImageBlobsFromRemoveAndGc) {
+  registry::Registry hub;
+  Layout local;
+  make_image(local, "local", "one");
+  ASSERT_TRUE(hub.push(local, "local", "org/app", "1.0").ok());
+  const std::size_t blobs_before = hub.stats().blobs;
+
+  // The journaled-rebuild regression: while a rebuild's journal names this
+  // image, a concurrent remove() of its only reference must not sweep the
+  // blobs — the crash-resume still has to pull them.
+  ASSERT_TRUE(hub.pin("org/app", "1.0").ok());
+  ASSERT_TRUE(hub.remove("org/app", "1.0").ok());
+  EXPECT_EQ(hub.stats().blobs, blobs_before);
+  EXPECT_EQ(hub.stats().removed_blobs, 0u);
+
+  // Unpin fails (the reference is gone), so release via gc after re-push:
+  // re-pushing restores the reference, unpin releases, remove sweeps.
+  ASSERT_TRUE(hub.push(local, "local", "org/app", "1.0").ok());
+  ASSERT_TRUE(hub.unpin("org/app", "1.0").ok());
+  ASSERT_TRUE(hub.remove("org/app", "1.0").ok());
+  EXPECT_EQ(hub.stats().blobs, 0u);
+  EXPECT_GT(hub.stats().removed_blobs, 0u);
+}
+
+TEST(RegistryPinTest, GcSweepsOnlyUnpinnedUnreferencedBlobs) {
+  registry::Registry hub;
+  Layout local;
+  make_image(local, "local", "one");
+  ASSERT_TRUE(hub.push(local, "local", "org/app", "1.0").ok());
+  ASSERT_TRUE(hub.pin("org/app", "1.0").ok());
+  ASSERT_TRUE(hub.remove("org/app", "1.0").ok());
+  const std::size_t pinned_blobs = hub.stats().blobs;
+  ASSERT_GT(pinned_blobs, 0u);
+
+  // gc() with the pins still held: nothing to reclaim.
+  ASSERT_TRUE(hub.gc().ok());
+  EXPECT_EQ(hub.stats().blobs, pinned_blobs);
+}
+
+}  // namespace
+}  // namespace comt::oci

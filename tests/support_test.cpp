@@ -248,6 +248,73 @@ TEST(FaultInjectorTest, SitesAreIndependentAndClearable) {
   EXPECT_EQ(faults.total_injected(), 2u);
 }
 
+TEST(FaultInjectorTest, CrashNextThrowsOnceThenDisarms) {
+  support::FaultInjector faults;
+  faults.check_crash("boot");  // unarmed: no throw
+  faults.crash_next("boot");
+  bool crashed = false;
+  try {
+    faults.check_crash("boot");
+  } catch (const support::CrashInjected& crash) {
+    crashed = true;
+    EXPECT_EQ(crash.site, "boot");
+    EXPECT_EQ(crash.call, 2u);
+  }
+  EXPECT_TRUE(crashed);
+  // The schedule was consumed: a resumed run passes the same site.
+  faults.check_crash("boot");
+  EXPECT_EQ(faults.injected("boot"), 1u);
+  EXPECT_EQ(faults.calls("boot"), 3u);
+}
+
+TEST(FaultInjectorTest, CrashAtTargetsTheNthLifetimeCall) {
+  support::FaultInjector faults;
+  faults.crash_at("job", 3);
+  faults.check_crash("job");
+  faults.check_crash("job");
+  EXPECT_THROW(faults.check_crash("job"), support::CrashInjected);
+  faults.check_crash("job");  // consumed
+  faults.crash_at("job", 0);  // 0 disarms (already consumed; must not rearm)
+  faults.check_crash("job");
+  EXPECT_EQ(faults.injected("job"), 1u);
+}
+
+TEST(FaultInjectorTest, TornWriteKeepsAProperPrefix) {
+  support::FaultInjector faults;
+  EXPECT_EQ(faults.check_torn("disk", 100), std::nullopt);  // unarmed
+  faults.tear_next("disk", 0.5);
+  auto keep = faults.check_torn("disk", 100);
+  ASSERT_TRUE(keep.has_value());
+  EXPECT_EQ(*keep, 50u);
+  EXPECT_EQ(faults.check_torn("disk", 100), std::nullopt);  // consumed
+
+  // The kept prefix is always strictly shorter than the write, even at
+  // fraction 1.0 — a torn write that persists everything is not torn.
+  faults.tear_next("disk", 1.0);
+  auto clamped = faults.check_torn("disk", 4);
+  ASSERT_TRUE(clamped.has_value());
+  EXPECT_EQ(*clamped, 3u);
+  faults.tear_next("disk", 0.9);
+  auto tiny = faults.check_torn("disk", 1);
+  ASSERT_TRUE(tiny.has_value());
+  EXPECT_EQ(*tiny, 0u);
+}
+
+TEST(FaultInjectorTest, TearAtAndClearDisarmCrashSchedules) {
+  support::FaultInjector faults;
+  faults.tear_at("disk", 2, 0.25);
+  EXPECT_EQ(faults.check_torn("disk", 8), std::nullopt);
+  auto keep = faults.check_torn("disk", 8);
+  ASSERT_TRUE(keep.has_value());
+  EXPECT_EQ(*keep, 2u);
+
+  faults.crash_next("disk");
+  faults.tear_next("disk");
+  faults.clear("disk");
+  faults.check_crash("disk");
+  EXPECT_EQ(faults.check_torn("disk", 8), std::nullopt);
+}
+
 TEST(FaultInjectorTest, ConcurrentChecksCountEveryCall) {
   support::FaultInjector faults;
   faults.fail_every("hot", 4);
