@@ -5,12 +5,17 @@
 // and a drain-under-load pass.
 //
 // Usage: service_throughput [--smoke] [--clients N] [--systems M] [--requests R]
+//                           [--trace PATH] [--json PATH]
 //   --smoke   small deterministic run with hard assertions (CI-friendly):
 //             duplicate submissions must coalesce, injected transient faults
 //             must recover via retry with zero failed tickets, and a drain
 //             during load must leave every ticket in a terminal state.
+//   --trace PATH   write the load run's Chrome trace JSON (service.job spans
+//                  with per-attempt pull/rebuild/push children) to PATH.
+//   --json PATH    write machine-readable results to PATH.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +23,9 @@
 #include <thread>
 #include <vector>
 
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "registry/registry.hpp"
 #include "service/service.hpp"
 #include "support/fault.hpp"
@@ -83,6 +91,19 @@ double service_ms(const service::JobTrace& trace) {
   return trace.queue_ms + trace.pull_ms + trace.rebuild_ms + trace.push_ms;
 }
 
+double round3(double value) { return std::round(value * 1000.0) / 1000.0; }
+
+int write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(content.data(), 1, content.size(), out);
+  std::fclose(out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +111,8 @@ int main(int argc, char** argv) {
   int clients = 8;
   int systems = 4;
   int requests = 8;  // per client
+  std::string trace_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -99,6 +122,10 @@ int main(int argc, char** argv) {
       systems = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       requests = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
   if (smoke) {
@@ -127,6 +154,14 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(systems) * images.size() * 2 +
       static_cast<std::size_t>(clients) * static_cast<std::size_t>(requests);
   options.faults = &compile_faults;
+  // The load run is fully observed: every service.job span carries its
+  // per-attempt pull/rebuild/push children and the hub's transfers land in
+  // the same registry as the service counters.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  hub.set_observer(&tracer, &metrics);
   service::RebuildService svc(hub, options);
   std::vector<std::string> sites;
   if (add_systems(svc, systems, sites) != 0) return 1;
@@ -203,7 +238,37 @@ int main(int argc, char** argv) {
   std::printf("%-24s %10zu succeeded, %zu failed, %zu other\n", "final states",
               succeeded, failed, other);
 
+  // The exported trace must re-parse through src/json and hold one
+  // service.job span per distinct admitted job.
+  const std::string trace_json = tracer.chrome_trace_json();
+  auto parsed_trace = json::parse(trace_json);
+  if (!parsed_trace.ok()) {
+    std::fprintf(stderr, "TRACE: chrome trace does not re-parse: %s\n",
+                 parsed_trace.error().to_string().c_str());
+    return 1;
+  }
+  std::size_t job_spans = 0;
+  const json::Value* events = parsed_trace.value().find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "TRACE: missing traceEvents array\n");
+    return 1;
+  }
+  for (const json::Value& event : events->as_array()) {
+    if (event.get_string("name") == "service.job") ++job_spans;
+  }
+  std::printf("%-24s %10zu (of %zu trace events)\n", "service.job spans", job_spans,
+              events->as_array().size());
+  if (!trace_path.empty()) {
+    if (write_file(trace_path, trace_json) != 0) return 1;
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+
   if (smoke) {
+    if (job_spans != stats.admitted) {
+      std::fprintf(stderr, "SMOKE: %zu service.job spans but %zu admitted jobs\n",
+                   job_spans, stats.admitted);
+      return 1;
+    }
     if (stats.coalesced == 0) {
       std::fprintf(stderr, "SMOKE: expected duplicate submissions to coalesce\n");
       return 1;
@@ -277,6 +342,40 @@ int main(int argc, char** argv) {
   if (smoke && drain_succeeded + drain_drained != drain_tickets.size()) {
     std::fprintf(stderr, "SMOKE: drain accounting mismatch\n");
     return 1;
+  }
+
+  if (!json_path.empty()) {
+    json::Object doc;
+    doc.emplace_back("clients", json::Value(clients));
+    doc.emplace_back("systems", json::Value(systems));
+    doc.emplace_back("requests_per_client", json::Value(requests));
+    doc.emplace_back("images", json::Value(static_cast<std::uint64_t>(images.size())));
+    doc.emplace_back("tickets", json::Value(static_cast<std::uint64_t>(stats.submitted)));
+    doc.emplace_back("distinct_jobs",
+                     json::Value(static_cast<std::uint64_t>(stats.admitted)));
+    doc.emplace_back("coalesce_rate_pct", json::Value(round3(100.0 * coalesce_rate)));
+    doc.emplace_back("wall_ms", json::Value(round3(wall_ms)));
+    doc.emplace_back("jobs_per_s",
+                     json::Value(round3(wall_ms == 0 ? 0.0
+                                                     : 1000.0 *
+                                                           static_cast<double>(stats.admitted) /
+                                                           wall_ms)));
+    doc.emplace_back("p50_service_ms", json::Value(round3(percentile(latencies, 50))));
+    doc.emplace_back("p99_service_ms", json::Value(round3(percentile(latencies, 99))));
+    doc.emplace_back("retries", json::Value(static_cast<std::uint64_t>(stats.retries)));
+    doc.emplace_back("trace_events",
+                     json::Value(static_cast<std::uint64_t>(events->as_array().size())));
+    doc.emplace_back("service_job_spans", json::Value(static_cast<std::uint64_t>(job_spans)));
+    json::Object drain_obj;
+    drain_obj.emplace_back("jobs", json::Value(static_cast<std::uint64_t>(drain_tickets.size())));
+    drain_obj.emplace_back("completed_in_flight",
+                           json::Value(static_cast<std::uint64_t>(drain_succeeded)));
+    drain_obj.emplace_back("drained", json::Value(static_cast<std::uint64_t>(drain_drained)));
+    doc.emplace_back("drain", json::Value(std::move(drain_obj)));
+    if (write_file(json_path, json::serialize_pretty(json::Value(std::move(doc)))) != 0) {
+      return 1;
+    }
+    std::printf("results written to %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -3,8 +3,12 @@
 # the parallel-rebuild and rebuild-service benchmarks (which assert that
 # parallel rebuilds are bit-identical, a warm compile cache hits 100%,
 # duplicate service requests coalesce, and injected faults recover via
-# retry). A second build under ThreadSanitizer reruns the concurrency layer
-# (scheduler, registry, rebuild service) and the service smoke bench. A third
+# retry). The parallel-rebuild smoke runs with tracing enabled and fails if
+# the exported Chrome trace is malformed, missing compile-job spans, or the
+# tracing overhead clears the 5% bar (2 ms absolute floor). A second build
+# under ThreadSanitizer reruns the concurrency layer
+# (scheduler, registry, rebuild service, obs tracing/metrics) and the
+# service smoke bench. A third
 # build under AddressSanitizer reruns the durability layer (write-ahead
 # journal, crash/torn-write injection, fsck/repair) plus the crash-resume
 # smoke bench — crash paths unwind through partially written state, exactly
@@ -28,8 +32,12 @@ cmake --build "$build_dir" -j "$jobs"
 echo "== test =="
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-echo "== bench smoke =="
-"$build_dir/bench/parallel_rebuild" --smoke
+echo "== bench smoke (tracing enabled) =="
+# The bench itself validates the exported trace: it must re-parse through
+# src/json, hold one "job:*" span per compile job, and every job span must
+# nest under the root "rebuild" span — any violation is a non-zero exit.
+"$build_dir/bench/parallel_rebuild" --smoke --trace "$build_dir/rebuild_trace.json"
+test -s "$build_dir/rebuild_trace.json"
 "$build_dir/bench/service_throughput" --smoke
 "$build_dir/bench/crash_resume" --smoke
 
@@ -41,7 +49,7 @@ if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
 
   echo "== tsan test (concurrency layer) =="
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-        -R 'Sched|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector'
+        -R 'Sched|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs'
 
   echo "== tsan bench smoke =="
   "$tsan_dir/bench/service_throughput" --smoke

@@ -137,6 +137,11 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   if (options.system == nullptr || options.system_repo == nullptr) {
     return make_error(Errc::invalid_argument, "rebuild: missing system or repository");
   }
+  obs::Span root_span =
+      obs::maybe_span(options.tracer, "rebuild", options.parent_span, "rebuild");
+  root_span.annotate("image", extended_tag);
+  obs::Span resolve_span =
+      obs::maybe_span(options.tracer, "resolve", root_span.id(), "resolve");
   COMT_TRY(oci::Image extended, layout.find_image(extended_tag));
   COMT_TRY(vfs::Filesystem extended_rootfs, layout.flatten(extended));
   COMT_TRY(CacheBundle bundle, load_cache(extended_rootfs));
@@ -145,6 +150,7 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   BuildGraph graph = bundle.models.graph;
   AdapterContext context{options.system, options.system_repo};
   RebuildReport report;
+  report.root_span = root_span.id();
   bool want_profile = false;
   for (const SystemAdapter* adapter : options.adapters) {
     COMT_TRY_STATUS(adapter->adapt_graph(graph, context));
@@ -219,6 +225,7 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
       COMT_TRY_STATUS(options.journal->append_begin(begin));
     }
   }
+  resolve_span.end();
 
   // Current digest of `path` in the shared rootfs; "" when unreadable. The
   // cache verifies its per-entry input manifest through this, so a changed
@@ -342,12 +349,19 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   };
 
   std::unique_ptr<sched::ThreadPool> pool;
-  if (options.threads > 1) pool = std::make_unique<sched::ThreadPool>(options.threads);
+  if (options.threads > 1) {
+    pool = std::make_unique<sched::ThreadPool>(options.threads);
+    pool->set_metrics(options.metrics);
+  }
 
   // `pass` prefixes journal job keys so the two PGO passes (which run the
   // same node ids with different flags) never share commit records.
   auto execute_graph = [&](bool profile_generate, bool profile_use,
                            std::string_view pass) -> Status {
+    // The pass span parents every compile-job span; its own category is
+    // "sched" so the profile attributes the time to the jobs, not twice.
+    obs::Span pass_span = obs::maybe_span(
+        options.tracer, "pass:" + std::string(pass), root_span.id(), "sched");
     sched::DagScheduler scheduler;
     for (int id : order) {
       const GraphNode& node = graph.node(id);
@@ -386,10 +400,16 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
                                     "): " + status.error().message);
             }
             return Status::success();
-          }));
+          },
+          node.archive_argv.empty() ? "compile" : "link"));
     }
     report.jobs += scheduler.job_count();
-    COMT_TRY(sched::ScheduleReport schedule, scheduler.run(pool.get()));
+    sched::ObsOptions sched_obs;
+    sched_obs.tracer = options.tracer;
+    sched_obs.parent = pass_span.id();
+    sched_obs.metrics = options.metrics;
+    COMT_TRY(sched::ScheduleReport schedule, scheduler.run(pool.get(), sched_obs));
+    pass_span.annotate("jobs", static_cast<std::uint64_t>(schedule.jobs.size()));
     report.nodes_executed += schedule.executed;
     report.wall_ms += schedule.wall_ms;
     return schedule.first_error();
@@ -421,6 +441,21 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
     COMT_TRY_STATUS(execute_graph(false, false, "p0"));
   }
 
+  // Every pass fully committed: fold the journal into one canonical
+  // begin+commit snapshot and drop records superseded by the final pass —
+  // a PGO journal that lived through instrument→optimize shrinks back to
+  // the "pu" commits a resume would actually replay. (A resume of a crash
+  // from here re-runs the cheap instrument pass but replays every final-pass
+  // job, so the image is still bit-identical.)
+  if (options.journal != nullptr) {
+    const std::string final_prefix = std::string(want_profile ? "pu" : "p0") + ":";
+    COMT_TRY(report.journal_compaction,
+             options.journal->compact([&final_prefix](const durable::CommitRecord& commit) {
+               return commit.job_id.compare(0, final_prefix.size(), final_prefix) == 0;
+             }));
+    report.journal_compacted = true;
+  }
+
   // Post-link artifact transformations (binary-level optimizations such as
   // the BOLT-style layout adapter) run on the rebuilt linked images.
   for (int id : graph.roots()) {
@@ -444,6 +479,8 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   // Collect the rebuild layer: the rebuilt content of every build-produced
   // file of the application image, stored under /.coMtainer/rebuild at the
   // file's original image path.
+  obs::Span commit_span =
+      obs::maybe_span(options.tracer, "layer-commit", root_span.id(), "layer-commit");
   vfs::Filesystem rebuild_layer;
   for (const ImageFileEntry& entry : bundle.models.image.files) {
     if (entry.origin != FileOrigin::build_process || entry.build_node < 0) continue;
@@ -466,6 +503,12 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   report.cache_misses = cache_misses.load();
   report.journal_replayed = journal_replayed.load();
   report.journal_committed = journal_committed.load();
+  if (options.metrics != nullptr) {
+    options.metrics->counter("rebuild.cache.hits").add(report.cache_hits);
+    options.metrics->counter("rebuild.cache.misses").add(report.cache_misses);
+    options.metrics->counter("rebuild.journal.replayed").add(report.journal_replayed);
+    options.metrics->counter("rebuild.journal.committed").add(report.journal_committed);
+  }
 
   // The last crash window: every job is journaled but the rebuilt image is
   // not assembled yet. A resume replays everything and lands here again.
@@ -476,6 +519,11 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   std::string rebuilt_tag = base_tag_of(extended_tag) + std::string(kRebuiltSuffix);
   COMT_TRY(report.image,
            layout.append_layer(extended, rebuild_layer, "coMtainer-rebuild", rebuilt_tag));
+  commit_span.end();
+  root_span.end();
+  if (options.tracer != nullptr) {
+    report.profile = obs::profile_phases(*options.tracer, report.root_span);
+  }
   return report;
 }
 
@@ -484,6 +532,9 @@ Result<RedirectReport> comtainer_redirect(oci::Layout& layout, std::string_view 
   if (options.system_repo == nullptr) {
     return make_error(Errc::invalid_argument, "redirect: missing system repository");
   }
+  obs::Span redirect_span =
+      obs::maybe_span(options.tracer, "redirect", options.parent_span, "redirect");
+  redirect_span.annotate("image", source_tag);
   COMT_TRY(oci::Image source, layout.find_image(source_tag));
   COMT_TRY(vfs::Filesystem source_rootfs, layout.flatten(source));
   COMT_TRY(CacheBundle bundle, load_cache(source_rootfs));

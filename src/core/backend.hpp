@@ -29,6 +29,9 @@
 #include "core/cache.hpp"
 #include "core/models.hpp"
 #include "durable/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "oci/oci.hpp"
 #include "sched/compile_cache.hpp"
 #include "support/error.hpp"
@@ -110,6 +113,16 @@ struct RebuildOptions {
   /// Caller-owned context stored in the journal's begin record (the rebuild
   /// service serializes the submit request here so recover() can resubmit).
   std::string journal_metadata;
+  /// Optional tracer. When set, the rebuild emits a root "rebuild" span with
+  /// the pipeline phases ("resolve", per-pass scheduling with one span per
+  /// compile job, "layer-commit") nested under it, and RebuildReport carries
+  /// the root span id and a per-phase profile.
+  obs::Tracer* tracer = nullptr;
+  /// Parent for the root span (e.g. the service's per-attempt span).
+  obs::SpanId parent_span = obs::kNoSpan;
+  /// Optional metrics: cache hits/misses, journal replay counts, scheduler
+  /// and pool instrumentation land here ("rebuild.*", "sched.*").
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Diagnostics from a rebuild (how many nodes re-ran, profile feedback, …).
@@ -143,6 +156,17 @@ struct RebuildReport {
   /// True when an existing begin record matched — this run resumed a
   /// previously interrupted rebuild.
   bool resumed = false;
+  /// True when the journal was folded into a canonical snapshot after the
+  /// final pass fully committed (superseded PGO-pass records dropped).
+  bool journal_compacted = false;
+  /// What that compaction did (zero-initialized when it never ran).
+  durable::CompactionReport journal_compaction;
+  /// Root span id of this rebuild in RebuildOptions::tracer (kNoSpan when no
+  /// tracer was attached).
+  obs::SpanId root_span = obs::kNoSpan;
+  /// Per-phase time breakdown aggregated from the rebuild's spans (empty
+  /// when no tracer was attached).
+  obs::ProfileReport profile;
 };
 
 Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view extended_tag,
@@ -163,6 +187,10 @@ struct RedirectOptions {
   /// optimized image are always applied sequentially in model order, so the
   /// result is identical either way.
   std::size_t threads = 1;
+  /// Optional tracer: emits a "redirect" span covering the whole operation.
+  obs::Tracer* tracer = nullptr;
+  /// Parent for the redirect span.
+  obs::SpanId parent_span = obs::kNoSpan;
 };
 
 struct RedirectReport {

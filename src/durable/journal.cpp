@@ -135,6 +135,21 @@ std::string digest_outputs(const std::vector<JournalOutput>& outputs) {
   return to_hex(digest.data(), digest.size());
 }
 
+void Journal::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (metrics == nullptr) {
+    appends_ = appended_bytes_ = replayed_records_ = truncated_bytes_ = nullptr;
+    compactions_ = compacted_commits_ = nullptr;
+    return;
+  }
+  appends_ = &metrics->counter("journal.appends");
+  appended_bytes_ = &metrics->counter("journal.appended_bytes");
+  replayed_records_ = &metrics->counter("journal.replayed_records");
+  truncated_bytes_ = &metrics->counter("journal.truncated_bytes");
+  compactions_ = &metrics->counter("journal.compactions");
+  compacted_commits_ = &metrics->counter("journal.compacted_commits");
+}
+
 Status Journal::append_begin(const BeginRecord& record) {
   return append(serialize_begin(record));
 }
@@ -164,6 +179,10 @@ Status Journal::append(std::string payload) {
     } else {
       data_.append(header);
       data_.append(payload);
+      if (appends_ != nullptr) {
+        appends_->add();
+        appended_bytes_->add(header.size() + payload.size());
+      }
     }
   }
   if (torn.has_value()) throw support::CrashInjected{std::string(kJournalAppendSite)};
@@ -172,6 +191,10 @@ Status Journal::append(std::string payload) {
 
 Result<ReplayState> Journal::replay() {
   std::lock_guard<std::mutex> lock(mutex_);
+  return replay_locked();
+}
+
+Result<ReplayState> Journal::replay_locked() {
   ReplayState state;
   std::size_t pos = 0;
   while (pos < data_.size()) {
@@ -239,7 +262,55 @@ Result<ReplayState> Journal::replay() {
     state.truncated_bytes = data_.size() - pos;
     data_.resize(pos);
   }
+  if (replayed_records_ != nullptr) {
+    replayed_records_->add(state.records);
+    truncated_bytes_->add(state.truncated_bytes);
+  }
   return state;
+}
+
+Result<CompactionReport> Journal::compact(
+    const std::function<bool(const CommitRecord&)>& keep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CompactionReport report;
+  report.bytes_before = data_.size();
+  COMT_TRY(auto state, replay_locked());
+  report.records_before = state.records;
+  if (!state.begin.has_value()) {
+    // Nothing durable yet (empty, or only a torn tail replay just dropped) —
+    // keep whatever replay left; there is no snapshot to write.
+    report.bytes_after = data_.size();
+    report.records_after = state.records;
+    return report;
+  }
+
+  // Rewrite as one canonical snapshot. ReplayState::commits is keyed by
+  // job id, so the record order — hence the byte image — is deterministic:
+  // compacting a journal twice, or replaying then re-compacting, is a fixed
+  // point.
+  std::string fresh;
+  auto frame = [&fresh](std::string payload) {
+    put_u32(fresh, static_cast<std::uint32_t>(payload.size()));
+    put_u64(fresh, fnv1a64(payload));
+    fresh.append(payload);
+  };
+  frame(serialize_begin(*state.begin));
+  ++report.records_after;
+  for (const auto& [job_id, commit] : state.commits) {
+    if (keep && !keep(commit)) {
+      ++report.dropped_commits;
+      continue;
+    }
+    frame(serialize_commit(commit));
+    ++report.records_after;
+  }
+  data_ = std::move(fresh);
+  report.bytes_after = data_.size();
+  if (compactions_ != nullptr) {
+    compactions_->add();
+    compacted_commits_->add(report.dropped_commits);
+  }
+  return report;
 }
 
 bool Journal::empty() const {
@@ -277,6 +348,7 @@ std::shared_ptr<Journal> JournalStore::open(const std::string& key,
     entry.metadata = std::string(metadata);
     entry.journal = std::make_shared<Journal>();
     entry.journal->set_fault_injector(faults_);
+    entry.journal->set_metrics(metrics_);
     it = entries_.emplace(key, std::move(entry)).first;
   }
   return it->second.journal;
@@ -309,6 +381,12 @@ void JournalStore::set_fault_injector(support::FaultInjector* faults) {
   std::lock_guard<std::mutex> lock(mutex_);
   faults_ = faults;
   for (auto& [key, entry] : entries_) entry.journal->set_fault_injector(faults);
+}
+
+void JournalStore::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+  for (auto& [key, entry] : entries_) entry.journal->set_metrics(metrics);
 }
 
 }  // namespace comt::durable

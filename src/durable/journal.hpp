@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 
@@ -71,12 +73,27 @@ struct ReplayState {
   std::uint64_t truncated_bytes = 0; ///< torn tail dropped from the buffer
 };
 
+/// What a compaction pass did to the journal.
+struct CompactionReport {
+  std::size_t records_before = 0;
+  std::size_t records_after = 0;
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+  std::size_t dropped_commits = 0;  ///< commits the keep predicate rejected
+};
+
 /// Append-only, checksummed record log. Thread-safe: concurrent compile jobs
 /// of one rebuild commit through the same journal.
 class Journal {
  public:
   /// Attaches torn-write injection to every append. Pass nullptr to detach.
   void set_fault_injector(support::FaultInjector* faults) { faults_ = faults; }
+
+  /// Attaches counters ("journal.appends", "journal.appended_bytes",
+  /// "journal.replayed_records", "journal.truncated_bytes",
+  /// "journal.compactions", "journal.compacted_commits") to every operation.
+  /// Pass nullptr to detach. Wire up before sharing the journal.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   Status append_begin(const BeginRecord& record);
   Status append_commit(const CommitRecord& record);
@@ -87,6 +104,19 @@ class Journal {
   /// one) and counted in ReplayState::truncated_bytes. A begin record
   /// anywhere but first, or a commit before begin, is Errc::corrupt.
   Result<ReplayState> replay();
+
+  /// Folds the log into one canonical snapshot: the begin record followed by
+  /// the surviving commits in job-id order. `keep` selects which commits
+  /// survive (empty keeps all) — the rebuild engine drops records of earlier
+  /// PGO passes once the final pass has fully committed, so a journal that
+  /// lived through instrument→optimize cycles shrinks back to one pass.
+  /// Replaying a compacted journal recovers exactly the kept state; torn
+  /// tails are truncated first, same as replay(). A rewrite is atomic from
+  /// the reader's view (one buffer swap under the journal lock — the file
+  /// analogue is write-temp-then-rename), so no fault injection applies.
+  /// No-op on a journal with no begin record.
+  Result<CompactionReport> compact(
+      const std::function<bool(const CommitRecord&)>& keep = {});
 
   bool empty() const;
   std::size_t size_bytes() const;
@@ -99,10 +129,17 @@ class Journal {
 
  private:
   Status append(std::string payload);
+  Result<ReplayState> replay_locked();
 
   mutable std::mutex mutex_;
   std::string data_;
   support::FaultInjector* faults_ = nullptr;
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* appended_bytes_ = nullptr;
+  obs::Counter* replayed_records_ = nullptr;
+  obs::Counter* truncated_bytes_ = nullptr;
+  obs::Counter* compactions_ = nullptr;
+  obs::Counter* compacted_commits_ = nullptr;
 };
 
 /// Keyed collection of journals, shared between a rebuild service and its
@@ -134,10 +171,14 @@ class JournalStore {
   /// Attaches `faults` to every current and future journal in the store.
   void set_fault_injector(support::FaultInjector* faults);
 
+  /// Attaches `metrics` to every current and future journal in the store.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
   support::FaultInjector* faults_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace comt::durable

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace comt::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  COMT_ASSERT(!bounds_.empty(), "obs: histogram needs at least one bucket bound");
+  COMT_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+              "obs: histogram bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  std::size_t index = static_cast<std::size_t>(it - bounds_.begin());  // overflow when end
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.add(value);
+}
+
+double Histogram::percentile(double p) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i == bounds_.size()) return bounds_.back();  // overflow: clamp
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction = (target - before) / static_cast<double>(counts[i]);
+    return lower + fraction * (upper - lower);
+  }
+  return bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> default_latency_buckets_ms() {
+  std::vector<double> bounds;
+  for (double bound = 0.01; bound < 100000.0; bound *= 2.0) bounds.push_back(bound);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  COMT_ASSERT(gauges_.find(name) == gauges_.end() &&
+                  histograms_.find(name) == histograms_.end(),
+              "obs: metric name already bound to another kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  COMT_ASSERT(counters_.find(name) == counters_.end() &&
+                  histograms_.find(name) == histograms_.end(),
+              "obs: metric name already bound to another kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  COMT_ASSERT(counters_.find(name) == counters_.end() &&
+                  gauges_.find(name) == gauges_.end(),
+              "obs: metric name already bound to another kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_latency_buckets_ms();
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+json::Value MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters.emplace_back(name, json::Value(counter->value()));
+  }
+  json::Object gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.emplace_back(name, json::Value(gauge->value()));
+  }
+  json::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    json::Object entry;
+    entry.emplace_back("count", json::Value(histogram->count()));
+    entry.emplace_back("sum", json::Value(histogram->sum()));
+    entry.emplace_back("p50", json::Value(histogram->percentile(50)));
+    entry.emplace_back("p95", json::Value(histogram->percentile(95)));
+    entry.emplace_back("p99", json::Value(histogram->percentile(99)));
+    histograms.emplace_back(name, json::Value(std::move(entry)));
+  }
+  json::Object document;
+  document.emplace_back("counters", json::Value(std::move(counters)));
+  document.emplace_back("gauges", json::Value(std::move(gauges)));
+  document.emplace_back("histograms", json::Value(std::move(histograms)));
+  return json::Value(std::move(document));
+}
+
+}  // namespace comt::obs

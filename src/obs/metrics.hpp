@@ -1,0 +1,115 @@
+// The metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Instruments are created once through the registry (under its lock) and
+// returned as stable references; every subsequent update is a lock-free
+// atomic, so hot paths (per-compile-job cache accounting, pool queue-wait
+// observation) pay one relaxed atomic op. Histograms use fixed upper-bound
+// buckets with linear interpolation for percentile extraction — the same
+// model as Prometheus histogram_quantile, so p50/p95/p99 are cheap and the
+// error is bounded by bucket width.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace comt::obs {
+
+/// Monotonically increasing integer. Thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Settable/addable double. Thread-safe (CAS on add, so concurrent adds
+/// never lose updates).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative observations. Bucket `i` counts
+/// observations <= bounds[i]; one implicit overflow bucket catches the rest.
+/// observe() is one relaxed atomic increment per call plus two for count/sum.
+class Histogram {
+ public:
+  /// `bounds` are strictly ascending upper bounds (checked, aborts on misuse).
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.value(); }
+
+  /// p in [0, 100]. Linear interpolation inside the owning bucket (lower edge
+  /// 0 for the first bucket). The overflow bucket clamps to the last bound.
+  /// Returns 0 for an empty histogram.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; the extra final entry is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  Gauge sum_;
+};
+
+/// Default histogram bounds for millisecond latencies: exponential from
+/// 0.01 ms to ~65 s.
+std::vector<double> default_latency_buckets_ms();
+
+/// Named instrument store. counter()/gauge()/histogram() create on first use
+/// and return stable references; creation takes the registry lock, updates
+/// through the returned reference never do. A name permanently binds to its
+/// first instrument kind (requesting it as another kind aborts).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Current value of a counter/gauge, 0 when the name was never created.
+  /// This is what makes cheap "stats views" possible (service::ServiceStats).
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+  /// Snapshot as {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {"count", "sum", "p50", "p95", "p99"}}}, names sorted.
+  json::Value to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace comt::obs

@@ -1,0 +1,36 @@
+// The one stopwatch. Every place that reports wall time (the DAG scheduler,
+// the rebuild service, the benchmarks) measures through this instead of
+// hand-rolling steady_clock arithmetic, so elapsed-time semantics (steady
+// clock, double milliseconds) are identical across the codebase.
+#pragma once
+
+#include <chrono>
+
+namespace comt::obs {
+
+/// Steady-clock elapsed-time meter. Starts at construction; restartable.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Milliseconds since construction or the last restart().
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds since construction or the last restart().
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+  void restart() { start_ = Clock::now(); }
+
+  Clock::time_point start() const { return start_; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace comt::obs

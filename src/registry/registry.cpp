@@ -23,11 +23,28 @@ Status transfer_blob(const oci::Layout& from, oci::Layout& to, const oci::Descri
 
 }  // namespace
 
+void Registry::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    pulls_ = pushes_ = gcs_ = fscks_ = pulled_bytes_ = pushed_bytes_ = nullptr;
+    return;
+  }
+  pulls_ = &metrics->counter("registry.pulls");
+  pushes_ = &metrics->counter("registry.pushes");
+  gcs_ = &metrics->counter("registry.gcs");
+  fscks_ = &metrics->counter("registry.fscks");
+  pulled_bytes_ = &metrics->counter("registry.pulled_bytes");
+  pushed_bytes_ = &metrics->counter("registry.pushed_bytes");
+}
+
 Status Registry::push(const oci::Layout& source, std::string_view local_tag,
                       std::string_view name, std::string_view tag) {
+  obs::Span span = obs::maybe_span(tracer_, "registry.push", obs::kNoSpan, "blob-push");
+  span.annotate("image", make_reference(name, tag));
   if (faults_ != nullptr) COMT_TRY_STATUS(faults_->check(kPushFaultSite));
   COMT_TRY(oci::Image image, source.find_image(local_tag));
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::uint64_t pushed_before = transfer_.pushed_bytes;
   COMT_TRY_STATUS(transfer_blob(source, store_, image.manifest.config, transfer_.pushed_bytes));
   for (const oci::Descriptor& layer : image.manifest.layers) {
     COMT_TRY_STATUS(transfer_blob(source, store_, layer, transfer_.pushed_bytes));
@@ -40,11 +57,18 @@ Status Registry::push(const oci::Layout& source, std::string_view local_tag,
   // Mirror the reference into the store's index so oci::fsck on the backing
   // layout sees which blobs are reachable from which repository.
   store_.tag_manifest(reference, image.manifest_digest);
+  if (pushes_ != nullptr) {
+    pushes_->add();
+    pushed_bytes_->add(transfer_.pushed_bytes - pushed_before);
+  }
+  span.annotate("bytes", transfer_.pushed_bytes - pushed_before);
   return Status::success();
 }
 
 Status Registry::pull(std::string_view name, std::string_view tag, oci::Layout& destination,
                       std::string_view local_tag) const {
+  obs::Span span = obs::maybe_span(tracer_, "registry.pull", obs::kNoSpan, "pull");
+  span.annotate("image", make_reference(name, tag));
   if (faults_ != nullptr) COMT_TRY_STATUS(faults_->check(kPullFaultSite));
   // Writer lock: pull reads the store but also updates the transfer counters.
   std::unique_lock<std::shared_mutex> lock(mutex_);
@@ -52,6 +76,7 @@ Status Registry::pull(std::string_view name, std::string_view tag, oci::Layout& 
   if (it == references_.end()) {
     return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
   }
+  const std::uint64_t pulled_before = transfer_.pulled_bytes;
   COMT_TRY(oci::Image image, store_.load_image(it->second));
   COMT_TRY_STATUS(
       transfer_blob(store_, destination, image.manifest.config, transfer_.pulled_bytes));
@@ -60,6 +85,11 @@ Status Registry::pull(std::string_view name, std::string_view tag, oci::Layout& 
   }
   COMT_TRY(oci::Digest digest, destination.add_manifest(image.manifest, local_tag));
   (void)digest;
+  if (pulls_ != nullptr) {
+    pulls_->add();
+    pulled_bytes_->add(transfer_.pulled_bytes - pulled_before);
+  }
+  span.annotate("bytes", transfer_.pulled_bytes - pulled_before);
   return Status::success();
 }
 
@@ -97,6 +127,8 @@ Status Registry::remove(std::string_view name, std::string_view tag) {
 }
 
 Status Registry::gc() {
+  obs::Span span = obs::maybe_span(tracer_, "registry.gc", obs::kNoSpan, "registry");
+  if (gcs_ != nullptr) gcs_->add();
   std::unique_lock<std::shared_mutex> lock(mutex_);
   return sweep_locked();
 }
@@ -157,6 +189,9 @@ Result<std::string> Registry::fetch_blob(const oci::Digest& digest) const {
 }
 
 oci::FsckReport Registry::fsck(bool repair, const oci::BlobFetcher& origin) {
+  obs::Span span = obs::maybe_span(tracer_, "registry.fsck", obs::kNoSpan, "registry");
+  span.annotate("repair", std::uint64_t{repair ? 1u : 0u});
+  if (fscks_ != nullptr) fscks_->add();
   std::unique_lock<std::shared_mutex> lock(mutex_);
   if (!repair) return oci::fsck(store_);
   oci::FsckReport report = oci::fsck_repair(store_, origin);

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "oci/fsck.hpp"
 #include "oci/oci.hpp"
 #include "support/error.hpp"
@@ -98,6 +100,13 @@ class Registry {
     store_.set_fault_injector(faults);
   }
 
+  /// Attaches observability: push/pull/gc/fsck each emit a root-level span
+  /// ("registry.<op>") and bump "registry.<op>s" counters; transferred bytes
+  /// go to "registry.pulled_bytes"/"registry.pushed_bytes". Either pointer
+  /// may be nullptr. Not synchronized with concurrent operations — wire it up
+  /// before sharing the registry.
+  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
  private:
   Status sweep_locked();
 
@@ -106,6 +115,13 @@ class Registry {
   std::map<std::string, oci::Digest> references_;  // "name:tag" -> manifest
   mutable Stats transfer_;
   support::FaultInjector* faults_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* pulls_ = nullptr;
+  obs::Counter* pushes_ = nullptr;
+  obs::Counter* gcs_ = nullptr;
+  obs::Counter* fscks_ = nullptr;
+  obs::Counter* pulled_bytes_ = nullptr;
+  obs::Counter* pushed_bytes_ = nullptr;
 };
 
 }  // namespace comt::registry

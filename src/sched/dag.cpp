@@ -1,21 +1,13 @@
 #include "sched/dag.hpp"
 
-#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
 #include <queue>
 
+#include "obs/stopwatch.hpp"
+
 namespace comt::sched {
-namespace {
-
-double elapsed_ms(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                   since)
-      .count();
-}
-
-}  // namespace
 
 Status ScheduleReport::first_error() const {
   // Prefer a job's own failure over a "skipped because a dependency failed"
@@ -29,19 +21,31 @@ Status ScheduleReport::first_error() const {
   return Status::success();
 }
 
-Status DagScheduler::add_job(std::string id, std::vector<std::string> deps, JobFn fn) {
+Status DagScheduler::add_job(std::string id, std::vector<std::string> deps, JobFn fn,
+                             std::string category) {
   for (const Job& job : jobs_) {
     if (job.id == id) {
       return make_error(Errc::already_exists, "sched: duplicate job '" + id + "'");
     }
   }
-  jobs_.push_back(Job{std::move(id), std::move(deps), std::move(fn)});
+  jobs_.push_back(Job{std::move(id), std::move(deps), std::move(fn), std::move(category)});
   return Status::success();
 }
 
-Result<ScheduleReport> DagScheduler::run(ThreadPool* pool) {
-  const auto start = std::chrono::steady_clock::now();
+Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opts) {
+  const obs::Stopwatch schedule_clock;
   const std::size_t count = jobs_.size();
+
+  obs::Histogram* ready_wait_ms = nullptr;
+  obs::Counter* executed_count = nullptr;
+  obs::Counter* failed_count = nullptr;
+  obs::Counter* skipped_count = nullptr;
+  if (opts.metrics != nullptr) {
+    ready_wait_ms = &opts.metrics->histogram(opts.metric_prefix + ".ready_wait_ms");
+    executed_count = &opts.metrics->counter(opts.metric_prefix + ".jobs.executed");
+    failed_count = &opts.metrics->counter(opts.metric_prefix + ".jobs.failed");
+    skipped_count = &opts.metrics->counter(opts.metric_prefix + ".jobs.skipped");
+  }
 
   // Resolve names to indices and validate edges.
   std::map<std::string, std::size_t> index;
@@ -100,6 +104,9 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool) {
   std::vector<std::size_t> waiting = indegree;
   std::vector<bool> poisoned(count, false);
   std::size_t remaining = count;
+  // Per-job dispatch latency: restarted when the job's last dependency
+  // resolves, observed when its body starts (frontier jobs count from here).
+  std::vector<obs::Stopwatch> ready_at(count);
 
   // Runs one ready job (or skips it), records its outcome, and returns the
   // dependents this freed. This is the single execution path shared by the
@@ -110,16 +117,24 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool) {
       std::lock_guard<std::mutex> lock(mutex);
       skip = poisoned[job_index];
     }
+    if (ready_wait_ms != nullptr) {
+      ready_wait_ms->observe(ready_at[job_index].elapsed_ms());
+    }
+    const Job& job = jobs_[job_index];
+    obs::Span span = obs::maybe_span(opts.tracer, "job:" + job.id, opts.parent,
+                                     job.category.empty() ? opts.category : job.category);
     Status status = Status::success();
     double ms = 0;
     if (skip) {
-      status = make_error(Errc::failed, "sched: skipped '" + jobs_[job_index].id +
+      status = make_error(Errc::failed, "sched: skipped '" + job.id +
                                             "': a dependency failed");
+      span.annotate("skipped", std::uint64_t{1});
     } else {
-      const auto job_start = std::chrono::steady_clock::now();
-      status = jobs_[job_index].fn();
-      ms = elapsed_ms(job_start);
+      const obs::Stopwatch job_clock;
+      status = job.fn();
+      ms = job_clock.elapsed_ms();
     }
+    span.end();
     std::vector<std::size_t> freed;
     std::lock_guard<std::mutex> lock(mutex);
     JobOutcome& outcome = report.jobs[job_index];
@@ -128,14 +143,22 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool) {
     outcome.wall_ms = ms;
     if (skip) {
       ++report.skipped;
+      if (skipped_count != nullptr) skipped_count->add();
     } else {
       ++report.executed;
-      if (!status.ok()) ++report.failed;
+      if (executed_count != nullptr) executed_count->add();
+      if (!status.ok()) {
+        ++report.failed;
+        if (failed_count != nullptr) failed_count->add();
+      }
     }
     bool ok = status.ok() && !skip;
     for (std::size_t dependent : dependents[job_index]) {
       if (!ok) poisoned[dependent] = true;
-      if (--waiting[dependent] == 0) freed.push_back(dependent);
+      if (--waiting[dependent] == 0) {
+        ready_at[dependent].restart();
+        freed.push_back(dependent);
+      }
     }
     if (--remaining == 0) done_cv.notify_all();
     return freed;
@@ -166,7 +189,7 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool) {
     done_cv.wait(lock, [&] { return remaining == 0; });
   }
 
-  report.wall_ms = elapsed_ms(start);
+  report.wall_ms = schedule_clock.elapsed_ms();
   return report;
 }
 

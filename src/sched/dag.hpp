@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/thread_pool.hpp"
 #include "support/error.hpp"
 
@@ -43,12 +45,24 @@ struct ScheduleReport {
   Status first_error() const;
 };
 
+/// Observability hooks for one scheduler run. All pointers are optional and
+/// borrowed: the caller keeps them alive for the duration of run().
+struct ObsOptions {
+  obs::Tracer* tracer = nullptr;       ///< when set, one "job:<id>" span per job
+  obs::SpanId parent = obs::kNoSpan;   ///< parent for every job span
+  std::string category = "compile";    ///< span category (per-job override wins)
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metric_prefix = "sched"; ///< "<prefix>.ready_wait_ms", "<prefix>.jobs.*"
+};
+
 class DagScheduler {
  public:
   /// Registers a job. `deps` name jobs this one must run after; forward
   /// references are allowed (edges are resolved at run()). Duplicate ids
-  /// are an error.
-  Status add_job(std::string id, std::vector<std::string> deps, JobFn fn);
+  /// are an error. `category` labels the job's span ("compile", "link", …);
+  /// empty falls back to ObsOptions::category.
+  Status add_job(std::string id, std::vector<std::string> deps, JobFn fn,
+                 std::string category = "");
 
   std::size_t job_count() const { return jobs_.size(); }
 
@@ -59,13 +73,16 @@ class DagScheduler {
   /// anything when the graph has an unknown dependency or a cycle.
   /// A failed job skips its transitive dependents; independent jobs still
   /// run (make -k semantics, so one bad unit doesn't hide other errors).
-  Result<ScheduleReport> run(ThreadPool* pool);
+  /// With ObsOptions attached, every job — executed or skipped — emits
+  /// exactly one span, so span count always equals job_count().
+  Result<ScheduleReport> run(ThreadPool* pool, const ObsOptions& opts = {});
 
  private:
   struct Job {
     std::string id;
     std::vector<std::string> deps;
     JobFn fn;
+    std::string category;
   };
 
   std::vector<Job> jobs_;

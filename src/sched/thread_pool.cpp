@@ -16,7 +16,24 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
+void ThreadPool::set_metrics(obs::MetricsRegistry* metrics, std::string_view prefix) {
+  if (metrics == nullptr) {
+    queue_wait_ms_ = nullptr;
+    task_counter_ = nullptr;
+    return;
+  }
+  queue_wait_ms_ = &metrics->histogram(std::string(prefix) + ".queue_wait_ms");
+  task_counter_ = &metrics->counter(std::string(prefix) + ".tasks");
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  if (queue_wait_ms_ != nullptr) {
+    task = [this, queued = obs::Stopwatch(), task = std::move(task)] {
+      queue_wait_ms_->observe(queued.elapsed_ms());
+      task_counter_->add();
+      task();
+    };
+  }
   {
     std::lock_guard<std::mutex> state(state_mutex_);
     if (stopping_) return;

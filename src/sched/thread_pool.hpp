@@ -15,6 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+
 namespace comt::sched {
 
 class ThreadPool {
@@ -43,6 +46,12 @@ class ThreadPool {
   /// Number of tasks that have run to completion.
   std::uint64_t executed() const { return executed_.load(); }
 
+  /// Attaches pool instrumentation: every task records its submit-to-start
+  /// queue wait in the "<prefix>.queue_wait_ms" histogram and bumps
+  /// "<prefix>.tasks". Pass nullptr to detach. Not synchronized with
+  /// concurrent submits — wire it up before sharing the pool.
+  void set_metrics(obs::MetricsRegistry* metrics, std::string_view prefix = "sched.pool");
+
  private:
   struct Worker {
     std::deque<std::function<void()>> queue;
@@ -59,6 +68,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::size_t> next_queue_{0};
+  obs::Histogram* queue_wait_ms_ = nullptr;  // resolved once in set_metrics
+  obs::Counter* task_counter_ = nullptr;
   std::size_t outstanding_ = 0;  // queued + running, guarded by state_mutex_
   bool stopping_ = false;
 };

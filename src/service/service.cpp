@@ -7,20 +7,15 @@
 #include <utility>
 
 #include "json/json.hpp"
+#include "obs/stopwatch.hpp"
 
 namespace comt::service {
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /// Local tag a job pulls the extended image under inside its private
 /// workspace; comtainer_rebuild derives "work+coMre" from it.
 constexpr std::string_view kWorkTag = "work+coM";
 constexpr std::string_view kWorkRebuiltTag = "work+coMre";
-
-double ms_between(Clock::time_point from, Clock::time_point to) {
-  return std::chrono::duration<double, std::milli>(to - from).count();
-}
 
 /// Deterministic jitter in [0, 1): splitmix64 finalizer over (ticket, attempt).
 /// No global RNG — the same job retries with the same delays on every run.
@@ -122,7 +117,8 @@ struct RebuildService::Job {
   Status result;
   std::string output;
   JobTrace trace;
-  Clock::time_point enqueued_at;
+  obs::Stopwatch enqueued;  ///< running since admission; read once at pickup
+  obs::Span span;           ///< "service.job", ends when the job finalizes
   std::pair<int, std::uint64_t> queue_key;  ///< position while queued
 };
 
@@ -139,6 +135,8 @@ RebuildService::RebuildService(registry::Registry& hub, ServiceOptions options)
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.workers_per_system == 0) options_.workers_per_system = 1;
   if (options_.max_attempts < 1) options_.max_attempts = 1;
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &own_metrics_;
+  if (options_.journals != nullptr) options_.journals->set_metrics(metrics_);
 }
 
 RebuildService::~RebuildService() { drain(); }
@@ -156,6 +154,7 @@ Status RebuildService::add_system(std::string fingerprint, TargetSystem target) 
   auto state = std::make_unique<SystemState>();
   state->target = std::move(target);
   state->pool = std::make_unique<sched::ThreadPool>(options_.workers_per_system);
+  state->pool->set_metrics(metrics_, "service.pool");
   systems_.emplace(std::move(fingerprint), std::move(state));
   return Status::success();
 }
@@ -175,7 +174,7 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
   SystemState& sys = *sys_it->second;
 
   Ticket ticket = next_ticket_++;
-  ++stats_.submitted;
+  counter("service.submitted").add();
 
   // Coalesce: a queued or running job for the same (image digest, system)
   // serves this ticket too.
@@ -183,7 +182,7 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
   if (auto active = active_.find(key); active != active_.end()) {
     active->second->tickets.push_back(ticket);
     tickets_[ticket] = TicketRecord{active->second, /*coalesced=*/true};
-    ++stats_.coalesced;
+    counter("service.coalesced").add();
     return ticket;
   }
 
@@ -191,7 +190,9 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
   job->request = request;
   job->key = key;
   job->tickets = {ticket};
-  job->enqueued_at = Clock::now();
+  job->span = obs::maybe_span(options_.tracer, "service.job", obs::kNoSpan, "service");
+  job->span.annotate("image", request.name + ":" + request.tag);
+  job->span.annotate("system", request.system);
   tickets_[ticket] = TicketRecord{job, /*coalesced=*/false};
 
   // Bounded admission with priority-aware load shedding: a full queue sheds
@@ -212,19 +213,19 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
         static_cast<int>(worst->request.priority) < static_cast<int>(request.priority)) {
       worst_sys->queue.erase(worst->queue_key);
       --queued_count_;
-      ++stats_.shed;
+      counter("service.shed").add();
       finalize_locked(*worst, JobState::rejected,
                       make_error(Errc::failed,
                                  "service: load shed by a higher-priority arrival"));
     } else {
-      ++stats_.shed;
+      counter("service.shed").add();
       finalize_locked(*job, JobState::rejected,
                       make_error(Errc::failed, "service: admission queue full"));
       return ticket;
     }
   }
 
-  ++stats_.admitted;
+  counter("service.admitted").add();
   job->queue_key = {-static_cast<int>(request.priority), next_seq_++};
   sys.queue.emplace(job->queue_key, job);
   ++queued_count_;
@@ -237,6 +238,7 @@ void RebuildService::run_next(SystemState& sys) {
   std::shared_ptr<Job> job;
   JobTrace trace;
   Ticket seed = 0;
+  obs::SpanId job_span = obs::kNoSpan;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     start_cv_.wait(lock, [this] { return !paused_ || draining_; });
@@ -248,9 +250,9 @@ void RebuildService::run_next(SystemState& sys) {
     job = it->second;
     sys.queue.erase(it);
     --queued_count_;
-    job->trace.queue_ms = ms_between(job->enqueued_at, Clock::now());
+    job->trace.queue_ms = job->enqueued.elapsed_ms();
     if (job->request.deadline_ms > 0 && job->trace.queue_ms > job->request.deadline_ms) {
-      ++stats_.expired;
+      counter("service.expired").add();
       finalize_locked(*job, JobState::expired,
                       make_error(Errc::failed, "service: queue-wait deadline exceeded"));
       return;
@@ -263,13 +265,14 @@ void RebuildService::run_next(SystemState& sys) {
     // as requests coalesce onto this job.
     trace = job->trace;
     seed = job->tickets.front();
+    job_span = job->span.id();
   }
 
   // The heavy part — no service lock held. job->request/key are immutable
   // after submit, so reading them unlocked is safe.
   Status result = Status::success();
   std::string output;
-  execute(sys.target, job->request, seed, trace, result, output);
+  execute(sys.target, job->request, seed, job_span, trace, result, output);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -277,26 +280,28 @@ void RebuildService::run_next(SystemState& sys) {
     job->trace = std::move(trace);
     job->output = std::move(output);
     if (result.ok()) {
-      ++stats_.succeeded;
+      counter("service.succeeded").add();
       finalize_locked(*job, JobState::succeeded, Status::success());
     } else {
-      ++stats_.failed;
-      if (job->trace.crashed) ++stats_.crashed;
+      counter("service.failed").add();
+      if (job->trace.crashed) counter("service.crashed").add();
       finalize_locked(*job, JobState::failed, std::move(result));
     }
   }
 }
 
 void RebuildService::execute(const TargetSystem& target, const SubmitRequest& request,
-                             Ticket seed, JobTrace& trace, Status& result,
-                             std::string& output) {
+                             Ticket seed, obs::SpanId job_span, JobTrace& trace,
+                             Status& result, std::string& output) {
   Status last = Status::success();
   double prev_delay_ms = 0;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     trace.attempts = attempt;
+    obs::Span attempt_span = obs::maybe_span(
+        options_.tracer, "attempt:" + std::to_string(attempt), job_span, "service");
     Status status = Status::success();
     try {
-      status = attempt_once(target, request, trace, output);
+      status = attempt_once(target, request, attempt_span.id(), trace, output);
     } catch (const support::CrashInjected& crash) {
       // The in-process stand-in for the rebuild dying (SIGKILL, node loss).
       // No retry: the journal stays in the store, and recover() on the next
@@ -323,6 +328,8 @@ void RebuildService::execute(const TargetSystem& target, const SubmitRequest& re
     delay = std::max(delay, prev_delay_ms);
     prev_delay_ms = delay;
     trace.backoff_ms.push_back(delay);
+    attempt_span.annotate("backoff_ms", static_cast<std::uint64_t>(delay * 1000));
+    attempt_span.end();  // the backoff sleep is queueing, not attempt work
     if (options_.sleep_on_backoff) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
     }
@@ -335,7 +342,8 @@ void RebuildService::execute(const TargetSystem& target, const SubmitRequest& re
 }
 
 Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequest& request,
-                                    JobTrace& trace, std::string& output) {
+                                    obs::SpanId attempt_span, JobTrace& trace,
+                                    std::string& output) {
   // Every attempt starts from a pristine private workspace, so a failed
   // attempt leaves no partial state behind — the hub only ever sees a
   // complete push. Journaled attempts are the exception by design: committed
@@ -352,9 +360,12 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
     hub_pins.emplace(hub_, request);
   }
 
-  Clock::time_point t0 = Clock::now();
+  obs::Span pull_span =
+      obs::maybe_span(options_.tracer, "service.pull", attempt_span, "pull");
+  obs::Stopwatch pull_clock;
   Status pulled = hub_.pull(request.name, request.tag, workspace, kWorkTag);
-  trace.pull_ms += ms_between(t0, Clock::now());
+  trace.pull_ms += pull_clock.elapsed_ms();
+  pull_span.end();
   COMT_TRY_STATUS(pulled);
 
   core::RebuildOptions options;
@@ -367,10 +378,13 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
   options.fault_injector = options_.faults;
   options.journal = journal.get();
   if (journal != nullptr) options.journal_metadata = request_metadata(request);
+  options.tracer = options_.tracer;
+  options.parent_span = attempt_span;
+  options.metrics = metrics_;
 
-  Clock::time_point t1 = Clock::now();
+  obs::Stopwatch rebuild_clock;
   auto report = core::comtainer_rebuild(workspace, kWorkTag, options);
-  trace.rebuild_ms += ms_between(t1, Clock::now());
+  trace.rebuild_ms += rebuild_clock.elapsed_ms();
   if (!report.ok()) return report.error();
   trace.compile_jobs += report.value().jobs;
   trace.cache_hits += report.value().cache_hits;
@@ -379,9 +393,12 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
   trace.journal_committed += report.value().journal_committed;
 
   std::string output_tag = request.tag + "+coMre." + request.system;
-  Clock::time_point t2 = Clock::now();
+  obs::Span push_span =
+      obs::maybe_span(options_.tracer, "service.push", attempt_span, "blob-push");
+  obs::Stopwatch push_clock;
   Status pushed = hub_.push(workspace, kWorkRebuiltTag, request.name, output_tag);
-  trace.push_ms += ms_between(t2, Clock::now());
+  trace.push_ms += push_clock.elapsed_ms();
+  push_span.end();
   COMT_TRY_STATUS(pushed);
 
   // The result is durable downstream; the journal has served its purpose.
@@ -422,13 +439,15 @@ void RebuildService::finalize_locked(Job& job, JobState state, Status result) {
   job.state = state;
   job.result = std::move(result);
   active_.erase(job.key);
-  stats_.retries += job.trace.backoff_ms.size();
-  stats_.compile_cache_hits += job.trace.cache_hits;
-  stats_.compile_cache_misses += job.trace.cache_misses;
-  stats_.queue_ms += job.trace.queue_ms;
-  stats_.pull_ms += job.trace.pull_ms;
-  stats_.rebuild_ms += job.trace.rebuild_ms;
-  stats_.push_ms += job.trace.push_ms;
+  counter("service.retries").add(job.trace.backoff_ms.size());
+  counter("service.cache_hits").add(job.trace.cache_hits);
+  counter("service.cache_misses").add(job.trace.cache_misses);
+  metrics_->gauge("service.queue_ms").add(job.trace.queue_ms);
+  metrics_->gauge("service.pull_ms").add(job.trace.pull_ms);
+  metrics_->gauge("service.rebuild_ms").add(job.trace.rebuild_ms);
+  metrics_->gauge("service.push_ms").add(job.trace.push_ms);
+  job.span.annotate("state", to_string(state));
+  job.span.end();
   done_cv_.notify_all();
 }
 
@@ -489,7 +508,7 @@ void RebuildService::drain() {
         std::shared_ptr<Job> job = sys->queue.begin()->second;
         sys->queue.erase(sys->queue.begin());
         --queued_count_;
-        ++stats_.drained;
+        counter("service.drained").add();
         finalize_locked(*job, JobState::drained,
                         make_error(Errc::failed, "service: drained while queued"));
       }
@@ -500,8 +519,28 @@ void RebuildService::drain() {
 }
 
 ServiceStats RebuildService::stats() const {
+  // The lock orders this snapshot after any finalization that already
+  // completed: counter updates happen while the mutex is held, so they are
+  // visible to a reader that acquires it afterwards.
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServiceStats out;
+  out.submitted = metrics_->counter_value("service.submitted");
+  out.coalesced = metrics_->counter_value("service.coalesced");
+  out.admitted = metrics_->counter_value("service.admitted");
+  out.shed = metrics_->counter_value("service.shed");
+  out.succeeded = metrics_->counter_value("service.succeeded");
+  out.failed = metrics_->counter_value("service.failed");
+  out.expired = metrics_->counter_value("service.expired");
+  out.drained = metrics_->counter_value("service.drained");
+  out.retries = metrics_->counter_value("service.retries");
+  out.crashed = metrics_->counter_value("service.crashed");
+  out.compile_cache_hits = metrics_->counter_value("service.cache_hits");
+  out.compile_cache_misses = metrics_->counter_value("service.cache_misses");
+  out.queue_ms = metrics_->gauge_value("service.queue_ms");
+  out.pull_ms = metrics_->gauge_value("service.pull_ms");
+  out.rebuild_ms = metrics_->gauge_value("service.rebuild_ms");
+  out.push_ms = metrics_->gauge_value("service.push_ms");
+  return out;
 }
 
 std::size_t RebuildService::queue_depth() const {

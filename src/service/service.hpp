@@ -45,6 +45,8 @@
 
 #include "core/backend.hpp"
 #include "durable/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "oci/fsck.hpp"
 #include "oci/oci.hpp"
 #include "registry/registry.hpp"
@@ -160,6 +162,16 @@ struct ServiceOptions {
   /// Crash injection requires rebuild_threads == 1 (a crash must unwind the
   /// submitting thread, not a pool worker).
   durable::JournalStore* journals = nullptr;
+  /// Optional tracer. Each distinct job emits a "service.job" span; every
+  /// attempt nests an "attempt:<n>" span under it, which in turn parents the
+  /// attempt's "service.pull"/"service.push" spans and the rebuild's own
+  /// "rebuild" span tree — one trace covers admission through blob push.
+  obs::Tracer* tracer = nullptr;
+  /// Optional metrics registry. When set, every service counter
+  /// ("service.*"), worker-pool, journal, and rebuild metric lands here;
+  /// when null the service keeps them in a private registry. ServiceStats is
+  /// a point-in-time view over whichever registry is active.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// What recover() found and did after a restart.
@@ -176,7 +188,9 @@ struct RecoveryReport {
 };
 
 /// Aggregate counters. Ticket counters count submissions; job counters count
-/// distinct rebuilds (coalesced tickets share one job).
+/// distinct rebuilds (coalesced tickets share one job). A ServiceStats is a
+/// point-in-time view assembled from the service's metrics registry (the
+/// "service.*" counters and gauges), not independent state.
 struct ServiceStats {
   std::uint64_t submitted = 0;  ///< tickets issued
   std::uint64_t coalesced = 0;  ///< tickets attached to an in-flight job
@@ -254,14 +268,19 @@ class RebuildService {
 
   void run_next(SystemState& sys);
   void execute(const TargetSystem& target, const SubmitRequest& request, Ticket seed,
-               JobTrace& trace, Status& result, std::string& output);
+               obs::SpanId job_span, JobTrace& trace, Status& result,
+               std::string& output);
   Status attempt_once(const TargetSystem& target, const SubmitRequest& request,
-                      JobTrace& trace, std::string& output);
+                      obs::SpanId attempt_span, JobTrace& trace, std::string& output);
   void finalize_locked(Job& job, JobState state, Status result);
+  obs::Counter& counter(std::string_view name) { return metrics_->counter(name); }
 
   registry::Registry& hub_;
   ServiceOptions options_;
   sched::CompileCache cache_;  ///< shared across all tenants and systems
+  /// Backing store for stats() when no external registry is supplied.
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< options_.metrics or &own_metrics_
 
   mutable std::mutex mutex_;
   mutable std::condition_variable done_cv_;  ///< signalled on job completion
@@ -275,7 +294,6 @@ class RebuildService {
   std::size_t running_count_ = 0;
   bool paused_ = false;
   bool draining_ = false;
-  ServiceStats stats_;
 };
 
 }  // namespace comt::service

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "support/fault.hpp"
 
 namespace comt::durable {
@@ -147,6 +148,118 @@ TEST(JournalTest, DigestOutputsCoversPathContentAndMode) {
   EXPECT_NE(base, digest_outputs({{"/b", "x", 0644}}));
   EXPECT_NE(base, digest_outputs({{"/a", "y", 0644}}));
   EXPECT_NE(base, digest_outputs({{"/a", "x", 0755}}));
+}
+
+TEST(JournalTest, CompactionKeepsReplayStateBitIdentical) {
+  Journal journal;
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:2")).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("p0:1")).ok());
+  auto before = journal.replay();
+  ASSERT_TRUE(before.ok());
+
+  auto report = journal.compact();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records_before, 3u);
+  EXPECT_EQ(report.value().records_after, 3u);
+  EXPECT_EQ(report.value().dropped_commits, 0u);
+
+  auto after = journal.replay();
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after.value().begin.has_value());
+  EXPECT_EQ(after.value().begin->inputs_digest, before.value().begin->inputs_digest);
+  EXPECT_EQ(after.value().begin->planned_jobs, before.value().begin->planned_jobs);
+  ASSERT_EQ(after.value().commits.size(), before.value().commits.size());
+  for (const auto& [job_id, commit] : before.value().commits) {
+    ASSERT_EQ(after.value().commits.count(job_id), 1u);
+    EXPECT_EQ(after.value().commits.at(job_id).outputs, commit.outputs);
+    EXPECT_EQ(after.value().commits.at(job_id).output_digest, commit.output_digest);
+  }
+  // Compaction is a deterministic fixed point: commits are rewritten in
+  // job-id order, so compacting the snapshot again changes nothing.
+  const std::string snapshot(journal.bytes());
+  auto again = journal.compact();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(journal.bytes(), snapshot);
+}
+
+TEST(JournalTest, CompactionDropsSupersededPassRecords) {
+  // A PGO rebuild journals instrument-pass ("pg:") and final-pass ("pu:")
+  // commits; once the final pass fully commits, compaction folds the log
+  // into begin + final-pass commits only.
+  Journal journal;
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("pg:1")).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("pg:2")).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("pu:1")).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("pu:2")).ok());
+  const std::size_t full_size = journal.size_bytes();
+
+  auto report = journal.compact([](const CommitRecord& commit) {
+    return commit.job_id.rfind("pu:", 0) == 0;
+  });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records_before, 5u);
+  EXPECT_EQ(report.value().records_after, 3u);
+  EXPECT_EQ(report.value().dropped_commits, 2u);
+  EXPECT_EQ(report.value().bytes_before, full_size);
+  EXPECT_LT(report.value().bytes_after, report.value().bytes_before);
+  EXPECT_EQ(journal.size_bytes(), report.value().bytes_after);
+
+  auto state = journal.replay();
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state.value().begin.has_value());
+  EXPECT_EQ(state.value().begin->planned_jobs, 7u);
+  EXPECT_EQ(state.value().commits.size(), 2u);
+  EXPECT_EQ(state.value().commits.count("pg:1"), 0u);
+  EXPECT_EQ(state.value().commits.count("pu:1"), 1u);
+  EXPECT_EQ(state.value().commits.count("pu:2"), 1u);
+  // The compacted log is a clean journal: appends keep working.
+  ASSERT_TRUE(journal.append_commit(make_commit("pu:3")).ok());
+  auto extended = journal.replay();
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended.value().commits.size(), 3u);
+}
+
+TEST(JournalTest, CompactionWithoutBeginIsNoOp) {
+  Journal journal;
+  auto report = journal.compact();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records_before, 0u);
+  EXPECT_EQ(report.value().records_after, 0u);
+  EXPECT_EQ(report.value().dropped_commits, 0u);
+  EXPECT_TRUE(journal.empty());
+}
+
+TEST(JournalTest, CompactionDropsTornTailAndCountsMetrics) {
+  obs::MetricsRegistry metrics;
+  Journal journal;
+  journal.set_metrics(&metrics);
+  ASSERT_TRUE(journal.append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("pg:1")).ok());
+  ASSERT_TRUE(journal.append_commit(make_commit("pu:1")).ok());
+  support::FaultInjector faults;
+  journal.set_fault_injector(&faults);
+  faults.tear_next(std::string(kJournalAppendSite), 0.5);
+  EXPECT_THROW((void)journal.append_commit(make_commit("pu:2")),
+               support::CrashInjected);
+  journal.set_fault_injector(nullptr);
+
+  // Compacting a journal with a torn tail rewrites only the intact records;
+  // the superseded instrument-pass commit is dropped and counted.
+  auto report = journal.compact([](const CommitRecord& commit) {
+    return commit.job_id.rfind("pu:", 0) == 0;
+  });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().dropped_commits, 1u);
+  EXPECT_GT(report.value().bytes_before, report.value().bytes_after);
+  auto state = journal.replay();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().truncated_bytes, 0u);
+  EXPECT_EQ(state.value().commits.size(), 1u);
+  EXPECT_EQ(state.value().commits.count("pu:1"), 1u);
+  EXPECT_EQ(metrics.counter_value("journal.compactions"), 1u);
+  EXPECT_EQ(metrics.counter_value("journal.compacted_commits"), 1u);
 }
 
 TEST(JournalStoreTest, OpenCreatesOnceAndKeepsMetadata) {
