@@ -10,18 +10,29 @@
 // Output is one JSON document on stdout (see bench/BENCH_crash_resume.json
 // for a recorded run).
 //
-// Usage: crash_resume [--smoke]
+// Usage: crash_resume [--smoke] [--restart-smoke <dir>]
 //   --smoke   fewer repetitions, and a nonzero exit when the no-crash journal
 //             overhead exceeds the 3% bar (CI-friendly).
+//   --restart-smoke <dir>
+//             process-restart persistence check: crash a rebuild whose journal
+//             and compile cache persist into a DiskStore at <dir>, then rebuild
+//             with brand-new store/journal/cache objects over the same
+//             directory and require a journal replay, at least one warm
+//             compile-cache hit, and a bit-identical image. Nonzero exit on
+//             any violation.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/backend.hpp"
 #include "durable/journal.hpp"
+#include "sched/compile_cache.hpp"
+#include "store/disk.hpp"
 #include "support/fault.hpp"
 #include "sysmodel/sysmodel.hpp"
 #include "workloads/harness.hpp"
@@ -91,18 +102,120 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// --restart-smoke: the storage layer's cross-process story, at the core
+/// rebuild level. Everything durable (journal + compile cache) lives in one
+/// DiskStore directory; the "process" boundary is the destruction of every
+/// in-memory object between the crashed run and the resumed one.
+int restart_smoke(const sysmodel::SystemProfile& system, World& world,
+                  const std::string& dir) {
+  namespace stdfs = std::filesystem;
+  std::error_code ec;
+  stdfs::remove_all(dir, ec);
+
+  std::string want;
+  {
+    oci::Layout layout = world.layout;
+    auto report = core::comtainer_rebuild(layout, world.extended_tag,
+                                          options_for(system, nullptr, nullptr));
+    if (!report.ok()) {
+      std::fprintf(stderr, "reference rebuild: %s\n",
+                   report.error().to_string().c_str());
+      return 1;
+    }
+    want = report.value().image.manifest_digest.value;
+  }
+
+  // Incarnation one: crash inside job 2 after its cache entry persisted but
+  // before its commit record landed.
+  oci::Layout layout = world.layout;
+  {
+    auto disk = std::make_shared<store::DiskStore>(dir);
+    durable::JournalStore journals(disk);
+    auto journal = journals.open("restart-smoke", "");
+    if (!journal.ok()) {
+      std::fprintf(stderr, "journal open: %s\n", journal.error().to_string().c_str());
+      return 1;
+    }
+    sched::CompileCache cache;
+    cache.attach(disk);
+    support::FaultInjector faults;
+    faults.crash_at(core::kCrashJobCommitted, 2);
+    core::RebuildOptions options = options_for(system, journal.value().get(), &faults);
+    options.compile_cache = &cache;
+    bool crashed = false;
+    try {
+      (void)core::comtainer_rebuild(layout, world.extended_tag, options);
+    } catch (const support::CrashInjected&) {
+      crashed = true;
+    }
+    if (!crashed) {
+      std::fprintf(stderr, "restart smoke: injected crash did not fire\n");
+      return 1;
+    }
+  }
+
+  // Incarnation two: brand-new objects over the same directory.
+  auto disk = std::make_shared<store::DiskStore>(dir);
+  durable::JournalStore journals(disk);
+  if (journals.hydrated() != 1) {
+    std::fprintf(stderr, "restart smoke: expected 1 hydrated journal, got %zu\n",
+                 journals.hydrated());
+    return 1;
+  }
+  auto journal = journals.open("restart-smoke", "");
+  if (!journal.ok()) {
+    std::fprintf(stderr, "journal reopen: %s\n", journal.error().to_string().c_str());
+    return 1;
+  }
+  sched::CompileCache cache;
+  if (cache.attach(disk) == 0) {
+    std::fprintf(stderr, "restart smoke: no compile-cache entries recovered\n");
+    return 1;
+  }
+  core::RebuildOptions options = options_for(system, journal.value().get(), nullptr);
+  options.compile_cache = &cache;
+  auto report = core::comtainer_rebuild(layout, world.extended_tag, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "resumed rebuild: %s\n", report.error().to_string().c_str());
+    return 1;
+  }
+  if (!report.value().resumed || report.value().journal_replayed == 0) {
+    std::fprintf(stderr, "restart smoke: rebuild did not resume from the journal\n");
+    return 1;
+  }
+  if (report.value().cache_hits < 1) {
+    std::fprintf(stderr, "restart smoke: no warm compile-cache hit after restart\n");
+    return 1;
+  }
+  if (report.value().image.manifest_digest.value != want) {
+    std::fprintf(stderr, "restart smoke: resumed image differs from reference\n");
+    return 1;
+  }
+  (void)journals.remove("restart-smoke");
+  stdfs::remove_all(dir, ec);
+  std::printf("restart smoke: %zu replayed, %zu warm hits, image bit-identical\n",
+              report.value().journal_replayed, report.value().cache_hits);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string restart_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--restart-smoke") == 0 && i + 1 < argc) {
+      restart_dir = argv[++i];
+    }
   }
   const int repetitions = smoke ? 3 : 7;
 
   const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
   World world;
   if (int rc = build_world(system, world); rc != 0) return rc;
+
+  if (!restart_dir.empty()) return restart_smoke(system, world, restart_dir);
 
   // --- 1. No-crash journal overhead (best-of-N, private layout copies). ---
   double plain_ms = 1e300;

@@ -41,6 +41,12 @@ test -s "$build_dir/rebuild_trace.json"
 "$build_dir/bench/service_throughput" --smoke
 "$build_dir/bench/crash_resume" --smoke
 
+echo "== restart-persistence smoke =="
+# Crash a rebuild whose journal and compile cache persist into one DiskStore
+# directory, then resume with brand-new objects over the same directory: must
+# replay the journal, serve a warm cache hit, and stay bit-identical.
+"$build_dir/bench/crash_resume" --restart-smoke "$build_dir/restart-smoke-store"
+
 if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
   tsan_dir="${build_dir}-tsan"
   echo "== tsan build =="
@@ -49,7 +55,7 @@ if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
 
   echo "== tsan test (concurrency layer) =="
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-        -R 'Sched|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs'
+        -R 'Sched|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs|Store'
 
   echo "== tsan bench smoke =="
   "$tsan_dir/bench/service_throughput" --smoke
@@ -63,7 +69,7 @@ if [ "${COMT_SKIP_ASAN:-0}" != "1" ]; then
 
   echo "== asan test (durability layer) =="
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
-        -R 'Journal|Durable|Fsck|CrashResume|ServiceCrashRecovery|FaultInjector|LayoutPin|RegistryPin'
+        -R 'Journal|Durable|Fsck|CrashResume|ServiceCrashRecovery|FaultInjector|LayoutPin|RegistryPin|Store'
 
   echo "== asan bench smoke =="
   "$asan_dir/bench/crash_resume" --smoke

@@ -93,8 +93,10 @@ struct RebuildOptions {
   /// Optional content-addressed compile cache. When set, each job first
   /// looks up (toolchain, ISA, cwd, argv) + input digests and replays the
   /// cached outputs on a hit; misses execute and populate the cache. Keep
-  /// one cache alive across rebuilds to skip unchanged compilations.
-  /// May be shared between concurrent rebuilds (it is thread-safe).
+  /// one cache alive across rebuilds to skip unchanged compilations — or
+  /// attach it to a store::KvStore (CompileCache::attach) to keep it warm
+  /// across processes. May be shared between concurrent rebuilds (it is
+  /// thread-safe).
   sched::CompileCache* compile_cache = nullptr;
   /// Optional fault-injection hook: every compile job checks
   /// kCompileFaultSite before running, so callers with retry logic (the

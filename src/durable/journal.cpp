@@ -2,12 +2,16 @@
 
 #include <cstring>
 
+#include "store/wire.hpp"
 #include "support/sha256.hpp"
 
 namespace comt::durable {
 namespace {
 
-// Wire format, little-endian throughout:
+namespace wire = comt::store::wire;
+
+// Wire format, little-endian throughout (the length/checksum primitives are
+// store/wire.hpp — the same codec DiskStore frames values with):
 //   record  := [u32 payload size][u64 fnv1a64(payload)][payload]
 //   payload := [u8 kind][kind-specific fields]
 //   begin   := str inputs_digest, str system, str metadata, u64 planned_jobs
@@ -18,78 +22,13 @@ constexpr std::uint8_t kKindBegin = 1;
 constexpr std::uint8_t kKindCommit = 2;
 constexpr std::size_t kHeaderSize = sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
-std::uint64_t fnv1a64(std::string_view data) {
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  for (unsigned char byte : data) {
-    hash ^= byte;
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
-}
-
-void put_u32(std::string& out, std::uint32_t value) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
-}
-
-void put_u64(std::string& out, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
-}
-
-void put_str(std::string& out, std::string_view value) {
-  put_u32(out, static_cast<std::uint32_t>(value.size()));
-  out.append(value);
-}
-
-/// Bounds-checked forward reader over a payload; any short read trips `ok`.
-struct Reader {
-  std::string_view data;
-  std::size_t pos = 0;
-  bool ok = true;
-
-  std::uint8_t u8() {
-    if (pos + 1 > data.size()) return fail<std::uint8_t>();
-    return static_cast<std::uint8_t>(data[pos++]);
-  }
-  std::uint32_t u32() {
-    if (pos + 4 > data.size()) return fail<std::uint32_t>();
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i) {
-      value |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
-    }
-    pos += 4;
-    return value;
-  }
-  std::uint64_t u64() {
-    if (pos + 8 > data.size()) return fail<std::uint64_t>();
-    std::uint64_t value = 0;
-    for (int i = 0; i < 8; ++i) {
-      value |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
-    }
-    pos += 8;
-    return value;
-  }
-  std::string str() {
-    std::uint32_t size = u32();
-    if (!ok || pos + size > data.size()) return fail<std::string>();
-    std::string value(data.substr(pos, size));
-    pos += size;
-    return value;
-  }
-
-  template <typename T>
-  T fail() {
-    ok = false;
-    return T{};
-  }
-};
-
 std::string serialize_begin(const BeginRecord& record) {
   std::string payload;
   payload.push_back(static_cast<char>(kKindBegin));
-  put_str(payload, record.inputs_digest);
-  put_str(payload, record.system);
-  put_str(payload, record.metadata);
-  put_u64(payload, record.planned_jobs);
+  wire::put_str(payload, record.inputs_digest);
+  wire::put_str(payload, record.system);
+  wire::put_str(payload, record.metadata);
+  wire::put_u64(payload, record.planned_jobs);
   return payload;
 }
 
@@ -101,13 +40,13 @@ std::string serialize_commit(const CommitRecord& record) {
   }
   payload.reserve(size);
   payload.push_back(static_cast<char>(kKindCommit));
-  put_str(payload, record.job_id);
-  put_str(payload, record.output_digest);
-  put_u32(payload, static_cast<std::uint32_t>(record.outputs.size()));
+  wire::put_str(payload, record.job_id);
+  wire::put_str(payload, record.output_digest);
+  wire::put_u32(payload, static_cast<std::uint32_t>(record.outputs.size()));
   for (const JournalOutput& output : record.outputs) {
-    put_str(payload, output.path);
-    put_str(payload, output.content);
-    put_u32(payload, output.mode);
+    wire::put_str(payload, output.path);
+    wire::put_str(payload, output.content);
+    wire::put_u32(payload, output.mode);
   }
   return payload;
 }
@@ -120,7 +59,7 @@ std::string digest_outputs(const std::vector<JournalOutput>& outputs) {
   // in place — no framed copy of the (possibly large) content.
   auto frame = [&hasher](std::string_view data) {
     std::string len;
-    put_u32(len, static_cast<std::uint32_t>(data.size()));
+    wire::put_u32(len, static_cast<std::uint32_t>(data.size()));
     hasher.update(len);
     hasher.update(data);
   };
@@ -128,7 +67,7 @@ std::string digest_outputs(const std::vector<JournalOutput>& outputs) {
     frame(output.path);
     frame(output.content);
     std::string mode;
-    put_u32(mode, output.mode);
+    wire::put_u32(mode, output.mode);
     hasher.update(mode);
   }
   auto digest = hasher.finish();
@@ -150,6 +89,15 @@ void Journal::set_metrics(obs::MetricsRegistry* metrics) {
   compacted_commits_ = &metrics->counter("journal.compacted_commits");
 }
 
+void Journal::set_write_through(std::function<void(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_through_ = std::move(hook);
+}
+
+void Journal::persist_locked() {
+  if (write_through_) write_through_(data_);
+}
+
 Status Journal::append_begin(const BeginRecord& record) {
   return append(serialize_begin(record));
 }
@@ -161,8 +109,8 @@ Status Journal::append_commit(const CommitRecord& record) {
 Status Journal::append(std::string payload) {
   std::string header;
   header.reserve(kHeaderSize);
-  put_u32(header, static_cast<std::uint32_t>(payload.size()));
-  put_u64(header, fnv1a64(payload));
+  wire::put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  wire::put_u64(header, wire::fnv1a64(payload));
 
   std::optional<std::size_t> torn;
   {
@@ -172,7 +120,9 @@ Status Journal::append(std::string payload) {
     }
     if (torn.has_value()) {
       // The simulated medium persisted only a prefix; the process dies before
-      // it could finish the write. replay() truncates this tail.
+      // it could finish the write. replay() truncates this tail. The torn
+      // prefix writes through too — that is exactly what the next process
+      // incarnation finds on disk.
       const std::size_t from_header = std::min(*torn, header.size());
       data_.append(header, 0, from_header);
       data_.append(payload, 0, *torn - from_header);
@@ -184,6 +134,7 @@ Status Journal::append(std::string payload) {
         appended_bytes_->add(header.size() + payload.size());
       }
     }
+    persist_locked();
   }
   if (torn.has_value()) throw support::CrashInjected{std::string(kJournalAppendSite)};
   return Status::success();
@@ -203,7 +154,7 @@ Result<ReplayState> Journal::replay_locked() {
     // checksum disagrees, is a torn tail: the crash hit mid-append. Nothing
     // after it can be intact (the log is append-only), so drop it all.
     if (data_.size() - pos < kHeaderSize) break;
-    Reader header{std::string_view(data_).substr(pos, kHeaderSize)};
+    wire::Reader header{std::string_view(data_).substr(pos, kHeaderSize)};
     std::uint32_t payload_size = header.u32();
     std::uint64_t checksum = header.u64();
     pos += kHeaderSize;
@@ -212,13 +163,13 @@ Result<ReplayState> Journal::replay_locked() {
       break;
     }
     std::string_view payload = std::string_view(data_).substr(pos, payload_size);
-    if (fnv1a64(payload) != checksum) {
+    if (wire::fnv1a64(payload) != checksum) {
       pos = record_start;
       break;
     }
     pos += payload_size;
 
-    Reader reader{payload};
+    wire::Reader reader{payload};
     std::uint8_t kind = reader.u8();
     if (kind == kKindBegin) {
       BeginRecord begin;
@@ -261,6 +212,7 @@ Result<ReplayState> Journal::replay_locked() {
   if (pos < data_.size()) {
     state.truncated_bytes = data_.size() - pos;
     data_.resize(pos);
+    persist_locked();
   }
   if (replayed_records_ != nullptr) {
     replayed_records_->add(state.records);
@@ -290,8 +242,8 @@ Result<CompactionReport> Journal::compact(
   // point.
   std::string fresh;
   auto frame = [&fresh](std::string payload) {
-    put_u32(fresh, static_cast<std::uint32_t>(payload.size()));
-    put_u64(fresh, fnv1a64(payload));
+    wire::put_u32(fresh, static_cast<std::uint32_t>(payload.size()));
+    wire::put_u64(fresh, wire::fnv1a64(payload));
     fresh.append(payload);
   };
   frame(serialize_begin(*state.begin));
@@ -305,6 +257,7 @@ Result<CompactionReport> Journal::compact(
     ++report.records_after;
   }
   data_ = std::move(fresh);
+  persist_locked();
   report.bytes_after = data_.size();
   if (compactions_ != nullptr) {
     compactions_->add();
@@ -331,32 +284,108 @@ std::string Journal::bytes() const {
 void Journal::set_bytes(std::string bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   data_ = std::move(bytes);
+  persist_locked();
 }
 
 void Journal::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   data_.clear();
+  persist_locked();
 }
 
-std::shared_ptr<Journal> JournalStore::open(const std::string& key,
-                                            std::string_view metadata) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+JournalStore::JournalStore(std::shared_ptr<store::KvStore> backing)
+    : backing_(std::move(backing)) {
+  if (backing_ != nullptr) hydrate();
+}
+
+std::string JournalStore::backing_key(const std::string& key) const {
+  return std::string(kJournalKeyPrefix) + key;
+}
+
+void JournalStore::persist(const std::string& key, std::string_view metadata,
+                           const std::string& bytes) {
+  // Persisted value: [u32 metadata size][metadata][journal bytes]. The
+  // journal bytes carry their own per-record checksums; the metadata prefix
+  // rides along so hydration restores what open() was originally told.
+  std::string value;
+  value.reserve(sizeof(std::uint32_t) + metadata.size() + bytes.size());
+  wire::put_str(value, metadata);
+  value.append(bytes);
+  // Best effort: a failed put leaves the previous persisted state, which is
+  // exactly the guarantee a lost fsync gives — replay handles the stale tail.
+  (void)backing_->put(backing_key(key), std::move(value));
+}
+
+void JournalStore::hydrate() {
+  const std::string prefix(kJournalKeyPrefix);
+  for (const store::KvEntry& persisted : backing_->list(prefix)) {
+    const std::string key = persisted.key.substr(prefix.size());
+    auto value = backing_->get(persisted.key);
+    bool intact = value.ok();
     Entry entry;
     entry.key = key;
-    entry.metadata = std::string(metadata);
-    entry.journal = std::make_shared<Journal>();
-    entry.journal->set_fault_injector(faults_);
-    entry.journal->set_metrics(metrics_);
-    it = entries_.emplace(key, std::move(entry)).first;
+    if (intact) {
+      wire::Reader reader{value.value()};
+      entry.metadata = reader.str();
+      intact = reader.ok;
+      if (intact) {
+        entry.journal = std::make_shared<Journal>();
+        // set_bytes before the write-through hook: hydration must not echo
+        // the bytes straight back into the store.
+        entry.journal->set_bytes(value.value().substr(reader.pos));
+      }
+    }
+    if (!intact) {
+      // The persisted envelope itself is damaged (torn or bit-flipped
+      // metadata header) — there is no safe replay. Drop it; the rebuild it
+      // guarded reruns from scratch.
+      (void)backing_->erase(persisted.key);
+      ++hydration_dropped_;
+      continue;
+    }
+    entry.journal->set_write_through(
+        [this, key, metadata = entry.metadata](const std::string& bytes) {
+          persist(key, metadata, bytes);
+        });
+    entries_.emplace(key, std::move(entry));
+    ++hydrated_;
   }
+}
+
+Result<std::shared_ptr<Journal>> JournalStore::open(const std::string& key,
+                                                    std::string_view metadata) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (!metadata.empty() && metadata != it->second.metadata) {
+      return make_error(Errc::already_exists,
+                        "journal '" + key + "' already open with different metadata");
+    }
+    return it->second.journal;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.metadata = std::string(metadata);
+  entry.journal = std::make_shared<Journal>();
+  entry.journal->set_fault_injector(faults_);
+  entry.journal->set_metrics(metrics_);
+  if (backing_ != nullptr) {
+    entry.journal->set_write_through(
+        [this, key, metadata = entry.metadata](const std::string& bytes) {
+          persist(key, metadata, bytes);
+        });
+    // Persist the (empty) journal now so a crash between open and the first
+    // append still leaves a recoverable record of the claim.
+    persist(key, entry.metadata, std::string());
+  }
+  it = entries_.emplace(key, std::move(entry)).first;
   return it->second.journal;
 }
 
 void JournalStore::remove(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.erase(key);
+  if (backing_ != nullptr) (void)backing_->erase(backing_key(key));
 }
 
 bool JournalStore::contains(const std::string& key) const {

@@ -10,10 +10,15 @@
 // jobs from their recorded outputs and only executes what never committed;
 // the resumed run produces a bit-identical image to an uninterrupted one.
 //
-// The backing store is an in-memory append-only byte buffer, mirroring the
-// journal file a production deployment would fsync next to its OCI layout.
-// Torn-write and crash injection (support::FaultInjector) exercise exactly
-// the failure modes a real file would exhibit.
+// Each journal's backing is an in-memory append-only byte buffer, mirroring
+// the journal file a production deployment would fsync next to its OCI
+// layout. Torn-write and crash injection (support::FaultInjector) exercise
+// exactly the failure modes a real file would exhibit. A JournalStore
+// constructed over a store::KvStore additionally writes every journal
+// through to the store under "journal/<key>" and hydrates surviving
+// journals back on construction — hand a DiskStore-backed JournalStore to
+// the next process incarnation and its recover() resumes real crashes, not
+// just same-process restarts.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "store/store.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 
@@ -34,6 +40,9 @@ namespace comt::durable {
 
 /// Torn-write injection site checked on every journal append.
 inline constexpr std::string_view kJournalAppendSite = "journal.append";
+
+/// Key prefix a backed JournalStore persists journals under.
+inline constexpr std::string_view kJournalKeyPrefix = "journal/";
 
 /// One output blob a committed job produced (path inside the rebuild rootfs).
 struct JournalOutput {
@@ -95,6 +104,14 @@ class Journal {
   /// Pass nullptr to detach. Wire up before sharing the journal.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Attaches a persistence hook fired with the full buffer, under the
+  /// journal lock, after every mutation — append (including the torn prefix
+  /// an injected torn write leaves behind), replay truncation, compaction,
+  /// clear and set_bytes. A backed JournalStore uses it to mirror the journal
+  /// into its KvStore so the bytes survive the process. Wire up before
+  /// sharing the journal; pass an empty function to detach.
+  void set_write_through(std::function<void(const std::string&)> hook);
+
   Status append_begin(const BeginRecord& record);
   Status append_commit(const CommitRecord& record);
 
@@ -130,9 +147,11 @@ class Journal {
  private:
   Status append(std::string payload);
   Result<ReplayState> replay_locked();
+  void persist_locked();
 
   mutable std::mutex mutex_;
   std::string data_;
+  std::function<void(const std::string&)> write_through_;
   support::FaultInjector* faults_ = nullptr;
   obs::Counter* appends_ = nullptr;
   obs::Counter* appended_bytes_ = nullptr;
@@ -146,6 +165,13 @@ class Journal {
 /// restart: journals survive the service object's death the way files
 /// survive a process, so recover() on the next incarnation finds them.
 /// Thread-safe.
+///
+/// Constructed over a store::KvStore, the collection is also durable:
+/// every journal writes through to "journal/<key>" on each mutation, and
+/// construction hydrates the journals the backing still holds, so a
+/// JournalStore over the same DiskStore directory survives the process
+/// itself. A corrupt persisted entry (torn metadata header) is erased and
+/// counted rather than hydrated — the rebuild it guarded simply reruns.
 class JournalStore {
  public:
   struct Entry {
@@ -154,12 +180,21 @@ class JournalStore {
     std::shared_ptr<Journal> journal;
   };
 
+  /// In-memory only (nullptr) or backed by `backing`. A backed store
+  /// hydrates every intact "journal/<key>" value on construction.
+  explicit JournalStore(std::shared_ptr<store::KvStore> backing = nullptr);
+
   /// Returns the journal for `key`, creating it (with `metadata`) on first
-  /// open. An existing journal keeps its original metadata.
-  std::shared_ptr<Journal> open(const std::string& key, std::string_view metadata = "");
+  /// open. Reopening an existing journal with the same (or empty) metadata
+  /// returns it unchanged; non-empty metadata that disagrees with the
+  /// original is Errc::already_exists — the caller is about to journal a
+  /// different request under a key another rebuild still owns.
+  Result<std::shared_ptr<Journal>> open(const std::string& key,
+                                        std::string_view metadata = "");
 
   /// Drops `key`'s journal — called once the work it guards is fully
-  /// committed downstream (the rebuilt image is pushed).
+  /// committed downstream (the rebuilt image is pushed). Erases the
+  /// persisted copy too.
   void remove(const std::string& key);
 
   bool contains(const std::string& key) const;
@@ -174,9 +209,24 @@ class JournalStore {
   /// Attaches `metrics` to every current and future journal in the store.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Journals recovered from the backing store at construction.
+  std::size_t hydrated() const { return hydrated_; }
+
+  /// Persisted entries dropped at construction because their metadata
+  /// header was unreadable.
+  std::size_t hydration_dropped() const { return hydration_dropped_; }
+
  private:
+  std::string backing_key(const std::string& key) const;
+  void hydrate();
+  void persist(const std::string& key, std::string_view metadata,
+               const std::string& bytes);
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
+  std::shared_ptr<store::KvStore> backing_;
+  std::size_t hydrated_ = 0;
+  std::size_t hydration_dropped_ = 0;
   support::FaultInjector* faults_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -1,74 +1,54 @@
 #include "oci/disk.hpp"
 
-#include <filesystem>
-#include <fstream>
+#include <memory>
 
-#include "support/strings.hpp"
+#include "store/cas.hpp"
+#include "store/disk.hpp"
 
 namespace comt::oci {
 namespace {
 
-namespace stdfs = std::filesystem;
-
-Status write_file(const stdfs::path& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return make_error(Errc::failed, "cannot open for writing: " + path.string());
-  }
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) return make_error(Errc::failed, "short write: " + path.string());
-  return Status::success();
-}
-
-Result<std::string> read_file(const stdfs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return make_error(Errc::not_found, "cannot open: " + path.string());
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  return content;
-}
-
-/// blobs/sha256/<hex> path for a digest of the form "sha256:<hex>".
-Result<stdfs::path> blob_path(const stdfs::path& root, const Digest& digest) {
-  std::vector<std::string> parts = split(digest.value, ':');
-  if (parts.size() != 2 || parts[0] != "sha256" || parts[1].empty()) {
-    return make_error(Errc::invalid_argument, "malformed digest: " + digest.value);
-  }
-  return root / "blobs" / parts[0] / parts[1];
-}
-
-Status save_blob(const Layout& layout, const stdfs::path& root, const Digest& digest) {
-  COMT_TRY(std::string content, layout.get_blob(digest));
-  COMT_TRY(stdfs::path path, blob_path(root, digest));
-  return write_file(path, content);
+/// An unframed DiskStore over an OCI layout directory: the store keys
+/// ("oci-layout", "index.json", "blobs/sha256/<hex>") map 1:1 to the file
+/// names the spec requires, and raw (unframed) values keep the files
+/// byte-identical to what any other OCI tool writes. Integrity comes from
+/// the content addresses, not a frame.
+std::shared_ptr<store::DiskStore> layout_dir_store(const std::string& directory) {
+  return std::make_shared<store::DiskStore>(directory,
+                                            store::DiskStore::Options{/*framed=*/false});
 }
 
 }  // namespace
 
 Status save_layout(const Layout& layout, const std::string& directory) {
-  stdfs::path root(directory);
-  std::error_code ec;
-  stdfs::create_directories(root / "blobs" / "sha256", ec);
-  if (ec) {
-    return make_error(Errc::failed, "cannot create " + directory + ": " + ec.message());
-  }
-  COMT_TRY_STATUS(write_file(root / "oci-layout", R"({"imageLayoutVersion":"1.0.0"})"));
-  COMT_TRY_STATUS(write_file(root / "index.json", json::serialize(layout.index_json())));
+  auto disk = layout_dir_store(directory);
+  store::CasStore blobs(disk, std::string(kBlobKeyPrefix));
 
+  COMT_TRY_STATUS(disk->put(kOciLayoutKey, std::string(kOciLayoutContent)));
+  COMT_TRY_STATUS(disk->put(kIndexKey, json::serialize(layout.index_json())));
+
+  // Only blobs reachable from the index travel — a one-shot export, unlike
+  // attach(), which mirrors the whole store.
+  auto save_blob = [&](const Digest& digest) -> Status {
+    COMT_TRY(std::string content, layout.get_blob(digest));
+    return blobs.put_at(digest.value, std::move(content));
+  };
   for (const std::string& tag : layout.tags()) {
     COMT_TRY(Image image, layout.find_image(tag));
-    COMT_TRY_STATUS(save_blob(layout, root, image.manifest_digest));
-    COMT_TRY_STATUS(save_blob(layout, root, image.manifest.config.digest));
+    COMT_TRY_STATUS(save_blob(image.manifest_digest));
+    COMT_TRY_STATUS(save_blob(image.manifest.config.digest));
     for (const Descriptor& layer : image.manifest.layers) {
-      COMT_TRY_STATUS(save_blob(layout, root, layer.digest));
+      COMT_TRY_STATUS(save_blob(layer.digest));
     }
   }
-  return Status::success();
+  return disk->sync();
 }
 
 Result<Layout> load_layout(const std::string& directory) {
-  stdfs::path root(directory);
-  COMT_TRY(std::string index_text, read_file(root / "index.json"));
+  auto disk = layout_dir_store(directory);
+  store::CasStore blobs(disk, std::string(kBlobKeyPrefix));
+
+  COMT_TRY(std::string index_text, disk->get(kIndexKey));
   COMT_TRY(json::Value index, json::parse(index_text));
   const json::Value* manifests = index.find("manifests");
   if (manifests == nullptr || !manifests->is_array()) {
@@ -78,12 +58,9 @@ Result<Layout> load_layout(const std::string& directory) {
   Layout layout;
   for (const json::Value& entry : manifests->as_array()) {
     COMT_TRY(Descriptor descriptor, Descriptor::from_json(entry));
-    COMT_TRY(stdfs::path manifest_path, blob_path(root, descriptor.digest));
-    COMT_TRY(std::string manifest_blob, read_file(manifest_path));
-    if (Digest::of_blob(manifest_blob) != descriptor.digest) {
-      return make_error(Errc::corrupt,
-                        "blob does not match its digest: " + descriptor.digest.value);
-    }
+    // CasStore::get verifies content against address — a tampered or torn
+    // blob file surfaces here as Errc::corrupt.
+    COMT_TRY(std::string manifest_blob, blobs.get(descriptor.digest.value));
     COMT_TRY(json::Value manifest_doc, json::parse(manifest_blob));
     COMT_TRY(Manifest manifest, Manifest::from_json(manifest_doc));
 
@@ -95,12 +72,7 @@ Result<Layout> load_layout(const std::string& directory) {
            return all;
          }()) {
       if (layout.has_blob(blob.digest)) continue;
-      COMT_TRY(stdfs::path path, blob_path(root, blob.digest));
-      COMT_TRY(std::string content, read_file(path));
-      if (Digest::of_blob(content) != blob.digest) {
-        return make_error(Errc::corrupt,
-                          "blob does not match its digest: " + blob.digest.value);
-      }
+      COMT_TRY(std::string content, blobs.get(blob.digest.value));
       layout.put_blob(std::move(content), blob.media_type);
     }
     auto ref = descriptor.annotations.find(std::string(kRefNameAnnotation));

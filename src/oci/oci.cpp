@@ -168,6 +168,86 @@ Result<Manifest> Manifest::from_json(const json::Value& value) {
   return out;
 }
 
+Layout::Layout() : blobs_(std::make_shared<store::MemStore>(), std::string(kBlobKeyPrefix)) {}
+
+Layout::Layout(const Layout& other)
+    : blobs_(std::make_shared<store::MemStore>(), std::string(kBlobKeyPrefix)),
+      index_(other.index_),
+      pins_(other.pins_),
+      faults_(other.faults_) {
+  copy_blobs_from(other);
+}
+
+Layout& Layout::operator=(const Layout& other) {
+  if (this == &other) return *this;
+  blobs_ = store::CasStore(std::make_shared<store::MemStore>(), std::string(kBlobKeyPrefix));
+  index_ = other.index_;
+  pins_ = other.pins_;
+  faults_ = other.faults_;
+  durable_index_ = false;
+  copy_blobs_from(other);
+  return *this;
+}
+
+void Layout::copy_blobs_from(const Layout& other) {
+  for (const std::string& digest : other.blobs_.digests()) {
+    auto bytes = other.blobs_.get_unverified(digest);
+    COMT_ASSERT(bytes.ok(), "layout copy: blob read failed");
+    // put_at, not put: damaged bytes (torn blobs fsck has yet to see) must
+    // survive the copy under their original digest, not move to a new one.
+    COMT_ASSERT(blobs_.put_at(digest, std::move(bytes).value()).ok(),
+                "layout copy: blob write failed");
+  }
+}
+
+Status Layout::attach(std::shared_ptr<store::KvStore> backend) {
+  COMT_ASSERT(backend != nullptr, "layout: attach(null backend)");
+  store::CasStore fresh(backend, std::string(kBlobKeyPrefix));
+
+  // Index entries already durable in the backend come first (they are the
+  // older state); this layout's in-memory entries overlay them.
+  std::vector<std::pair<std::string, Digest>> merged;
+  auto upsert = [&merged](const std::string& tag, const Digest& digest) {
+    for (auto& [existing_tag, existing] : merged) {
+      if (existing_tag == tag) {
+        existing = digest;
+        return;
+      }
+    }
+    merged.emplace_back(tag, digest);
+  };
+  if (auto index_text = backend->get(kIndexKey); index_text.ok()) {
+    COMT_TRY(json::Value index, json::parse(index_text.value()));
+    const json::Value* manifests = index.find("manifests");
+    if (manifests == nullptr || !manifests->is_array()) {
+      return make_error(Errc::corrupt, "layout: index.json missing manifests");
+    }
+    for (const json::Value& entry : manifests->as_array()) {
+      COMT_TRY(Descriptor descriptor, Descriptor::from_json(entry));
+      auto ref = descriptor.annotations.find(std::string(kRefNameAnnotation));
+      upsert(ref == descriptor.annotations.end() ? descriptor.digest.value : ref->second,
+             descriptor.digest);
+    }
+  }
+  for (const std::string& digest : blobs_.digests()) {
+    COMT_TRY(std::string bytes, blobs_.get_unverified(digest));
+    COMT_TRY_STATUS(fresh.put_at(digest, std::move(bytes)));
+  }
+  for (const auto& [tag, digest] : index_) upsert(tag, digest);
+
+  blobs_ = std::move(fresh);
+  index_ = std::move(merged);
+  durable_index_ = true;
+  return persist_index();
+}
+
+Status Layout::persist_index() {
+  if (!durable_index_) return Status::success();
+  store::KvStore& backend = blobs_.backend();
+  COMT_TRY_STATUS(backend.put(kOciLayoutKey, std::string(kOciLayoutContent)));
+  return backend.put(kIndexKey, json::serialize(index_json_impl(/*lenient=*/true)));
+}
+
 Descriptor Layout::put_blob(std::string blob, std::string_view media_type) {
   Descriptor descriptor;
   descriptor.media_type = std::string(media_type);
@@ -177,51 +257,47 @@ Descriptor Layout::put_blob(std::string blob, std::string_view media_type) {
     if (auto torn = faults_->check_torn(kBlobPutSite, blob.size()); torn.has_value()) {
       // The medium persisted a prefix under the full content's digest — the
       // classic torn blob fsck must find — and the process dies here.
-      blobs_.insert_or_assign(descriptor.digest, blob.substr(0, *torn));
+      COMT_ASSERT(blobs_.put_at(descriptor.digest.value, blob.substr(0, *torn)).ok(),
+                  "layout: torn blob write failed");
       throw support::CrashInjected{std::string(kBlobPutSite)};
     }
   }
-  // insert_or_assign, not emplace: under content addressing same digest means
-  // same bytes, so a re-put is normally a no-op rewrite — but it heals a
-  // blob an earlier torn write left truncated under this digest.
-  blobs_.insert_or_assign(descriptor.digest, std::move(blob));
+  // put_at under the precomputed digest: a re-put of the same digest is
+  // normally a no-op rewrite under content addressing — but it heals a blob
+  // an earlier torn write left truncated under this digest.
+  COMT_ASSERT(blobs_.put_at(descriptor.digest.value, std::move(blob)).ok(),
+              "layout: blob store put failed");
   return descriptor;
 }
 
 void Layout::set_blob_bytes(const Digest& digest, std::string bytes) {
-  auto it = blobs_.find(digest);
-  COMT_ASSERT(it != blobs_.end(), ("set_blob_bytes: no such blob: " + digest.value).c_str());
-  it->second = std::move(bytes);
+  COMT_ASSERT(has_blob(digest), ("set_blob_bytes: no such blob: " + digest.value).c_str());
+  COMT_ASSERT(blobs_.put_at(digest.value, std::move(bytes)).ok(),
+              "set_blob_bytes: blob store put failed");
 }
 
 Result<std::string> Layout::get_blob(const Digest& digest) const {
-  auto it = blobs_.find(digest);
-  if (it == blobs_.end()) {
+  // Unverified on purpose: fsck (and its tests) must be able to read damaged
+  // bytes back to classify them. Verification belongs to fsck and to
+  // CasStore::get users.
+  auto bytes = blobs_.get_unverified(digest.value);
+  if (!bytes.ok()) {
     return make_error(Errc::not_found, "no such blob: " + digest.value);
   }
-  return it->second;
+  return bytes;
 }
 
-std::uint64_t Layout::total_blob_bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& [digest, blob] : blobs_) total += blob.size();
-  return total;
-}
+std::uint64_t Layout::total_blob_bytes() const { return blobs_.total_bytes(); }
 
 std::vector<Digest> Layout::blob_digests() const {
   std::vector<Digest> out;
-  out.reserve(blobs_.size());
-  for (const auto& [digest, blob] : blobs_) out.push_back(digest);
+  for (std::string& digest : blobs_.digests()) out.push_back(Digest{std::move(digest)});
   return out;
 }
 
 std::uint64_t Layout::remove_blob(const Digest& digest) {
   if (is_pinned(digest)) return 0;
-  auto it = blobs_.find(digest);
-  if (it == blobs_.end()) return 0;
-  std::uint64_t freed = it->second.size();
-  blobs_.erase(it);
-  return freed;
+  return blobs_.erase(digest.value);
 }
 
 void Layout::pin_blob(const Digest& digest) { ++pins_[digest]; }
@@ -247,10 +323,12 @@ Result<Digest> Layout::add_manifest(const Manifest& manifest, std::string_view t
   for (auto& [existing_tag, digest] : index_) {
     if (existing_tag == tag) {
       digest = descriptor.digest;
+      COMT_TRY_STATUS(persist_index());
       return descriptor.digest;
     }
   }
   index_.emplace_back(std::string(tag), descriptor.digest);
+  COMT_TRY_STATUS(persist_index());
   return descriptor.digest;
 }
 
@@ -269,16 +347,19 @@ void Layout::tag_manifest(std::string_view tag, const Digest& manifest_digest) {
   for (auto& [existing_tag, digest] : index_) {
     if (existing_tag == tag) {
       digest = manifest_digest;
+      (void)persist_index();
       return;
     }
   }
   index_.emplace_back(std::string(tag), manifest_digest);
+  (void)persist_index();
 }
 
 bool Layout::remove_tag(std::string_view tag) {
   for (auto it = index_.begin(); it != index_.end(); ++it) {
     if (it->first == tag) {
       index_.erase(it);
+      (void)persist_index();
       return true;
     }
   }
@@ -360,15 +441,20 @@ Result<Image> Layout::create_image(const ImageConfig& config,
   return Image{manifest_digest, std::move(manifest), std::move(stored)};
 }
 
-json::Value Layout::index_json() const {
+json::Value Layout::index_json() const { return index_json_impl(/*lenient=*/false); }
+
+json::Value Layout::index_json_impl(bool lenient) const {
   json::Array manifests;
   for (const auto& [tag, digest] : index_) {
-    auto blob = blobs_.find(digest);
-    COMT_ASSERT(blob != blobs_.end(), "index references missing manifest blob");
+    auto blob_size = blobs_.size(digest.value);
+    // The strict path is the API contract (an index must reference stored
+    // manifests); the lenient path serves persist_index, which must be able
+    // to write through an index fsck has yet to cut dangling tags from.
+    if (!lenient) COMT_ASSERT(blob_size.ok(), "index references missing manifest blob");
     Descriptor descriptor;
     descriptor.media_type = std::string(kMediaTypeManifest);
     descriptor.digest = digest;
-    descriptor.size = blob->second.size();
+    descriptor.size = blob_size.ok() ? blob_size.value() : 0;
     descriptor.annotations[std::string(kRefNameAnnotation)] = tag;
     manifests.push_back(descriptor.to_json());
   }
@@ -380,13 +466,14 @@ json::Value Layout::index_json() const {
 }
 
 Status Layout::fsck() const {
-  for (const auto& [digest, blob] : blobs_) {
+  for (const Digest& digest : blob_digests()) {
+    COMT_TRY(std::string blob, blobs_.get_unverified(digest.value));
     if (Digest::of_blob(blob) != digest) {
       return make_error(Errc::corrupt, "blob content does not match digest " + digest.value);
     }
   }
   for (const auto& [tag, digest] : index_) {
-    if (blobs_.count(digest) == 0) {
+    if (!has_blob(digest)) {
       return make_error(Errc::corrupt, "index tag '" + tag + "' references missing blob");
     }
   }

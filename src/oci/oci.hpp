@@ -7,12 +7,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "json/json.hpp"
+#include "store/cas.hpp"
+#include "store/store.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "vfs/vfs.hpp"
@@ -21,6 +24,14 @@ namespace comt::oci {
 
 /// Torn-write injection site checked on every Layout::put_blob.
 inline constexpr std::string_view kBlobPutSite = "oci.blob.put";
+
+// Key layout of a Layout inside its backing KvStore — identical to the file
+// names of the OCI image-layout directory format, so an unframed DiskStore
+// over an attached layout *is* a spec-conformant layout directory.
+inline constexpr std::string_view kBlobKeyPrefix = "blobs/";
+inline constexpr std::string_view kIndexKey = "index.json";
+inline constexpr std::string_view kOciLayoutKey = "oci-layout";
+inline constexpr std::string_view kOciLayoutContent = R"({"imageLayoutVersion":"1.0.0"})";
 
 // Media types (OCI image-spec v1).
 inline constexpr std::string_view kMediaTypeManifest =
@@ -94,11 +105,33 @@ struct Image {
   ImageConfig config;
 };
 
-/// An in-memory OCI layout: content-addressed blobs plus an index mapping
-/// ref-name tags to manifests. Mirrors the on-disk oci-layout directory the
-/// paper's workflow mounts into containers at /.coMtainer/io.
+/// An OCI layout: content-addressed blobs plus an index mapping ref-name
+/// tags to manifests. Blob bytes live in a store::CasStore — a MemStore by
+/// default (pure in-memory, the historical behaviour), or any backend handed
+/// to attach() (a DiskStore makes this the on-disk oci-layout directory the
+/// paper's workflow mounts into containers at /.coMtainer/io, maintained
+/// live instead of via one-shot save_layout).
 class Layout {
  public:
+  Layout();
+
+  /// Copies are always private in-memory snapshots: blob bytes and index are
+  /// deep-copied into a fresh MemStore even when the source is attached to a
+  /// disk backend. This is what lets every service job work on its own copy
+  /// of a shared base layout.
+  Layout(const Layout& other);
+  Layout& operator=(const Layout& other);
+  Layout(Layout&&) = default;
+  Layout& operator=(Layout&&) = default;
+
+  /// Re-homes the layout onto `backend` (e.g. a store::DiskStore over an OCI
+  /// layout directory) and makes it durable: any index already present in
+  /// the backend is loaded first, blobs this layout holds in memory are
+  /// migrated in, and from here on every blob put and index mutation writes
+  /// through ("blobs/sha256/<hex>", "index.json", "oci-layout" keys — the
+  /// standard directory shape when the backend is an unframed DiskStore).
+  Status attach(std::shared_ptr<store::KvStore> backend);
+
   /// Stores a blob and returns its descriptor. Re-putting a digest replaces
   /// the stored bytes, so writing the true content heals a previously torn
   /// blob under the same digest.
@@ -117,8 +150,8 @@ class Layout {
   void set_blob_bytes(const Digest& digest, std::string bytes);
 
   Result<std::string> get_blob(const Digest& digest) const;
-  bool has_blob(const Digest& digest) const { return blobs_.count(digest) != 0; }
-  std::size_t blob_count() const { return blobs_.size(); }
+  bool has_blob(const Digest& digest) const { return blobs_.contains(digest.value); }
+  std::size_t blob_count() const { return blobs_.count(); }
 
   /// Total bytes across all stored blobs.
   std::uint64_t total_blob_bytes() const;
@@ -194,11 +227,17 @@ class Layout {
   Status fsck() const;
 
  private:
-  std::map<Digest, std::string> blobs_;
+  void copy_blobs_from(const Layout& other);
+  json::Value index_json_impl(bool lenient) const;
+  /// Writes "oci-layout" + "index.json" through the backend when attached.
+  Status persist_index();
+
+  store::CasStore blobs_;
   // tag -> manifest digest, in insertion order (index.json manifest list).
   std::vector<std::pair<std::string, Digest>> index_;
   std::map<Digest, int> pins_;  // digest -> pin refcount (GC exclusion set)
   support::FaultInjector* faults_ = nullptr;
+  bool durable_index_ = false;  ///< attach() ran: index mutations write through
 };
 
 }  // namespace comt::oci

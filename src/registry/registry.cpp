@@ -3,6 +3,8 @@
 #include <mutex>
 #include <set>
 
+#include "store/disk.hpp"
+
 namespace comt::registry {
 namespace {
 
@@ -22,6 +24,23 @@ Status transfer_blob(const oci::Layout& from, oci::Layout& to, const oci::Descri
 }
 
 }  // namespace
+
+Status Registry::attach(std::shared_ptr<store::KvStore> backend) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  COMT_TRY_STATUS(store_.attach(std::move(backend)));
+  // The store's index (just merged from the backend) is the authority; the
+  // reference map is a view over it.
+  references_.clear();
+  for (const auto& [reference, digest] : store_.index_entries()) {
+    references_[reference] = digest;
+  }
+  return Status::success();
+}
+
+Status Registry::open_directory(const std::string& directory) {
+  return attach(std::make_shared<store::DiskStore>(
+      directory, store::DiskStore::Options{/*framed=*/false}));
+}
 
 void Registry::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   tracer_ = tracer;

@@ -11,12 +11,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "store/store.hpp"
 #include "obs/trace.hpp"
 #include "oci/fsck.hpp"
 #include "oci/oci.hpp"
@@ -42,6 +44,17 @@ struct Stats {
 
 class Registry {
  public:
+  /// Re-homes the backing layout onto `backend` and rebuilds the reference
+  /// map from the index it carries, making the registry durable: every pushed
+  /// blob and reference writes through from here on. Blobs the registry
+  /// already holds migrate in. Call before sharing the registry.
+  Status attach(std::shared_ptr<store::KvStore> backend);
+
+  /// Opens the registry directly on an OCI layout directory (an unframed
+  /// store::DiskStore over `directory`): existing images become servable,
+  /// new pushes land as spec-shaped files. Created lazily if missing.
+  Status open_directory(const std::string& directory);
+
   /// Pushes the image tagged `local_tag` in `source` under "name:tag".
   /// Only blobs the registry does not already hold are "transferred".
   Status push(const oci::Layout& source, std::string_view local_tag,

@@ -1,14 +1,68 @@
 #include "sched/compile_cache.hpp"
 
+#include <optional>
+
+#include "store/wire.hpp"
 #include "support/sha256.hpp"
 
 namespace comt::sched {
 namespace {
 
+namespace wire = comt::store::wire;
+
 void append_field(std::string& buffer, const std::string& field) {
   buffer += std::to_string(field.size());
   buffer += ':';
   buffer += field;
+}
+
+/// Persisted entry layout: [u32 n_inputs] n×(str path, str digest)
+/// [u32 n_outputs] n×(str path, str content, u32 mode), followed by the
+/// 64-hex-char sha256 of everything before it. The trailer makes corruption
+/// detectable end-to-end even on a backing store without its own framing —
+/// a damaged entry must degrade to a miss, never replay wrong outputs.
+constexpr std::size_t kEntryTrailerSize = 64;
+
+std::string serialize_entry(const CacheEntry& entry) {
+  std::string out;
+  wire::put_u32(out, static_cast<std::uint32_t>(entry.input_digests.size()));
+  for (const auto& [path, digest] : entry.input_digests) {
+    wire::put_str(out, path);
+    wire::put_str(out, digest);
+  }
+  wire::put_u32(out, static_cast<std::uint32_t>(entry.outputs.size()));
+  for (const CachedOutput& output : entry.outputs) {
+    wire::put_str(out, output.path);
+    wire::put_str(out, output.content);
+    wire::put_u32(out, output.mode);
+  }
+  out += Sha256::hex_digest(out);
+  return out;
+}
+
+std::optional<CacheEntry> deserialize_entry(std::string_view encoded) {
+  if (encoded.size() < kEntryTrailerSize) return std::nullopt;
+  const std::string_view payload = encoded.substr(0, encoded.size() - kEntryTrailerSize);
+  const std::string_view trailer = encoded.substr(encoded.size() - kEntryTrailerSize);
+  if (Sha256::hex_digest(payload) != trailer) return std::nullopt;
+  wire::Reader reader{payload};
+  CacheEntry entry;
+  const std::uint32_t inputs = reader.u32();
+  for (std::uint32_t i = 0; i < inputs && reader.ok; ++i) {
+    std::string path = reader.str();
+    std::string digest = reader.str();
+    entry.input_digests.emplace(std::move(path), std::move(digest));
+  }
+  const std::uint32_t outputs = reader.u32();
+  for (std::uint32_t i = 0; i < outputs && reader.ok; ++i) {
+    CachedOutput output;
+    output.path = reader.str();
+    output.content = reader.str();
+    output.mode = reader.u32();
+    entry.outputs.push_back(std::move(output));
+  }
+  if (!reader.ok || !reader.at_end()) return std::nullopt;
+  return entry;
 }
 
 }  // namespace
@@ -44,17 +98,71 @@ std::shared_ptr<const CacheEntry> CompileCache::lookup(const std::string& key_di
   std::lock_guard<std::mutex> lock(mutex_);
   if (candidate) {
     ++stats_.hits;
+    if (hits_ != nullptr) hits_->add();
   } else {
     ++stats_.misses;
+    if (misses_ != nullptr) misses_->add();
   }
   return candidate;
 }
 
 void CompileCache::store(const std::string& key_digest, CacheEntry entry) {
   auto shared = std::make_shared<const CacheEntry>(std::move(entry));
+  std::shared_ptr<store::KvStore> backing;
+  std::string backing_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key_digest] = shared;
+    ++stats_.stores;
+    if (inserts_ != nullptr) inserts_->add();
+    backing = backing_;
+    backing_key = prefix_ + key_digest;
+  }
+  // Write through outside the lock: serialization copies the (possibly
+  // large) outputs and the backing put may hit a real disk. Best effort — a
+  // failed put only costs the next process a cache miss.
+  if (backing != nullptr) (void)backing->put(backing_key, serialize_entry(*shared));
+}
+
+std::size_t CompileCache::attach(std::shared_ptr<store::KvStore> backing,
+                                 std::string prefix) {
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_[key_digest] = std::move(shared);
-  ++stats_.stores;
+  backing_ = std::move(backing);
+  prefix_ = std::move(prefix);
+  if (backing_ == nullptr) return 0;
+  std::size_t recovered = 0;
+  for (const store::KvEntry& persisted : backing_->list(prefix_)) {
+    const std::string key = persisted.key.substr(prefix_.size());
+    auto value = backing_->get(persisted.key);
+    std::optional<CacheEntry> entry;
+    if (value.ok()) entry = deserialize_entry(value.value());
+    if (!entry.has_value()) {
+      // Torn, bit-flipped, or truncated on disk: erase it so the next
+      // attach does not re-trip, and degrade to a miss.
+      (void)backing_->erase(persisted.key);
+      ++stats_.corrupt_dropped;
+      if (corrupt_dropped_ != nullptr) corrupt_dropped_->add();
+      continue;
+    }
+    entries_[key] = std::make_shared<const CacheEntry>(std::move(*entry));
+    ++stats_.hydrated;
+    if (hydrated_ != nullptr) hydrated_->add();
+    ++recovered;
+  }
+  return recovered;
+}
+
+void CompileCache::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (metrics == nullptr) {
+    hits_ = misses_ = inserts_ = hydrated_ = corrupt_dropped_ = nullptr;
+    return;
+  }
+  hits_ = &metrics->counter("compile_cache.hits");
+  misses_ = &metrics->counter("compile_cache.misses");
+  inserts_ = &metrics->counter("compile_cache.inserts");
+  hydrated_ = &metrics->counter("compile_cache.hydrated");
+  corrupt_dropped_ = &metrics->counter("compile_cache.corrupt_dropped");
 }
 
 CacheStats CompileCache::stats() const {

@@ -8,6 +8,12 @@
 // the same digest, so a changed header or source transparently misses and
 // recompiles. Entries store the produced output blobs, so a hit replays the
 // outputs without running the toolchain at all.
+//
+// attach() bolts the cache onto a store::KvStore: every store() writes the
+// entry through under "cache/<key digest>" and attach itself hydrates the
+// entries the backing already holds, so a cache over a DiskStore directory
+// starts warm in the next process. A persisted entry whose checksum fails
+// deserialization is dropped (degrades to a miss, never to a wrong hit).
 #pragma once
 
 #include <cstdint>
@@ -18,7 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "store/store.hpp"
+
 namespace comt::sched {
+
+/// Key prefix an attached CompileCache persists entries under.
+inline constexpr std::string_view kCacheKeyPrefix = "cache/";
 
 /// Everything that identifies a compile computation, before inputs are read.
 struct CacheKey {
@@ -53,6 +65,8 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
+  std::uint64_t hydrated = 0;        ///< entries recovered from the backing store
+  std::uint64_t corrupt_dropped = 0; ///< persisted entries rejected at hydration
 };
 
 /// Thread-safe in-memory compile cache shared by all jobs of a rebuild (and
@@ -70,7 +84,21 @@ class CompileCache {
                                            const DigestFn& digest_of);
 
   /// Stores (or replaces) the entry for `key_digest`. Counts one store.
+  /// When attached, the entry also writes through to the backing store.
   void store(const std::string& key_digest, CacheEntry entry);
+
+  /// Backs the cache with `backing` under `prefix`: hydrates every intact
+  /// persisted entry (counting CacheStats::hydrated), erases and counts
+  /// corrupt ones, and writes every future store() through. Call before
+  /// sharing the cache. Returns the number of entries hydrated.
+  std::size_t attach(std::shared_ptr<store::KvStore> backing,
+                     std::string prefix = std::string(kCacheKeyPrefix));
+
+  /// Attaches counters ("compile_cache.hits", "compile_cache.misses",
+  /// "compile_cache.inserts", "compile_cache.hydrated",
+  /// "compile_cache.corrupt_dropped"). Pass nullptr to detach. Wire up
+  /// before sharing the cache (and before attach(), to count hydration).
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   CacheStats stats() const;
   std::size_t size() const;
@@ -79,6 +107,13 @@ class CompileCache {
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const CacheEntry>> entries_;
   CacheStats stats_;
+  std::shared_ptr<store::KvStore> backing_;
+  std::string prefix_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* inserts_ = nullptr;
+  obs::Counter* hydrated_ = nullptr;
+  obs::Counter* corrupt_dropped_ = nullptr;
 };
 
 }  // namespace comt::sched

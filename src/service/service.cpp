@@ -137,6 +137,9 @@ RebuildService::RebuildService(registry::Registry& hub, ServiceOptions options)
   if (options_.max_attempts < 1) options_.max_attempts = 1;
   metrics_ = options_.metrics != nullptr ? options_.metrics : &own_metrics_;
   if (options_.journals != nullptr) options_.journals->set_metrics(metrics_);
+  // Metrics before attach, so hydrated entries count in compile_cache.*.
+  cache_.set_metrics(metrics_);
+  if (options_.store != nullptr) cache_.attach(options_.store);
 }
 
 RebuildService::~RebuildService() { drain(); }
@@ -354,7 +357,11 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
   std::shared_ptr<durable::Journal> journal;
   std::optional<HubPinGuard> hub_pins;
   if (options_.journals != nullptr) {
-    journal = options_.journals->open(journal_key(request), request_metadata(request));
+    // A metadata conflict (Errc::already_exists) means the key is owned by a
+    // different request — not retryable, so it surfaces as a permanent
+    // failure rather than stomping the other rebuild's journal.
+    COMT_TRY(journal,
+             options_.journals->open(journal_key(request), request_metadata(request)));
     // While the journal names this image, the hub must not sweep its blobs —
     // a resume still needs to pull them.
     hub_pins.emplace(hub_, request);
@@ -410,6 +417,9 @@ Status RebuildService::attempt_once(const TargetSystem& target, const SubmitRequ
 
 Result<RecoveryReport> RebuildService::recover() {
   RecoveryReport report;
+  // The cache hydrated at construction; report it here so one RecoveryReport
+  // tells the whole restart story (journals resumed + cache warmth).
+  report.cache_entries_recovered = cache_.stats().hydrated;
   // Heal the hub first: a crash mid-push can leave torn blobs behind, and a
   // resumed rebuild is about to pull from it.
   report.fsck = hub_.fsck(/*repair=*/true);
@@ -536,6 +546,8 @@ ServiceStats RebuildService::stats() const {
   out.crashed = metrics_->counter_value("service.crashed");
   out.compile_cache_hits = metrics_->counter_value("service.cache_hits");
   out.compile_cache_misses = metrics_->counter_value("service.cache_misses");
+  out.compile_cache_inserts = metrics_->counter_value("compile_cache.inserts");
+  out.compile_cache_hydrated = metrics_->counter_value("compile_cache.hydrated");
   out.queue_ms = metrics_->gauge_value("service.queue_ms");
   out.pull_ms = metrics_->gauge_value("service.pull_ms");
   out.rebuild_ms = metrics_->gauge_value("service.rebuild_ms");

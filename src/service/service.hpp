@@ -52,6 +52,7 @@
 #include "registry/registry.hpp"
 #include "sched/compile_cache.hpp"
 #include "sched/thread_pool.hpp"
+#include "store/store.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "sysmodel/sysmodel.hpp"
@@ -160,8 +161,17 @@ struct ServiceOptions {
   /// journal is live, the job's source image is pinned in the hub so
   /// Registry::remove/gc cannot sweep blobs a resume still needs.
   /// Crash injection requires rebuild_threads == 1 (a crash must unwind the
-  /// submitting thread, not a pool worker).
+  /// submitting thread, not a pool worker). A JournalStore constructed over
+  /// a store::KvStore (e.g. a DiskStore directory) survives the process
+  /// itself, not just the service object.
   durable::JournalStore* journals = nullptr;
+  /// Optional backing store for the shared compile cache. When set, every
+  /// cached compile writes through to "cache/<key>" and the service
+  /// constructor hydrates whatever entries the store already holds — a
+  /// restarted service over the same store starts with a warm cache
+  /// (RecoveryReport::cache_entries_recovered reports how warm). Point it
+  /// at the same store the journal store uses for one-directory restarts.
+  std::shared_ptr<store::KvStore> store;
   /// Optional tracer. Each distinct job emits a "service.job" span; every
   /// attempt nests an "attempt:<n>" span under it, which in turn parents the
   /// attempt's "service.pull"/"service.push" spans and the rebuild's own
@@ -185,6 +195,9 @@ struct RecoveryReport {
   /// Journals dropped because their request can no longer be served (image
   /// or target system gone, metadata unreadable).
   std::size_t skipped = 0;
+  /// Compile-cache entries hydrated from ServiceOptions::store at
+  /// construction — committed work a resumed rebuild replays as cache hits.
+  std::size_t cache_entries_recovered = 0;
 };
 
 /// Aggregate counters. Ticket counters count submissions; job counters count
@@ -204,6 +217,8 @@ struct ServiceStats {
   std::uint64_t crashed = 0;  ///< jobs that died at an injected crash site
   std::uint64_t compile_cache_hits = 0;
   std::uint64_t compile_cache_misses = 0;
+  std::uint64_t compile_cache_inserts = 0;   ///< entries stored by rebuilds
+  std::uint64_t compile_cache_hydrated = 0;  ///< entries recovered from the store
   double queue_ms = 0, pull_ms = 0, rebuild_ms = 0, push_ms = 0;  ///< summed
 };
 

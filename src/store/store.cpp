@@ -1,0 +1,94 @@
+#include "store/store.hpp"
+
+#include <optional>
+
+namespace comt::store {
+
+void KvStore::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    gets_ = get_bytes_ = puts_ = put_bytes_ = erases_ = syncs_ = corrupt_ = nullptr;
+    return;
+  }
+  gets_ = &metrics->counter("store.gets");
+  get_bytes_ = &metrics->counter("store.get_bytes");
+  puts_ = &metrics->counter("store.puts");
+  put_bytes_ = &metrics->counter("store.put_bytes");
+  erases_ = &metrics->counter("store.erases");
+  syncs_ = &metrics->counter("store.syncs");
+  corrupt_ = &metrics->counter("store.corrupt");
+}
+
+obs::Span KvStore::sync_span() const {
+  return obs::maybe_span(tracer_, "store.sync", obs::kNoSpan, "store");
+}
+
+Result<std::string> MemStore::get(std::string_view key) const {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return make_error(Errc::not_found, "store: no such key: " + std::string(key));
+  }
+  note_get(it->second.size());
+  return it->second;
+}
+
+Status MemStore::put(std::string_view key, std::string value) {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  std::optional<std::size_t> torn;
+  if (faults() != nullptr) torn = faults()->check_torn(kStorePutSite, value.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (torn.has_value()) {
+      // The medium persisted a prefix and the process dies here — the
+      // in-memory analogue of a half-flushed file.
+      entries_.insert_or_assign(std::string(key), value.substr(0, *torn));
+    } else {
+      note_put(value.size());
+      entries_.insert_or_assign(std::string(key), std::move(value));
+    }
+  }
+  if (torn.has_value()) throw support::CrashInjected{std::string(kStorePutSite)};
+  return Status::success();
+}
+
+Status MemStore::erase(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) entries_.erase(it);
+  note_erase();
+  return Status::success();
+}
+
+bool MemStore::contains(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+Result<std::uint64_t> MemStore::size(std::string_view key) const {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return make_error(Errc::not_found, "store: no such key: " + std::string(key));
+  }
+  return static_cast<std::uint64_t>(it->second.size());
+}
+
+std::vector<KvEntry> MemStore::list(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<KvEntry> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(KvEntry{it->first, it->second.size()});
+  }
+  return out;
+}
+
+Status MemStore::sync() {
+  note_sync();
+  return Status::success();
+}
+
+}  // namespace comt::store

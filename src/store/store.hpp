@@ -1,0 +1,143 @@
+// The unified storage substrate: one key→bytes interface under every
+// persistence layer in the tree. OCI layouts keep their blobs in it, the
+// write-ahead JournalStore persists journals through it, and the compile
+// cache serializes entries into it — so "restart the service over the same
+// store" is one concept, not three.
+//
+// Two backends ship:
+//  - MemStore: a mutex-guarded map. The default everywhere; byte-for-byte
+//    the behaviour the subsystems had before the refactor, zero overhead.
+//  - DiskStore (disk.hpp): a real directory with atomic write-rename puts,
+//    fsync-on-sync, and the journal's fnv1a64 framing for torn-write
+//    detection.
+//
+// Backends are thread-safe. Observability (set_observer) and fault injection
+// (set_fault_injector) are wired before a store is shared, like every other
+// module in the tree.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace comt::store {
+
+/// Torn-write injection site checked on every KvStore put.
+inline constexpr std::string_view kStorePutSite = "store.put";
+
+/// One listed key and its value size in bytes.
+struct KvEntry {
+  std::string key;
+  std::uint64_t size = 0;
+
+  bool operator==(const KvEntry&) const = default;
+};
+
+/// Abstract key→bytes store. Keys are arbitrary non-empty byte strings; '/'
+/// separates hierarchy levels (DiskStore maps them to directories, list()
+/// prefixes usually end in '/'). Values are opaque bytes.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Value stored under `key`, Errc::not_found when absent, Errc::corrupt
+  /// when the backend detects the stored bytes were damaged (torn frame,
+  /// checksum mismatch).
+  virtual Result<std::string> get(std::string_view key) const = 0;
+
+  /// Stores (or replaces) `key`. With an armed torn-write schedule at
+  /// kStorePutSite the backend persists only a prefix and throws
+  /// support::CrashInjected — the next get() of the key reports corruption.
+  virtual Status put(std::string_view key, std::string value) = 0;
+
+  /// Drops `key`. Removing an absent key succeeds (erase is idempotent —
+  /// crash-retry loops re-erase freely).
+  virtual Status erase(std::string_view key) = 0;
+
+  virtual bool contains(std::string_view key) const = 0;
+
+  /// Stored value size in bytes, Errc::not_found when absent.
+  virtual Result<std::uint64_t> size(std::string_view key) const = 0;
+
+  /// Every key starting with `prefix` (all keys when empty), sorted.
+  virtual std::vector<KvEntry> list(std::string_view prefix = {}) const = 0;
+
+  /// Flushes everything written so far to durable media. MemStore: no-op.
+  /// DiskStore: fsync of every file written since the last sync.
+  virtual Status sync() = 0;
+
+  /// Attaches counters ("store.gets", "store.get_bytes", "store.puts",
+  /// "store.put_bytes", "store.erases", "store.syncs", "store.corrupt") and
+  /// a span per sync ("store.sync"). Pass nullptrs to detach. Wire up before
+  /// sharing the store.
+  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Attaches torn-write injection to put (site kStorePutSite). Pass nullptr
+  /// to detach. Wire up before sharing the store.
+  void set_fault_injector(support::FaultInjector* faults) { faults_ = faults; }
+
+ protected:
+  void note_get(std::uint64_t bytes) const {
+    if (gets_ != nullptr) {
+      gets_->add();
+      get_bytes_->add(bytes);
+    }
+  }
+  void note_put(std::uint64_t bytes) const {
+    if (puts_ != nullptr) {
+      puts_->add();
+      put_bytes_->add(bytes);
+    }
+  }
+  void note_erase() const {
+    if (erases_ != nullptr) erases_->add();
+  }
+  void note_corrupt() const {
+    if (corrupt_ != nullptr) corrupt_->add();
+  }
+  void note_sync() const {
+    if (syncs_ != nullptr) syncs_->add();
+  }
+  /// "store.sync" span, or an inert one when no tracer is attached.
+  obs::Span sync_span() const;
+  support::FaultInjector* faults() const { return faults_; }
+
+ private:
+  support::FaultInjector* faults_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* gets_ = nullptr;
+  obs::Counter* get_bytes_ = nullptr;
+  obs::Counter* puts_ = nullptr;
+  obs::Counter* put_bytes_ = nullptr;
+  obs::Counter* erases_ = nullptr;
+  obs::Counter* syncs_ = nullptr;
+  obs::Counter* corrupt_ = nullptr;
+};
+
+/// The in-memory backend: a mutex-guarded ordered map. Values survive exactly
+/// as long as the object — the pre-refactor behaviour of every subsystem.
+class MemStore final : public KvStore {
+ public:
+  Result<std::string> get(std::string_view key) const override;
+  Status put(std::string_view key, std::string value) override;
+  Status erase(std::string_view key) override;
+  bool contains(std::string_view key) const override;
+  Result<std::uint64_t> size(std::string_view key) const override;
+  std::vector<KvEntry> list(std::string_view prefix = {}) const override;
+  Status sync() override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace comt::store

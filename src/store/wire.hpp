@@ -1,0 +1,84 @@
+// Little-endian wire codec shared by every framed byte format in the tree:
+// the write-ahead journal's record log (durable/journal.cpp), DiskStore's
+// torn-write detection frame, and the compile cache's serialized entries.
+// One codec means one set of framing conventions — a u32 length prefix, a
+// fnv1a64 checksum, length-prefixed strings — instead of three private ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace comt::store::wire {
+
+/// FNV-1a 64-bit. Fast, good dispersion; torn/corrupt framing detection, not
+/// content addressing (that is SHA-256's job).
+inline std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+inline void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+inline void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+/// str := [u32 size][bytes]
+inline void put_str(std::string& out, std::string_view value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(value);
+}
+
+/// Bounds-checked forward reader over a payload; any short read trips `ok`
+/// and every later read returns a zero value.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos + 1 > data.size()) return fail<std::uint8_t>();
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    if (pos + 4 > data.size()) return fail<std::uint32_t>();
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return value;
+  }
+  std::uint64_t u64() {
+    if (pos + 8 > data.size()) return fail<std::uint64_t>();
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 8;
+    return value;
+  }
+  std::string str() {
+    std::uint32_t size = u32();
+    if (!ok || pos + size > data.size()) return fail<std::string>();
+    std::string value(data.substr(pos, size));
+    pos += size;
+    return value;
+  }
+  bool at_end() const { return pos == data.size(); }
+
+  template <typename T>
+  T fail() {
+    ok = false;
+    return T{};
+  }
+};
+
+}  // namespace comt::store::wire

@@ -6,6 +6,8 @@
 // over the same hub and journal store.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "oci/fsck.hpp"
 #include "registry/registry.hpp"
 #include "service/service.hpp"
+#include "store/disk.hpp"
 #include "support/fault.hpp"
 #include "sysmodel/sysmodel.hpp"
 #include "workloads/harness.hpp"
@@ -380,6 +383,101 @@ TEST(ServiceCrashRecoveryTest, CrashedJobIsRecoveredBitIdenticallyByNextIncarnat
   // Success retires the journal; nothing is left to recover.
   EXPECT_EQ(journals.size(), 0u);
   EXPECT_EQ(next.recover().value().journals_found, 0u);
+}
+
+// The storage-layer acceptance test: both the journal store and the compile
+// cache persist into ONE DiskStore directory. The service process dies
+// mid-rebuild, a brand-new process (fresh DiskStore, JournalStore, and
+// RebuildService objects over the same directory) hydrates both, resumes the
+// journaled rebuild, serves at least one compile-cache hit from the previous
+// incarnation's work, and produces a bit-identical image.
+TEST(ServiceCrashRecoveryTest, RestartOverSameDiskStoreDirResumesWithWarmCache) {
+  namespace stdfs = std::filesystem;
+  const stdfs::path dir =
+      stdfs::temp_directory_path() / "comt-restart-warm-cache";
+  stdfs::remove_all(dir);
+
+  // Reference digest from an uninterrupted run on its own hub.
+  std::string want;
+  {
+    registry::Registry hub;
+    ASSERT_TRUE(publish(hub, "minimd", "hub/minimd", "1.0").ok());
+    service::RebuildService svc(hub);
+    ASSERT_TRUE(svc.add_system(kSys, make_target()).ok());
+    auto ticket = svc.submit({"hub/minimd", "1.0", kSys});
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_EQ(svc.wait(ticket.value()).value().state,
+              service::JobState::succeeded);
+    want = hub.resolve("hub/minimd", kOutTag).value().value;
+  }
+
+  registry::Registry hub;
+  ASSERT_TRUE(publish(hub, "minimd", "hub/minimd", "1.0").ok());
+  support::FaultInjector faults;
+
+  // Incarnation one: crashes inside job 2 after its cache entry was written
+  // through but before its commit record landed. The directory is left
+  // holding job 1's journaled commit plus cache entries for jobs 1 and 2.
+  {
+    auto disk = std::make_shared<store::DiskStore>(dir.string());
+    durable::JournalStore journals(disk);
+    service::ServiceOptions options;
+    options.journals = &journals;
+    options.store = disk;
+    options.rebuild_threads = 1;
+    options.faults = &faults;
+    service::RebuildService svc(hub, options);
+    ASSERT_TRUE(svc.add_system(kSys, make_target()).ok());
+    faults.crash_at(core::kCrashJobCommitted, 2);
+    auto ticket = svc.submit({"hub/minimd", "1.0", kSys});
+    ASSERT_TRUE(ticket.ok());
+    auto done = svc.wait(ticket.value());
+    ASSERT_EQ(done.value().state, service::JobState::failed);
+    EXPECT_TRUE(done.value().trace.crashed);
+    EXPECT_FALSE(hub.has("hub/minimd", kOutTag));
+    EXPECT_EQ(journals.size(), 1u);
+  }
+  faults.clear_all();
+
+  // Incarnation two: nothing shared with incarnation one but the directory.
+  auto disk = std::make_shared<store::DiskStore>(dir.string());
+  durable::JournalStore journals(disk);
+  EXPECT_EQ(journals.hydrated(), 1u);
+  EXPECT_EQ(journals.hydration_dropped(), 0u);
+
+  service::ServiceOptions options;
+  options.journals = &journals;
+  options.store = disk;
+  options.rebuild_threads = 1;
+  service::RebuildService next(hub, options);
+  ASSERT_TRUE(next.add_system(kSys, make_target()).ok());
+
+  auto recovery = next.recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.error().to_string();
+  EXPECT_EQ(recovery.value().journals_found, 1u);
+  EXPECT_EQ(recovery.value().skipped, 0u);
+  EXPECT_GT(recovery.value().cache_entries_recovered, 0u);
+  ASSERT_EQ(recovery.value().resubmitted.size(), 1u);
+
+  auto done = next.wait(recovery.value().resubmitted[0]);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done.value().state, service::JobState::succeeded)
+      << done.value().result.error().to_string();
+  // Job 1 replays from the journal; job 2's compile lands as a warm-cache hit
+  // persisted by the previous process.
+  EXPECT_GT(done.value().trace.journal_replayed, 0u);
+  EXPECT_GE(done.value().trace.cache_hits, 1u);
+  EXPECT_GT(next.stats().compile_cache_hydrated, 0u);
+
+  auto digest = hub.resolve("hub/minimd", kOutTag);
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(digest.value().value, want);
+
+  // Journal retirement is durable: a third incarnation has nothing to do.
+  EXPECT_EQ(journals.size(), 0u);
+  durable::JournalStore third(std::make_shared<store::DiskStore>(dir.string()));
+  EXPECT_EQ(third.hydrated(), 0u);
+  stdfs::remove_all(dir);
 }
 
 TEST(ServiceCrashRecoveryTest, RecoverSkipsJournalsItCanNoLongerServe) {

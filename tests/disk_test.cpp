@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "oci/disk.hpp"
 
@@ -108,6 +111,48 @@ TEST_F(DiskLayoutTest, TamperedBlobDetectedOnLoad) {
   auto result = load_layout(dir());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code, Errc::corrupt);
+}
+
+TEST_F(DiskLayoutTest, MissingBlobDetectedOnLoad) {
+  Layout layout = sample_layout();
+  ASSERT_TRUE(save_layout(layout, dir()).ok());
+  // Delete one layer blob out from under the index.
+  stdfs::path victim;
+  std::uintmax_t largest = 0;
+  for (const auto& entry : stdfs::directory_iterator(dir_ / "blobs" / "sha256")) {
+    if (entry.file_size() > largest) {
+      largest = entry.file_size();
+      victim = entry.path();
+    }
+  }
+  ASSERT_TRUE(stdfs::remove(victim));
+  auto result = load_layout(dir());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::not_found);
+}
+
+TEST_F(DiskLayoutTest, SaveLeavesOnlySpecFiles) {
+  // The on-disk format is exactly the OCI image-layout spec: oci-layout,
+  // index.json, and blobs/sha256/<hex> — no framing, no temp litter. This
+  // pins byte-compatibility now that save/load ride on store::DiskStore.
+  Layout layout = sample_layout();
+  ASSERT_TRUE(save_layout(layout, dir()).ok());
+  std::vector<std::string> top;
+  for (const auto& entry : stdfs::directory_iterator(dir_)) {
+    top.push_back(entry.path().filename().string());
+  }
+  std::sort(top.begin(), top.end());
+  EXPECT_EQ(top, (std::vector<std::string>{"blobs", "index.json", "oci-layout"}));
+  for (const auto& entry : stdfs::recursive_directory_iterator(dir_)) {
+    std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << entry.path();
+  }
+  // Blob files hold raw content bytes — readable with plain ifstream, and a
+  // second save over the same directory is a no-op for existing blobs.
+  ASSERT_TRUE(save_layout(layout, dir()).ok());
+  auto reloaded = load_layout(dir());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().to_string();
+  EXPECT_TRUE(reloaded.value().fsck().ok());
 }
 
 }  // namespace

@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <memory>
+
 #include "obs/metrics.hpp"
+#include "store/disk.hpp"
+#include "store/store.hpp"
 #include "support/fault.hpp"
 
 namespace comt::durable {
@@ -265,11 +270,25 @@ TEST(JournalTest, CompactionDropsTornTailAndCountsMetrics) {
 TEST(JournalStoreTest, OpenCreatesOnceAndKeepsMetadata) {
   JournalStore store;
   auto first = store.open("org/app:1.0+coM|sys", "{\"tag\":\"1.0+coM\"}");
-  ASSERT_NE(first, nullptr);
-  ASSERT_TRUE(first->append_begin(make_begin()).ok());
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(first.value(), nullptr);
+  ASSERT_TRUE(first.value()->append_begin(make_begin()).ok());
 
-  auto second = store.open("org/app:1.0+coM|sys", "ignored-on-reopen");
-  EXPECT_EQ(first.get(), second.get());
+  // Reopening with the same metadata (or none) returns the same journal…
+  auto same = store.open("org/app:1.0+coM|sys", "{\"tag\":\"1.0+coM\"}");
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(first.value().get(), same.value().get());
+  auto blank = store.open("org/app:1.0+coM|sys");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_EQ(first.value().get(), blank.value().get());
+
+  // …but different non-empty metadata is a conflict, not a silent reuse:
+  // the caller is about to journal a different request under a key another
+  // rebuild still owns.
+  auto conflict = store.open("org/app:1.0+coM|sys", "{\"tag\":\"2.0+coM\"}");
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.error().code, Errc::already_exists);
+
   ASSERT_EQ(store.list().size(), 1u);
   EXPECT_EQ(store.list()[0].metadata, "{\"tag\":\"1.0+coM\"}");
   EXPECT_TRUE(store.contains("org/app:1.0+coM|sys"));
@@ -278,14 +297,14 @@ TEST(JournalStoreTest, OpenCreatesOnceAndKeepsMetadata) {
   EXPECT_FALSE(store.contains("org/app:1.0+coM|sys"));
   EXPECT_EQ(store.size(), 0u);
   // The removed journal object stays usable through surviving handles.
-  EXPECT_FALSE(first->empty());
+  EXPECT_FALSE(first.value()->empty());
 }
 
 TEST(JournalStoreTest, ListIsSortedByKey) {
   JournalStore store;
-  store.open("b");
-  store.open("a");
-  store.open("c");
+  (void)store.open("b");
+  (void)store.open("a");
+  (void)store.open("c");
   auto entries = store.list();
   ASSERT_EQ(entries.size(), 3u);
   EXPECT_EQ(entries[0].key, "a");
@@ -295,15 +314,121 @@ TEST(JournalStoreTest, ListIsSortedByKey) {
 
 TEST(JournalStoreTest, FaultInjectorReachesCurrentAndFutureJournals) {
   JournalStore store;
-  auto before = store.open("before");
+  auto before = store.open("before").value();
   support::FaultInjector faults;
   store.set_fault_injector(&faults);
-  auto after = store.open("after");
+  auto after = store.open("after").value();
   for (auto journal : {before, after}) {
     faults.tear_next(std::string(kJournalAppendSite));
     EXPECT_THROW((void)journal->append_begin(make_begin()),
                  support::CrashInjected);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Backed JournalStore: journals survive the store object itself.
+
+TEST(JournalStoreTest, BackedJournalsSurviveStoreReconstruction) {
+  auto backing = std::make_shared<store::MemStore>();
+  {
+    JournalStore store(backing);
+    auto journal = store.open("org/app:1.0+coM|x86", "{\"tag\":\"1.0+coM\"}");
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal.value()->append_begin(make_begin()).ok());
+    ASSERT_TRUE(journal.value()->append_commit(make_commit("pu:1")).ok());
+  }  // the JournalStore dies, like the process would
+
+  JournalStore next(backing);
+  EXPECT_EQ(next.hydrated(), 1u);
+  EXPECT_EQ(next.hydration_dropped(), 0u);
+  ASSERT_TRUE(next.contains("org/app:1.0+coM|x86"));
+  auto entries = next.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].metadata, "{\"tag\":\"1.0+coM\"}");
+  auto state = entries[0].journal->replay();
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state.value().begin.has_value());
+  EXPECT_EQ(state.value().begin->inputs_digest, "sha256:abc");
+  EXPECT_EQ(state.value().commits.count("pu:1"), 1u);
+
+  // remove() erases durably: a third incarnation finds nothing.
+  next.remove("org/app:1.0+coM|x86");
+  JournalStore third(backing);
+  EXPECT_EQ(third.hydrated(), 0u);
+  EXPECT_EQ(third.size(), 0u);
+}
+
+TEST(JournalStoreTest, CompactionAndClearWriteThrough) {
+  auto backing = std::make_shared<store::MemStore>();
+  JournalStore store(backing);
+  auto journal = store.open("key", "m").value();
+  ASSERT_TRUE(journal->append_begin(make_begin()).ok());
+  ASSERT_TRUE(journal->append_commit(make_commit("pu:1")).ok());
+  ASSERT_TRUE(journal->append_commit(make_commit("pu:1")).ok());  // duplicate
+  ASSERT_TRUE(journal->compact().ok());
+
+  // The persisted copy tracks every mutation: hydrating now yields exactly
+  // the compacted snapshot.
+  JournalStore next(backing);
+  auto replayed = next.list()[0].journal->replay();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().records, 2u);  // begin + one surviving commit
+  EXPECT_EQ(next.list()[0].journal->bytes(), journal->bytes());
+}
+
+TEST(JournalStoreTest, CorruptPersistedEnvelopeIsDroppedOnHydration) {
+  auto backing = std::make_shared<store::MemStore>();
+  {
+    JournalStore store(backing);
+    auto good = store.open("good", "m").value();
+    ASSERT_TRUE(good->append_begin(make_begin()).ok());
+  }
+  // A persisted entry whose metadata header is garbage (size field points
+  // past the value) cannot be hydrated safely.
+  ASSERT_TRUE(backing->put(std::string(kJournalKeyPrefix) + "bad",
+                           std::string("\xFF\xFF\xFF\xFF", 4)).ok());
+
+  JournalStore next(backing);
+  EXPECT_EQ(next.hydrated(), 1u);
+  EXPECT_EQ(next.hydration_dropped(), 1u);
+  EXPECT_TRUE(next.contains("good"));
+  EXPECT_FALSE(next.contains("bad"));
+  // The damaged entry was erased, so the next incarnation is clean.
+  EXPECT_FALSE(backing->contains(std::string(kJournalKeyPrefix) + "bad"));
+  JournalStore third(backing);
+  EXPECT_EQ(third.hydration_dropped(), 0u);
+}
+
+TEST(JournalStoreTest, DiskBackedJournalSurvivesTornAppendAcrossRestart) {
+  namespace stdfs = std::filesystem;
+  const stdfs::path dir =
+      stdfs::temp_directory_path() / "comt-durable-disk-restart";
+  stdfs::remove_all(dir);
+
+  support::FaultInjector faults;
+  {
+    JournalStore store(std::make_shared<store::DiskStore>(dir.string()));
+    store.set_fault_injector(&faults);
+    auto journal = store.open("org/app:1.0|x86", "req").value();
+    ASSERT_TRUE(journal->append_begin(make_begin()).ok());
+    ASSERT_TRUE(journal->append_commit(make_commit("pu:1")).ok());
+    // The third append tears mid-record: the persisted journal ends in a
+    // torn tail, exactly what a power cut leaves on disk.
+    faults.tear_next(std::string(kJournalAppendSite));
+    EXPECT_THROW((void)journal->append_commit(make_commit("pu:2")),
+                 support::CrashInjected);
+  }
+
+  JournalStore next(std::make_shared<store::DiskStore>(dir.string()));
+  ASSERT_EQ(next.hydrated(), 1u);
+  auto entries = next.list();
+  EXPECT_EQ(entries[0].metadata, "req");
+  auto state = entries[0].journal->replay();
+  ASSERT_TRUE(state.ok());
+  EXPECT_GT(state.value().truncated_bytes, 0u);  // torn tail detected…
+  EXPECT_EQ(state.value().commits.size(), 1u);   // …intact prefix recovered
+  EXPECT_EQ(state.value().commits.count("pu:1"), 1u);
+  stdfs::remove_all(dir);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -16,6 +17,7 @@
 #include "sched/compile_cache.hpp"
 #include "sched/dag.hpp"
 #include "sched/thread_pool.hpp"
+#include "store/store.hpp"
 #include "support/sha256.hpp"
 #include "sysmodel/sysmodel.hpp"
 #include "workloads/harness.hpp"
@@ -252,6 +254,83 @@ TEST(CompileCacheTest, HitMissAndStoreAccounting) {
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 3u);
   EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(CompileCacheTest, MetricsCountHitsMissesAndInserts) {
+  sched::CompileCache cache;
+  obs::MetricsRegistry metrics;
+  cache.set_metrics(&metrics);
+  auto digest_of = [](const std::string&) { return std::string("d"); };
+
+  EXPECT_EQ(cache.lookup("k", digest_of), nullptr);
+  sched::CacheEntry entry;
+  entry.outputs.push_back({"/o", "OBJ", 0644});
+  cache.store("k", std::move(entry));
+  EXPECT_NE(cache.lookup("k", digest_of), nullptr);
+
+  EXPECT_EQ(metrics.counter_value("compile_cache.hits"), 1u);
+  EXPECT_EQ(metrics.counter_value("compile_cache.misses"), 1u);
+  EXPECT_EQ(metrics.counter_value("compile_cache.inserts"), 1u);
+}
+
+TEST(CompileCacheTest, AttachedCacheWarmStartsFromTheBackingStore) {
+  auto backing = std::make_shared<store::MemStore>();
+  sched::CacheEntry original;
+  original.input_digests["/src/m.c"] = Sha256::hex_digest("int main(){}");
+  original.outputs.push_back({"/src/m.o", "OBJ-bytes", 0644});
+  original.outputs.push_back({"/src/app", "EXE-bytes", 0755});
+  {
+    sched::CompileCache cache;
+    cache.attach(backing);
+    cache.store("key1", original);
+  }  // the cache object dies, like the process would
+
+  sched::CompileCache warm;
+  obs::MetricsRegistry metrics;
+  warm.set_metrics(&metrics);
+  EXPECT_EQ(warm.attach(backing), 1u);
+  EXPECT_EQ(warm.size(), 1u);
+  EXPECT_EQ(warm.stats().hydrated, 1u);
+  EXPECT_EQ(metrics.counter_value("compile_cache.hydrated"), 1u);
+
+  auto digest_of = [](const std::string&) {
+    return Sha256::hex_digest("int main(){}");
+  };
+  auto hit = warm.lookup("key1", digest_of);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->input_digests, original.input_digests);
+  ASSERT_EQ(hit->outputs.size(), 2u);
+  EXPECT_EQ(hit->outputs[0].content, "OBJ-bytes");
+  EXPECT_EQ(hit->outputs[1].path, "/src/app");
+  EXPECT_EQ(hit->outputs[1].mode, 0755u);
+}
+
+TEST(CompileCacheTest, CorruptPersistedEntryDegradesToMissNeverAWrongHit) {
+  auto backing = std::make_shared<store::MemStore>();
+  {
+    sched::CompileCache cache;
+    cache.attach(backing);
+    sched::CacheEntry entry;
+    entry.outputs.push_back({"/src/m.o", "the right bytes", 0644});
+    cache.store("key1", std::move(entry));
+  }
+  // Flip one bit in the persisted value — a wrong hit would replay wrong
+  // outputs into an image, silently.
+  const std::string persisted_key = std::string(sched::kCacheKeyPrefix) + "key1";
+  std::string raw = backing->get(persisted_key).value();
+  raw[raw.size() / 2] ^= 0x04;
+  ASSERT_TRUE(backing->put(persisted_key, raw).ok());
+
+  sched::CompileCache warm;
+  EXPECT_EQ(warm.attach(backing), 0u);
+  EXPECT_EQ(warm.size(), 0u);
+  EXPECT_EQ(warm.stats().hydrated, 0u);
+  EXPECT_EQ(warm.stats().corrupt_dropped, 1u);
+  auto digest_of = [](const std::string&) { return std::string("d"); };
+  EXPECT_EQ(warm.lookup("key1", digest_of), nullptr);  // a miss, not a hit
+  // The damaged entry was erased from the backing, so the next attach is
+  // clean instead of re-tripping.
+  EXPECT_FALSE(backing->contains(persisted_key));
 }
 
 // ---- end-to-end: parallel rebuild ---------------------------------------------

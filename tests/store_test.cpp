@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "store/cas.hpp"
+#include "store/disk.hpp"
+#include "store/store.hpp"
+#include "store/wire.hpp"
+#include "support/fault.hpp"
+#include "support/sha256.hpp"
+
+namespace comt::store {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+/// Unique temp directory per test, removed on teardown.
+class StoreDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = stdfs::temp_directory_path() /
+           (std::string("comt-store-") + info->name());
+    stdfs::remove_all(dir_);
+  }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+  stdfs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Conformance: every backend honours the same KvStore contract.
+
+void exercise_kv_contract(KvStore& kv) {
+  // Empty store.
+  EXPECT_FALSE(kv.contains("a"));
+  EXPECT_EQ(kv.get("a").error().code, Errc::not_found);
+  EXPECT_EQ(kv.size("a").error().code, Errc::not_found);
+  EXPECT_TRUE(kv.list().empty());
+  EXPECT_TRUE(kv.erase("a").ok());  // erase is idempotent
+
+  // Put / get round-trip, including binary values with NUL bytes.
+  const std::string binary("\x00\x01\xFFpayload\n", 11);
+  ASSERT_TRUE(kv.put("a", "alpha").ok());
+  ASSERT_TRUE(kv.put("dir/b", binary).ok());
+  ASSERT_TRUE(kv.put("dir/sub/c", "").ok());
+  EXPECT_EQ(kv.get("a").value(), "alpha");
+  EXPECT_EQ(kv.get("dir/b").value(), binary);
+  EXPECT_EQ(kv.get("dir/sub/c").value(), "");
+  EXPECT_EQ(kv.size("dir/b").value(), binary.size());
+  EXPECT_TRUE(kv.contains("dir/sub/c"));
+
+  // Replace.
+  ASSERT_TRUE(kv.put("a", "alpha2").ok());
+  EXPECT_EQ(kv.get("a").value(), "alpha2");
+
+  // list() is sorted and prefix-filtered.
+  auto all = kv.list();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].key, "a");
+  EXPECT_EQ(all[1].key, "dir/b");
+  EXPECT_EQ(all[2].key, "dir/sub/c");
+  EXPECT_EQ(all[1].size, binary.size());
+  auto under_dir = kv.list("dir/");
+  ASSERT_EQ(under_dir.size(), 2u);
+  EXPECT_EQ(under_dir[0].key, "dir/b");
+
+  // Invalid keys are rejected, not mangled.
+  EXPECT_EQ(kv.put("", "x").error().code, Errc::invalid_argument);
+  EXPECT_EQ(kv.get("").error().code, Errc::invalid_argument);
+
+  // Erase really removes.
+  ASSERT_TRUE(kv.erase("dir/b").ok());
+  EXPECT_FALSE(kv.contains("dir/b"));
+  EXPECT_EQ(kv.list("dir/").size(), 1u);
+
+  EXPECT_TRUE(kv.sync().ok());
+}
+
+TEST(MemStoreTest, HonoursKvContract) {
+  MemStore kv;
+  exercise_kv_contract(kv);
+}
+
+TEST_F(StoreDirTest, DiskStoreHonoursKvContract) {
+  DiskStore kv(dir());
+  exercise_kv_contract(kv);
+}
+
+TEST_F(StoreDirTest, DiskStoreUnframedHonoursKvContract) {
+  DiskStore kv(dir(), DiskStore::Options{/*framed=*/false});
+  exercise_kv_contract(kv);
+}
+
+// ---------------------------------------------------------------------------
+// DiskStore specifics.
+
+TEST_F(StoreDirTest, ValuesSurviveReopen) {
+  {
+    DiskStore kv(dir());
+    ASSERT_TRUE(kv.put("journal/org/app:1.0|x86", "state").ok());
+    ASSERT_TRUE(kv.sync().ok());
+  }
+  DiskStore reopened(dir());
+  EXPECT_EQ(reopened.get("journal/org/app:1.0|x86").value(), "state");
+  auto listed = reopened.list("journal/");
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].key, "journal/org/app:1.0|x86");
+}
+
+TEST_F(StoreDirTest, HostileKeysRoundTripThroughTheFilesystem) {
+  DiskStore kv(dir());
+  // ':', '|', '+', '%', spaces, dot-only segments, UTF-8 — every byte a
+  // journal key or tag can carry must survive encode → file → decode.
+  const std::vector<std::string> keys = {
+      "org/app:1.0+coM|x86",
+      "with space/and%percent",
+      "../../escape attempt",  // encoded, cannot traverse out of the root
+      ".",
+      "tricky/..",
+      "caf\xC3\xA9/\xE2\x98\x83",
+  };
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(kv.put(key, "v:" + key).ok()) << key;
+  }
+  for (const std::string& key : keys) {
+    EXPECT_EQ(kv.get(key).value(), "v:" + key) << key;
+  }
+  auto listed = kv.list();
+  ASSERT_EQ(listed.size(), keys.size());
+  // Every file stayed inside the root (the ".." segments were encoded).
+  EXPECT_FALSE(stdfs::exists(dir_.parent_path() / "escape attempt"));
+}
+
+TEST_F(StoreDirTest, OpeningMissingDirectoryHasNoSideEffects) {
+  DiskStore kv(dir());
+  EXPECT_TRUE(kv.list().empty());
+  EXPECT_FALSE(kv.contains("x"));
+  EXPECT_FALSE(stdfs::exists(dir_));  // still nothing on disk
+  ASSERT_TRUE(kv.put("x", "1").ok());
+  EXPECT_TRUE(stdfs::exists(dir_));  // created lazily by the first put
+}
+
+TEST_F(StoreDirTest, TruncatedValueIsCorruptNotWrongBytes) {
+  DiskStore kv(dir());
+  ASSERT_TRUE(kv.put("victim", "payload-that-matters").ok());
+  // Truncate the file mid-payload, like a torn flush.
+  auto files = kv.list();
+  ASSERT_EQ(files.size(), 1u);
+  const stdfs::path file = dir_ / "victim";
+  ASSERT_TRUE(stdfs::exists(file));
+  stdfs::resize_file(file, stdfs::file_size(file) / 2);
+  auto result = kv.get("victim");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::corrupt);
+
+  // Truncating into the frame header is also corrupt, not a crash.
+  stdfs::resize_file(file, 3);
+  EXPECT_EQ(kv.get("victim").error().code, Errc::corrupt);
+}
+
+TEST_F(StoreDirTest, BitFlippedValueIsCorrupt) {
+  DiskStore kv(dir());
+  ASSERT_TRUE(kv.put("victim", "payload-that-matters").ok());
+  const stdfs::path file = dir_ / "victim";
+  std::string raw;
+  {
+    std::ifstream in(file, std::ios::binary);
+    raw.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }
+  raw[raw.size() - 1] ^= 0x01;  // flip one payload bit
+  std::ofstream(file, std::ios::binary | std::ios::trunc) << raw;
+  auto result = kv.get("victim");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::corrupt);
+}
+
+TEST_F(StoreDirTest, UnframedModeReturnsDamagedBytesVerbatim) {
+  // Unframed stores carry externally verified formats (OCI blobs); the store
+  // itself must hand back whatever is on disk.
+  DiskStore kv(dir(), DiskStore::Options{/*framed=*/false});
+  ASSERT_TRUE(kv.put("blob", "original").ok());
+  std::ofstream(dir_ / "blob", std::ios::binary | std::ios::trunc) << "tampered";
+  EXPECT_EQ(kv.get("blob").value(), "tampered");
+}
+
+TEST_F(StoreDirTest, TornPutCrashesAndLeavesDetectablePrefix) {
+  DiskStore kv(dir());
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+  ASSERT_TRUE(kv.put("ok", "untouched").ok());
+  faults.tear_next(std::string(kStorePutSite));
+  EXPECT_THROW((void)kv.put("torn", "this write dies midway"), support::CrashInjected);
+  // The next incarnation sees the torn key as corrupt — never as a complete
+  // value — and every other key intact.
+  DiskStore next(dir());
+  EXPECT_EQ(next.get("torn").error().code, Errc::corrupt);
+  EXPECT_EQ(next.get("ok").value(), "untouched");
+}
+
+TEST_F(StoreDirTest, MetricsCountOperations) {
+  DiskStore kv(dir());
+  obs::MetricsRegistry metrics;
+  kv.set_observer(nullptr, &metrics);
+  ASSERT_TRUE(kv.put("k", "12345").ok());
+  ASSERT_TRUE(kv.get("k").ok());
+  ASSERT_TRUE(kv.erase("k").ok());
+  ASSERT_TRUE(kv.sync().ok());
+  EXPECT_EQ(metrics.counter_value("store.puts"), 1u);
+  EXPECT_EQ(metrics.counter_value("store.put_bytes"), 5u);
+  EXPECT_EQ(metrics.counter_value("store.gets"), 1u);
+  EXPECT_EQ(metrics.counter_value("store.get_bytes"), 5u);
+  EXPECT_EQ(metrics.counter_value("store.erases"), 1u);
+  EXPECT_EQ(metrics.counter_value("store.syncs"), 1u);
+  EXPECT_EQ(metrics.counter_value("store.corrupt"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CasStore.
+
+TEST(CasStoreTest, PutReturnsContentAddressAndGetVerifies) {
+  CasStore cas(std::make_shared<MemStore>(), "blobs/");
+  auto digest = cas.put("layer bytes");
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(digest.value(), "sha256:" + Sha256::hex_digest("layer bytes"));
+  EXPECT_TRUE(cas.contains(digest.value()));
+  EXPECT_EQ(cas.get(digest.value()).value(), "layer bytes");
+  EXPECT_EQ(cas.count(), 1u);
+  EXPECT_EQ(cas.total_bytes(), std::string("layer bytes").size());
+
+  // The backend key is the OCI blobs/ layout.
+  EXPECT_TRUE(cas.backend().contains(
+      "blobs/sha256/" + Sha256::hex_digest("layer bytes")));
+}
+
+TEST(CasStoreTest, GetRefusesBytesThatNoLongerMatchTheirAddress) {
+  CasStore cas(std::make_shared<MemStore>());
+  auto digest = cas.put("good").value();
+  ASSERT_TRUE(cas.put_at(digest, "evil").ok());  // bit-rot stand-in
+  auto verified = cas.get(digest);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, Errc::corrupt);
+  // fsck-style callers still read the damaged bytes explicitly.
+  EXPECT_EQ(cas.get_unverified(digest).value(), "evil");
+}
+
+TEST(CasStoreTest, MalformedDigestsAreRejected) {
+  CasStore cas(std::make_shared<MemStore>());
+  EXPECT_EQ(cas.get("md5:abc").error().code, Errc::invalid_argument);
+  EXPECT_EQ(cas.get("sha256").error().code, Errc::invalid_argument);
+  EXPECT_EQ(cas.get("missing-prefix").error().code, Errc::invalid_argument);
+}
+
+TEST(CasStoreTest, EraseReportsFreedBytes) {
+  CasStore cas(std::make_shared<MemStore>());
+  auto digest = cas.put("12345678").value();
+  EXPECT_EQ(cas.erase(digest), 8u);
+  EXPECT_EQ(cas.erase(digest), 0u);  // already gone
+  EXPECT_FALSE(cas.contains(digest));
+  EXPECT_EQ(cas.get(digest).error().code, Errc::not_found);
+}
+
+TEST(CasStoreTest, DigestsAreSortedAndScopedToPrefix) {
+  auto backend = std::make_shared<MemStore>();
+  CasStore cas(backend, "blobs/");
+  ASSERT_TRUE(backend->put("unrelated/key", "x").ok());  // other keyspace
+  auto d1 = cas.put("aaa").value();
+  auto d2 = cas.put("bbb").value();
+  auto digests = cas.digests();
+  ASSERT_EQ(digests.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(digests.begin(), digests.end()));
+  EXPECT_TRUE(digests[0] == d1 || digests[0] == d2);
+}
+
+TEST_F(StoreDirTest, CasOverDiskSurvivesReopen) {
+  std::string digest;
+  {
+    CasStore cas(std::make_shared<DiskStore>(dir()), "blobs/");
+    digest = cas.put("persisted layer").value();
+  }
+  CasStore reopened(std::make_shared<DiskStore>(dir()), "blobs/");
+  EXPECT_EQ(reopened.get(digest).value(), "persisted layer");
+  EXPECT_EQ(reopened.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec (shared with the journal).
+
+TEST(WireTest, RoundTripsAndBoundsChecks) {
+  std::string buffer;
+  wire::put_u32(buffer, 0xDEADBEEFu);
+  wire::put_u64(buffer, 0x0123456789ABCDEFull);
+  wire::put_str(buffer, "hello");
+  wire::Reader reader{buffer};
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_TRUE(reader.ok);
+  EXPECT_TRUE(reader.at_end());
+  // Reading past the end trips ok instead of walking off the buffer.
+  EXPECT_EQ(reader.u32(), 0u);
+  EXPECT_FALSE(reader.ok);
+}
+
+TEST(WireTest, ChecksumDetectsSingleBitFlips) {
+  const std::string payload = "some journal record payload";
+  const std::uint64_t checksum = wire::fnv1a64(payload);
+  std::string flipped = payload;
+  flipped[5] ^= 0x10;
+  EXPECT_NE(wire::fnv1a64(flipped), checksum);
+}
+
+}  // namespace
+}  // namespace comt::store
