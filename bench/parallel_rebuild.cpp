@@ -6,10 +6,17 @@
 // re-parse through src/json, carry exactly one "job:*" span per compile job,
 // and every job span's parent chain must reach the root "rebuild" span.
 //
+// The emitted JSON records its own provenance — hardware-thread count, CPU
+// model, and run mode — so a checked-in baseline can never be silently
+// compared against numbers from a different class of machine (see
+// docs/PERFORMANCE.md for the baseline-recording procedure).
+//
 // Usage: parallel_rebuild [--smoke] [--trace PATH] [--json PATH]
-//   --smoke        one repetition at 1 and 2 threads only (CI-friendly) and
-//                  hard-fails if tracing overhead exceeds 5% with at least a
-//                  2 ms absolute delta (same noise floor as bench/crash_resume)
+//   --smoke        one repetition, CI-friendly thread sweep (1 and 2 threads,
+//                  plus 4 when the host has >= 4 hardware threads — in which
+//                  case a 4-thread speedup < 1.0 hard-fails). Also hard-fails
+//                  if tracing overhead exceeds 5% with at least a 2 ms
+//                  absolute delta (same noise floor as bench/crash_resume)
 //                  or if the exported trace fails validation.
 //   --trace PATH   write the traced rebuild's Chrome trace JSON to PATH
 //                  (open in chrome://tracing or https://ui.perfetto.dev).
@@ -90,6 +97,31 @@ core::RebuildOptions options_for(const sysmodel::SystemProfile& system,
 }
 
 double round3(double value) { return std::round(value * 1000.0) / 1000.0; }
+
+/// "model name" line from /proc/cpuinfo, or "unknown" — recorded in the
+/// JSON so a baseline carries the machine it was measured on.
+std::string cpu_model() {
+  std::FILE* info = std::fopen("/proc/cpuinfo", "r");
+  if (info == nullptr) return "unknown";
+  std::string model = "unknown";
+  char line[512];
+  while (std::fgets(line, sizeof line, info) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    if (const char* colon = std::strchr(line, ':')) {
+      model = colon + 1;
+      while (!model.empty() && (model.front() == ' ' || model.front() == '\t')) {
+        model.erase(model.begin());
+      }
+      while (!model.empty() &&
+             (model.back() == '\n' || model.back() == '\r' || model.back() == ' ')) {
+        model.pop_back();
+      }
+    }
+    break;
+  }
+  std::fclose(info);
+  return model;
+}
 
 /// Checks the exported Chrome trace against the rebuild report: the JSON must
 /// round-trip through src/json, hold exactly `report.jobs` events whose name
@@ -177,8 +209,14 @@ int main(int argc, char** argv) {
     }
   }
   const int repetitions = smoke ? 1 : 5;
-  const std::vector<std::size_t> thread_counts =
-      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  if (smoke) {
+    // CI sweep: keep it short, but include 4 threads whenever the host can
+    // actually run 4 — that's the width the speedup gate below checks.
+    thread_counts = hw_threads >= 4 ? std::vector<std::size_t>{1, 2, 4}
+                                    : std::vector<std::size_t>{1, 2};
+  }
 
   const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
   World world;
@@ -189,13 +227,13 @@ int main(int argc, char** argv) {
               repetitions == 1 ? "" : "s");
   std::printf("host reports %u hardware thread%s — speedups above that (or on a "
               "1-core host, above 1) are not expected\n",
-              std::thread::hardware_concurrency(),
-              std::thread::hardware_concurrency() == 1 ? "" : "s");
+              hw_threads, hw_threads == 1 ? "" : "s");
   std::printf("%-8s %12s %10s %10s %8s %12s\n", "threads", "best-ms", "sched-ms",
               "speedup", "jobs", "image-digest");
 
   json::Array sweep_json;
   double baseline_ms = 0;
+  double speedup_at_4 = 0;
   std::string baseline_digest;
   for (std::size_t threads : thread_counts) {
     double best_ms = 0;
@@ -233,6 +271,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%-8zu %12.2f %10.2f %9.2fx %8zu %12.12s\n", threads, best_ms,
                 sched_ms, baseline_ms / best_ms, jobs, digest.c_str());
+    if (threads == 4) speedup_at_4 = baseline_ms / best_ms;
     json::Object row;
     row.emplace_back("threads", json::Value(static_cast<std::uint64_t>(threads)));
     row.emplace_back("best_ms", json::Value(round3(best_ms)));
@@ -240,6 +279,23 @@ int main(int argc, char** argv) {
     row.emplace_back("speedup", json::Value(round3(baseline_ms / best_ms)));
     row.emplace_back("jobs", json::Value(static_cast<std::uint64_t>(jobs)));
     sweep_json.push_back(json::Value(std::move(row)));
+  }
+
+  // Concurrency must pay for itself: on a host that can actually run four
+  // workers, a 4-thread rebuild slower than sequential is a regression in
+  // the scheduler hot path, not noise.
+  if (smoke) {
+    if (hw_threads >= 4) {
+      if (speedup_at_4 < 1.0) {
+        std::fprintf(stderr, "SMOKE: 4-thread speedup %.2fx < 1.0x — concurrency "
+                             "costs more than it buys\n", speedup_at_4);
+        return 1;
+      }
+      std::printf("4-thread speedup gate passed: %.2fx\n", speedup_at_4);
+    } else {
+      std::printf("SKIP: 4-thread speedup gate needs >= 4 hardware threads, host "
+                  "has %u\n", hw_threads);
+    }
   }
 
   // Warm-cache rerun: every compile job replays from the cache.
@@ -339,6 +395,10 @@ int main(int argc, char** argv) {
     json::Object doc;
     doc.emplace_back("workload", json::Value(world.extended_tag));
     doc.emplace_back("system", json::Value(system.name));
+    doc.emplace_back("mode", json::Value(std::string(smoke ? "smoke" : "full")));
+    doc.emplace_back("hardware_threads",
+                     json::Value(static_cast<std::uint64_t>(hw_threads)));
+    doc.emplace_back("cpu_model", json::Value(cpu_model()));
     doc.emplace_back("repetitions", json::Value(repetitions));
     doc.emplace_back("compile_jobs",
                      json::Value(static_cast<std::uint64_t>(traced_report.jobs)));

@@ -5,9 +5,13 @@
 # duplicate service requests coalesce, and injected faults recover via
 # retry). The parallel-rebuild smoke runs with tracing enabled and fails if
 # the exported Chrome trace is malformed, missing compile-job spans, or the
-# tracing overhead clears the 5% bar (2 ms absolute floor). A second build
+# tracing overhead clears the 5% bar (2 ms absolute floor); on a host with
+# >= 4 hardware threads it also sweeps 4 threads and fails when the 4-thread
+# speedup drops below 1.0x (on smaller hosts the bench prints a SKIP notice
+# instead — see docs/PERFORMANCE.md). A second build
 # under ThreadSanitizer reruns the concurrency layer
-# (scheduler, registry, rebuild service, obs tracing/metrics) and the
+# (scheduler — including the SchedStress lock-free deque/cache/epoch tests —
+# registry, rebuild service, obs tracing/metrics) and the
 # service smoke bench. A third
 # build under AddressSanitizer reruns the durability layer (write-ahead
 # journal, crash/torn-write injection, fsck/repair) plus the crash-resume
@@ -55,7 +59,7 @@ if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
 
   echo "== tsan test (concurrency layer) =="
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-        -R 'Sched|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs|Store'
+        -R 'Sched|SchedStress|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs|Store'
 
   echo "== tsan bench smoke =="
   "$tsan_dir/bench/service_throughput" --smoke

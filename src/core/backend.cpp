@@ -5,7 +5,6 @@
 #include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 
 #include "buildexec/builder.hpp"
 #include "buildexec/container.hpp"
@@ -181,15 +180,29 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   // The compile scheduler. Each non-leaf graph node becomes one job whose
   // dependency edges are the node's non-leaf producers, so independent
   // translation units compile concurrently while links wait for their
-  // objects. The job body is identical in sequential (threads == 1, jobs run
-  // inline in topological order) and pooled mode: every job executes against
-  // a private snapshot of the shared rootfs taken under a reader lock and
-  // commits its outputs under the writer lock, so both modes produce
-  // bit-identical rebuilt images.
+  // objects. Sequential mode (threads == 1) runs jobs inline in topological
+  // order directly on the shared rootfs. Concurrent mode runs the DAG in
+  // epoch/wave mode: every wave shares one immutable copy-on-write snapshot
+  // of the rootfs (published by the wave-begin hook, read lock-free by all
+  // jobs), job outputs are buffered per job, and the wave-commit hook applies
+  // them to the rootfs — in submission order, on the scheduler's calling
+  // thread, one batch per wave instead of one writer lock per job. Both modes
+  // produce bit-identical rebuilt images because a job only ever reads
+  // outputs of its (earlier-wave) dependencies. See docs/PERFORMANCE.md.
   COMT_TRY(std::vector<int> order, graph.topological_order());
   const std::string arch = container.config().architecture;
   const shell::Environment env = container.env();
-  std::shared_mutex rootfs_mutex;
+  // Concurrent mode only: the current wave's shared rootfs snapshot. Written
+  // by the wave-begin hook (between waves, on the run() caller's thread),
+  // read by job bodies; the wave barrier orders the two.
+  std::shared_ptr<const vfs::Filesystem> epoch_view;
+  // One per scheduler job in concurrent mode: outputs buffered by the body,
+  // applied by the wave-commit hook.
+  struct PendingCommit {
+    std::string job_key;
+    std::vector<sched::CachedOutput> outputs;
+    bool replayed = false;  ///< journal replay: already durable, don't re-append
+  };
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> journal_replayed{0};
@@ -230,17 +243,27 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   // Current digest of `path` in the shared rootfs; "" when unreadable. The
   // cache verifies its per-entry input manifest through this, so a changed
   // source, header, object or toolchain stub turns a candidate into a miss.
+  // Concurrent jobs digest against the wave's immutable snapshot, lock-free;
+  // sequential jobs read the live rootfs (nothing else is running).
   auto digest_in_rootfs = [&](const std::string& path) -> std::string {
-    std::shared_lock<std::shared_mutex> lock(rootfs_mutex);
-    auto content = container.rootfs().read_file(path);
+    const vfs::Filesystem& fs =
+        epoch_view != nullptr ? *epoch_view : container.rootfs();
+    auto content = fs.read_file(path);
     return content.ok() ? Sha256::hex_digest(content.value()) : std::string();
   };
 
+  // One job body. `slot == nullptr` is the sequential path: execute in place
+  // on the shared rootfs, commit and journal inline (per-job crash sites are
+  // exact, which the crash-resume machinery depends on). With a slot the job
+  // runs in a wave: it executes against a private copy of the wave snapshot
+  // and buffers its outputs; the wave-commit hook applies and journals them
+  // at the barrier.
   auto run_job = [&](const std::string& job_key, const std::vector<std::string>& argv,
-                     const std::string& cwd) -> Status {
+                     const std::string& cwd, PendingCommit* slot) -> Status {
     if (options.fault_injector != nullptr) {
       options.fault_injector->check_crash(kCrashJobStart);
     }
+    if (slot != nullptr) slot->job_key = job_key;
     // Crash-resume replay: a commit record means this job's outputs are
     // already durable — re-apply them instead of re-running the tool.
     if (options.journal != nullptr) {
@@ -251,9 +274,15 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
           return make_error(Errc::corrupt, "rebuild: journal commit for job " + job_key +
                                                " fails its output digest");
         }
-        std::unique_lock<std::shared_mutex> lock(rootfs_mutex);
-        for (const durable::JournalOutput& out : committed->second.outputs) {
-          COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
+        if (slot != nullptr) {
+          slot->replayed = true;
+          for (const durable::JournalOutput& out : committed->second.outputs) {
+            slot->outputs.push_back({out.path, out.content, out.mode});
+          }
+        } else {
+          for (const durable::JournalOutput& out : committed->second.outputs) {
+            COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
+          }
         }
         journal_replayed.fetch_add(1);
         return Status::success();
@@ -264,7 +293,6 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
     }
     sched::CacheKey key{options.system->name, arch, cwd, argv};
     const std::string key_digest = key.digest();
-    const bool concurrent = options.threads > 1;
     std::vector<sched::CachedOutput> outputs;
     bool from_cache = false;
     if (options.compile_cache != nullptr) {
@@ -277,21 +305,22 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
     }
     if (!from_cache) {
       // Sequential mode executes directly on the shared rootfs (nothing else
-      // runs, so no snapshot is needed and no copy is paid). Concurrent mode
-      // executes against a private snapshot and commits the declared outputs
-      // under the writer lock — the rebuilt files are identical because the
+      // runs, so no snapshot is needed and no copy is paid). A wave job
+      // executes against a private copy of the wave snapshot — node-level
+      // structural sharing makes that a pointer-per-path copy, no content
+      // bytes and no lock — and the rebuilt files are identical because the
       // tool sees the same committed dependency outputs either way.
       vfs::Filesystem snapshot;
       vfs::Filesystem* fs = &container.rootfs();
-      if (concurrent) {
-        std::shared_lock<std::shared_mutex> lock(rootfs_mutex);
-        snapshot = container.rootfs();
+      if (slot != nullptr) {
+        snapshot = *epoch_view;
         fs = &snapshot;
       }
       auto executed = buildexec::exec_tool(argv, *fs, cwd, arch, env);
       if (!executed.ok()) return executed.error();
       cache_misses.fetch_add(1);
-      if (concurrent || options.compile_cache != nullptr || options.journal != nullptr) {
+      if (slot != nullptr || options.compile_cache != nullptr ||
+          options.journal != nullptr) {
         for (const std::string& out_path : executed.value().outputs) {
           auto content = fs->read_file(out_path);
           if (!content.ok()) continue;  // e.g. an output the tool itself removed
@@ -312,7 +341,7 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
           entry.input_digests[executed.value().resolved_program] =
               program.ok() ? Sha256::hex_digest(program.value()) : std::string();
         }
-        if (concurrent || options.journal != nullptr) {
+        if (slot != nullptr || options.journal != nullptr) {
           entry.outputs = outputs;  // the write-back / journal commit below still needs them
         } else {
           entry.outputs = std::move(outputs);
@@ -320,10 +349,15 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
         options.compile_cache->store(key_digest, std::move(entry));
       }
     }
-    // Cache hits and concurrent executions commit their outputs to the
-    // shared rootfs here; sequential executions already wrote in place.
-    if (concurrent || from_cache) {
-      std::unique_lock<std::shared_mutex> lock(rootfs_mutex);
+    if (slot != nullptr) {
+      // Wave mode: nothing touches the shared rootfs here. The commit hook
+      // applies these at the barrier, in submission order.
+      slot->outputs = std::move(outputs);
+      return Status::success();
+    }
+    // Sequential: a cache hit replays its outputs onto the rootfs (a miss
+    // already wrote in place), then the job is journaled inline.
+    if (from_cache) {
       for (const sched::CachedOutput& out : outputs) {
         COMT_TRY_STATUS(container.rootfs().write_file(out.path, out.content, out.mode));
       }
@@ -349,9 +383,16 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
   };
 
   std::unique_ptr<sched::ThreadPool> pool;
+  obs::Counter* commit_batches = nullptr;
+  obs::Histogram* commit_batch_jobs = nullptr;
   if (options.threads > 1) {
     pool = std::make_unique<sched::ThreadPool>(options.threads);
     pool->set_metrics(options.metrics);
+    if (options.metrics != nullptr) {
+      commit_batches = &options.metrics->counter("rebuild.commit.batches");
+      commit_batch_jobs = &options.metrics->histogram("rebuild.commit.batch_jobs",
+                                                      obs::default_batch_size_buckets());
+    }
   }
 
   // `pass` prefixes journal job keys so the two PGO passes (which run the
@@ -363,6 +404,7 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
     obs::Span pass_span = obs::maybe_span(
         options.tracer, "pass:" + std::string(pass), root_span.id(), "sched");
     sched::DagScheduler scheduler;
+    std::vector<PendingCommit> pending;  // sized after all jobs are added
     for (int id : order) {
       const GraphNode& node = graph.node(id);
       if (node.is_leaf()) continue;
@@ -388,12 +430,15 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
       std::string cwd = node.cwd.empty() ? "/" : node.cwd;
       std::string path = node.path;
       std::string job_key = std::string(pass) + ":" + std::to_string(id);
+      const std::size_t job_index = scheduler.job_count();
       COMT_TRY_STATUS(scheduler.add_job(
           std::to_string(id), std::move(dep_jobs),
-          [&run_job, id, job_key = std::move(job_key), path = std::move(path),
-           argv = std::move(argv), cwd = std::move(cwd)]() -> Status {
+          [&run_job, &pending, &pool, id, job_index, job_key = std::move(job_key),
+           path = std::move(path), argv = std::move(argv),
+           cwd = std::move(cwd)]() -> Status {
             if (argv.empty()) return Status::success();
-            Status status = run_job(job_key, argv, cwd);
+            PendingCommit* slot = pool != nullptr ? &pending[job_index] : nullptr;
+            Status status = run_job(job_key, argv, cwd, slot);
             if (!status.ok()) {
               return make_error(status.error().code,
                                 "rebuild of node " + std::to_string(id) + " (" + path +
@@ -403,12 +448,60 @@ Result<RebuildReport> comtainer_rebuild(oci::Layout& layout, std::string_view ex
           },
           node.archive_argv.empty() ? "compile" : "link"));
     }
+    pending.assign(scheduler.job_count(), PendingCommit{});
     report.jobs += scheduler.job_count();
     sched::ObsOptions sched_obs;
     sched_obs.tracer = options.tracer;
     sched_obs.parent = pass_span.id();
     sched_obs.metrics = options.metrics;
-    COMT_TRY(sched::ScheduleReport schedule, scheduler.run(pool.get(), sched_obs));
+
+    // Concurrent passes run in epoch mode: one shared snapshot per wave, one
+    // batched commit (plus journal appends) per wave, both on this thread.
+    sched::EpochHooks hooks;
+    const sched::EpochHooks* hooks_ptr = nullptr;
+    if (pool != nullptr) {
+      hooks.begin = [&](std::size_t, const std::vector<std::size_t>&) {
+        epoch_view = std::make_shared<const vfs::Filesystem>(container.rootfs());
+      };
+      hooks.commit = [&](std::size_t,
+                         const std::vector<std::size_t>& succeeded) -> Status {
+        if (commit_batches != nullptr) commit_batches->add();
+        if (commit_batch_jobs != nullptr) {
+          commit_batch_jobs->observe(static_cast<double>(succeeded.size()));
+        }
+        for (std::size_t job : succeeded) {
+          PendingCommit& slot = pending[job];
+          for (const sched::CachedOutput& out : slot.outputs) {
+            COMT_TRY_STATUS(
+                container.rootfs().write_file(out.path, out.content, out.mode));
+          }
+          if (options.journal != nullptr && !slot.replayed) {
+            if (options.fault_injector != nullptr) {
+              options.fault_injector->check_crash(kCrashJobCommitted);
+            }
+            durable::CommitRecord record;
+            record.job_id = slot.job_key;
+            record.outputs.reserve(slot.outputs.size());
+            for (sched::CachedOutput& out : slot.outputs) {
+              record.outputs.push_back(
+                  {std::move(out.path), std::move(out.content), out.mode});
+            }
+            record.output_digest = durable::digest_outputs(record.outputs);
+            COMT_TRY_STATUS(options.journal->append_commit(record));
+            journal_committed.fetch_add(1);
+            if (options.fault_injector != nullptr) {
+              options.fault_injector->check_crash(kCrashJournalCommitted);
+            }
+          }
+          slot.outputs.clear();
+          slot.outputs.shrink_to_fit();
+        }
+        return Status::success();
+      };
+      hooks_ptr = &hooks;
+    }
+    COMT_TRY(sched::ScheduleReport schedule,
+             scheduler.run(pool.get(), sched_obs, hooks_ptr));
     pass_span.annotate("jobs", static_cast<std::uint64_t>(schedule.jobs.size()));
     report.nodes_executed += schedule.executed;
     report.wall_ms += schedule.wall_ms;

@@ -59,6 +59,12 @@ std::vector<double> default_latency_buckets_ms() {
   return bounds;
 }
 
+std::vector<double> default_batch_size_buckets() {
+  std::vector<double> bounds;
+  for (double bound = 1.0; bound <= 4096.0; bound *= 2.0) bounds.push_back(bound);
+  return bounds;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   COMT_ASSERT(gauges_.find(name) == gauges_.end() &&

@@ -82,6 +82,10 @@ class Histogram {
 /// 0.01 ms to ~65 s.
 std::vector<double> default_latency_buckets_ms();
 
+/// Default histogram bounds for small cardinalities (batch sizes, jobs per
+/// epoch, commit fan-in): powers of two from 1 to 4096.
+std::vector<double> default_batch_size_buckets();
+
 /// Named instrument store. counter()/gauge()/histogram() create on first use
 /// and return stable references; creation takes the registry lock, updates
 /// through the returned reference never do. A name permanently binds to its

@@ -78,15 +78,37 @@ std::string CacheKey::digest() const {
   return Sha256::hex_digest(buffer);
 }
 
+std::uint64_t CompileCache::next_instance_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::shared_ptr<const CompileCache::EntryMap> CompileCache::snapshot() const {
+  struct TlsSnapshot {
+    std::uint64_t instance = 0;  // instance ids are unique for the process
+    std::uint64_t version = 0;
+    std::shared_ptr<const EntryMap> map;
+  };
+  thread_local TlsSnapshot tls;
+  // Steady state (nobody stored since this thread last looked): one acquire
+  // load, no lock, no shared write. The cached map is immutable, so reading
+  // it is race-free even while a writer prepares the next snapshot.
+  const std::uint64_t version = version_.load(std::memory_order_acquire);
+  if (tls.instance == instance_id_ && tls.version == version) return tls.map;
+  std::lock_guard<std::mutex> lock(mutex_);
+  tls.instance = instance_id_;
+  tls.version = version_.load(std::memory_order_relaxed);
+  tls.map = published_;
+  return tls.map;
+}
+
 std::shared_ptr<const CacheEntry> CompileCache::lookup(const std::string& key_digest,
-                                                       const DigestFn& digest_of) {
+                                                       const DigestFn& digest_of) const {
+  const std::shared_ptr<const EntryMap> view = snapshot();
   std::shared_ptr<const CacheEntry> candidate;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto found = entries_.find(key_digest);
-    if (found != entries_.end()) candidate = found->second;
-  }
-  // Verify the input manifest outside the lock: digest_of may do real work.
+  auto found = view->find(key_digest);
+  if (found != view->end()) candidate = found->second;
+  // Verify the input manifest — digest_of may do real work, all lock-free.
   if (candidate) {
     for (const auto& [path, digest] : candidate->input_digests) {
       if (digest_of(path) != digest) {
@@ -95,13 +117,14 @@ std::shared_ptr<const CacheEntry> CompileCache::lookup(const std::string& key_di
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
   if (candidate) {
-    ++stats_.hits;
-    if (hits_ != nullptr) hits_->add();
+    hit_count_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter* hits = hits_.load(std::memory_order_acquire)) hits->add();
   } else {
-    ++stats_.misses;
-    if (misses_ != nullptr) misses_->add();
+    miss_count_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter* misses = misses_.load(std::memory_order_acquire)) {
+      misses->add();
+    }
   }
   return candidate;
 }
@@ -111,10 +134,18 @@ void CompileCache::store(const std::string& key_digest, CacheEntry entry) {
   std::shared_ptr<store::KvStore> backing;
   std::string backing_key;
   {
+    // Copy-update-republish under the writer mutex; the version bump tells
+    // readers their thread-local snapshot is stale. Concurrent lookups keep
+    // reading the old snapshot until they observe the new version.
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_[key_digest] = shared;
-    ++stats_.stores;
-    if (inserts_ != nullptr) inserts_->add();
+    auto next = std::make_shared<EntryMap>(*published_);
+    (*next)[key_digest] = shared;
+    published_ = std::move(next);
+    version_.fetch_add(1, std::memory_order_release);
+    store_count_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter* inserts = inserts_.load(std::memory_order_acquire)) {
+      inserts->add();
+    }
     backing = backing_;
     backing_key = prefix_ + key_digest;
   }
@@ -130,6 +161,7 @@ std::size_t CompileCache::attach(std::shared_ptr<store::KvStore> backing,
   backing_ = std::move(backing);
   prefix_ = std::move(prefix);
   if (backing_ == nullptr) return 0;
+  auto next = std::make_shared<EntryMap>(*published_);
   std::size_t recovered = 0;
   for (const store::KvEntry& persisted : backing_->list(prefix_)) {
     const std::string key = persisted.key.substr(prefix_.size());
@@ -140,39 +172,54 @@ std::size_t CompileCache::attach(std::shared_ptr<store::KvStore> backing,
       // Torn, bit-flipped, or truncated on disk: erase it so the next
       // attach does not re-trip, and degrade to a miss.
       (void)backing_->erase(persisted.key);
-      ++stats_.corrupt_dropped;
-      if (corrupt_dropped_ != nullptr) corrupt_dropped_->add();
+      corrupt_count_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Counter* corrupt = corrupt_dropped_.load(std::memory_order_acquire)) {
+        corrupt->add();
+      }
       continue;
     }
-    entries_[key] = std::make_shared<const CacheEntry>(std::move(*entry));
-    ++stats_.hydrated;
-    if (hydrated_ != nullptr) hydrated_->add();
+    (*next)[key] = std::make_shared<const CacheEntry>(std::move(*entry));
+    hydrated_count_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter* hydrated = hydrated_.load(std::memory_order_acquire)) {
+      hydrated->add();
+    }
     ++recovered;
   }
+  published_ = std::move(next);
+  version_.fetch_add(1, std::memory_order_release);
   return recovered;
 }
 
 void CompileCache::set_metrics(obs::MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (metrics == nullptr) {
-    hits_ = misses_ = inserts_ = hydrated_ = corrupt_dropped_ = nullptr;
+    hits_.store(nullptr, std::memory_order_release);
+    misses_.store(nullptr, std::memory_order_release);
+    inserts_.store(nullptr, std::memory_order_release);
+    hydrated_.store(nullptr, std::memory_order_release);
+    corrupt_dropped_.store(nullptr, std::memory_order_release);
     return;
   }
-  hits_ = &metrics->counter("compile_cache.hits");
-  misses_ = &metrics->counter("compile_cache.misses");
-  inserts_ = &metrics->counter("compile_cache.inserts");
-  hydrated_ = &metrics->counter("compile_cache.hydrated");
-  corrupt_dropped_ = &metrics->counter("compile_cache.corrupt_dropped");
+  hits_.store(&metrics->counter("compile_cache.hits"), std::memory_order_release);
+  misses_.store(&metrics->counter("compile_cache.misses"), std::memory_order_release);
+  inserts_.store(&metrics->counter("compile_cache.inserts"),
+                 std::memory_order_release);
+  hydrated_.store(&metrics->counter("compile_cache.hydrated"),
+                  std::memory_order_release);
+  corrupt_dropped_.store(&metrics->counter("compile_cache.corrupt_dropped"),
+                         std::memory_order_release);
 }
 
 CacheStats CompileCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats out;
+  out.hits = hit_count_.load(std::memory_order_relaxed);
+  out.misses = miss_count_.load(std::memory_order_relaxed);
+  out.stores = store_count_.load(std::memory_order_relaxed);
+  out.hydrated = hydrated_count_.load(std::memory_order_relaxed);
+  out.corrupt_dropped = corrupt_count_.load(std::memory_order_relaxed);
+  return out;
 }
 
-std::size_t CompileCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
-}
+std::size_t CompileCache::size() const { return snapshot()->size(); }
 
 }  // namespace comt::sched

@@ -9,6 +9,19 @@
 // recompiles. Entries store the produced output blobs, so a hit replays the
 // outputs without running the toolchain at all.
 //
+// Concurrency model (RCU-style): the entry map is an immutable snapshot,
+// republished as a whole by every mutation. Each reader thread caches the
+// snapshot it last saw together with the cache's version stamp; lookup() —
+// the hot path, hit every compile job of a warm rebuild — validates the
+// cached snapshot with one atomic version load and proceeds with no lock
+// and no shared-memory write. Only when the version moved (someone stored)
+// does the reader take the writer mutex for one brief snapshot refresh.
+// Mutations (store, attach) copy-update-republish under the mutex; readers
+// holding an old snapshot keep it alive. (An atomic shared_ptr would be the
+// textbook publication primitive, but libstdc++'s implementation trips
+// ThreadSanitizer, and the version check is cheaper anyway.)
+// See docs/PERFORMANCE.md for why the hit path must be lock-free.
+//
 // attach() bolts the cache onto a store::KvStore: every store() writes the
 // entry through under "cache/<key digest>" and attach itself hydrates the
 // entries the backing already holds, so a cache over a DiskStore directory
@@ -16,6 +29,7 @@
 // deserialization is dropped (degrades to a miss, never to a wrong hit).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -60,17 +74,19 @@ struct CacheEntry {
   std::vector<CachedOutput> outputs;
 };
 
-/// Hit/miss/store counters for one cache over its lifetime.
+/// Hit/miss/store counters for one cache over its lifetime. A consistent
+/// point-in-time snapshot taken by stats().
 struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t stores = 0;
+  std::uint64_t hits = 0;            ///< lookups whose manifest fully verified
+  std::uint64_t misses = 0;          ///< absent key or stale manifest input
+  std::uint64_t stores = 0;          ///< store() calls (inserts and replacements)
   std::uint64_t hydrated = 0;        ///< entries recovered from the backing store
   std::uint64_t corrupt_dropped = 0; ///< persisted entries rejected at hydration
 };
 
 /// Thread-safe in-memory compile cache shared by all jobs of a rebuild (and
-/// across rebuilds, when the caller keeps it alive).
+/// across rebuilds, when the caller keeps it alive). Lookups are lock-free;
+/// store/attach serialize on an internal writer mutex.
 class CompileCache {
  public:
   /// Returns the current digest of `path` in the caller's filesystem, or an
@@ -80,40 +96,73 @@ class CompileCache {
   /// Looks up `key_digest`. On a candidate entry, re-digests every manifest
   /// input through `digest_of`; the entry only hits when all match. Returns
   /// the entry on a hit, nullptr on a miss. Counts one hit or one miss.
+  /// Steady-state lock-free: one atomic version load validates this thread's
+  /// cached snapshot; the mutex is touched only right after a store changed
+  /// the map. Concurrent store() calls are invisible to an in-flight lookup
+  /// (it reads the snapshot it started with).
   std::shared_ptr<const CacheEntry> lookup(const std::string& key_digest,
-                                           const DigestFn& digest_of);
+                                           const DigestFn& digest_of) const;
 
   /// Stores (or replaces) the entry for `key_digest`. Counts one store.
   /// When attached, the entry also writes through to the backing store.
+  /// Takes the writer mutex; safe against concurrent lookups and stores.
   void store(const std::string& key_digest, CacheEntry entry);
 
   /// Backs the cache with `backing` under `prefix`: hydrates every intact
   /// persisted entry (counting CacheStats::hydrated), erases and counts
-  /// corrupt ones, and writes every future store() through. Call before
-  /// sharing the cache. Returns the number of entries hydrated.
+  /// corrupt ones (CacheStats::corrupt_dropped), and writes every future
+  /// store() through. Call before sharing the cache. Returns the number of
+  /// entries hydrated. Passing nullptr detaches.
   std::size_t attach(std::shared_ptr<store::KvStore> backing,
                      std::string prefix = std::string(kCacheKeyPrefix));
 
   /// Attaches counters ("compile_cache.hits", "compile_cache.misses",
   /// "compile_cache.inserts", "compile_cache.hydrated",
-  /// "compile_cache.corrupt_dropped"). Pass nullptr to detach. Wire up
-  /// before sharing the cache (and before attach(), to count hydration).
+  /// "compile_cache.corrupt_dropped"). Pass nullptr to detach. Safe to call
+  /// while lookups run (the instrument pointers are atomic), though counts
+  /// bumped before the attach are not replayed into the registry.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Point-in-time counter snapshot (atomic reads, no lock).
   CacheStats stats() const;
+
+  /// Entries currently published.
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const CacheEntry>> entries_;
-  CacheStats stats_;
-  std::shared_ptr<store::KvStore> backing_;
-  std::string prefix_;
-  obs::Counter* hits_ = nullptr;
-  obs::Counter* misses_ = nullptr;
-  obs::Counter* inserts_ = nullptr;
-  obs::Counter* hydrated_ = nullptr;
-  obs::Counter* corrupt_dropped_ = nullptr;
+  using EntryMap = std::map<std::string, std::shared_ptr<const CacheEntry>>;
+
+  static std::uint64_t next_instance_id();
+
+  /// This thread's view of the entry map: the cached snapshot when the
+  /// version stamp still matches (no lock), a mutex-protected refresh when
+  /// it moved. The returned map is immutable and refcounted.
+  std::shared_ptr<const EntryMap> snapshot() const;
+
+  // The current map, republished as a whole by every mutation under
+  // `mutex_`; `version_` bumps on each publish so readers can validate
+  // their thread-local snapshot with one atomic load. The map behind a
+  // published pointer is never mutated.
+  std::shared_ptr<const EntryMap> published_ =
+      std::make_shared<const EntryMap>();     // guarded by mutex_
+  std::atomic<std::uint64_t> version_{1};
+  const std::uint64_t instance_id_ = next_instance_id();  // never reused
+  mutable std::mutex mutex_;  // serializes store/attach/backing writes
+
+  mutable std::atomic<std::uint64_t> hit_count_{0};
+  mutable std::atomic<std::uint64_t> miss_count_{0};
+  std::atomic<std::uint64_t> store_count_{0};
+  std::atomic<std::uint64_t> hydrated_count_{0};
+  std::atomic<std::uint64_t> corrupt_count_{0};
+
+  std::shared_ptr<store::KvStore> backing_;  // guarded by mutex_
+  std::string prefix_;                       // guarded by mutex_
+  // Resolved in set_metrics; atomic because lookups read them with no lock.
+  mutable std::atomic<obs::Counter*> hits_{nullptr};
+  mutable std::atomic<obs::Counter*> misses_{nullptr};
+  std::atomic<obs::Counter*> inserts_{nullptr};
+  std::atomic<obs::Counter*> hydrated_{nullptr};
+  std::atomic<obs::Counter*> corrupt_dropped_{nullptr};
 };
 
 }  // namespace comt::sched

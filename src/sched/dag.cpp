@@ -1,5 +1,6 @@
 #include "sched/dag.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -32,7 +33,8 @@ Status DagScheduler::add_job(std::string id, std::vector<std::string> deps, JobF
   return Status::success();
 }
 
-Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opts) {
+Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opts,
+                                         const EpochHooks* hooks) {
   const obs::Stopwatch schedule_clock;
   const std::size_t count = jobs_.size();
 
@@ -40,11 +42,18 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opt
   obs::Counter* executed_count = nullptr;
   obs::Counter* failed_count = nullptr;
   obs::Counter* skipped_count = nullptr;
+  obs::Counter* epoch_count = nullptr;
+  obs::Histogram* epoch_jobs = nullptr;
   if (opts.metrics != nullptr) {
     ready_wait_ms = &opts.metrics->histogram(opts.metric_prefix + ".ready_wait_ms");
     executed_count = &opts.metrics->counter(opts.metric_prefix + ".jobs.executed");
     failed_count = &opts.metrics->counter(opts.metric_prefix + ".jobs.failed");
     skipped_count = &opts.metrics->counter(opts.metric_prefix + ".jobs.skipped");
+    if (hooks != nullptr) {
+      epoch_count = &opts.metrics->counter(opts.metric_prefix + ".epochs");
+      epoch_jobs = &opts.metrics->histogram(opts.metric_prefix + ".epoch_jobs",
+                                            obs::default_batch_size_buckets());
+    }
   }
 
   // Resolve names to indices and validate edges.
@@ -65,6 +74,10 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opt
   }
 
   // Kahn's algorithm up front: a cycle must be an error, not a deadlock.
+  // The same pass computes wave levels (1 + longest dependency chain) for
+  // epoch mode — every job in a wave depends only on earlier waves, so one
+  // immutable snapshot per wave is always consistent.
+  std::vector<std::size_t> level(count, 0);
   {
     std::vector<std::size_t> degree = indegree;
     std::queue<std::size_t> ready;
@@ -77,6 +90,7 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opt
       ready.pop();
       ++visited;
       for (std::size_t dependent : dependents[job]) {
+        if (level[dependent] < level[job] + 1) level[dependent] = level[job] + 1;
         if (--degree[dependent] == 0) ready.push(dependent);
       }
     }
@@ -97,6 +111,135 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opt
   report.jobs.resize(count);
   for (std::size_t i = 0; i < count; ++i) report.jobs[i].id = jobs_[i].id;
 
+  // Per-job dispatch latency: restarted when the job's last dependency
+  // resolves (greedy) or when its wave is dispatched (epoch), observed when
+  // its body starts.
+  std::vector<obs::Stopwatch> ready_at(count);
+
+  if (hooks != nullptr) {
+    // ---- Epoch / wave mode -------------------------------------------------
+    // Jobs grouped by level run as one batch between two barriers. No
+    // per-job mutex: a body writes only its own report slot, the shared
+    // counters are aggregated on the caller's thread at the barrier, and
+    // poison marks are read/written only between waves.
+    std::vector<std::vector<std::size_t>> waves;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (level[i] >= waves.size()) waves.resize(level[i] + 1);
+      waves[level[i]].push_back(i);  // ascending i: submission order per wave
+    }
+
+    std::vector<bool> poisoned(count, false);
+
+    auto run_body = [&](std::size_t job_index) {
+      if (ready_wait_ms != nullptr) {
+        ready_wait_ms->observe(ready_at[job_index].elapsed_ms());
+      }
+      const Job& job = jobs_[job_index];
+      obs::Span span = obs::maybe_span(opts.tracer, "job:" + job.id, opts.parent,
+                                       job.category.empty() ? opts.category : job.category);
+      const obs::Stopwatch job_clock;
+      Status status = job.fn();
+      JobOutcome& outcome = report.jobs[job_index];
+      outcome.status = std::move(status);
+      outcome.wall_ms = job_clock.elapsed_ms();
+      span.end();
+    };
+
+    for (const std::vector<std::size_t>& wave : waves) {
+      std::vector<std::size_t> runnable;
+      runnable.reserve(wave.size());
+      for (std::size_t job_index : wave) {
+        if (poisoned[job_index]) {
+          const Job& job = jobs_[job_index];
+          obs::Span span =
+              obs::maybe_span(opts.tracer, "job:" + job.id, opts.parent,
+                              job.category.empty() ? opts.category : job.category);
+          span.annotate("skipped", std::uint64_t{1});
+          span.end();
+          JobOutcome& outcome = report.jobs[job_index];
+          outcome.skipped = true;
+          outcome.status = make_error(Errc::failed, "sched: skipped '" + job.id +
+                                                        "': a dependency failed");
+          ++report.skipped;
+          if (skipped_count != nullptr) skipped_count->add();
+        } else {
+          runnable.push_back(job_index);
+        }
+      }
+
+      if (!runnable.empty()) {
+        if (hooks->begin) hooks->begin(report.epochs, runnable);
+        for (std::size_t job_index : runnable) ready_at[job_index].restart();
+
+        if (pool == nullptr) {
+          for (std::size_t job_index : runnable) run_body(job_index);
+        } else {
+          std::atomic<std::size_t> pending{runnable.size()};
+          std::mutex wave_mutex;
+          std::condition_variable wave_done;
+          std::vector<std::function<void()>> tasks;
+          tasks.reserve(runnable.size());
+          for (std::size_t job_index : runnable) {
+            tasks.push_back([&, job_index] {
+              run_body(job_index);
+              if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(wave_mutex);
+                wave_done.notify_all();
+              }
+            });
+          }
+          pool->submit_batch(std::move(tasks));
+          std::unique_lock<std::mutex> lock(wave_mutex);
+          wave_done.wait(lock, [&] {
+            return pending.load(std::memory_order_acquire) == 0;
+          });
+        }
+
+        std::vector<std::size_t> succeeded;
+        succeeded.reserve(runnable.size());
+        for (std::size_t job_index : runnable) {
+          if (report.jobs[job_index].status.ok()) succeeded.push_back(job_index);
+        }
+        if (hooks->commit) {
+          Status committed = hooks->commit(report.epochs, succeeded);
+          if (!committed.ok()) {
+            // The wave's outputs never landed: every "succeeded" body is in
+            // fact failed, and its dependents must not run.
+            for (std::size_t job_index : succeeded) {
+              report.jobs[job_index].status = committed;
+            }
+          }
+        }
+        for (std::size_t job_index : runnable) {
+          ++report.executed;
+          if (executed_count != nullptr) executed_count->add();
+          if (!report.jobs[job_index].status.ok()) {
+            ++report.failed;
+            if (failed_count != nullptr) failed_count->add();
+          }
+        }
+        ++report.epochs;
+        if (epoch_count != nullptr) epoch_count->add();
+        if (epoch_jobs != nullptr) epoch_jobs->observe(static_cast<double>(runnable.size()));
+      }
+
+      // Poison propagation happens between waves only — dependents are all
+      // in later waves, so no body ever races these flags.
+      for (std::size_t job_index : wave) {
+        const JobOutcome& outcome = report.jobs[job_index];
+        if (!outcome.status.ok()) {
+          for (std::size_t dependent : dependents[job_index]) {
+            poisoned[dependent] = true;
+          }
+        }
+      }
+    }
+
+    report.wall_ms = schedule_clock.elapsed_ms();
+    return report;
+  }
+
+  // ---- Greedy mode ---------------------------------------------------------
   // Shared execution state. `waiting` counts unresolved dependencies; a job
   // becomes ready at zero. `poisoned` marks jobs with a failed dependency.
   std::mutex mutex;
@@ -104,9 +247,6 @@ Result<ScheduleReport> DagScheduler::run(ThreadPool* pool, const ObsOptions& opt
   std::vector<std::size_t> waiting = indegree;
   std::vector<bool> poisoned(count, false);
   std::size_t remaining = count;
-  // Per-job dispatch latency: restarted when the job's last dependency
-  // resolves, observed when its body starts (frontier jobs count from here).
-  std::vector<obs::Stopwatch> ready_at(count);
 
   // Runs one ready job (or skips it), records its outcome, and returns the
   // dependents this freed. This is the single execution path shared by the

@@ -8,6 +8,19 @@
 // job runs — never a deadlock. Results are reported in submission order
 // regardless of completion order, which is what makes parallel rebuilds
 // reproducible job-for-job.
+//
+// Two execution modes share the validation and reporting machinery:
+//
+//  * Greedy (hooks == nullptr): each completed job immediately dispatches the
+//    dependents it freed. Maximum overlap, per-job completion bookkeeping.
+//  * Epoch / wave (hooks != nullptr): the DAG is partitioned into waves
+//    (wave(i) = 1 + max over dependencies), every job inside a wave is
+//    mutually independent, and the whole wave is dispatched as one batch.
+//    EpochHooks::begin runs once per wave before dispatch and
+//    EpochHooks::commit once after the wave barrier — both on the run()
+//    caller's thread — which is what lets the rebuild engine share one
+//    immutable rootfs snapshot per wave and batch all output commits
+//    instead of locking per job (see docs/PERFORMANCE.md).
 #pragma once
 
 #include <cstdint>
@@ -27,7 +40,7 @@ using JobFn = std::function<Status()>;
 
 /// Per-job outcome, in submission order.
 struct JobOutcome {
-  std::string id;
+  std::string id;       ///< the id given to add_job
   Status status;        ///< success, the job's own error, or the skip reason
   bool skipped = false; ///< true when a dependency failed and the job never ran
   double wall_ms = 0;   ///< job body execution time (0 when skipped)
@@ -37,8 +50,9 @@ struct JobOutcome {
 struct ScheduleReport {
   std::vector<JobOutcome> jobs;  ///< one per add_job call, in that order
   std::size_t executed = 0;      ///< job bodies that ran (succeeded or failed)
-  std::size_t failed = 0;
-  std::size_t skipped = 0;
+  std::size_t failed = 0;        ///< executed bodies that returned an error
+  std::size_t skipped = 0;       ///< jobs never run because a dependency failed
+  std::size_t epochs = 0;        ///< waves dispatched (0 in greedy mode)
   double wall_ms = 0;            ///< schedule wall time
 
   /// Error of the first failed/skipped job in submission order, or success.
@@ -51,10 +65,35 @@ struct ObsOptions {
   obs::Tracer* tracer = nullptr;       ///< when set, one "job:<id>" span per job
   obs::SpanId parent = obs::kNoSpan;   ///< parent for every job span
   std::string category = "compile";    ///< span category (per-job override wins)
-  obs::MetricsRegistry* metrics = nullptr;
-  std::string metric_prefix = "sched"; ///< "<prefix>.ready_wait_ms", "<prefix>.jobs.*"
+  obs::MetricsRegistry* metrics = nullptr;  ///< sink for the counters below
+  /// Metric namespace: "<prefix>.ready_wait_ms" (dispatch latency histogram),
+  /// "<prefix>.jobs.{executed,failed,skipped}" counters, and in epoch mode
+  /// "<prefix>.epochs" (waves dispatched) plus "<prefix>.epoch_jobs"
+  /// (jobs-per-wave histogram — low values mean a serial DAG, not a slow pool).
+  std::string metric_prefix = "sched";
 };
 
+/// Wave lifecycle callbacks for epoch mode. Both hooks run on the thread that
+/// called run() — never on a pool worker — so they may touch state the job
+/// bodies only read. Either may be empty.
+struct EpochHooks {
+  /// Called before a wave is dispatched. `jobs` are the submission-order
+  /// indices of the bodies about to execute (poisoned jobs are excluded; a
+  /// wave in which everything is poisoned still reports, but `begin` and
+  /// `commit` are skipped). The rebuild engine uses this to publish one
+  /// immutable rootfs snapshot for the whole wave.
+  std::function<void(std::size_t epoch, const std::vector<std::size_t>& jobs)> begin;
+
+  /// Called after the wave barrier with the submission-order indices of the
+  /// bodies that succeeded. A returned error marks every listed job failed
+  /// (their dependents are then skipped, make -k style). The rebuild engine
+  /// uses this to apply the wave's buffered outputs under one commit instead
+  /// of one per job.
+  std::function<Status(std::size_t epoch, const std::vector<std::size_t>& succeeded)> commit;
+};
+
+/// Builds and executes one dependency graph. Not thread-safe itself: add jobs
+/// and call run() from one thread (run() fans the bodies out internally).
 class DagScheduler {
  public:
   /// Registers a job. `deps` name jobs this one must run after; forward
@@ -64,6 +103,7 @@ class DagScheduler {
   Status add_job(std::string id, std::vector<std::string> deps, JobFn fn,
                  std::string category = "");
 
+  /// Jobs registered so far.
   std::size_t job_count() const { return jobs_.size(); }
 
   /// Executes the graph. With a pool, independent jobs run concurrently;
@@ -75,7 +115,12 @@ class DagScheduler {
   /// run (make -k semantics, so one bad unit doesn't hide other errors).
   /// With ObsOptions attached, every job — executed or skipped — emits
   /// exactly one span, so span count always equals job_count().
-  Result<ScheduleReport> run(ThreadPool* pool, const ObsOptions& opts = {});
+  ///
+  /// Passing `hooks` selects epoch mode: jobs run wave-by-wave with a barrier
+  /// (and the hook calls) between waves. Within a wave, outcomes land in
+  /// submission order; with `pool == nullptr` the wave bodies run inline.
+  Result<ScheduleReport> run(ThreadPool* pool, const ObsOptions& opts = {},
+                             const EpochHooks* hooks = nullptr);
 
  private:
   struct Job {

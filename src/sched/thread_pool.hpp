@@ -1,9 +1,19 @@
 // Work-stealing thread pool backing the parallel rebuild engine.
 //
-// Each worker owns a deque: it pops its own work from the front and steals
-// from the back of sibling deques when idle (Blumofe/Leiserson discipline).
-// Submission round-robins across the deques, so independent compile jobs
-// spread over workers without a single contended global queue.
+// Each worker owns a Chase–Lev deque: it pushes and pops its own work at the
+// bottom without synchronization against itself, and idle workers steal from
+// the top of sibling deques with a single compare-and-swap — the entire
+// task-to-task hot path is lock-free. Submissions from pool threads go
+// straight into the submitting worker's own deque; submissions from outside
+// land in a small mutex-protected injection queue that workers drain in
+// chunks into their deques (one lock acquisition amortized over the chunk).
+// submit_batch() enqueues a whole wave of tasks under one lock — the
+// DagScheduler's epoch mode dispatches each ready-set drain this way.
+//
+// Idle workers spin briefly over the deques, then park on a condition
+// variable; submitters bump an epoch counter and only notify when a sleeper
+// is registered, so a saturated pool never touches the parking lock.
+// docs/PERFORMANCE.md documents the cost model and the lock hierarchy.
 #pragma once
 
 #include <atomic>
@@ -11,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -19,6 +30,61 @@
 #include "obs/stopwatch.hpp"
 
 namespace comt::sched {
+
+namespace detail {
+
+/// Chase–Lev work-stealing deque of heap-allocated tasks. The owner thread
+/// pushes/pops at the bottom; any number of thieves steal at the top. All
+/// cross-thread ordering is expressed through seq_cst/acquire/release
+/// operations on `top_`/`bottom_` (no standalone fences — ThreadSanitizer
+/// models atomics precisely but not fences). The circular array grows on
+/// demand; retired arrays are kept until destruction so a thief holding a
+/// stale array pointer never reads freed memory.
+class StealDeque {
+ public:
+  using Task = std::function<void()>;
+
+  StealDeque();
+  ~StealDeque();
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only: enqueue at the bottom.
+  void push(Task task);
+
+  /// Owner only: dequeue at the bottom (LIFO against push; the last element
+  /// races thieves and is resolved by CAS). Returns nullptr when empty.
+  Task pop();
+
+  /// Any thread: dequeue at the top (FIFO). Returns nullptr when empty or
+  /// when it lost the race for the last element.
+  Task steal();
+
+  /// Approximate: may be stale the moment it returns.
+  bool empty() const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::int64_t capacity);
+    std::int64_t capacity;  // power of two
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+    Task* get(std::int64_t index) const {
+      return slots[index & (capacity - 1)].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t index, Task* task) {
+      slots[index & (capacity - 1)].store(task, std::memory_order_relaxed);
+    }
+  };
+
+  Ring* grow(Ring* ring, std::int64_t top, std::int64_t bottom);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  std::vector<std::unique_ptr<Ring>> retired_;  // owner-only; freed with *this
+};
+
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -33,8 +99,15 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task. No-op after shutdown().
+  /// Enqueues a task. From a pool worker this is a lock-free push onto the
+  /// worker's own deque; from any other thread the task goes through the
+  /// injection queue (one brief lock). No-op after shutdown(); must not race
+  /// a concurrent shutdown() call.
   void submit(std::function<void()> task);
+
+  /// Enqueues a whole batch under a single injection-queue lock — the
+  /// amortized entry point for wave/epoch dispatch. Empty batches are no-ops.
+  void submit_batch(std::vector<std::function<void()>> tasks);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
@@ -44,34 +117,60 @@ class ThreadPool {
   void shutdown();
 
   /// Number of tasks that have run to completion.
-  std::uint64_t executed() const { return executed_.load(); }
+  std::uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
 
   /// Attaches pool instrumentation: every task records its submit-to-start
   /// queue wait in the "<prefix>.queue_wait_ms" histogram and bumps
-  /// "<prefix>.tasks". Pass nullptr to detach. Not synchronized with
-  /// concurrent submits — wire it up before sharing the pool.
+  /// "<prefix>.tasks"; successful steals bump "<prefix>.steals" and each
+  /// worker park (sleep after a fruitless spin) bumps "<prefix>.parks" —
+  /// the two contention signals docs/PERFORMANCE.md explains how to read.
+  /// Pass nullptr to detach. Safe to call while workers run (the instrument
+  /// pointers are atomic); tasks already instrumented keep their snapshot.
   void set_metrics(obs::MetricsRegistry* metrics, std::string_view prefix = "sched.pool");
 
  private:
   struct Worker {
-    std::deque<std::function<void()>> queue;
-    std::mutex mutex;
+    detail::StealDeque deque;
   };
 
   void worker_loop(std::size_t self);
-  bool take(std::size_t self, std::function<void()>& task);
+  /// One full scan: own deque, then the injection queue, then siblings.
+  std::function<void()> take(std::size_t self);
+  std::function<void()> take_injected(std::size_t self);
+  void notify_work(std::size_t tasks);
+  void finish_task();
+  std::function<void()> instrument(std::function<void()> task);
 
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex state_mutex_;
+
+  // External submissions; workers move chunks into their own deques.
+  std::mutex inject_mutex_;
+  std::deque<std::function<void()>> injected_;
+
+  // Parking: work_epoch_ counts "work may have arrived" events; a worker
+  // records the epoch, rescans, and only sleeps if the epoch is unchanged
+  // under park_mutex_ — submitters bump the epoch first and lock only when
+  // sleepers_ is nonzero, so the uncontended path never blocks.
+  std::mutex park_mutex_;
   std::condition_variable work_available_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<std::size_t> sleepers_{0};
+
+  // Idle tracking: outstanding_ counts queued + running tasks.
+  std::mutex idle_mutex_;
   std::condition_variable all_done_;
+  std::atomic<std::int64_t> outstanding_{0};
+
+  std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> executed_{0};
-  std::atomic<std::size_t> next_queue_{0};
-  obs::Histogram* queue_wait_ms_ = nullptr;  // resolved once in set_metrics
-  obs::Counter* task_counter_ = nullptr;
-  std::size_t outstanding_ = 0;  // queued + running, guarded by state_mutex_
-  bool stopping_ = false;
+  // Resolved in set_metrics; atomic because workers may already be running
+  // (instruments themselves live in the registry and are never destroyed
+  // while it exists).
+  std::atomic<obs::Histogram*> queue_wait_ms_{nullptr};
+  std::atomic<obs::Counter*> task_counter_{nullptr};
+  std::atomic<obs::Counter*> steal_counter_{nullptr};
+  std::atomic<obs::Counter*> park_counter_{nullptr};
 };
 
 }  // namespace comt::sched

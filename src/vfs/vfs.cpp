@@ -20,11 +20,17 @@ std::string whiteout_path(std::string_view deleted) {
 
 }  // namespace
 
+Filesystem::NodeRef Filesystem::make_node(NodeType type, std::string content,
+                                          std::uint32_t mode) {
+  auto node = std::make_shared<Node>();
+  node->type = type;
+  node->content = std::move(content);
+  node->mode = mode;
+  return node;
+}
+
 Filesystem::Filesystem() {
-  Node root;
-  root.type = NodeType::directory;
-  root.mode = 0755;
-  nodes_.emplace("/", std::move(root));
+  nodes_.emplace("/", make_node(NodeType::directory, "", 0755));
 }
 
 bool Filesystem::exists(std::string_view path) const { return lookup(path) != nullptr; }
@@ -46,7 +52,7 @@ bool Filesystem::is_symlink(std::string_view path) const {
 
 const Node* Filesystem::lookup(std::string_view path) const {
   auto it = nodes_.find(normalize_path(path));
-  return it == nodes_.end() ? nullptr : &it->second;
+  return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 Result<std::string> Filesystem::resolve(std::string_view path) const {
@@ -54,8 +60,8 @@ Result<std::string> Filesystem::resolve(std::string_view path) const {
   // Bounded symlink chain to catch cycles (Linux uses 40).
   for (int hops = 0; hops < 40; ++hops) {
     auto it = nodes_.find(current);
-    if (it == nodes_.end() || it->second.type != NodeType::symlink) return current;
-    const std::string& target = it->second.content;
+    if (it == nodes_.end() || it->second->type != NodeType::symlink) return current;
+    const std::string& target = it->second->content;
     current = target.front() == '/' ? normalize_path(target)
                                     : path_join(path_dirname(current), target);
   }
@@ -102,7 +108,7 @@ std::vector<std::string> Filesystem::all_paths() const {
 std::uint64_t Filesystem::total_file_bytes() const {
   std::uint64_t total = 0;
   for (const auto& [path, node] : nodes_) {
-    if (node.type == NodeType::regular) total += node.content.size();
+    if (node->type == NodeType::regular) total += node->content.size();
   }
   return total;
 }
@@ -112,16 +118,13 @@ Status Filesystem::insert_parents(std::string_view path) {
   if (dir == "/" || dir == ".") return Status::success();
   auto it = nodes_.find(dir);
   if (it != nodes_.end()) {
-    if (it->second.type != NodeType::directory) {
+    if (it->second->type != NodeType::directory) {
       return make_error(Errc::invalid_argument, "parent is not a directory: " + dir);
     }
     return Status::success();
   }
   COMT_TRY_STATUS(insert_parents(dir));
-  Node node;
-  node.type = NodeType::directory;
-  node.mode = 0755;
-  nodes_.emplace(std::move(dir), std::move(node));
+  nodes_.emplace(std::move(dir), make_node(NodeType::directory, "", 0755));
   return Status::success();
 }
 
@@ -130,46 +133,37 @@ Status Filesystem::make_directories(std::string_view path, std::uint32_t mode) {
   if (normal == "/") return Status::success();
   auto it = nodes_.find(normal);
   if (it != nodes_.end()) {
-    if (it->second.type != NodeType::directory) {
+    if (it->second->type != NodeType::directory) {
       return make_error(Errc::already_exists, "exists and is not a directory: " + normal);
     }
     return Status::success();
   }
   COMT_TRY_STATUS(insert_parents(normal));
-  Node node;
-  node.type = NodeType::directory;
-  node.mode = mode;
-  nodes_.emplace(std::move(normal), std::move(node));
+  nodes_.emplace(std::move(normal), make_node(NodeType::directory, "", mode));
   return Status::success();
 }
 
 Status Filesystem::write_file(std::string_view path, std::string content, std::uint32_t mode) {
   std::string normal = normalize_path(path);
   auto it = nodes_.find(normal);
-  if (it != nodes_.end() && it->second.type == NodeType::directory) {
+  if (it != nodes_.end() && it->second->type == NodeType::directory) {
     return make_error(Errc::already_exists, "is a directory: " + normal);
   }
   COMT_TRY_STATUS(insert_parents(normal));
-  Node node;
-  node.type = NodeType::regular;
-  node.content = std::move(content);
-  node.mode = mode;
-  nodes_[normal] = std::move(node);
+  // A fresh node, never an in-place edit: snapshots sharing the old node keep
+  // reading the old bytes.
+  nodes_[normal] = make_node(NodeType::regular, std::move(content), mode);
   return Status::success();
 }
 
 Status Filesystem::make_symlink(std::string_view path, std::string target) {
   std::string normal = normalize_path(path);
   auto it = nodes_.find(normal);
-  if (it != nodes_.end() && it->second.type == NodeType::directory) {
+  if (it != nodes_.end() && it->second->type == NodeType::directory) {
     return make_error(Errc::already_exists, "is a directory: " + normal);
   }
   COMT_TRY_STATUS(insert_parents(normal));
-  Node node;
-  node.type = NodeType::symlink;
-  node.content = std::move(target);
-  node.mode = 0777;
-  nodes_[normal] = std::move(node);
+  nodes_[normal] = make_node(NodeType::symlink, std::move(target), 0777);
   return Status::success();
 }
 
@@ -195,7 +189,8 @@ Status Filesystem::rename(std::string_view from, std::string_view to) {
   }
   COMT_TRY_STATUS(insert_parents(dst));
   // Collect the subtree first; mutating the map invalidates range iteration.
-  std::vector<std::pair<std::string, Node>> moved;
+  // Node pointers are shared, so a rename never copies file content.
+  std::vector<std::pair<std::string, NodeRef>> moved;
   moved.emplace_back(dst, it->second);
   for (auto sub = std::next(it); sub != nodes_.end() && is_under(sub->first, src); ++sub) {
     moved.emplace_back(dst + sub->first.substr(src.size()), sub->second);
@@ -209,14 +204,17 @@ Status Filesystem::rename(std::string_view from, std::string_view to) {
 Status Filesystem::copy_from(const Filesystem& other, std::string_view source,
                              std::string_view dest) {
   COMT_TRY(std::string src, other.resolve(source));
-  const Node* root = other.lookup(src);
-  if (root == nullptr) return make_error(Errc::not_found, "no such path: " + src);
+  auto root_it = other.nodes_.find(src);
+  if (root_it == other.nodes_.end()) {
+    return make_error(Errc::not_found, "no such path: " + src);
+  }
+  const NodeRef& root = root_it->second;
   std::string dst = normalize_path(dest);
   if (root->type != NodeType::directory) {
     // Copying a file onto an existing directory places it inside (cp semantics).
     if (is_directory(dst)) dst = path_join(dst, path_basename(src));
     COMT_TRY_STATUS(insert_parents(dst));
-    nodes_[dst] = *root;
+    nodes_[dst] = root;  // share, don't duplicate
     return Status::success();
   }
   COMT_TRY_STATUS(make_directories(dst));
@@ -225,7 +223,7 @@ Status Filesystem::copy_from(const Filesystem& other, std::string_view source,
     if (!starts_with(it->first, prefix)) break;
     std::string target = path_join(dst, it->first.substr(prefix.size()));
     COMT_TRY_STATUS(insert_parents(target));
-    nodes_[target] = it->second;
+    nodes_[target] = it->second;  // share, don't duplicate
   }
   return Status::success();
 }
@@ -233,8 +231,21 @@ Status Filesystem::copy_from(const Filesystem& other, std::string_view source,
 void Filesystem::walk(const std::function<bool(const std::string&, const Node&)>& visit) const {
   for (const auto& [path, node] : nodes_) {
     if (path == "/") continue;
-    if (!visit(path, node)) return;
+    if (!visit(path, *node)) return;
   }
+}
+
+bool Filesystem::operator==(const Filesystem& other) const {
+  if (nodes_.size() != other.nodes_.size()) return false;
+  auto mine = nodes_.begin();
+  auto theirs = other.nodes_.begin();
+  for (; mine != nodes_.end(); ++mine, ++theirs) {
+    if (mine->first != theirs->first) return false;
+    // Shared node -> trivially equal; otherwise compare content.
+    if (mine->second == theirs->second) continue;
+    if (!(*mine->second == *theirs->second)) return false;
+  }
+  return true;
 }
 
 LayerDiff diff(const Filesystem& base, const Filesystem& target) {
@@ -245,9 +256,9 @@ LayerDiff diff(const Filesystem& base, const Filesystem& target) {
     if (old == nullptr) {
       out.upper.make_directories(path_dirname(path));
       ++out.added;
-    } else if (old->type == node.type && old->content == node.content &&
-               old->mode == node.mode) {
-      return true;  // unchanged
+    } else if (old == &node || (old->type == node.type && old->content == node.content &&
+                                old->mode == node.mode)) {
+      return true;  // unchanged (shared nodes short-circuit on identity)
     } else {
       ++out.modified;
     }

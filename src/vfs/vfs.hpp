@@ -4,11 +4,22 @@
 // Filesystem values. Layer mechanics (OCI whiteouts, overlay application,
 // diffing) live here because they are filesystem-tree operations; tar
 // serialization lives in src/tar.
+//
+// Copying a Filesystem is cheap: nodes are immutable and shared between
+// copies (structural sharing / copy-on-write at node granularity), so a
+// snapshot of a multi-megabyte rootfs copies one pointer per path instead of
+// the file bytes. Every mutation replaces whole nodes — a published node is
+// never edited in place — which is what lets the rebuild engine hand one
+// immutable snapshot to many concurrent readers (see docs/PERFORMANCE.md).
+// Mutating a Filesystem object while another thread reads that same object
+// is still a race, exactly as before; distinct copies never alias mutable
+// state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,7 +32,7 @@ enum class NodeType { regular, directory, symlink };
 
 /// One filesystem node. Regular files own their content; symlinks own their
 /// target string; directories carry only metadata (children are implied by
-/// the path map).
+/// the path map). Nodes are immutable once published into a Filesystem.
 struct Node {
   NodeType type = NodeType::regular;
   std::string content;      ///< regular: file bytes; symlink: link target
@@ -50,6 +61,8 @@ class Filesystem {
   bool is_symlink(std::string_view path) const;
 
   /// Node at exactly `path` (no symlink following); nullptr when absent.
+  /// The pointer stays valid until this Filesystem replaces or removes the
+  /// node (copies of the Filesystem keep the underlying node alive).
   const Node* lookup(std::string_view path) const;
 
   /// Resolves symlinks in every component (bounded chain length) and returns
@@ -91,18 +104,26 @@ class Filesystem {
 
   /// Copies the subtree rooted at `source` (in `other`) to `dest` here.
   /// If `source` is a directory its contents land under `dest`; if a file,
-  /// `dest` names the new file.
+  /// `dest` names the new file. Content is shared, not duplicated.
   Status copy_from(const Filesystem& other, std::string_view source, std::string_view dest);
 
   /// Visits every node in path order. Return false from the visitor to stop.
   void walk(const std::function<bool(const std::string&, const Node&)>& visit) const;
 
-  bool operator==(const Filesystem& other) const { return nodes_ == other.nodes_; }
+  /// Structural equality: same paths, node-for-node equal. Nodes shared
+  /// between the two filesystems compare by pointer, so diffing a snapshot
+  /// against its source is near-free.
+  bool operator==(const Filesystem& other) const;
 
  private:
+  using NodeRef = std::shared_ptr<const Node>;
+
+  static NodeRef make_node(NodeType type, std::string content, std::uint32_t mode);
   Status insert_parents(std::string_view path);
 
-  std::map<std::string, Node> nodes_;  // key: normalized absolute path
+  // Key: normalized absolute path. Values are shared with copies of this
+  // Filesystem; mutations bind a fresh node, never edit through the pointer.
+  std::map<std::string, NodeRef> nodes_;
 };
 
 /// A changeset between two filesystems, in OCI layer semantics: `upper`

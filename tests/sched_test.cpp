@@ -381,17 +381,22 @@ TEST(ParallelRebuildTest, ParallelImageIsBitIdenticalToSequential) {
   ASSERT_GT(first.value().jobs, 0u);
   ASSERT_GT(first.value().nodes_executed, 0u);
 
-  core::RebuildOptions parallel = rebuild_options(system);
-  parallel.threads = 4;
-  auto second = core::comtainer_rebuild(layout, "comd.dist+coM", parallel);
-  ASSERT_TRUE(second.ok()) << second.error().to_string();
-
-  // Same job count either way, and the rebuilt images are byte-identical:
-  // equal manifest digests mean equal config, layers, everything.
-  EXPECT_EQ(first.value().jobs, second.value().jobs);
-  EXPECT_EQ(first.value().image.manifest_digest.value,
-            second.value().image.manifest_digest.value);
-  EXPECT_EQ(first.value().files_rebuilt, second.value().files_rebuilt);
+  // Every concurrent width takes the epoch-snapshot path; all of them must
+  // reproduce the sequential image bit for bit: equal manifest digests mean
+  // equal config, layers, everything.
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    core::RebuildOptions parallel = rebuild_options(system);
+    parallel.threads = threads;
+    auto second = core::comtainer_rebuild(layout, "comd.dist+coM", parallel);
+    ASSERT_TRUE(second.ok()) << "threads=" << threads << ": "
+                             << second.error().to_string();
+    EXPECT_EQ(first.value().jobs, second.value().jobs) << "threads=" << threads;
+    EXPECT_EQ(first.value().image.manifest_digest.value,
+              second.value().image.manifest_digest.value)
+        << "threads=" << threads;
+    EXPECT_EQ(first.value().files_rebuilt, second.value().files_rebuilt)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ParallelRebuildTest, SecondRebuildIsAllCacheHits) {
