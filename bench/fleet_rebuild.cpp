@@ -1,0 +1,404 @@
+// Load generator for the distributed rebuild fleet: N service replicas share
+// one store behind a simulated remote (S3-dialect) endpoint with injected
+// per-op latency and transient faults, and every replica receives the same
+// request mix — the N-clients-hit-N-replicas worst case a load balancer
+// produces. The run reports the global dedup rate (one lease per distinct
+// build fleet-wide), cross-replica reuse, lease-wait p50/p99 under remote
+// latency, remote retry absorption, and a warm-cache pass where a second
+// fleet generation rebuilds against the entries the first wrote through.
+//
+// Usage: fleet_rebuild [--smoke] [--replicas N] [--images M] [--rounds R]
+//                      [--json PATH]
+//   --smoke   small deterministic run with hard assertions (CI-friendly):
+//             every distinct (image, system) acquires exactly one lease
+//             fleet-wide (zero duplicate rebuilds), cross-replica reuse and
+//             warm-cache hits are both nonzero, all injected remote faults
+//             actually fired, and no ticket fails.
+//   --json PATH   write machine-readable results (with hardware provenance)
+//                 to PATH.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "json/json.hpp"
+#include "registry/registry.hpp"
+#include "service/service.hpp"
+#include "store/remote.hpp"
+#include "store/store.hpp"
+#include "support/fault.hpp"
+#include "sysmodel/sysmodel.hpp"
+#include "workloads/harness.hpp"
+
+using namespace comt;
+
+namespace {
+
+constexpr const char* kSys = "x86";
+
+int publish(registry::Registry& hub, const char* app_name, const std::string& name) {
+  const workloads::AppSpec* app = workloads::find_app(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "%s missing from corpus\n", app_name);
+    return 1;
+  }
+  workloads::Evaluation world(sysmodel::SystemProfile::x86_cluster());
+  auto prepared = world.prepare(*app);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare %s: %s\n", app_name, prepared.error().to_string().c_str());
+    return 1;
+  }
+  auto pushed = hub.push(world.layout(), prepared.value().extended_tag, name, "1.0");
+  if (!pushed.ok()) {
+    std::fprintf(stderr, "push %s: %s\n", app_name, pushed.error().to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int add_system(fleet::Fleet& fleet) {
+  const sysmodel::SystemProfile& system = sysmodel::SystemProfile::x86_cluster();
+  service::TargetSystem target;
+  target.profile = &system;
+  target.repo = &workloads::system_repo(system);
+  if (!workloads::install_system_images(target.base_layout, system).ok()) {
+    std::fprintf(stderr, "installing sysenv failed\n");
+    return 1;
+  }
+  target.sysenv_tag = workloads::sysenv_tag(system);
+  if (!fleet.add_system(kSys, target).ok()) {
+    std::fprintf(stderr, "add_system failed\n");
+    return 1;
+  }
+  return 0;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double round3(double value) { return std::round(value * 1000.0) / 1000.0; }
+
+/// "model name" line from /proc/cpuinfo, or "unknown" — recorded in the
+/// JSON so a baseline carries the machine it was measured on.
+std::string cpu_model() {
+  std::FILE* info = std::fopen("/proc/cpuinfo", "r");
+  if (info == nullptr) return "unknown";
+  std::string model = "unknown";
+  char line[512];
+  while (std::fgets(line, sizeof line, info) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    if (const char* colon = std::strchr(line, ':')) {
+      model = colon + 1;
+      while (!model.empty() && (model.front() == ' ' || model.front() == '\t')) {
+        model.erase(model.begin());
+      }
+      while (!model.empty() && (model.back() == '\n' || model.back() == '\r')) {
+        model.pop_back();
+      }
+    }
+    break;
+  }
+  std::fclose(info);
+  return model;
+}
+
+int write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(content.data(), 1, content.size(), out);
+  std::fclose(out);
+  return 0;
+}
+
+struct RunTally {
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t reused = 0;
+  std::vector<double> wait_ms;
+  double wall_ms = 0;
+  /// image index -> replica whose lease grant actually built it.
+  std::vector<std::size_t> builder;
+};
+
+void tally_one(const service::TicketStatus& done, RunTally& tally) {
+  if (done.state == service::JobState::succeeded) {
+    ++tally.succeeded;
+  } else {
+    ++tally.failed;
+    std::fprintf(stderr, "ticket failed: %s\n",
+                 done.result.ok() ? service::to_string(done.state)
+                                  : done.result.error().to_string().c_str());
+  }
+  if (done.trace.fleet_reuse) ++tally.reused;
+  tally.wait_ms.push_back(done.trace.lease_wait_ms);
+}
+
+/// Submits `rounds` copies of every image to every replica (each round is a
+/// full duplicate storm), waits them all out, and records which replica won
+/// each image's build lease.
+int storm(fleet::Fleet& fleet, const std::vector<std::string>& images, int rounds,
+          RunTally& tally) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<fleet::FleetTicket> tickets;
+  std::vector<std::size_t> ticket_image;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      for (std::size_t replica = 0; replica < fleet.replica_count(); ++replica) {
+        auto ticket = fleet.submit_to(replica, {images[i], "1.0", kSys});
+        if (!ticket.ok()) {
+          std::fprintf(stderr, "submit %s to replica %zu: %s\n", images[i].c_str(),
+                       replica, ticket.error().to_string().c_str());
+          return 1;
+        }
+        tickets.push_back(ticket.value());
+        ticket_image.push_back(i);
+      }
+    }
+  }
+  tally.builder.assign(images.size(), 0);
+  for (std::size_t t = 0; t < tickets.size(); ++t) {
+    auto done = fleet.wait(tickets[t]);
+    if (!done.ok()) return 1;
+    tally_one(done.value(), tally);
+    if (!done.value().trace.fleet_reuse &&
+        done.value().state == service::JobState::succeeded) {
+      tally.builder[ticket_image[t]] = tickets[t].replica;
+    }
+  }
+  tally.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int replicas = 3;
+  int image_count = 2;
+  int rounds = 2;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      replicas = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--images") == 0 && i + 1 < argc) {
+      image_count = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (smoke) {
+    replicas = 3;
+    image_count = 2;
+    rounds = 1;
+  }
+  const std::vector<const char*> corpus = {"minimd", "comd", "hpccg"};
+  image_count = std::clamp(image_count, 1, static_cast<int>(corpus.size()));
+
+  registry::Registry hub;
+  std::vector<std::string> images;
+  for (int i = 0; i < image_count; ++i) {
+    std::string name = std::string("hub/") + corpus[static_cast<std::size_t>(i)];
+    if (publish(hub, corpus[static_cast<std::size_t>(i)], name) != 0) return 1;
+    images.push_back(std::move(name));
+  }
+
+  // The shared substrate sits behind a simulated remote endpoint: every
+  // coordination key, journal record, and cache write-through pays transfer
+  // latency, and the first few transfers fail transiently (the retry loop
+  // must absorb them — a fleet whose leases wedge on a flaky remote is
+  // useless).
+  support::FaultInjector remote_faults;
+  store::RemoteStore::Options remote_options;
+  remote_options.get_latency = std::chrono::microseconds(200);
+  remote_options.put_latency = std::chrono::microseconds(400);
+  remote_options.max_attempts = 4;
+  remote_options.backoff = std::chrono::microseconds(50);
+  auto remote = std::make_shared<store::RemoteStore>(
+      std::make_shared<store::MemStore>(), remote_options);
+  remote->set_fault_injector(&remote_faults);
+  remote_faults.fail_next(store::kRemotePutSite, 2);
+  remote_faults.fail_next(store::kRemoteGetSite, 2);
+
+  fleet::FleetOptions options;
+  options.replicas = static_cast<std::size_t>(replicas);
+  options.store = remote;
+  options.lease_ttl = std::chrono::seconds(30);
+  options.queue_capacity =
+      images.size() * static_cast<std::size_t>(replicas) *
+      static_cast<std::size_t>(std::max(rounds, 1)) + 8;
+
+  fleet::Fleet fleet(hub, options);
+  if (add_system(fleet) != 0) return 1;
+
+  RunTally cold;
+  if (storm(fleet, images, std::max(rounds, 1), cold) != 0) return 1;
+  const std::size_t cold_leases = fleet.stats().leases_acquired;
+  const std::size_t cold_remote_retries = remote->retries();
+  if (fleet.stats().coordinator_errors != 0) {
+    std::fprintf(stderr, "coordination degraded %zu times on the cold run\n",
+                 static_cast<std::size_t>(fleet.stats().coordinator_errors));
+  }
+
+  // Warm pass: age out the done markers (as a production deployment expires
+  // them), then aim each image at a replica that did NOT build it. That
+  // replica must rebuild — its local compile cache is cold for these jobs —
+  // and every lookup falls back to the entries the cold-pass builder wrote
+  // through to the shared store. This isolates the cross-replica warm-cache
+  // path from lease-level reuse.
+  for (const store::KvEntry& entry : remote->list(fleet::kDonePrefix)) {
+    if (!remote->erase(entry.key).ok()) return 1;
+  }
+  RunTally warm;
+  {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<fleet::FleetTicket> tickets;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const std::size_t other = (cold.builder[i] + 1) % fleet.replica_count();
+      auto ticket = fleet.submit_to(other, {images[i], "1.0", kSys});
+      if (!ticket.ok()) return 1;
+      tickets.push_back(ticket.value());
+    }
+    for (const fleet::FleetTicket& ticket : tickets) {
+      auto done = fleet.wait(ticket);
+      if (!done.ok()) return 1;
+      tally_one(done.value(), warm);
+    }
+    warm.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  }
+  const std::size_t warm_leases = fleet.stats().leases_acquired - cold_leases;
+  const std::size_t warm_remote_hits = fleet.stats().cache_remote_hits;
+
+  const std::size_t tickets = cold.succeeded + cold.failed;
+  const double dedup_rate =
+      tickets == 0 ? 0.0 : static_cast<double>(cold.reused) / static_cast<double>(tickets);
+  std::printf("rebuild fleet: %d replicas x %zu images x %d rounds over a remote store "
+              "(%lld/%lld us get/put latency)\n",
+              replicas, images.size(), std::max(rounds, 1),
+              static_cast<long long>(remote_options.get_latency.count()),
+              static_cast<long long>(remote_options.put_latency.count()));
+  std::printf("%-28s %10zu\n", "tickets", tickets);
+  std::printf("%-28s %10zu (distinct builds fleet-wide)\n", "leases acquired", cold_leases);
+  std::printf("%-28s %10zu\n", "cross-replica reuses", cold.reused);
+  std::printf("%-28s %9.0f%%\n", "dedup rate", 100.0 * dedup_rate);
+  std::printf("%-28s %10.2f\n", "wall ms (cold)", cold.wall_ms);
+  std::printf("%-28s %10.2f\n", "p50 lease wait ms", percentile(cold.wait_ms, 50));
+  std::printf("%-28s %10.2f\n", "p99 lease wait ms", percentile(cold.wait_ms, 99));
+  std::printf("%-28s %10zu\n", "remote retries absorbed", cold_remote_retries);
+  std::printf("%-28s %10zu\n", "warm-run remote cache hits", warm_remote_hits);
+  std::printf("%-28s %10zu succeeded, %zu failed (cold) / %zu succeeded, %zu failed "
+              "(warm)\n", "final states", cold.succeeded, cold.failed, warm.succeeded,
+              warm.failed);
+  std::printf("fault sites:\n");
+  for (const support::FaultInjector::SiteCount& site : remote_faults.site_counts()) {
+    std::printf("  %-26s %10llu calls, %llu injected\n", site.site.c_str(),
+                static_cast<unsigned long long>(site.calls),
+                static_cast<unsigned long long>(site.injected));
+  }
+
+  if (smoke) {
+    if (cold.failed != 0 || warm.failed != 0) {
+      std::fprintf(stderr, "SMOKE: %zu cold / %zu warm tickets failed despite retryable "
+                           "remote faults\n", cold.failed, warm.failed);
+      return 1;
+    }
+    if (cold_leases != images.size()) {
+      std::fprintf(stderr, "SMOKE: %zu leases for %zu distinct builds — duplicate "
+                           "rebuilds slipped through\n", cold_leases, images.size());
+      return 1;
+    }
+    if (cold.reused == 0) {
+      std::fprintf(stderr, "SMOKE: no cross-replica reuse in a duplicate storm\n");
+      return 1;
+    }
+    if (warm_leases != images.size()) {
+      std::fprintf(stderr, "SMOKE: warm generation acquired %zu leases for %zu builds\n",
+                   warm_leases, images.size());
+      return 1;
+    }
+    if (warm_remote_hits == 0) {
+      std::fprintf(stderr, "SMOKE: warm generation never hit the shared compile cache\n");
+      return 1;
+    }
+    if (remote_faults.injected(store::kRemoteGetSite) == 0 ||
+        remote_faults.injected(store::kRemotePutSite) == 0) {
+      std::fprintf(stderr, "SMOKE: armed remote faults never fired — the chaos run "
+                           "tested nothing\n");
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    json::Object doc;
+    doc.emplace_back("mode", json::Value(std::string(smoke ? "smoke" : "full")));
+    doc.emplace_back("hardware_threads",
+                     json::Value(static_cast<std::uint64_t>(
+                         std::max(1u, std::thread::hardware_concurrency()))));
+    doc.emplace_back("cpu_model", json::Value(cpu_model()));
+    doc.emplace_back("replicas", json::Value(replicas));
+    doc.emplace_back("images", json::Value(static_cast<std::uint64_t>(images.size())));
+    doc.emplace_back("rounds", json::Value(std::max(rounds, 1)));
+    doc.emplace_back("remote_get_latency_us",
+                     json::Value(static_cast<std::uint64_t>(
+                         remote_options.get_latency.count())));
+    doc.emplace_back("remote_put_latency_us",
+                     json::Value(static_cast<std::uint64_t>(
+                         remote_options.put_latency.count())));
+    doc.emplace_back("tickets", json::Value(static_cast<std::uint64_t>(tickets)));
+    doc.emplace_back("distinct_builds", json::Value(static_cast<std::uint64_t>(cold_leases)));
+    doc.emplace_back("cross_replica_reuses",
+                     json::Value(static_cast<std::uint64_t>(cold.reused)));
+    doc.emplace_back("dedup_rate_pct", json::Value(round3(100.0 * dedup_rate)));
+    doc.emplace_back("wall_ms_cold", json::Value(round3(cold.wall_ms)));
+    doc.emplace_back("p50_lease_wait_ms", json::Value(round3(percentile(cold.wait_ms, 50))));
+    doc.emplace_back("p99_lease_wait_ms", json::Value(round3(percentile(cold.wait_ms, 99))));
+    doc.emplace_back("remote_retries",
+                     json::Value(static_cast<std::uint64_t>(cold_remote_retries)));
+    doc.emplace_back("failed_tickets",
+                     json::Value(static_cast<std::uint64_t>(cold.failed + warm.failed)));
+    json::Object warm_obj;
+    warm_obj.emplace_back("wall_ms", json::Value(round3(warm.wall_ms)));
+    warm_obj.emplace_back("leases", json::Value(static_cast<std::uint64_t>(warm_leases)));
+    warm_obj.emplace_back("remote_cache_hits",
+                          json::Value(static_cast<std::uint64_t>(warm_remote_hits)));
+    doc.emplace_back("warm_generation", json::Value(std::move(warm_obj)));
+    json::Array sites;
+    for (const support::FaultInjector::SiteCount& site : remote_faults.site_counts()) {
+      json::Object entry;
+      entry.emplace_back("site", json::Value(site.site));
+      entry.emplace_back("calls", json::Value(static_cast<std::uint64_t>(site.calls)));
+      entry.emplace_back("injected",
+                         json::Value(static_cast<std::uint64_t>(site.injected)));
+      sites.push_back(json::Value(std::move(entry)));
+    }
+    doc.emplace_back("fault_sites", json::Value(std::move(sites)));
+    if (write_file(json_path, json::serialize_pretty(json::Value(std::move(doc)))) != 0) {
+      return 1;
+    }
+    std::printf("results written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

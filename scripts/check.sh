@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the full test suite, then smoke-test
-# the parallel-rebuild and rebuild-service benchmarks (which assert that
+# the parallel-rebuild, rebuild-service, and rebuild-fleet benchmarks (which assert that
 # parallel rebuilds are bit-identical, a warm compile cache hits 100%,
 # duplicate service requests coalesce, and injected faults recover via
 # retry). The parallel-rebuild smoke runs with tracing enabled and fails if
@@ -44,6 +44,10 @@ echo "== bench smoke (tracing enabled) =="
 test -s "$build_dir/rebuild_trace.json"
 "$build_dir/bench/service_throughput" --smoke
 "$build_dir/bench/crash_resume" --smoke
+# Fleet smoke: duplicate submissions across replicas must dedup to one lease
+# per distinct build, cross-replica reuse and shared-store cache hits must be
+# nonzero, injected remote faults must actually fire, and no ticket may fail.
+"$build_dir/bench/fleet_rebuild" --smoke
 
 echo "== restart-persistence smoke =="
 # Crash a rebuild whose journal and compile cache persist into one DiskStore
@@ -59,7 +63,7 @@ if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
 
   echo "== tsan test (concurrency layer) =="
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-        -R 'Sched|SchedStress|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs|Store'
+        -R 'Sched|SchedStress|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs|Store|Fleet'
 
   echo "== tsan bench smoke =="
   "$tsan_dir/bench/service_throughput" --smoke

@@ -102,12 +102,45 @@ std::shared_ptr<const CompileCache::EntryMap> CompileCache::snapshot() const {
   return tls.map;
 }
 
+std::shared_ptr<const CacheEntry> CompileCache::fetch_remote(
+    const std::string& key_digest) const {
+  std::shared_ptr<store::KvStore> backing;
+  std::string backing_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    backing = backing_;
+    backing_key = prefix_ + key_digest;
+  }
+  if (backing == nullptr) return nullptr;
+  auto value = backing->get(backing_key);
+  if (!value.ok()) return nullptr;
+  std::optional<CacheEntry> entry = deserialize_entry(value.value());
+  if (!entry.has_value()) return nullptr;  // torn/corrupt: degrade to a miss
+  auto shared = std::make_shared<const CacheEntry>(std::move(*entry));
+  // Adopt the entry locally so the next lookup hits without the round trip.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto next = std::make_shared<EntryMap>(*published_);
+    (*next)[key_digest] = shared;
+    published_ = std::move(next);
+    version_.fetch_add(1, std::memory_order_release);
+  }
+  return shared;
+}
+
 std::shared_ptr<const CacheEntry> CompileCache::lookup(const std::string& key_digest,
                                                        const DigestFn& digest_of) const {
   const std::shared_ptr<const EntryMap> view = snapshot();
   std::shared_ptr<const CacheEntry> candidate;
   auto found = view->find(key_digest);
   if (found != view->end()) candidate = found->second;
+  // Local miss → ask the backing store before giving up: another replica
+  // sharing the backing may have compiled this already.
+  bool from_remote = false;
+  if (!candidate) {
+    candidate = fetch_remote(key_digest);
+    from_remote = candidate != nullptr;
+  }
   // Verify the input manifest — digest_of may do real work, all lock-free.
   if (candidate) {
     for (const auto& [path, digest] : candidate->input_digests) {
@@ -120,6 +153,12 @@ std::shared_ptr<const CacheEntry> CompileCache::lookup(const std::string& key_di
   if (candidate) {
     hit_count_.fetch_add(1, std::memory_order_relaxed);
     if (obs::Counter* hits = hits_.load(std::memory_order_acquire)) hits->add();
+    if (from_remote) {
+      remote_hit_count_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Counter* remote = remote_hits_.load(std::memory_order_acquire)) {
+        remote->add();
+      }
+    }
   } else {
     miss_count_.fetch_add(1, std::memory_order_relaxed);
     if (obs::Counter* misses = misses_.load(std::memory_order_acquire)) {
@@ -195,6 +234,7 @@ void CompileCache::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     hits_.store(nullptr, std::memory_order_release);
     misses_.store(nullptr, std::memory_order_release);
+    remote_hits_.store(nullptr, std::memory_order_release);
     inserts_.store(nullptr, std::memory_order_release);
     hydrated_.store(nullptr, std::memory_order_release);
     corrupt_dropped_.store(nullptr, std::memory_order_release);
@@ -202,6 +242,8 @@ void CompileCache::set_metrics(obs::MetricsRegistry* metrics) {
   }
   hits_.store(&metrics->counter("compile_cache.hits"), std::memory_order_release);
   misses_.store(&metrics->counter("compile_cache.misses"), std::memory_order_release);
+  remote_hits_.store(&metrics->counter("compile_cache.remote_hits"),
+                     std::memory_order_release);
   inserts_.store(&metrics->counter("compile_cache.inserts"),
                  std::memory_order_release);
   hydrated_.store(&metrics->counter("compile_cache.hydrated"),
@@ -217,6 +259,7 @@ CacheStats CompileCache::stats() const {
   out.stores = store_count_.load(std::memory_order_relaxed);
   out.hydrated = hydrated_count_.load(std::memory_order_relaxed);
   out.corrupt_dropped = corrupt_count_.load(std::memory_order_relaxed);
+  out.remote_hits = remote_hit_count_.load(std::memory_order_relaxed);
   return out;
 }
 

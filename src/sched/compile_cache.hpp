@@ -82,6 +82,7 @@ struct CacheStats {
   std::uint64_t stores = 0;          ///< store() calls (inserts and replacements)
   std::uint64_t hydrated = 0;        ///< entries recovered from the backing store
   std::uint64_t corrupt_dropped = 0; ///< persisted entries rejected at hydration
+  std::uint64_t remote_hits = 0;     ///< hits served via the backing-store fallback
 };
 
 /// Thread-safe in-memory compile cache shared by all jobs of a rebuild (and
@@ -100,6 +101,14 @@ class CompileCache {
   /// cached snapshot; the mutex is touched only right after a store changed
   /// the map. Concurrent store() calls are invisible to an in-flight lookup
   /// (it reads the snapshot it started with).
+  ///
+  /// When attached, a local miss falls back to the backing store before
+  /// giving up: an intact persisted entry (stored by another replica sharing
+  /// the backing, or by a store() this process has not re-read) is adopted
+  /// into the local map and, manifest permitting, served as a hit —
+  /// counted separately as CacheStats::remote_hits. This is what makes one
+  /// replica's compile warm every other replica in a fleet without
+  /// re-attaching.
   std::shared_ptr<const CacheEntry> lookup(const std::string& key_digest,
                                            const DigestFn& digest_of) const;
 
@@ -118,7 +127,8 @@ class CompileCache {
 
   /// Attaches counters ("compile_cache.hits", "compile_cache.misses",
   /// "compile_cache.inserts", "compile_cache.hydrated",
-  /// "compile_cache.corrupt_dropped"). Pass nullptr to detach. Safe to call
+  /// "compile_cache.corrupt_dropped", "compile_cache.remote_hits"). Pass
+  /// nullptr to detach. Safe to call
   /// while lookups run (the instrument pointers are atomic), though counts
   /// bumped before the attach are not replayed into the registry.
   void set_metrics(obs::MetricsRegistry* metrics);
@@ -139,18 +149,25 @@ class CompileCache {
   /// it moved. The returned map is immutable and refcounted.
   std::shared_ptr<const EntryMap> snapshot() const;
 
+  /// Backing-store fallback for a local miss: fetches, verifies, and adopts
+  /// the persisted entry under `key_digest`, or nullptr when the backing has
+  /// no intact copy. Called from (const) lookup, hence the mutable state.
+  std::shared_ptr<const CacheEntry> fetch_remote(const std::string& key_digest) const;
+
   // The current map, republished as a whole by every mutation under
   // `mutex_`; `version_` bumps on each publish so readers can validate
   // their thread-local snapshot with one atomic load. The map behind a
-  // published pointer is never mutated.
-  std::shared_ptr<const EntryMap> published_ =
+  // published pointer is never mutated. Mutable: lookup() adopts
+  // backing-store entries on a local miss.
+  mutable std::shared_ptr<const EntryMap> published_ =
       std::make_shared<const EntryMap>();     // guarded by mutex_
-  std::atomic<std::uint64_t> version_{1};
+  mutable std::atomic<std::uint64_t> version_{1};
   const std::uint64_t instance_id_ = next_instance_id();  // never reused
   mutable std::mutex mutex_;  // serializes store/attach/backing writes
 
   mutable std::atomic<std::uint64_t> hit_count_{0};
   mutable std::atomic<std::uint64_t> miss_count_{0};
+  mutable std::atomic<std::uint64_t> remote_hit_count_{0};
   std::atomic<std::uint64_t> store_count_{0};
   std::atomic<std::uint64_t> hydrated_count_{0};
   std::atomic<std::uint64_t> corrupt_count_{0};
@@ -160,6 +177,7 @@ class CompileCache {
   // Resolved in set_metrics; atomic because lookups read them with no lock.
   mutable std::atomic<obs::Counter*> hits_{nullptr};
   mutable std::atomic<obs::Counter*> misses_{nullptr};
+  mutable std::atomic<obs::Counter*> remote_hits_{nullptr};
   std::atomic<obs::Counter*> inserts_{nullptr};
   std::atomic<obs::Counter*> hydrated_{nullptr};
   std::atomic<obs::Counter*> corrupt_dropped_{nullptr};

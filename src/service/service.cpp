@@ -196,6 +196,7 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
   job->span = obs::maybe_span(options_.tracer, "service.job", obs::kNoSpan, "service");
   job->span.annotate("image", request.name + ":" + request.tag);
   job->span.annotate("system", request.system);
+  if (!options_.replica_id.empty()) job->span.annotate("replica", options_.replica_id);
   tickets_[ticket] = TicketRecord{job, /*coalesced=*/false};
 
   // Bounded admission with priority-aware load shedding: a full queue sheds
@@ -275,7 +276,46 @@ void RebuildService::run_next(SystemState& sys) {
   // after submit, so reading them unlocked is safe.
   Status result = Status::success();
   std::string output;
-  execute(sys.target, job->request, seed, job_span, trace, result, output);
+  bool skip_execute = false;
+  bool hold_lease = false;
+  std::uint64_t lease_epoch = 0;
+  if (options_.coordinator != nullptr) {
+    auto grant = options_.coordinator->acquire(job->key);
+    if (grant.ok()) {
+      trace.lease_wait_ms += grant.value().wait_ms;
+      if (grant.value().reuse) {
+        // Another replica already built this key; adopt its published image.
+        trace.fleet_reuse = true;
+        output = grant.value().output;
+        skip_execute = true;
+        counter("service.fleet_reused").add();
+      } else {
+        hold_lease = true;
+        lease_epoch = grant.value().epoch;
+        trace.lease_stolen = grant.value().stolen;
+      }
+    } else {
+      // Coordination failing must never fail the build: degrade to an
+      // uncoordinated rebuild. Worst case is a duplicate compile — wasted
+      // work, but bit-identical output.
+      counter("service.coordinator_errors").add();
+    }
+  }
+  if (!skip_execute) {
+    execute(sys.target, job->request, seed, job_span, trace, result, output);
+  }
+  if (hold_lease) {
+    if (trace.crashed) {
+      // The "process" died at an injected crash site still holding the
+      // lease. A dead process releases nothing: the record stays in the
+      // store until its TTL lapses and another replica steals it.
+    } else {
+      options_.coordinator->release(job->key,
+                                    result.ok() ? FleetCoordinator::Outcome::succeeded
+                                                : FleetCoordinator::Outcome::failed,
+                                    output, lease_epoch);
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -544,10 +584,13 @@ ServiceStats RebuildService::stats() const {
   out.drained = metrics_->counter_value("service.drained");
   out.retries = metrics_->counter_value("service.retries");
   out.crashed = metrics_->counter_value("service.crashed");
+  out.fleet_reused = metrics_->counter_value("service.fleet_reused");
+  out.coordinator_errors = metrics_->counter_value("service.coordinator_errors");
   out.compile_cache_hits = metrics_->counter_value("service.cache_hits");
   out.compile_cache_misses = metrics_->counter_value("service.cache_misses");
   out.compile_cache_inserts = metrics_->counter_value("compile_cache.inserts");
   out.compile_cache_hydrated = metrics_->counter_value("compile_cache.hydrated");
+  out.compile_cache_remote_hits = metrics_->counter_value("compile_cache.remote_hits");
   out.queue_ms = metrics_->gauge_value("service.queue_ms");
   out.pull_ms = metrics_->gauge_value("service.pull_ms");
   out.rebuild_ms = metrics_->gauge_value("service.rebuild_ms");

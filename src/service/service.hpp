@@ -103,6 +103,9 @@ struct JobTrace {
   std::size_t cache_misses = 0;
   bool coalesced = false;  ///< this ticket attached to another's in-flight job
   bool crashed = false;    ///< the job died at an injected crash site
+  bool fleet_reuse = false;   ///< served from another replica's published result
+  bool lease_stolen = false;  ///< this replica took over an expired lease
+  double lease_wait_ms = 0;   ///< spent waiting on another replica's lease
   /// Compile jobs replayed from write-ahead journal commit records instead of
   /// executing (crash-resume and journaled retries), summed over attempts.
   std::size_t journal_replayed = 0;
@@ -133,6 +136,40 @@ struct TargetSystem {
 /// Stable identity of a target system: the profile facets the rebuild output
 /// depends on. Two hosts with equal fingerprints can share rebuilt images.
 std::string fingerprint(const sysmodel::SystemProfile& profile);
+
+/// Cross-replica coordination hook (implemented by fleet::LeaseCoordinator).
+/// A service with a coordinator asks it before executing each distinct job:
+/// either this replica wins the global lease and builds, or another replica
+/// already built (or is building) and the grant hands back the published
+/// result. In-process coalescing stays as-is — the coordinator extends the
+/// same dedup across replica boundaries.
+class FleetCoordinator {
+ public:
+  virtual ~FleetCoordinator() = default;
+
+  /// acquire()'s decision for a job about to execute.
+  struct Grant {
+    bool reuse = false;       ///< another replica's result serves this job
+    std::string output;       ///< "name:tag" in the shared hub when reuse
+    std::uint64_t epoch = 0;  ///< lease epoch this replica holds when !reuse
+    bool stolen = false;      ///< the lease was taken over from a dead holder
+    double wait_ms = 0;       ///< time spent waiting on the current holder
+  };
+
+  enum class Outcome { succeeded, failed, crashed };
+
+  /// Blocks until `key` (the coalescing key: manifest digest + "|" + system
+  /// fingerprint) is either this replica's to build (lease held) or already
+  /// served (reuse grant).
+  virtual Result<Grant> acquire(const std::string& key) = 0;
+
+  /// Reports how the build under the lease ended. `output` is the published
+  /// "name:tag" on success. Not called for reuse grants, and deliberately
+  /// not called when the job died at an injected crash site — a dead process
+  /// releases nothing, the lease TTL hands the work over.
+  virtual void release(const std::string& key, Outcome outcome,
+                       const std::string& output, std::uint64_t epoch) = 0;
+};
 
 struct ServiceOptions {
   /// Bound on jobs queued across all systems (running jobs do not count).
@@ -172,6 +209,16 @@ struct ServiceOptions {
   /// (RecoveryReport::cache_entries_recovered reports how warm). Point it
   /// at the same store the journal store uses for one-directory restarts.
   std::shared_ptr<store::KvStore> store;
+  /// Optional cross-replica coordinator. When set, every distinct job
+  /// acquires the global lease for its coalescing key before executing;
+  /// jobs another replica already served finish as fleet_reuse without
+  /// touching the toolchain. A coordinator error never fails the job — the
+  /// replica degrades to an uncoordinated build (worst case a duplicate,
+  /// still bit-identical) and counts "service.coordinator_errors".
+  FleetCoordinator* coordinator = nullptr;
+  /// Replica identity, annotated on job spans and written into lease
+  /// records so takeovers are attributable.
+  std::string replica_id;
   /// Optional tracer. Each distinct job emits a "service.job" span; every
   /// attempt nests an "attempt:<n>" span under it, which in turn parents the
   /// attempt's "service.pull"/"service.push" spans and the rebuild's own
@@ -217,10 +264,13 @@ struct ServiceStats {
   std::uint64_t drained = 0;
   std::uint64_t retries = 0;  ///< backoff delays taken across all jobs
   std::uint64_t crashed = 0;  ///< jobs that died at an injected crash site
+  std::uint64_t fleet_reused = 0;  ///< jobs served from another replica's result
+  std::uint64_t coordinator_errors = 0;  ///< acquire() failures (degraded builds)
   std::uint64_t compile_cache_hits = 0;
   std::uint64_t compile_cache_misses = 0;
   std::uint64_t compile_cache_inserts = 0;   ///< entries stored by rebuilds
   std::uint64_t compile_cache_hydrated = 0;  ///< entries recovered from the store
+  std::uint64_t compile_cache_remote_hits = 0;  ///< served via the store fallback
   double queue_ms = 0, pull_ms = 0, rebuild_ms = 0, push_ms = 0;  ///< summed
 };
 

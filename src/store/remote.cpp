@@ -1,0 +1,149 @@
+#include "store/remote.hpp"
+
+#include <cassert>
+#include <thread>
+#include <utility>
+
+#include "store/wire.hpp"
+
+namespace comt::store {
+
+RemoteStore::RemoteStore(std::shared_ptr<KvStore> inner, Options options)
+    : inner_(std::move(inner)), options_(options) {
+  assert(inner_ != nullptr && "RemoteStore needs a backing store");
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+std::string RemoteStore::frame(std::string_view value) {
+  std::string out;
+  out.reserve(kFrameHeader + value.size());
+  wire::put_u32(out, static_cast<std::uint32_t>(value.size()));
+  wire::put_u64(out, wire::fnv1a64(value));
+  out.append(value);
+  return out;
+}
+
+Result<std::string> RemoteStore::unframe(std::string_view key,
+                                         std::string framed) const {
+  wire::Reader reader{framed};
+  const std::uint32_t size = reader.u32();
+  const std::uint64_t hash = reader.u64();
+  if (!reader.ok || framed.size() != kFrameHeader + size) {
+    return make_error(Errc::corrupt,
+                      "remote store: torn transfer for key: " + std::string(key));
+  }
+  std::string value = framed.substr(kFrameHeader);
+  if (wire::fnv1a64(value) != hash) {
+    return make_error(Errc::corrupt,
+                      "remote store: checksum mismatch for key: " + std::string(key));
+  }
+  return value;
+}
+
+void RemoteStore::note_retry() const {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (retry_counter_ != nullptr) retry_counter_->add();
+}
+
+Status RemoteStore::checked_attempts(std::string_view site) const {
+  if (faults() == nullptr) return Status::success();
+  Status last = Status::success();
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    last = faults()->check(site);
+    if (last.ok()) return last;
+    if (attempt == options_.max_attempts) break;
+    note_retry();
+    if (options_.backoff.count() > 0) {
+      // Exponential backoff: base, 2x, 4x, ... (shift capped well below
+      // overflow — nobody configures 2^20 retries).
+      const int shift = attempt - 1 < 20 ? attempt - 1 : 20;
+      std::this_thread::sleep_for(options_.backoff * (std::int64_t{1} << shift));
+    }
+  }
+  return last;
+}
+
+Result<std::string> RemoteStore::get(std::string_view key) const {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  COMT_TRY_STATUS(checked_attempts(kRemoteGetSite));
+  if (options_.get_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.get_latency);
+  }
+  auto framed = inner_->get(key);
+  if (!framed.ok()) {
+    if (framed.error().code == Errc::corrupt) note_corrupt();
+    return framed.error();
+  }
+  auto value = unframe(key, std::move(framed.value()));
+  if (value.ok()) {
+    note_get(value.value().size());
+  } else {
+    note_corrupt();
+  }
+  return value;
+}
+
+Status RemoteStore::put(std::string_view key, std::string value) {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  COMT_TRY_STATUS(checked_attempts(kRemotePutSite));
+  if (options_.put_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.put_latency);
+  }
+  const std::uint64_t bytes = value.size();
+  std::string framed = frame(value);
+  std::optional<std::size_t> torn;
+  if (faults() != nullptr) torn = faults()->check_torn(kRemotePutSite, framed.size());
+  if (torn.has_value()) {
+    // The upload died mid-flight: the endpoint keeps the bytes that arrived
+    // and the client never completes the transfer. The truncated frame fails
+    // checksum verification on the next download.
+    (void)inner_->put(key, framed.substr(0, *torn));
+    throw support::CrashInjected{std::string(kRemotePutSite)};
+  }
+  COMT_TRY_STATUS(inner_->put(key, std::move(framed)));
+  note_put(bytes);
+  return Status::success();
+}
+
+Status RemoteStore::erase(std::string_view key) {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  COMT_TRY_STATUS(inner_->erase(key));
+  note_erase();
+  return Status::success();
+}
+
+bool RemoteStore::contains(std::string_view key) const {
+  return inner_->contains(key);
+}
+
+Result<std::uint64_t> RemoteStore::size(std::string_view key) const {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  COMT_TRY(std::uint64_t framed, inner_->size(key));
+  if (framed < kFrameHeader) {
+    return make_error(Errc::corrupt,
+                      "remote store: torn transfer for key: " + std::string(key));
+  }
+  return framed - kFrameHeader;
+}
+
+std::vector<KvEntry> RemoteStore::list(std::string_view prefix) const {
+  std::vector<KvEntry> out = inner_->list(prefix);
+  for (KvEntry& entry : out) {
+    entry.size = entry.size >= kFrameHeader ? entry.size - kFrameHeader : 0;
+  }
+  return out;
+}
+
+Status RemoteStore::sync() {
+  obs::Span span = sync_span();
+  COMT_TRY_STATUS(inner_->sync());
+  note_sync();
+  return Status::success();
+}
+
+void RemoteStore::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  KvStore::set_observer(tracer, metrics);
+  retry_counter_ = metrics == nullptr ? nullptr : &metrics->counter("store.remote.retries");
+}
+
+}  // namespace comt::store

@@ -1,0 +1,92 @@
+// Simulated remote object store (S3-dialect / registry-backed): wraps any
+// KvStore the way a site deployment fronts its shared substrate with an
+// object-store endpoint. The wrapper models the three things a network hop
+// adds that a local backend never shows:
+//
+//  - latency: every get/put sleeps a configurable per-op delay before
+//    touching the inner store, so benches measure coordination under
+//    realistic transfer times instead of memory-speed fantasy numbers;
+//  - transient faults: get/put pass through FaultInjector sites
+//    ("remote.get"/"remote.put") and retry injected failures up to
+//    max_attempts with exponential backoff — the client-side retry loop
+//    every S3 SDK ships. Retries are counted ("store.remote.retries");
+//  - torn transfers: an upload can die mid-flight (tear_next at
+//    "remote.put"), leaving a truncated object. Values are framed
+//    [u32 size][u64 fnv1a64] on the wire, so a later get() of the torn key
+//    reports Errc::corrupt instead of silently returning half an image —
+//    the ETag/checksum verification a real object store performs.
+//
+// compare_and_put is inherited from KvStore and therefore runs through this
+// wrapper's latency/fault-instrumented get/put; arbitration holds across
+// every replica sharing this object, which is how the fleet deploys it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/store.hpp"
+
+namespace comt::store {
+
+/// Transient-fault + torn-transfer injection sites for RemoteStore downloads
+/// and uploads.
+inline constexpr std::string_view kRemoteGetSite = "remote.get";
+inline constexpr std::string_view kRemotePutSite = "remote.put";
+
+class RemoteStore final : public KvStore {
+ public:
+  struct Options {
+    /// Simulated one-way transfer latency, slept before each download/upload
+    /// attempt. Zero skips the sleep entirely.
+    std::chrono::microseconds get_latency{0};
+    std::chrono::microseconds put_latency{0};
+    /// Total tries per operation (first attempt + retries); clamped to >= 1.
+    int max_attempts = 3;
+    /// Backoff before retry k is `backoff << (k-1)` — the standard
+    /// exponential client retry policy. Zero retries immediately.
+    std::chrono::microseconds backoff{0};
+  };
+
+  RemoteStore(std::shared_ptr<KvStore> inner, Options options);
+  explicit RemoteStore(std::shared_ptr<KvStore> inner)
+      : RemoteStore(std::move(inner), Options{}) {}
+
+  Result<std::string> get(std::string_view key) const override;
+  Status put(std::string_view key, std::string value) override;
+  Status erase(std::string_view key) override;
+  bool contains(std::string_view key) const override;
+  /// Logical (unframed) value size — what get() would return.
+  Result<std::uint64_t> size(std::string_view key) const override;
+  std::vector<KvEntry> list(std::string_view prefix = {}) const override;
+  Status sync() override;
+
+  /// Base observer plus "store.remote.retries" (transient faults absorbed by
+  /// the retry loop).
+  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) override;
+
+  /// Transient faults retried away over this store's lifetime.
+  std::uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Wire frame: [u32 size][u64 fnv1a64(value)][value bytes].
+  static constexpr std::size_t kFrameHeader = 12;
+  static std::string frame(std::string_view value);
+  Result<std::string> unframe(std::string_view key, std::string framed) const;
+
+  /// Runs the site's fault check with bounded retry/backoff; returns the
+  /// last injected error once attempts are exhausted.
+  Status checked_attempts(std::string_view site) const;
+  void note_retry() const;
+
+  std::shared_ptr<KvStore> inner_;
+  Options options_;
+  mutable std::atomic<std::uint64_t> retries_{0};  ///< bumped from const get()
+  obs::Counter* retry_counter_ = nullptr;
+};
+
+}  // namespace comt::store

@@ -1,0 +1,202 @@
+#include "store/sharded.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "store/wire.hpp"
+
+namespace comt::store {
+
+namespace {
+
+/// Ring placement hash. Raw fnv1a64 is fine as a checksum but disperses
+/// poorly for routing: the last byte of the input gets a single multiply, so
+/// sequential keys ("key-1", "key-2", ...) share their high bits and collapse
+/// into one ring gap. A splitmix64 finalizer spreads those bits.
+std::uint64_t ring_hash(std::string_view data) {
+  std::uint64_t h = wire::fnv1a64(data);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+std::vector<ShardedStore::RingPoint> ShardedStore::build_ring(
+    std::size_t shards, std::size_t virtual_nodes) {
+  std::vector<RingPoint> ring;
+  ring.reserve(shards * virtual_nodes);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    for (std::size_t v = 0; v < virtual_nodes; ++v) {
+      const std::string point =
+          "shard" + std::to_string(shard) + "#" + std::to_string(v);
+      ring.push_back(RingPoint{ring_hash(point), shard});
+    }
+  }
+  std::sort(ring.begin(), ring.end(), [](const RingPoint& a, const RingPoint& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+  });
+  return ring;
+}
+
+ShardedStore::ShardedStore(std::vector<std::shared_ptr<KvStore>> shards,
+                           Options options)
+    : shards_(std::move(shards)), options_(options) {
+  assert(!shards_.empty() && "ShardedStore needs at least one shard");
+  if (options_.virtual_nodes == 0) options_.virtual_nodes = 1;
+  ring_ = build_ring(shards_.size(), options_.virtual_nodes);
+}
+
+std::size_t ShardedStore::route(std::string_view key) const {
+  const std::uint64_t hash = ring_hash(key);
+  // First ring point clockwise of the key's hash; wrap to the first point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const RingPoint& point, std::uint64_t h) { return point.hash < h; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+std::size_t ShardedStore::shard_of(std::string_view key) const { return route(key); }
+
+Result<std::string> ShardedStore::get(std::string_view key) const {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  const std::size_t shard = route(key);
+  auto value = shards_[shard]->get(key);
+  if (value.ok()) {
+    note_get(value.value().size());
+    if (!shard_gets_.empty()) shard_gets_[shard]->add();
+  } else if (value.error().code == Errc::corrupt) {
+    note_corrupt();
+  }
+  return value;
+}
+
+Status ShardedStore::put(std::string_view key, std::string value) {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  const std::size_t shard = route(key);
+  const std::uint64_t bytes = value.size();
+  COMT_TRY_STATUS(shards_[shard]->put(key, std::move(value)));
+  note_put(bytes);
+  if (!shard_puts_.empty()) shard_puts_[shard]->add();
+  return Status::success();
+}
+
+Status ShardedStore::erase(std::string_view key) {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  const std::size_t shard = route(key);
+  COMT_TRY_STATUS(shards_[shard]->erase(key));
+  note_erase();
+  if (!shard_erases_.empty()) shard_erases_[shard]->add();
+  return Status::success();
+}
+
+bool ShardedStore::contains(std::string_view key) const {
+  if (key.empty()) return false;
+  return owner(key).contains(key);
+}
+
+Result<std::uint64_t> ShardedStore::size(std::string_view key) const {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  return owner(key).size(key);
+}
+
+std::vector<KvEntry> ShardedStore::list(std::string_view prefix) const {
+  // A prefix scatters over every shard (hashing ignores hierarchy), so a
+  // list is a merge of per-shard lists, re-sorted into one namespace view.
+  std::vector<KvEntry> out;
+  for (const auto& shard : shards_) {
+    std::vector<KvEntry> part = shard->list(prefix);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KvEntry& a, const KvEntry& b) { return a.key < b.key; });
+  return out;
+}
+
+Status ShardedStore::sync() {
+  obs::Span span = sync_span();
+  for (const auto& shard : shards_) COMT_TRY_STATUS(shard->sync());
+  note_sync();
+  return Status::success();
+}
+
+Result<bool> ShardedStore::compare_and_put(std::string_view key,
+                                           const std::optional<std::string>& expected,
+                                           std::string value) {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  // Same key → same shard → same CAS mutex: arbitration is exactly as strong
+  // as on the unsharded child.
+  return owner(key).compare_and_put(key, expected, std::move(value));
+}
+
+void ShardedStore::bind_shard_counters() {
+  shard_gets_.clear();
+  shard_puts_.clear();
+  shard_erases_.clear();
+  if (shard_metrics_ == nullptr) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string base = "store.shard" + std::to_string(i);
+    shard_gets_.push_back(&shard_metrics_->counter(base + ".gets"));
+    shard_puts_.push_back(&shard_metrics_->counter(base + ".puts"));
+    shard_erases_.push_back(&shard_metrics_->counter(base + ".erases"));
+  }
+}
+
+void ShardedStore::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  KvStore::set_observer(tracer, metrics);
+  shard_metrics_ = metrics;
+  bind_shard_counters();
+}
+
+Result<ShardedStore::RebalanceReport> ShardedStore::reshard(
+    std::vector<std::shared_ptr<KvStore>> shards) {
+  if (shards.empty()) {
+    return make_error(Errc::invalid_argument, "sharded store: need at least one shard");
+  }
+  RebalanceReport report;
+  report.shards_before = shards_.size();
+  report.shards_after = shards.size();
+
+  std::vector<RingPoint> next_ring = build_ring(shards.size(), options_.virtual_nodes);
+  auto route_in = [](const std::vector<RingPoint>& ring, std::string_view key) {
+    const std::uint64_t hash = ring_hash(key);
+    auto it = std::lower_bound(
+        ring.begin(), ring.end(), hash,
+        [](const RingPoint& point, std::uint64_t h) { return point.hash < h; });
+    if (it == ring.end()) it = ring.begin();
+    return it->shard;
+  };
+
+  // Snapshot placements first (a key migrated into a reused child must not
+  // be re-walked when that child's turn comes), then move every key whose
+  // new owner is a different physical child. Unchanged placements — the
+  // consistent-hash common case — move nothing.
+  std::vector<std::pair<std::size_t, KvEntry>> placements;
+  for (std::size_t old_shard = 0; old_shard < shards_.size(); ++old_shard) {
+    for (KvEntry& entry : shards_[old_shard]->list()) {
+      placements.emplace_back(old_shard, std::move(entry));
+    }
+  }
+  report.keys_total = placements.size();
+  for (const auto& [old_shard, entry] : placements) {
+    const std::size_t new_shard = route_in(next_ring, entry.key);
+    if (shards[new_shard] == shards_[old_shard]) continue;
+    COMT_TRY(std::string value, shards_[old_shard]->get(entry.key));
+    COMT_TRY_STATUS(shards[new_shard]->put(entry.key, std::move(value)));
+    COMT_TRY_STATUS(shards_[old_shard]->erase(entry.key));
+    ++report.keys_moved;
+    report.bytes_moved += entry.size;
+  }
+
+  shards_ = std::move(shards);
+  ring_ = std::move(next_ring);
+  bind_shard_counters();
+  return report;
+}
+
+}  // namespace comt::store

@@ -1,0 +1,109 @@
+// Consistent-hash sharded KvStore: one key→bytes namespace spread over N
+// child stores, the way a site-scale compile substrate spreads its cache and
+// journal traffic over several storage nodes.
+//
+// Routing uses a classic consistent-hash ring: every shard owns
+// `virtual_nodes` points on a 64-bit ring (fnv1a64 of "shard<i>#<v>"), a key
+// routes to the first point clockwise of its own hash. The ring makes
+// resharding cheap: reshard() to N+1 children only moves the keys whose
+// successor point changed hands — about K/N of them — and the report says
+// exactly how many moved. Routing is deterministic across processes, so a
+// ShardedStore reopened over the same child directories finds every key
+// where it left it.
+//
+// The wrapper's own observer counts aggregate traffic like any KvStore;
+// set_observer additionally binds per-shard counters
+// ("store.shard<i>.gets"/".puts"/".erases") so a hot shard is visible in the
+// metrics, not just in aggregate. compare_and_put routes to the owning
+// shard's CAS, so lease arbitration survives sharding.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/store.hpp"
+
+namespace comt::store {
+
+class ShardedStore final : public KvStore {
+ public:
+  struct Options {
+    /// Ring points per shard. More points smooth the key distribution at the
+    /// cost of a larger (still tiny) routing table.
+    std::size_t virtual_nodes = 32;
+  };
+
+  /// What a reshard did. keys_total counts keys examined (everything stored);
+  /// keys_moved/bytes_moved count the ones whose owner changed.
+  struct RebalanceReport {
+    std::size_t keys_total = 0;
+    std::size_t keys_moved = 0;
+    std::uint64_t bytes_moved = 0;
+    std::size_t shards_before = 0;
+    std::size_t shards_after = 0;
+  };
+
+  /// Routes over `shards` (at least one, none null). Shards are identified
+  /// by their index, so the same child list always yields the same ring.
+  ShardedStore(std::vector<std::shared_ptr<KvStore>> shards, Options options);
+  explicit ShardedStore(std::vector<std::shared_ptr<KvStore>> shards)
+      : ShardedStore(std::move(shards), Options{}) {}
+
+  Result<std::string> get(std::string_view key) const override;
+  Status put(std::string_view key, std::string value) override;
+  Status erase(std::string_view key) override;
+  bool contains(std::string_view key) const override;
+  Result<std::uint64_t> size(std::string_view key) const override;
+  std::vector<KvEntry> list(std::string_view prefix = {}) const override;
+  Status sync() override;
+  Result<bool> compare_and_put(std::string_view key,
+                               const std::optional<std::string>& expected,
+                               std::string value) override;
+
+  /// Base observer plus per-shard counters "store.shard<i>.{gets,puts,erases}".
+  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) override;
+
+  /// Replaces the shard set and migrates every key whose ring owner changed
+  /// (read from the old owner, write to the new, erase the old copy).
+  /// Consistent hashing keeps the moved fraction near |changed points| /
+  /// |ring|. Not concurrency-safe against in-flight operations — quiesce the
+  /// store first, the way a deployment drains before resizing its backend.
+  Result<RebalanceReport> reshard(std::vector<std::shared_ptr<KvStore>> shards);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard index `key` routes to — deterministic, exposed so tests and
+  /// rebalance audits can reason about placement.
+  std::size_t shard_of(std::string_view key) const;
+
+  const std::shared_ptr<KvStore>& shard(std::size_t index) const {
+    return shards_[index];
+  }
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash;
+    std::size_t shard;
+  };
+
+  static std::vector<RingPoint> build_ring(std::size_t shards,
+                                           std::size_t virtual_nodes);
+  std::size_t route(std::string_view key) const;
+  KvStore& owner(std::string_view key) const { return *shards_[route(key)]; }
+
+  void bind_shard_counters();
+
+  std::vector<std::shared_ptr<KvStore>> shards_;
+  Options options_;
+  std::vector<RingPoint> ring_;  ///< sorted by hash; rebuilt only by reshard()
+  obs::MetricsRegistry* shard_metrics_ = nullptr;  ///< rebound on reshard
+  /// Per-shard instruments, parallel to shards_; empty when no metrics bound.
+  std::vector<obs::Counter*> shard_gets_;
+  std::vector<obs::Counter*> shard_puts_;
+  std::vector<obs::Counter*> shard_erases_;
+};
+
+}  // namespace comt::store

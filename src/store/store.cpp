@@ -19,6 +19,31 @@ void KvStore::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   corrupt_ = &metrics->counter("store.corrupt");
 }
 
+Result<bool> KvStore::compare_and_put(std::string_view key,
+                                      const std::optional<std::string>& expected,
+                                      std::string value) {
+  if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
+  // One mutex arbitrates every CAS on this object; get/put inside the
+  // critical section make the read-compare-write indivisible relative to
+  // rival compare_and_put callers — the only writers a lease keyspace has.
+  std::lock_guard<std::mutex> lock(cas_mutex_);
+  auto current = get(key);
+  if (!current.ok() && current.error().code != Errc::not_found &&
+      current.error().code != Errc::corrupt) {
+    return current.error();
+  }
+  // A corrupt stored value (torn lease record) matches "absent": the damaged
+  // bytes can never equal any expected value, and a claimer must be able to
+  // overwrite them or the key would be wedged forever.
+  if (expected.has_value()) {
+    if (!current.ok() || current.value() != *expected) return false;
+  } else {
+    if (current.ok()) return false;
+  }
+  COMT_TRY_STATUS(put(key, std::move(value)));
+  return true;
+}
+
 obs::Span KvStore::sync_span() const {
   return obs::maybe_span(tracer_, "store.sync", obs::kNoSpan, "store");
 }

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,11 +76,26 @@ class KvStore {
   /// DiskStore: fsync of every file written since the last sync.
   virtual Status sync() = 0;
 
+  /// Atomic read-modify-write, the primitive the fleet's lease protocol is
+  /// built on: replaces `key`'s value with `value` iff the current value
+  /// equals `expected` — or the key is absent (or stored corrupt: a torn
+  /// lease record must stay claimable) when `expected` is nullopt.
+  /// Returns true when the swap happened, false when the current state did
+  /// not match (the loser of a claim race). Atomicity is relative to other
+  /// compare_and_put calls on the same store object (a lease keyspace has no
+  /// other writers); a concurrent plain put() does not participate in the
+  /// arbitration. ShardedStore routes to the owning shard's CAS, so the
+  /// guarantee survives sharding.
+  virtual Result<bool> compare_and_put(std::string_view key,
+                                       const std::optional<std::string>& expected,
+                                       std::string value);
+
   /// Attaches counters ("store.gets", "store.get_bytes", "store.puts",
   /// "store.put_bytes", "store.erases", "store.syncs", "store.corrupt") and
   /// a span per sync ("store.sync"). Pass nullptrs to detach. Wire up before
-  /// sharing the store.
-  void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+  /// sharing the store. Virtual so wrapping backends (ShardedStore,
+  /// RemoteStore) can bind their own instruments alongside the base set.
+  virtual void set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   /// Attaches torn-write injection to put (site kStorePutSite). Pass nullptr
   /// to detach. Wire up before sharing the store.
@@ -113,6 +129,7 @@ class KvStore {
 
  private:
   support::FaultInjector* faults_ = nullptr;
+  mutable std::mutex cas_mutex_;  ///< serializes compare_and_put arbitration
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* gets_ = nullptr;
   obs::Counter* get_bytes_ = nullptr;

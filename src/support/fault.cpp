@@ -152,6 +152,16 @@ std::uint64_t FaultInjector::injected(std::string_view site) const {
   return it == sites_.end() ? 0 : it->second.injected;
 }
 
+std::vector<FaultInjector::SiteCount> FaultInjector::site_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SiteCount> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, s] : sites_) {
+    out.push_back(SiteCount{name, s.calls, s.injected});
+  }
+  return out;  // sites_ is an ordered map, so this is already name-sorted
+}
+
 std::uint64_t FaultInjector::total_injected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;

@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -103,6 +104,20 @@ class FaultInjector {
 
   /// Faults fired across all sites.
   std::uint64_t total_injected() const;
+
+  /// One site's lifetime counters.
+  struct SiteCount {
+    std::string site;
+    std::uint64_t calls = 0;
+    std::uint64_t injected = 0;
+
+    bool operator==(const SiteCount&) const = default;
+  };
+
+  /// Snapshot of every site touched so far (sorted by name). Chaos tests use
+  /// this to assert the faults they armed were actually exercised — a chaos
+  /// run whose injection sites never fired tested nothing.
+  std::vector<SiteCount> site_counts() const;
 
  private:
   struct Site {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +9,8 @@
 #include "obs/metrics.hpp"
 #include "store/cas.hpp"
 #include "store/disk.hpp"
+#include "store/remote.hpp"
+#include "store/sharded.hpp"
 #include "store/store.hpp"
 #include "store/wire.hpp"
 #include "support/fault.hpp"
@@ -314,6 +317,259 @@ TEST(WireTest, ChecksumDetectsSingleBitFlips) {
   std::string flipped = payload;
   flipped[5] ^= 0x10;
   EXPECT_NE(wire::fnv1a64(flipped), checksum);
+}
+
+// ---------------------------------------------------------------------------
+// compare_and_put — the lease protocol's primitive, on every backend.
+
+void exercise_cas_contract(KvStore& kv) {
+  // Claim an absent key.
+  EXPECT_TRUE(kv.compare_and_put("lease", std::nullopt, "v1").value());
+  EXPECT_EQ(kv.get("lease").value(), "v1");
+  // A second absent-claim loses.
+  EXPECT_FALSE(kv.compare_and_put("lease", std::nullopt, "v1b").value());
+  EXPECT_EQ(kv.get("lease").value(), "v1");
+  // Swap on the exact current value.
+  EXPECT_TRUE(kv.compare_and_put("lease", std::optional<std::string>("v1"), "v2").value());
+  EXPECT_EQ(kv.get("lease").value(), "v2");
+  // Stale expectation loses without touching the value.
+  EXPECT_FALSE(kv.compare_and_put("lease", std::optional<std::string>("v1"), "v3").value());
+  EXPECT_EQ(kv.get("lease").value(), "v2");
+  // Empty keys are rejected like everywhere else.
+  EXPECT_EQ(kv.compare_and_put("", std::nullopt, "x").error().code,
+            Errc::invalid_argument);
+}
+
+TEST(MemStoreTest, CompareAndPutContract) {
+  MemStore kv;
+  exercise_cas_contract(kv);
+}
+
+TEST_F(StoreDirTest, DiskStoreCompareAndPutContract) {
+  DiskStore kv(dir());
+  exercise_cas_contract(kv);
+}
+
+TEST_F(StoreDirTest, CompareAndPutTreatsCorruptValueAsAbsent) {
+  DiskStore kv(dir());
+  ASSERT_TRUE(kv.put("lease", "torn-lease-record").ok());
+  const stdfs::path file = dir_ / "lease";
+  stdfs::resize_file(file, stdfs::file_size(file) / 2);
+  ASSERT_EQ(kv.get("lease").error().code, Errc::corrupt);
+  // A torn lease record must stay claimable, never wedge the key.
+  EXPECT_TRUE(kv.compare_and_put("lease", std::nullopt, "fresh").value());
+  EXPECT_EQ(kv.get("lease").value(), "fresh");
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStore.
+
+std::vector<std::shared_ptr<KvStore>> mem_shards(std::size_t n) {
+  std::vector<std::shared_ptr<KvStore>> shards;
+  for (std::size_t i = 0; i < n; ++i) shards.push_back(std::make_shared<MemStore>());
+  return shards;
+}
+
+TEST(ShardedStoreTest, HonoursKvContract) {
+  ShardedStore kv(mem_shards(3));
+  exercise_kv_contract(kv);
+}
+
+TEST_F(StoreDirTest, ShardedOverDiskHonoursKvContract) {
+  std::vector<std::shared_ptr<KvStore>> shards;
+  for (int i = 0; i < 3; ++i) {
+    shards.push_back(std::make_shared<DiskStore>(dir() + "/shard" + std::to_string(i)));
+  }
+  ShardedStore kv(std::move(shards));
+  exercise_kv_contract(kv);
+}
+
+TEST(ShardedStoreTest, CompareAndPutContract) {
+  ShardedStore kv(mem_shards(3));
+  exercise_cas_contract(kv);
+}
+
+TEST(ShardedStoreTest, RoutingIsDeterministicAcrossInstances) {
+  ShardedStore a(mem_shards(4));
+  ShardedStore b(mem_shards(4));
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "journal/org/app:" + std::to_string(i) + "|x86";
+    EXPECT_EQ(a.shard_of(key), b.shard_of(key)) << key;
+  }
+}
+
+TEST_F(StoreDirTest, ShardedOverDiskSurvivesReopen) {
+  auto open = [&] {
+    std::vector<std::shared_ptr<KvStore>> shards;
+    for (int i = 0; i < 3; ++i) {
+      shards.push_back(
+          std::make_shared<DiskStore>(dir() + "/shard" + std::to_string(i)));
+    }
+    return ShardedStore(std::move(shards));
+  };
+  {
+    ShardedStore kv = open();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(kv.put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(kv.sync().ok());
+  }
+  ShardedStore reopened = open();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(reopened.get("k" + std::to_string(i)).value(), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(reopened.list().size(), 20u);
+}
+
+TEST(ShardedStoreTest, KeysSpreadOverShards) {
+  auto shards = mem_shards(4);
+  ShardedStore kv(shards);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(kv.put("key-" + std::to_string(i), "v").ok());
+  }
+  std::size_t nonempty = 0;
+  for (const auto& shard : shards) nonempty += shard->list().empty() ? 0 : 1;
+  // 200 keys over 4 consistent-hash shards: every shard should own some.
+  EXPECT_EQ(nonempty, 4u);
+}
+
+TEST(ShardedStoreTest, ReshardMovesOnlyReownedKeys) {
+  auto shards = mem_shards(2);
+  ShardedStore kv(shards);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(kv.put("key-" + std::to_string(i), std::string(10, 'v')).ok());
+  }
+  // Grow 2 → 3, reusing the two existing children.
+  auto grown = shards;
+  grown.push_back(std::make_shared<MemStore>());
+  auto report = kv.reshard(grown);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().keys_total, static_cast<std::size_t>(n));
+  EXPECT_EQ(report.value().shards_before, 2u);
+  EXPECT_EQ(report.value().shards_after, 3u);
+  // Consistent hashing: only the keys the new shard took over moved — far
+  // fewer than a full reshuffle (which would move ~2/3 of them).
+  EXPECT_GT(report.value().keys_moved, 0u);
+  EXPECT_LT(report.value().keys_moved, static_cast<std::size_t>(n) / 2);
+  EXPECT_EQ(report.value().bytes_moved, report.value().keys_moved * 10);
+  // Every key still reads back, and the new shard really owns some.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(kv.get("key-" + std::to_string(i)).value(), std::string(10, 'v'));
+  }
+  EXPECT_FALSE(grown[2]->list().empty());
+  EXPECT_EQ(kv.list().size(), static_cast<std::size_t>(n));
+}
+
+TEST(ShardedStoreTest, PerShardMetricsSumToAggregate) {
+  ShardedStore kv(mem_shards(3));
+  obs::MetricsRegistry metrics;
+  kv.set_observer(nullptr, &metrics);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(kv.put("key-" + std::to_string(i), "v").ok());
+    ASSERT_TRUE(kv.get("key-" + std::to_string(i)).ok());
+  }
+  std::uint64_t shard_puts = 0, shard_gets = 0;
+  for (int i = 0; i < 3; ++i) {
+    shard_puts += metrics.counter_value("store.shard" + std::to_string(i) + ".puts");
+    shard_gets += metrics.counter_value("store.shard" + std::to_string(i) + ".gets");
+  }
+  EXPECT_EQ(shard_puts, 30u);
+  EXPECT_EQ(shard_gets, 30u);
+  EXPECT_EQ(metrics.counter_value("store.puts"), 30u);
+  EXPECT_EQ(metrics.counter_value("store.gets"), 30u);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteStore.
+
+TEST(RemoteStoreTest, HonoursKvContract) {
+  RemoteStore kv(std::make_shared<MemStore>());
+  exercise_kv_contract(kv);
+}
+
+TEST_F(StoreDirTest, RemoteOverDiskHonoursKvContract) {
+  RemoteStore kv(std::make_shared<DiskStore>(dir()));
+  exercise_kv_contract(kv);
+}
+
+TEST(RemoteStoreTest, CompareAndPutContract) {
+  RemoteStore kv(std::make_shared<MemStore>());
+  exercise_cas_contract(kv);
+}
+
+TEST_F(StoreDirTest, RemoteOverDiskSurvivesReopen) {
+  {
+    RemoteStore kv(std::make_shared<DiskStore>(dir()));
+    ASSERT_TRUE(kv.put("cache/entry", "compiled-bytes").ok());
+    ASSERT_TRUE(kv.sync().ok());
+  }
+  RemoteStore reopened(std::make_shared<DiskStore>(dir()));
+  EXPECT_EQ(reopened.get("cache/entry").value(), "compiled-bytes");
+  EXPECT_EQ(reopened.size("cache/entry").value(), std::string("compiled-bytes").size());
+}
+
+TEST(RemoteStoreTest, TransientFaultsAreRetriedAway) {
+  RemoteStore::Options options;
+  options.max_attempts = 3;
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+  obs::MetricsRegistry metrics;
+  kv.set_observer(nullptr, &metrics);
+
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  faults.fail_next(std::string(kRemoteGetSite), 2);
+  EXPECT_EQ(kv.get("k").value(), "v");  // 2 injected failures absorbed
+  EXPECT_EQ(kv.retries(), 2u);
+  EXPECT_EQ(metrics.counter_value("store.remote.retries"), 2u);
+  EXPECT_EQ(faults.injected(std::string(kRemoteGetSite)), 2u);
+}
+
+TEST(RemoteStoreTest, RetryBudgetExhaustionSurfacesTheFault) {
+  RemoteStore::Options options;
+  options.max_attempts = 3;
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+
+  faults.fail_next(std::string(kRemotePutSite), 3);
+  auto status = kv.put("k", "v");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::failed);
+  EXPECT_FALSE(kv.contains("k"));
+  EXPECT_EQ(kv.retries(), 2u);  // two retries, then the third failure surfaced
+  EXPECT_EQ(faults.injected(std::string(kRemotePutSite)), 3u);
+}
+
+TEST(RemoteStoreTest, TornTransferIsDetectedOnDownload) {
+  RemoteStore kv(std::make_shared<MemStore>());
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+  faults.tear_next(std::string(kRemotePutSite));
+  EXPECT_THROW((void)kv.put("upload", "payload that dies mid-flight"),
+               support::CrashInjected);
+  // The endpoint kept a truncated object; the checksum frame catches it.
+  EXPECT_EQ(kv.get("upload").error().code, Errc::corrupt);
+  // The armed fault verifiably fired.
+  EXPECT_GE(faults.injected(std::string(kRemotePutSite)), 1u);
+}
+
+TEST(RemoteStoreTest, LatencyInjectionDelaysOperations) {
+  RemoteStore::Options options;
+  options.get_latency = std::chrono::microseconds(2000);
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(kv.get("k").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(2000));
+}
+
+TEST(RemoteStoreTest, ConformsOverShardedBacking) {
+  // The deployment stack: remote endpoint in front of a sharded substrate.
+  RemoteStore kv(std::make_shared<ShardedStore>(mem_shards(3)));
+  exercise_kv_contract(kv);
 }
 
 }  // namespace

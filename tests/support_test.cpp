@@ -315,6 +315,23 @@ TEST(FaultInjectorTest, TearAtAndClearDisarmCrashSchedules) {
   EXPECT_EQ(faults.check_torn("disk", 8), std::nullopt);
 }
 
+TEST(FaultInjectorTest, SiteCountsEnumerateEveryTouchedSite) {
+  support::FaultInjector faults;
+  EXPECT_TRUE(faults.site_counts().empty());
+
+  faults.fail_next("remote.put", 1);
+  (void)faults.check("remote.put");   // injected
+  (void)faults.check("remote.put");   // clean
+  (void)faults.check("remote.get");   // unarmed site still counted
+  (void)faults.check("remote.get");
+
+  auto counts = faults.site_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  // Sorted by site name, so chaos tests can assert positionally.
+  EXPECT_EQ(counts[0], (support::FaultInjector::SiteCount{"remote.get", 2, 0}));
+  EXPECT_EQ(counts[1], (support::FaultInjector::SiteCount{"remote.put", 2, 1}));
+}
+
 TEST(FaultInjectorTest, ConcurrentChecksCountEveryCall) {
   support::FaultInjector faults;
   faults.fail_every("hot", 4);
