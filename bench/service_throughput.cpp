@@ -186,6 +186,7 @@ int main(int argc, char** argv) {
         request.system = sites[static_cast<std::size_t>(pick / 2) % sites.size()];
         request.priority = (pick % 3 == 0) ? service::Priority::interactive
                                            : service::Priority::normal;
+        request.tenant = "team" + std::to_string(c % 3);  // a small tenant mix
         auto ticket = svc.submit(request);
         if (ticket.ok()) per_client[static_cast<std::size_t>(c)].push_back(ticket.value());
       }
@@ -237,6 +238,12 @@ int main(int argc, char** argv) {
               stats.compile_cache_hits + stats.compile_cache_misses);
   std::printf("%-24s %10zu succeeded, %zu failed, %zu other\n", "final states",
               succeeded, failed, other);
+  for (const auto& [tenant, slice] : stats.tenants) {
+    std::printf("  tenant %-14s %6zu submitted, %zu admitted, %zu shed, %zu "
+                "throttled, p99 queue-wait %.2f ms\n",
+                tenant.c_str(), slice.submitted, slice.admitted, slice.shed,
+                slice.throttled, slice.p99_queue_wait_ms);
+  }
 
   // The exported trace must re-parse through src/json and hold one
   // service.job span per distinct admitted job.
@@ -280,6 +287,13 @@ int main(int argc, char** argv) {
     }
     if (stats.retries == 0) {
       std::fprintf(stderr, "SMOKE: injected transient faults never triggered a retry\n");
+      return 1;
+    }
+    std::uint64_t tenant_submitted = 0;
+    for (const auto& [tenant, slice] : stats.tenants) tenant_submitted += slice.submitted;
+    if (tenant_submitted != stats.submitted) {
+      std::fprintf(stderr, "SMOKE: per-tenant submitted (%llu) != total (%zu)\n",
+                   static_cast<unsigned long long>(tenant_submitted), stats.submitted);
       return 1;
     }
   }
@@ -363,6 +377,17 @@ int main(int argc, char** argv) {
     doc.emplace_back("p50_service_ms", json::Value(round3(percentile(latencies, 50))));
     doc.emplace_back("p99_service_ms", json::Value(round3(percentile(latencies, 99))));
     doc.emplace_back("retries", json::Value(static_cast<std::uint64_t>(stats.retries)));
+    json::Object tenants_obj;
+    for (const auto& [tenant, slice] : stats.tenants) {
+      json::Object entry;
+      entry.emplace_back("submitted", json::Value(slice.submitted));
+      entry.emplace_back("admitted", json::Value(slice.admitted));
+      entry.emplace_back("shed", json::Value(slice.shed));
+      entry.emplace_back("throttled", json::Value(slice.throttled));
+      entry.emplace_back("p99_queue_wait_ms", json::Value(round3(slice.p99_queue_wait_ms)));
+      tenants_obj.emplace_back(tenant, json::Value(std::move(entry)));
+    }
+    doc.emplace_back("tenants", json::Value(std::move(tenants_obj)));
     doc.emplace_back("trace_events",
                      json::Value(static_cast<std::uint64_t>(events->as_array().size())));
     doc.emplace_back("service_job_spans", json::Value(static_cast<std::uint64_t>(job_spans)));

@@ -8,11 +8,13 @@
 # tracing overhead clears the 5% bar (2 ms absolute floor); on a host with
 # >= 4 hardware threads it also sweeps 4 threads and fails when the 4-thread
 # speedup drops below 1.0x (on smaller hosts the bench prints a SKIP notice
-# instead — see docs/PERFORMANCE.md). A second build
+# instead — see docs/PERFORMANCE.md). The overload soak smoke gates the
+# robustness SLOs: tenant fairness under a hot-tenant flood, zero lost
+# tickets, circuit-breaker recovery, and autoscaler convergence. A second build
 # under ThreadSanitizer reruns the concurrency layer
 # (scheduler — including the SchedStress lock-free deque/cache/epoch tests —
 # registry, rebuild service, obs tracing/metrics) and the
-# service smoke bench. A third
+# service + soak smoke benches. A third
 # build under AddressSanitizer reruns the durability layer (write-ahead
 # journal, crash/torn-write injection, fsck/repair) plus the crash-resume
 # smoke bench — crash paths unwind through partially written state, exactly
@@ -48,6 +50,13 @@ test -s "$build_dir/rebuild_trace.json"
 # per distinct build, cross-replica reuse and shared-store cache hits must be
 # nonzero, injected remote faults must actually fire, and no ticket may fail.
 "$build_dir/bench/fleet_rebuild" --smoke
+# Overload soak smoke, SLO-gated: quiet-tenant p99 queue wait must stay within
+# 3x its solo baseline under a 10x hot-tenant flood, every ticket must reach a
+# terminal state (zero lost, zero failed despite the flaky network), the
+# breaker must trip and recover through half-open, and the autoscaler must
+# converge back to min workers. On 1-hardware-thread hosts the bench
+# auto-skips its heavy rows and records that provenance in the JSON.
+"$build_dir/bench/soak" --smoke
 
 echo "== restart-persistence smoke =="
 # Crash a rebuild whose journal and compile cache persist into one DiskStore
@@ -67,6 +76,9 @@ if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
 
   echo "== tsan bench smoke =="
   "$tsan_dir/bench/service_throughput" --smoke
+  # The soak under TSAN: weighted-fair queues, token buckets, the autoscaler's
+  # resize path, and the breaker state machine all race for real here.
+  "$tsan_dir/bench/soak" --smoke
 fi
 
 if [ "${COMT_SKIP_ASAN:-0}" != "1" ]; then

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,14 @@ struct FleetOptions {
   std::size_t rebuild_threads = 1;
   int max_attempts = 3;
   bool sleep_on_backoff = true;
+  /// Tenant admission policy, applied to every replica. Note that quotas are
+  /// enforced per replica: behind the round-robin balancer a tenant's
+  /// effective fleet-wide rate is replicas × its per-replica rate, so divide
+  /// accordingly when configuring.
+  service::TenantPolicy default_tenant;
+  std::map<std::string, service::TenantPolicy> tenants;
+  /// Per-system worker-pool autoscaling, applied to every replica's pools.
+  service::AutoscaleOptions autoscale;
   /// Lease protocol timing (see LeaseCoordinator::Options).
   std::chrono::milliseconds lease_ttl{2000};
   std::chrono::milliseconds lease_poll{1};
@@ -80,6 +89,9 @@ struct FleetStats {
   std::uint64_t coalesced = 0;      ///< in-process coalesces (per replica)
   std::uint64_t succeeded = 0;
   std::uint64_t failed = 0;
+  std::uint64_t throttled = 0;      ///< shed by per-tenant rate quotas
+  std::uint64_t scale_ups = 0;      ///< autoscaler grow events, fleet-wide
+  std::uint64_t scale_downs = 0;
   std::uint64_t crashed = 0;
   std::uint64_t fleet_reused = 0;   ///< jobs served from another replica's result
   std::uint64_t coordinator_errors = 0;

@@ -116,6 +116,12 @@ double MetricsRegistry::gauge_value(std::string_view name) const {
   return it == gauges_.end() ? 0 : it->second->value();
 }
 
+double MetricsRegistry::histogram_percentile(std::string_view name, double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0 : it->second->percentile(p);
+}
+
 json::Value MetricsRegistry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   json::Object counters;

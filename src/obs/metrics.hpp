@@ -105,6 +105,11 @@ class MetricsRegistry {
   std::uint64_t counter_value(std::string_view name) const;
   double gauge_value(std::string_view name) const;
 
+  /// Percentile of a histogram, 0 when the name was never created — the
+  /// read-side twin of counter_value for latency views (per-tenant p99
+  /// queue-wait in ServiceStats).
+  double histogram_percentile(std::string_view name, double p) const;
+
   /// Snapshot as {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {"count", "sum", "p50", "p95", "p99"}}}, names sorted.
   json::Value to_json() const;

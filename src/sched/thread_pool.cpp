@@ -113,19 +113,52 @@ bool StealDeque::empty() const {
 
 }  // namespace detail
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_threads) {
   if (threads == 0) threads = 1;
-  queues_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+  if (max_threads < threads) max_threads = threads;
+  // Every slot a future resize() could activate exists from the start, so
+  // take()'s scan and submit()'s index never race a vector reallocation.
+  queues_.reserve(max_threads);
+  for (std::size_t i = 0; i < max_threads; ++i) {
     queues_.push_back(std::make_unique<Worker>());
   }
-  workers_.reserve(threads);
+  workers_.resize(max_threads);
+  active_target_.store(threads, std::memory_order_release);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_[i] = std::thread([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::resize(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  if (threads > queues_.size()) threads = queues_.size();
+  std::lock_guard<std::mutex> resize(resize_mutex_);
+  if (stopping_.load(std::memory_order_acquire)) return;
+  const std::size_t current = active_target_.load(std::memory_order_acquire);
+  if (threads == current) return;
+  if (threads > current) {
+    // A slot between the old and new target may still hold a thread from an
+    // earlier shrink; it is exiting (its index was >= the old target), so the
+    // join is bounded by its final task.
+    for (std::size_t i = current; i < threads; ++i) {
+      if (workers_[i].joinable()) workers_[i].join();
+    }
+    active_target_.store(threads, std::memory_order_release);
+    for (std::size_t i = current; i < threads; ++i) {
+      workers_[i] = std::thread([this, i] { worker_loop(i); });
+    }
+  } else {
+    active_target_.store(threads, std::memory_order_release);
+  }
+  // Wake everyone: retirees parked on the condition variable must observe the
+  // new target and exit; survivors must rescan so tasks left in a retiree's
+  // deque are stolen rather than stranded until the next submission.
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  std::lock_guard<std::mutex> park(park_mutex_);
+  work_available_.notify_all();
+}
 
 void ThreadPool::set_metrics(obs::MetricsRegistry* metrics, std::string_view prefix) {
   if (metrics == nullptr) {
@@ -235,6 +268,10 @@ void ThreadPool::worker_loop(std::size_t self) {
   tls_worker = {this, self};
   for (;;) {
     if (stopping_.load(std::memory_order_acquire)) break;
+    // Park-and-retire: a shrink moved the target below this slot. Exit after
+    // the current task; anything left in this slot's deque stays stealable
+    // by the surviving workers (resize woke them to rescan).
+    if (self >= active_target_.load(std::memory_order_acquire)) break;
     if (auto task = take(self)) {
       task();
       finish_task();
@@ -271,8 +308,9 @@ void ThreadPool::worker_loop(std::size_t self) {
     if (obs::Counter* parks = park_counter_.load(std::memory_order_acquire)) {
       parks->add();
     }
-    work_available_.wait(park, [this, epoch] {
+    work_available_.wait(park, [this, epoch, self] {
       return stopping_.load(std::memory_order_acquire) ||
+             self >= active_target_.load(std::memory_order_acquire) ||
              work_epoch_.load(std::memory_order_acquire) != epoch;
     });
     sleepers_.fetch_sub(1, std::memory_order_release);
@@ -296,6 +334,10 @@ void ThreadPool::shutdown() {
     std::lock_guard<std::mutex> park(park_mutex_);
     work_available_.notify_all();
   }
+  // The resize lock orders this join after any in-flight resize: a resize
+  // that already passed its stopping_ check finishes spawning before we
+  // join, and every later resize sees stopping_ and no-ops.
+  std::lock_guard<std::mutex> resize(resize_mutex_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }

@@ -88,8 +88,11 @@ class StealDeque {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (at least 1).
-  explicit ThreadPool(std::size_t threads);
+  /// Spawns `threads` workers (at least 1). `max_threads` bounds how far
+  /// resize() can ever grow the pool (0 = `threads`, i.e. a fixed pool).
+  /// Worker slots — deques included — are allocated for the maximum up
+  /// front, so growing never reallocates state a running worker is reading.
+  explicit ThreadPool(std::size_t threads, std::size_t max_threads = 0);
 
   /// Equivalent to shutdown().
   ~ThreadPool();
@@ -97,7 +100,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.size(); }
+  /// Current worker target (resize() moves it; retiring workers may still be
+  /// finishing their last task when this returns the new value).
+  std::size_t size() const { return active_target_.load(std::memory_order_acquire); }
+  std::size_t max_size() const { return queues_.size(); }
+
+  /// Retargets the pool to `threads` workers, clamped to [1, max_size()].
+  /// Growing joins any previously retired slot and spawns a fresh worker
+  /// into it; shrinking parks-and-retires the highest slots — each retiree
+  /// finishes its current task and exits, and whatever is left in its deque
+  /// stays visible to the survivors' steal scan, so no queued or stolen task
+  /// is ever dropped. Safe to call from any non-pool thread; concurrent
+  /// resizes serialize. No-op after shutdown().
+  void resize(std::size_t threads);
 
   /// Enqueues a task. From a pool worker this is a lock-free push onto the
   /// worker's own deque; from any other thread the task goes through the
@@ -141,8 +156,13 @@ class ThreadPool {
   void finish_task();
   std::function<void()> instrument(std::function<void()> task);
 
-  std::vector<std::unique_ptr<Worker>> queues_;
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Worker>> queues_;  ///< max_size() slots, fixed
+  std::vector<std::thread> workers_;             ///< one (re)spawnable per slot
+
+  // Dynamic sizing: workers with index >= active_target_ retire after their
+  // current task. resize() serializes against itself and shutdown().
+  std::atomic<std::size_t> active_target_{0};
+  std::mutex resize_mutex_;
 
   // External submissions; workers move chunks into their own deques.
   std::mutex inject_mutex_;

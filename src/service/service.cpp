@@ -47,6 +47,7 @@ std::string request_metadata(const SubmitRequest& request) {
   object.emplace_back("system", json::Value(request.system));
   object.emplace_back("priority",
                       json::Value(static_cast<double>(static_cast<int>(request.priority))));
+  if (!request.tenant.empty()) object.emplace_back("tenant", json::Value(request.tenant));
   return json::serialize(json::Value(std::move(object)));
 }
 
@@ -57,11 +58,27 @@ bool parse_request_metadata(const std::string& metadata, SubmitRequest& request)
     if (field == "name" && value.is_string()) request.name = value.as_string();
     if (field == "tag" && value.is_string()) request.tag = value.as_string();
     if (field == "system" && value.is_string()) request.system = value.as_string();
+    if (field == "tenant" && value.is_string()) request.tenant = value.as_string();
     if (field == "priority" && value.is_number()) {
       request.priority = static_cast<Priority>(static_cast<int>(value.as_number()));
     }
   }
   return !request.name.empty() && !request.tag.empty() && !request.system.empty();
+}
+
+/// Metric-facing tenant name: the anonymous tenant reads as "default".
+std::string tenant_display(const std::string& tenant) {
+  return tenant.empty() ? "default" : tenant;
+}
+
+/// Pool-size gauge for one system, qualified by replica id when the service
+/// runs in a fleet (replicas share one registry, so bare fingerprints would
+/// overwrite each other).
+std::string workers_gauge_name(const std::string& replica_id,
+                               const std::string& fingerprint) {
+  std::string name = "service.autoscale.workers.";
+  if (!replica_id.empty()) name += replica_id + ".";
+  return name + fingerprint;
 }
 
 /// Releases the hub pins a journaled attempt takes on its source image — on
@@ -93,6 +110,7 @@ const char* to_string(JobState state) {
     case JobState::succeeded: return "succeeded";
     case JobState::failed: return "failed";
     case JobState::rejected: return "rejected";
+    case JobState::throttled: return "throttled";
     case JobState::expired: return "expired";
     case JobState::drained: return "drained";
   }
@@ -111,7 +129,8 @@ std::string fingerprint(const sysmodel::SystemProfile& profile) {
 /// One distinct rebuild: possibly many tickets, exactly one execution.
 struct RebuildService::Job {
   SubmitRequest request;
-  std::string key;  ///< manifest digest + system — the coalescing key
+  std::string key;     ///< manifest digest + system — the coalescing key
+  std::string tenant;  ///< SubmitRequest::tenant, fixed at submission
   std::vector<Ticket> tickets;
   JobState state = JobState::queued;
   Status result;
@@ -122,12 +141,40 @@ struct RebuildService::Job {
   std::pair<int, std::uint64_t> queue_key;  ///< position while queued
 };
 
-/// Per-target state: the tenant config, its worker pool, its slice of the
-/// admission queue ordered by (priority desc, arrival order).
+/// One tenant's slice of a system's admission queue, ordered by
+/// (priority desc, arrival order) — priority classes hold within a tenant.
+struct RebuildService::TenantQueue {
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> queue;
+  double weight = 1.0;   ///< DRR quantum, refreshed from the policy on enqueue
+  double deficit = 0;    ///< accumulated service credit, spent one job at a time
+  bool active = false;   ///< currently on the system's DRR ring
+};
+
+/// Per-target state: the target config, its worker pool, and its slice of
+/// the admission queue — per-tenant queues drained by deficit-weighted
+/// round-robin (pick_job_locked).
 struct RebuildService::SystemState {
   TargetSystem target;
+  std::string fingerprint;
   std::unique_ptr<sched::ThreadPool> pool;
-  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> queue;
+  std::map<std::string, TenantQueue> tenants;
+  std::deque<std::string> drr;  ///< round-robin ring of active tenants
+  std::size_t queued = 0;       ///< jobs across all tenant queues
+  /// Queue wait observed since the autoscaler's previous tick.
+  double wait_window_ms = 0;
+  std::size_t wait_window_jobs = 0;
+  /// Autoscaler hysteresis: ticks to hold after a scale event, and how many
+  /// consecutive quiet ticks the backlog has stayed below the down threshold.
+  int cooldown_ticks = 0;
+  int quiet_ticks = 0;
+};
+
+/// Per-tenant admission bookkeeping: the resolved policy plus the token
+/// bucket (tokens are submissions; the bucket starts full).
+struct RebuildService::TenantState {
+  TenantPolicy policy;
+  double tokens = 0;
+  obs::Stopwatch last_refill;
 };
 
 RebuildService::RebuildService(registry::Registry& hub, ServiceOptions options)
@@ -135,11 +182,17 @@ RebuildService::RebuildService(registry::Registry& hub, ServiceOptions options)
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.workers_per_system == 0) options_.workers_per_system = 1;
   if (options_.max_attempts < 1) options_.max_attempts = 1;
+  AutoscaleOptions& scale = options_.autoscale;
+  if (scale.min_workers == 0) scale.min_workers = 1;
+  if (scale.max_workers < scale.min_workers) scale.max_workers = scale.min_workers;
+  if (scale.interval_ms <= 0) scale.interval_ms = 1;
+  if (scale.cooldown_periods < 1) scale.cooldown_periods = 1;
   metrics_ = options_.metrics != nullptr ? options_.metrics : &own_metrics_;
   if (options_.journals != nullptr) options_.journals->set_metrics(metrics_);
   // Metrics before attach, so hydrated entries count in compile_cache.*.
   cache_.set_metrics(metrics_);
   if (options_.store != nullptr) cache_.attach(options_.store);
+  if (scale.enabled) autoscaler_ = std::thread([this] { autoscale_loop(); });
 }
 
 RebuildService::~RebuildService() { drain(); }
@@ -156,10 +209,79 @@ Status RebuildService::add_system(std::string fingerprint, TargetSystem target) 
   }
   auto state = std::make_unique<SystemState>();
   state->target = std::move(target);
-  state->pool = std::make_unique<sched::ThreadPool>(options_.workers_per_system);
+  state->fingerprint = fingerprint;
+  std::size_t workers = options_.workers_per_system;
+  std::size_t max_workers = workers;
+  if (options_.autoscale.enabled) {
+    workers = std::max(options_.autoscale.min_workers,
+                       std::min(workers, options_.autoscale.max_workers));
+    max_workers = options_.autoscale.max_workers;
+  }
+  state->pool = std::make_unique<sched::ThreadPool>(workers, max_workers);
   state->pool->set_metrics(metrics_, "service.pool");
+  metrics_->gauge(workers_gauge_name(options_.replica_id, fingerprint))
+      .set(static_cast<double>(workers));
   systems_.emplace(std::move(fingerprint), std::move(state));
   return Status::success();
+}
+
+RebuildService::TenantState& RebuildService::tenant_state_locked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    auto state = std::make_unique<TenantState>();
+    auto policy = options_.tenants.find(tenant);
+    state->policy = policy != options_.tenants.end() ? policy->second
+                                                    : options_.default_tenant;
+    if (state->policy.weight < 0.01) state->policy.weight = 0.01;
+    state->tokens = state->policy.quota_burst;  // buckets start full
+    it = tenants_.emplace(tenant, std::move(state)).first;
+  }
+  return *it->second;
+}
+
+bool RebuildService::take_quota_token_locked(const std::string& tenant) {
+  TenantState& state = tenant_state_locked(tenant);
+  if (state.policy.quota_burst <= 0) return true;  // quota disabled
+  const double refill =
+      state.policy.quota_rate * (state.last_refill.elapsed_ms() / 1000.0);
+  state.last_refill.restart();
+  state.tokens = std::min(state.policy.quota_burst, state.tokens + refill);
+  if (state.tokens < 1.0) return false;
+  state.tokens -= 1.0;
+  return true;
+}
+
+obs::Counter& RebuildService::tenant_counter(const std::string& tenant,
+                                             std::string_view which) {
+  return metrics_->counter("service.tenant." + tenant_display(tenant) + "." +
+                           std::string(which));
+}
+
+std::shared_ptr<RebuildService::Job> RebuildService::evict_for_locked(Priority arriving) {
+  // Globally worst queued job: the highest queue_key (lowest priority class,
+  // newest arrival) across every system's tenant queues.
+  SystemState* worst_sys = nullptr;
+  TenantQueue* worst_queue = nullptr;
+  std::shared_ptr<Job> worst;
+  for (auto& [name, sys] : systems_) {
+    for (auto& [tenant, tq] : sys->tenants) {
+      if (tq.queue.empty()) continue;
+      auto last = std::prev(tq.queue.end());
+      if (worst == nullptr || last->first > worst->queue_key) {
+        worst = last->second;
+        worst_queue = &tq;
+        worst_sys = sys.get();
+      }
+    }
+  }
+  if (worst == nullptr ||
+      static_cast<int>(worst->request.priority) >= static_cast<int>(arriving)) {
+    return nullptr;
+  }
+  worst_queue->queue.erase(worst->queue_key);
+  --worst_sys->queued;
+  --queued_count_;
+  return worst;
 }
 
 Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
@@ -178,6 +300,25 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
 
   Ticket ticket = next_ticket_++;
   counter("service.submitted").add();
+  tenant_counter(request.tenant, "submitted").add();
+
+  // Rate quota first — an over-quota tenant is shed at the front door, before
+  // its arrival can even coalesce onto (and thereby ride along with) existing
+  // work.
+  if (!take_quota_token_locked(request.tenant)) {
+    auto job = std::make_shared<Job>();
+    job->request = request;
+    job->tenant = request.tenant;
+    job->tickets = {ticket};
+    tickets_[ticket] = TicketRecord{job, /*coalesced=*/false};
+    counter("service.throttled").add();
+    tenant_counter(request.tenant, "throttled").add();
+    finalize_locked(*job, JobState::throttled,
+                    make_error(Errc::failed, "service: tenant '" +
+                                                 tenant_display(request.tenant) +
+                                                 "' over rate quota"));
+    return ticket;
+  }
 
   // Coalesce: a queued or running job for the same (image digest, system)
   // serves this ticket too.
@@ -192,10 +333,12 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
   auto job = std::make_shared<Job>();
   job->request = request;
   job->key = key;
+  job->tenant = request.tenant;
   job->tickets = {ticket};
   job->span = obs::maybe_span(options_.tracer, "service.job", obs::kNoSpan, "service");
   job->span.annotate("image", request.name + ":" + request.tag);
   job->span.annotate("system", request.system);
+  if (!job->tenant.empty()) job->span.annotate("tenant", job->tenant);
   if (!options_.replica_id.empty()) job->span.annotate("replica", options_.replica_id);
   tickets_[ticket] = TicketRecord{job, /*coalesced=*/false};
 
@@ -203,26 +346,15 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
   // the newest lowest-priority queued job when the arrival outranks it,
   // otherwise the arrival itself.
   if (queued_count_ >= options_.queue_capacity) {
-    SystemState* worst_sys = nullptr;
-    std::shared_ptr<Job> worst;
-    for (auto& [name, candidate_sys] : systems_) {
-      if (candidate_sys->queue.empty()) continue;
-      auto last = std::prev(candidate_sys->queue.end());
-      if (worst == nullptr || last->first > worst->queue_key) {
-        worst = last->second;
-        worst_sys = candidate_sys.get();
-      }
-    }
-    if (worst != nullptr &&
-        static_cast<int>(worst->request.priority) < static_cast<int>(request.priority)) {
-      worst_sys->queue.erase(worst->queue_key);
-      --queued_count_;
+    if (std::shared_ptr<Job> worst = evict_for_locked(request.priority)) {
       counter("service.shed").add();
+      tenant_counter(worst->tenant, "shed").add();
       finalize_locked(*worst, JobState::rejected,
                       make_error(Errc::failed,
                                  "service: load shed by a higher-priority arrival"));
     } else {
       counter("service.shed").add();
+      tenant_counter(request.tenant, "shed").add();
       finalize_locked(*job, JobState::rejected,
                       make_error(Errc::failed, "service: admission queue full"));
       return ticket;
@@ -230,12 +362,51 @@ Result<Ticket> RebuildService::submit(const SubmitRequest& request) {
   }
 
   counter("service.admitted").add();
+  tenant_counter(request.tenant, "admitted").add();
   job->queue_key = {-static_cast<int>(request.priority), next_seq_++};
-  sys.queue.emplace(job->queue_key, job);
+  TenantQueue& tq = sys.tenants[request.tenant];
+  tq.weight = tenant_state_locked(request.tenant).policy.weight;
+  tq.queue.emplace(job->queue_key, job);
+  if (!tq.active) {
+    tq.active = true;
+    sys.drr.push_back(request.tenant);
+  }
+  ++sys.queued;
   ++queued_count_;
   active_[key] = job;
   sys.pool->submit([this, &sys] { run_next(sys); });
   return ticket;
+}
+
+std::shared_ptr<RebuildService::Job> RebuildService::pick_job_locked(SystemState& sys) {
+  // Deficit round-robin over the active-tenant ring. Each visit grants the
+  // tenant its weight in credit; one job costs one credit. A tenant with an
+  // empty queue leaves the ring (and forfeits leftover deficit, so an idle
+  // tenant cannot bank credit for a later burst). With a single tenant this
+  // degenerates to the old strict (priority, arrival) order.
+  while (!sys.drr.empty()) {
+    const std::string tenant = sys.drr.front();
+    TenantQueue& tq = sys.tenants[tenant];
+    if (tq.queue.empty()) {
+      tq.active = false;
+      tq.deficit = 0;
+      sys.drr.pop_front();
+      continue;
+    }
+    if (tq.deficit >= 1.0) {
+      tq.deficit -= 1.0;
+      auto it = tq.queue.begin();
+      std::shared_ptr<Job> job = it->second;
+      tq.queue.erase(it);
+      --sys.queued;
+      --queued_count_;
+      return job;
+    }
+    tq.deficit += tq.weight;
+    sys.drr.pop_front();
+    sys.drr.push_back(tenant);
+  }
+  return nullptr;
 }
 
 void RebuildService::run_next(SystemState& sys) {
@@ -243,18 +414,21 @@ void RebuildService::run_next(SystemState& sys) {
   JobTrace trace;
   Ticket seed = 0;
   obs::SpanId job_span = obs::kNoSpan;
+  obs::Stopwatch admitted;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     start_cv_.wait(lock, [this] { return !paused_ || draining_; });
     // The queue may have shrunk under us (eviction, drain): one runner task
     // is submitted per admitted job, so a missing job just means this runner
     // has nothing to do.
-    if (sys.queue.empty()) return;
-    auto it = sys.queue.begin();
-    job = it->second;
-    sys.queue.erase(it);
-    --queued_count_;
+    job = pick_job_locked(sys);
+    if (job == nullptr) return;
     job->trace.queue_ms = job->enqueued.elapsed_ms();
+    metrics_
+        ->histogram("service.tenant." + tenant_display(job->tenant) + ".queue_wait_ms")
+        .observe(job->trace.queue_ms);
+    sys.wait_window_ms += job->trace.queue_ms;
+    ++sys.wait_window_jobs;
     if (job->request.deadline_ms > 0 && job->trace.queue_ms > job->request.deadline_ms) {
       counter("service.expired").add();
       finalize_locked(*job, JobState::expired,
@@ -270,6 +444,7 @@ void RebuildService::run_next(SystemState& sys) {
     trace = job->trace;
     seed = job->tickets.front();
     job_span = job->span.id();
+    admitted = job->enqueued;  // the deadline clock, shared with the retry loop
   }
 
   // The heavy part — no service lock held. job->request/key are immutable
@@ -301,8 +476,10 @@ void RebuildService::run_next(SystemState& sys) {
       counter("service.coordinator_errors").add();
     }
   }
+  bool deadline_expired = false;
   if (!skip_execute) {
-    execute(sys.target, job->request, seed, job_span, trace, result, output);
+    execute(sys.target, job->request, seed, job_span, admitted, trace, result, output,
+            deadline_expired);
   }
   if (hold_lease) {
     if (trace.crashed) {
@@ -325,6 +502,9 @@ void RebuildService::run_next(SystemState& sys) {
     if (result.ok()) {
       counter("service.succeeded").add();
       finalize_locked(*job, JobState::succeeded, Status::success());
+    } else if (deadline_expired) {
+      counter("service.expired").add();
+      finalize_locked(*job, JobState::expired, std::move(result));
     } else {
       counter("service.failed").add();
       if (job->trace.crashed) counter("service.crashed").add();
@@ -334,8 +514,10 @@ void RebuildService::run_next(SystemState& sys) {
 }
 
 void RebuildService::execute(const TargetSystem& target, const SubmitRequest& request,
-                             Ticket seed, obs::SpanId job_span, JobTrace& trace,
-                             Status& result, std::string& output) {
+                             Ticket seed, obs::SpanId job_span,
+                             const obs::Stopwatch& admitted, JobTrace& trace,
+                             Status& result, std::string& output,
+                             bool& deadline_expired) {
   Status last = Status::success();
   double prev_delay_ms = 0;
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
@@ -369,6 +551,20 @@ void RebuildService::execute(const TargetSystem& target, const SubmitRequest& re
     delay = std::min(delay, options_.backoff_max_ms);
     delay *= 1.0 + jitter01(seed, attempt);
     delay = std::max(delay, prev_delay_ms);
+
+    // The deadline spans the whole retry loop, measured from admission: a
+    // backoff that would land the next attempt past it expires the job now
+    // instead of burning a retry that could never be waited for. The skipped
+    // delay is deliberately not recorded in backoff_ms — it was never taken.
+    if (request.deadline_ms > 0 && admitted.elapsed_ms() + delay > request.deadline_ms) {
+      deadline_expired = true;
+      result = make_error(
+          Errc::failed,
+          "service: retry backoff would overshoot the deadline; expired after " +
+              std::to_string(trace.attempts) + " attempt(s): " + last.error().message);
+      return;
+    }
+
     prev_delay_ms = delay;
     trace.backoff_ms.push_back(delay);
     attempt_span.annotate("backoff_ms", static_cast<std::uint64_t>(delay * 1000));
@@ -488,7 +684,11 @@ Result<RecoveryReport> RebuildService::recover() {
 void RebuildService::finalize_locked(Job& job, JobState state, Status result) {
   job.state = state;
   job.result = std::move(result);
-  active_.erase(job.key);
+  // Throttled jobs never entered active_ — their key may belong to a live
+  // job other tickets coalesced onto, so only erase an entry this job owns.
+  if (auto it = active_.find(job.key); it != active_.end() && it->second.get() == &job) {
+    active_.erase(it);
+  }
   counter("service.retries").add(job.trace.backoff_ms.size());
   counter("service.cache_hits").add(job.trace.cache_hits);
   counter("service.cache_misses").add(job.trace.cache_misses);
@@ -552,19 +752,25 @@ void RebuildService::drain() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     draining_ = true;
+    stop_autoscaler_ = true;
     for (auto& [name, sys] : systems_) {
       // Fail queued jobs in queue order; their runner tasks will pop nothing.
-      while (!sys->queue.empty()) {
-        std::shared_ptr<Job> job = sys->queue.begin()->second;
-        sys->queue.erase(sys->queue.begin());
-        --queued_count_;
-        counter("service.drained").add();
-        finalize_locked(*job, JobState::drained,
-                        make_error(Errc::failed, "service: drained while queued"));
+      for (auto& [tenant, tq] : sys->tenants) {
+        while (!tq.queue.empty()) {
+          std::shared_ptr<Job> job = tq.queue.begin()->second;
+          tq.queue.erase(tq.queue.begin());
+          --sys->queued;
+          --queued_count_;
+          counter("service.drained").add();
+          finalize_locked(*job, JobState::drained,
+                          make_error(Errc::failed, "service: drained while queued"));
+        }
       }
     }
   }
+  autoscale_cv_.notify_all();
   start_cv_.notify_all();  // wake runners held by pause()
+  if (autoscaler_.joinable()) autoscaler_.join();
   for (auto& [name, sys] : systems_) sys->pool->wait_idle();
 }
 
@@ -591,11 +797,93 @@ ServiceStats RebuildService::stats() const {
   out.compile_cache_inserts = metrics_->counter_value("compile_cache.inserts");
   out.compile_cache_hydrated = metrics_->counter_value("compile_cache.hydrated");
   out.compile_cache_remote_hits = metrics_->counter_value("compile_cache.remote_hits");
+  out.throttled = metrics_->counter_value("service.throttled");
+  out.scale_ups = metrics_->counter_value("service.autoscale.scale_up");
+  out.scale_downs = metrics_->counter_value("service.autoscale.scale_down");
   out.queue_ms = metrics_->gauge_value("service.queue_ms");
   out.pull_ms = metrics_->gauge_value("service.pull_ms");
   out.rebuild_ms = metrics_->gauge_value("service.rebuild_ms");
   out.push_ms = metrics_->gauge_value("service.push_ms");
+  for (const auto& [tenant, state] : tenants_) {
+    const std::string prefix = "service.tenant." + tenant_display(tenant) + ".";
+    TenantStats slice;
+    slice.submitted = metrics_->counter_value(prefix + "submitted");
+    slice.admitted = metrics_->counter_value(prefix + "admitted");
+    slice.shed = metrics_->counter_value(prefix + "shed");
+    slice.throttled = metrics_->counter_value(prefix + "throttled");
+    slice.p99_queue_wait_ms = metrics_->histogram_percentile(prefix + "queue_wait_ms", 99);
+    out.tenants.emplace(tenant_display(tenant), slice);
+  }
   return out;
+}
+
+void RebuildService::autoscale_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval =
+      std::chrono::duration<double, std::milli>(options_.autoscale.interval_ms);
+  while (!stop_autoscaler_) {
+    autoscale_cv_.wait_for(lock, interval, [this] { return stop_autoscaler_; });
+    if (stop_autoscaler_) return;
+    if (paused_) continue;  // a paused service has a deliberately frozen queue
+    lock.unlock();
+    autoscale_tick();
+    lock.lock();
+  }
+}
+
+void RebuildService::autoscale_tick() {
+  // Decide under the lock, resize outside it: ThreadPool::resize joins
+  // retired workers, and a retiring worker may be blocked on mutex_ inside
+  // run_next — resizing while holding the lock would deadlock on it.
+  struct Decision {
+    SystemState* sys;
+    std::size_t workers;
+    bool up;
+  };
+  std::vector<Decision> decisions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const AutoscaleOptions& scale = options_.autoscale;
+    for (auto& [name, sys] : systems_) {
+      const std::size_t workers = sys->pool->size();
+      const double depth = static_cast<double>(sys->queued);
+      const double mean_wait =
+          sys->wait_window_jobs > 0 ? sys->wait_window_ms / sys->wait_window_jobs : 0;
+      sys->wait_window_ms = 0;
+      sys->wait_window_jobs = 0;
+      if (sys->cooldown_ticks > 0) {
+        --sys->cooldown_ticks;
+        continue;
+      }
+      const bool pressure =
+          depth >= scale.up_backlog_per_worker * static_cast<double>(workers) &&
+          depth > 0;
+      const bool slow = scale.up_queue_wait_ms > 0 && depth > 0 &&
+                        mean_wait >= scale.up_queue_wait_ms;
+      if ((pressure || slow) && workers < scale.max_workers) {
+        sys->quiet_ticks = 0;
+        sys->cooldown_ticks = scale.cooldown_periods;
+        decisions.push_back({sys.get(), workers + 1, /*up=*/true});
+        continue;
+      }
+      if (depth <= scale.down_backlog_per_worker * static_cast<double>(workers)) {
+        if (++sys->quiet_ticks >= scale.cooldown_periods && workers > scale.min_workers) {
+          sys->quiet_ticks = 0;
+          sys->cooldown_ticks = scale.cooldown_periods;
+          decisions.push_back({sys.get(), workers - 1, /*up=*/false});
+        }
+      } else {
+        sys->quiet_ticks = 0;
+      }
+    }
+  }
+  for (const Decision& decision : decisions) {
+    decision.sys->pool->resize(decision.workers);
+    counter(decision.up ? "service.autoscale.scale_up" : "service.autoscale.scale_down")
+        .add();
+    metrics_->gauge(workers_gauge_name(options_.replica_id, decision.sys->fingerprint))
+        .set(static_cast<double>(decision.workers));
+  }
 }
 
 std::size_t RebuildService::queue_depth() const {

@@ -13,6 +13,13 @@
 //              classes, load        + system key
 //              shedding)            share one job)
 //
+//  - Admission is tenant-aware. Every request names a tenant (empty =
+//    "default"); each tenant holds a token-bucket rate quota, and over-quota
+//    arrivals are shed immediately in JobState::throttled — a hot tenant
+//    saturates its own budget, never the fleet. Admitted jobs land in
+//    per-tenant queues (priority classes preserved within a tenant) that
+//    workers drain by deficit-weighted round-robin, so a tenant flooding
+//    Priority::interactive cannot starve another tenant's normal jobs.
 //  - Admission is bounded (ServiceOptions::queue_capacity). When the queue is
 //    full, a higher-priority arrival evicts the newest lowest-priority queued
 //    job; otherwise the arrival itself is shed. Shed jobs finish in
@@ -36,11 +43,13 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/backend.hpp"
@@ -69,7 +78,8 @@ enum class JobState {
   succeeded,  ///< result pushed to the hub registry (see TicketStatus::output)
   failed,     ///< permanent failure — retries exhausted or non-retryable error
   rejected,   ///< shed at admission (queue full / evicted by higher priority)
-  expired,    ///< deadline passed while still queued
+  throttled,  ///< shed at admission — the tenant exceeded its rate quota
+  expired,    ///< deadline passed while queued, or a retry would overshoot it
   drained,    ///< still queued when drain()/shutdown began
 };
 
@@ -84,9 +94,55 @@ struct SubmitRequest {
   std::string tag;   ///< …as pushed by the user ("org/app", "1.0+coM")
   std::string system;  ///< fingerprint of a registered target system
   Priority priority = Priority::normal;
-  /// Maximum queue wait. A job popped later than this fails as expired
-  /// (running jobs are never killed). 0 = no deadline.
+  /// Deadline from admission, honored across the whole retry loop: a job
+  /// popped later than this fails as expired, and a retry whose backoff would
+  /// land past it expires instead of retrying (running attempts are never
+  /// killed). 0 = no deadline.
   double deadline_ms = 0;
+  /// Who is asking. Empty maps to the "default" tenant. Quotas, fair-queue
+  /// weight, and the per-tenant stats breakdown all key off this.
+  std::string tenant{};
+};
+
+/// Per-tenant admission policy: fair-share weight plus a token-bucket rate
+/// quota. Unlisted tenants get ServiceOptions::default_tenant.
+struct TenantPolicy {
+  /// Deficit-round-robin share relative to other tenants on the same target
+  /// system (2.0 drains twice as fast as 1.0). Clamped to >= 0.01.
+  double weight = 1.0;
+  /// Token-bucket capacity in submissions. 0 disables the quota entirely
+  /// (the default): every arrival is admitted.
+  double quota_burst = 0;
+  /// Bucket refill rate in submissions/second. With quota_burst > 0 and rate
+  /// 0 the tenant gets a hard lifetime cap of quota_burst submissions.
+  double quota_rate = 0;
+};
+
+/// Worker-pool autoscaling: each per-system pool tracks its backlog between
+/// min_workers and max_workers. The controller samples queue depth and the
+/// queue wait observed since the previous tick every interval_ms, scales up
+/// one worker when the backlog-per-worker or recent queue wait crosses the
+/// up thresholds, and scales down one worker only after the backlog has sat
+/// below the down threshold for `cooldown_periods` consecutive ticks — the
+/// hysteresis that keeps a bursty queue from flapping the pool. Scale events
+/// land in "service.autoscale.scale_up"/"scale_down" and each pool's current
+/// size in the "service.autoscale.workers.<system>" gauge (qualified as
+/// "….<replica_id>.<system>" when the service runs as a fleet replica).
+struct AutoscaleOptions {
+  bool enabled = false;
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 4;
+  double interval_ms = 20;
+  /// Scale up when queue depth >= up_backlog_per_worker * pool size…
+  double up_backlog_per_worker = 2.0;
+  /// …or when the mean queue wait observed since the last tick exceeds this
+  /// (0 disables the wait trigger).
+  double up_queue_wait_ms = 0;
+  /// Scale-down candidate when queue depth <= down_backlog_per_worker * size.
+  double down_backlog_per_worker = 0.25;
+  /// Consecutive quiet ticks required before shrinking, and the minimum gap
+  /// (in ticks) between any two scale events on one pool.
+  int cooldown_periods = 3;
 };
 
 /// Structured per-job diagnostics, shared by all coalesced tickets.
@@ -174,8 +230,16 @@ class FleetCoordinator {
 struct ServiceOptions {
   /// Bound on jobs queued across all systems (running jobs do not count).
   std::size_t queue_capacity = 64;
-  /// Worker threads per registered target system.
+  /// Worker threads per registered target system. With autoscaling enabled
+  /// this is the initial size, clamped into [min_workers, max_workers].
   std::size_t workers_per_system = 2;
+  /// Admission policy for tenants not listed in `tenants`. The default —
+  /// weight 1, no quota — reproduces the pre-tenant behaviour exactly.
+  TenantPolicy default_tenant;
+  /// Per-tenant policy overrides, keyed by SubmitRequest::tenant.
+  std::map<std::string, TenantPolicy> tenants;
+  /// Per-system worker-pool autoscaling (off by default: fixed pools).
+  AutoscaleOptions autoscale;
   /// `threads` passed to each comtainer_rebuild (intra-job parallelism).
   std::size_t rebuild_threads = 1;
   /// Executions of pull→rebuild→push per job before the failure is permanent.
@@ -249,6 +313,17 @@ struct RecoveryReport {
   std::size_t cache_entries_recovered = 0;
 };
 
+/// One tenant's slice of the service counters, assembled from the
+/// "service.tenant.<name>.*" instruments (so it survives to_json export and
+/// merges across fleet replicas sharing one registry).
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;        ///< rejected at admission or evicted
+  std::uint64_t throttled = 0;   ///< shed by the tenant's own rate quota
+  double p99_queue_wait_ms = 0;  ///< admission → pop, from the tenant histogram
+};
+
 /// Aggregate counters. Ticket counters count submissions; job counters count
 /// distinct rebuilds (coalesced tickets share one job). A ServiceStats is a
 /// point-in-time view assembled from the service's metrics registry (the
@@ -258,10 +333,13 @@ struct ServiceStats {
   std::uint64_t coalesced = 0;  ///< tickets attached to an in-flight job
   std::uint64_t admitted = 0;   ///< jobs that entered the queue
   std::uint64_t shed = 0;       ///< jobs rejected at admission or evicted
+  std::uint64_t throttled = 0;  ///< jobs shed by per-tenant rate quotas
   std::uint64_t succeeded = 0;
   std::uint64_t failed = 0;
   std::uint64_t expired = 0;
   std::uint64_t drained = 0;
+  std::uint64_t scale_ups = 0;    ///< autoscaler grow events across all pools
+  std::uint64_t scale_downs = 0;  ///< autoscaler shrink events
   std::uint64_t retries = 0;  ///< backoff delays taken across all jobs
   std::uint64_t crashed = 0;  ///< jobs that died at an injected crash site
   std::uint64_t fleet_reused = 0;  ///< jobs served from another replica's result
@@ -272,6 +350,8 @@ struct ServiceStats {
   std::uint64_t compile_cache_hydrated = 0;  ///< entries recovered from the store
   std::uint64_t compile_cache_remote_hits = 0;  ///< served via the store fallback
   double queue_ms = 0, pull_ms = 0, rebuild_ms = 0, push_ms = 0;  ///< summed
+  /// Per-tenant breakdown, keyed by tenant name ("" maps to "default").
+  std::map<std::string, TenantStats> tenants;
 };
 
 class RebuildService {
@@ -327,20 +407,35 @@ class RebuildService {
 
  private:
   struct Job;
+  struct TenantQueue;
   struct SystemState;
+  struct TenantState;
   struct TicketRecord {
     std::shared_ptr<Job> job;
     bool coalesced = false;
   };
 
   void run_next(SystemState& sys);
+  /// Deficit-weighted round-robin pick across the system's tenant queues
+  /// (priority order within a tenant). Null when every queue is empty.
+  std::shared_ptr<Job> pick_job_locked(SystemState& sys);
+  /// Token-bucket check for one arrival; false = shed as throttled.
+  bool take_quota_token_locked(const std::string& tenant);
+  TenantState& tenant_state_locked(const std::string& tenant);
+  /// Removes the globally worst (lowest-priority, newest) queued job to make
+  /// room for `arriving`; returns it, or null when nothing queued ranks
+  /// below the arrival.
+  std::shared_ptr<Job> evict_for_locked(Priority arriving);
   void execute(const TargetSystem& target, const SubmitRequest& request, Ticket seed,
-               obs::SpanId job_span, JobTrace& trace, Status& result,
-               std::string& output);
+               obs::SpanId job_span, const obs::Stopwatch& admitted, JobTrace& trace,
+               Status& result, std::string& output, bool& deadline_expired);
   Status attempt_once(const TargetSystem& target, const SubmitRequest& request,
                       obs::SpanId attempt_span, JobTrace& trace, std::string& output);
   void finalize_locked(Job& job, JobState state, Status result);
+  void autoscale_loop();
+  void autoscale_tick();
   obs::Counter& counter(std::string_view name) { return metrics_->counter(name); }
+  obs::Counter& tenant_counter(const std::string& tenant, std::string_view which);
 
   registry::Registry& hub_;
   ServiceOptions options_;
@@ -355,12 +450,19 @@ class RebuildService {
   std::map<std::string, std::unique_ptr<SystemState>> systems_;
   std::map<Ticket, TicketRecord> tickets_;
   std::map<std::string, std::shared_ptr<Job>> active_;  ///< coalescing index
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;  ///< quota buckets
   std::uint64_t next_ticket_ = 1;
   std::uint64_t next_seq_ = 0;
   std::size_t queued_count_ = 0;
   std::size_t running_count_ = 0;
   bool paused_ = false;
   bool draining_ = false;
+
+  /// Autoscale controller. Started by the constructor when enabled, stopped
+  /// by drain(); ticks sample each system's backlog and queue wait.
+  std::thread autoscaler_;
+  std::condition_variable autoscale_cv_;  ///< waits on mutex_; drain() wakes it
+  bool stop_autoscaler_ = false;
 };
 
 }  // namespace comt::service

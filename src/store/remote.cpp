@@ -45,6 +45,78 @@ void RemoteStore::note_retry() const {
   if (retry_counter_ != nullptr) retry_counter_->add();
 }
 
+RemoteStore::BreakerState RemoteStore::breaker_state() const {
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  return state_;
+}
+
+void RemoteStore::breaker_transition_locked(BreakerState next,
+                                            std::string_view why) const {
+  state_ = next;
+  if (next == BreakerState::open) {
+    opened_at_ = std::chrono::steady_clock::now();
+    probe_in_flight_ = false;
+    if (breaker_opens_ != nullptr) breaker_opens_->add();
+  } else if (next == BreakerState::closed) {
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    if (breaker_closes_ != nullptr) breaker_closes_->add();
+  }
+  obs::Span span = obs::maybe_span(tracer_, "remote.breaker", obs::kNoSpan, "store");
+  span.annotate("state", next == BreakerState::open      ? "open"
+                         : next == BreakerState::closed  ? "closed"
+                                                         : "half_open");
+  span.annotate("why", why);
+}
+
+Status RemoteStore::breaker_admit(std::string_view op) const {
+  if (options_.breaker_threshold <= 0) return Status::success();
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  switch (state_) {
+    case BreakerState::closed:
+      return Status::success();
+    case BreakerState::open:
+      if (std::chrono::steady_clock::now() - opened_at_ >= options_.breaker_cooldown) {
+        // Cooldown lapsed: this caller becomes the half-open probe.
+        breaker_transition_locked(BreakerState::half_open, "cooldown lapsed");
+        probe_in_flight_ = true;
+        return Status::success();
+      }
+      break;
+    case BreakerState::half_open:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return Status::success();
+      }
+      break;
+  }
+  fast_fails_.fetch_add(1, std::memory_order_relaxed);
+  if (breaker_fast_fail_counter_ != nullptr) breaker_fast_fail_counter_->add();
+  return make_error(Errc::failed, "remote store: circuit breaker open, " +
+                                      std::string(op) + " failed fast");
+}
+
+void RemoteStore::breaker_record(bool ok) const {
+  if (options_.breaker_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  if (ok) {
+    if (state_ == BreakerState::half_open) {
+      breaker_transition_locked(BreakerState::closed, "probe succeeded");
+    } else {
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ == BreakerState::half_open) {
+    breaker_transition_locked(BreakerState::open, "probe failed");
+    return;
+  }
+  if (state_ == BreakerState::closed &&
+      ++consecutive_failures_ >= options_.breaker_threshold) {
+    breaker_transition_locked(BreakerState::open, "consecutive failures");
+  }
+}
+
 Status RemoteStore::checked_attempts(std::string_view site) const {
   if (faults() == nullptr) return Status::success();
   Status last = Status::success();
@@ -65,7 +137,12 @@ Status RemoteStore::checked_attempts(std::string_view site) const {
 
 Result<std::string> RemoteStore::get(std::string_view key) const {
   if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
-  COMT_TRY_STATUS(checked_attempts(kRemoteGetSite));
+  COMT_TRY_STATUS(breaker_admit("get"));
+  // Only transport-level outcomes feed the breaker: not_found/corrupt are
+  // answers from a healthy endpoint, not evidence it is down.
+  Status reachable = checked_attempts(kRemoteGetSite);
+  breaker_record(reachable.ok());
+  COMT_TRY_STATUS(reachable);
   if (options_.get_latency.count() > 0) {
     std::this_thread::sleep_for(options_.get_latency);
   }
@@ -85,7 +162,10 @@ Result<std::string> RemoteStore::get(std::string_view key) const {
 
 Status RemoteStore::put(std::string_view key, std::string value) {
   if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
-  COMT_TRY_STATUS(checked_attempts(kRemotePutSite));
+  COMT_TRY_STATUS(breaker_admit("put"));
+  Status reachable = checked_attempts(kRemotePutSite);
+  breaker_record(reachable.ok());
+  COMT_TRY_STATUS(reachable);
   if (options_.put_latency.count() > 0) {
     std::this_thread::sleep_for(options_.put_latency);
   }
@@ -143,7 +223,16 @@ Status RemoteStore::sync() {
 
 void RemoteStore::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   KvStore::set_observer(tracer, metrics);
-  retry_counter_ = metrics == nullptr ? nullptr : &metrics->counter("store.remote.retries");
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    retry_counter_ = nullptr;
+    breaker_opens_ = breaker_closes_ = breaker_fast_fail_counter_ = nullptr;
+    return;
+  }
+  retry_counter_ = &metrics->counter("store.remote.retries");
+  breaker_opens_ = &metrics->counter("store.remote.breaker.opens");
+  breaker_closes_ = &metrics->counter("store.remote.breaker.closes");
+  breaker_fast_fail_counter_ = &metrics->counter("store.remote.breaker.fast_fails");
 }
 
 }  // namespace comt::store

@@ -16,6 +16,14 @@
 //    reports Errc::corrupt instead of silently returning half an image —
 //    the ETag/checksum verification a real object store performs.
 //
+// An optional circuit breaker (Options::breaker_threshold) guards the whole
+// endpoint: once that many consecutive operations exhaust their retries, the
+// breaker opens and further get/put calls fail fast without burning latency
+// and backoff against a dead endpoint. After breaker_cooldown one probe is
+// let through (half-open); its outcome closes the breaker or re-opens it for
+// another cooldown. Transitions and fast-fails land in
+// "store.remote.breaker.*" metrics and "remote.breaker" spans.
+//
 // compare_and_put is inherited from KvStore and therefore runs through this
 // wrapper's latency/fault-instrumented get/put; arbitration holds across
 // every replica sharing this object, which is how the fleet deploys it.
@@ -25,6 +33,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,7 +59,17 @@ class RemoteStore final : public KvStore {
     /// Backoff before retry k is `backoff << (k-1)` — the standard
     /// exponential client retry policy. Zero retries immediately.
     std::chrono::microseconds backoff{0};
+    /// Circuit breaker: consecutive retry-exhausted operations that trip the
+    /// breaker open. 0 disables the breaker (the default).
+    int breaker_threshold = 0;
+    /// How long an open breaker fails fast before admitting one half-open
+    /// probe.
+    std::chrono::microseconds breaker_cooldown{1000};
   };
+
+  /// Breaker position. closed = normal service; open = failing fast;
+  /// half_open = one probe in flight deciding between the two.
+  enum class BreakerState { closed, open, half_open };
 
   RemoteStore(std::shared_ptr<KvStore> inner, Options options);
   explicit RemoteStore(std::shared_ptr<KvStore> inner)
@@ -72,6 +91,13 @@ class RemoteStore final : public KvStore {
   /// Transient faults retried away over this store's lifetime.
   std::uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
+  /// Current breaker position (always closed when the breaker is disabled).
+  BreakerState breaker_state() const;
+  /// Operations rejected fast while the breaker was open.
+  std::uint64_t breaker_fast_fails() const {
+    return fast_fails_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Wire frame: [u32 size][u64 fnv1a64(value)][value bytes].
   static constexpr std::size_t kFrameHeader = 12;
@@ -83,10 +109,29 @@ class RemoteStore final : public KvStore {
   Status checked_attempts(std::string_view site) const;
   void note_retry() const;
 
+  /// Breaker admission gate for one operation. Fails fast when the breaker
+  /// is open (and the cooldown has not lapsed); otherwise admits and, in
+  /// half-open, marks this caller as the probe.
+  Status breaker_admit(std::string_view op) const;
+  /// Reports the admitted operation's outcome back into the state machine.
+  void breaker_record(bool ok) const;
+  void breaker_transition_locked(BreakerState next, std::string_view why) const;
+
   std::shared_ptr<KvStore> inner_;
   Options options_;
   mutable std::atomic<std::uint64_t> retries_{0};  ///< bumped from const get()
   obs::Counter* retry_counter_ = nullptr;
+
+  mutable std::mutex breaker_mutex_;
+  mutable BreakerState state_ = BreakerState::closed;
+  mutable int consecutive_failures_ = 0;
+  mutable std::chrono::steady_clock::time_point opened_at_{};
+  mutable bool probe_in_flight_ = false;
+  mutable std::atomic<std::uint64_t> fast_fails_{0};
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* breaker_opens_ = nullptr;
+  obs::Counter* breaker_closes_ = nullptr;
+  obs::Counter* breaker_fast_fail_counter_ = nullptr;
 };
 
 }  // namespace comt::store

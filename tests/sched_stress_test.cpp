@@ -164,6 +164,77 @@ TEST(SchedStressTest, FloodedWorkerIsDrainedBySiblings) {
             static_cast<std::uint64_t>(kFlood + 1));
 }
 
+// ---- ThreadPool: dynamic resize under active steals ---------------------------
+
+TEST(SchedStressTest, ResizeStormNeverLosesATask) {
+  // Grow/shrink the pool continuously while two submitter threads flood it
+  // and the in-pool fan-out keeps the steal path hot. Every submitted task
+  // must run exactly once regardless of how many workers retire mid-steal.
+  constexpr int kPerSubmitter = 400;
+  sched::ThreadPool pool(2, 8);
+  std::atomic<int> count{0};
+
+  std::atomic<bool> stop_resizing{false};
+  std::thread resizer([&pool, &stop_resizing] {
+    std::size_t sizes[] = {1, 8, 3, 6, 2, 7, 4, 5};
+    std::size_t i = 0;
+    while (!stop_resizing.load()) {
+      pool.resize(sizes[i++ % 8]);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 2; ++s) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        // Half the load fans out from inside the pool so retiring workers
+        // leave freshly pushed subtasks behind for survivors to steal.
+        if (i % 2 == 0) {
+          pool.submit([&pool, &count] {
+            count.fetch_add(1);
+            pool.submit([&count] { count.fetch_add(1); });
+          });
+        } else {
+          pool.submit([&count] {
+            count.fetch_add(1);
+            std::this_thread::yield();
+          });
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  pool.wait_idle();
+  stop_resizing.store(true);
+  resizer.join();
+  // 2 submitters x 400 tasks, plus one spawned child per even task (200 each).
+  EXPECT_EQ(count.load(), 2 * kPerSubmitter + kPerSubmitter);
+  pool.wait_idle();
+}
+
+TEST(SchedStressTest, ShrinkToOneUnderFanOutDrainsEverything) {
+  constexpr int kFlood = 300;
+  sched::ThreadPool pool(6, 6);
+  std::atomic<int> count{0};
+  pool.submit([&pool, &count] {
+    for (int i = 0; i < kFlood; ++i) {
+      pool.submit([&count] {
+        count.fetch_add(1);
+        std::this_thread::yield();
+      });
+    }
+  });
+  pool.resize(1);  // five workers retire while the flood is mid-drain
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), kFlood);
+  pool.resize(6);  // regrowing reuses the retired slots
+  std::atomic<int> again{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&again] { again.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(again.load(), 64);
+}
+
 // ---- DagScheduler: epoch/wave protocol ----------------------------------------
 
 TEST(SchedStressTest, EpochModeRunsWavesWithBarrierDiscipline) {

@@ -445,6 +445,223 @@ TEST(ServiceDrainTest, DrainWhilePausedFailsEverythingQueuedDeterministically) {
   EXPECT_EQ(hub.stats().pulled_bytes, 0u);  // nothing ever started
 }
 
+TEST(ServiceRetryTest, RetryBackoffPastTheDeadlineExpiresInsteadOfRetrying) {
+  support::FaultInjector faults;
+  registry::Registry hub;
+  ASSERT_TRUE(publish(hub, "minimd", "hub/minimd", "1.0").ok());
+
+  ServiceOptions options;
+  options.max_attempts = 5;
+  options.sleep_on_backoff = false;  // the skipped backoff is never slept anyway
+  options.backoff_base_ms = 60000;  // any retry would land way past the deadline
+  options.backoff_max_ms = 120000;  // keep the cap from shrinking it back under
+  options.faults = &faults;
+  RebuildService svc(hub, options);
+  ASSERT_TRUE(svc.add_system(kSys, make_target()).ok());
+
+  // Every compile job fails: without a deadline this job would burn through
+  // all 5 attempts. The deadline must cut the retry loop short instead.
+  faults.fail_every(core::kCompileFaultSite, 1);
+  SubmitRequest request{"hub/minimd", "1.0", kSys};
+  request.deadline_ms = 2000;  // comfortably survives pickup + one attempt
+  auto ticket = svc.submit(request);
+  ASSERT_TRUE(ticket.ok());
+  auto done = svc.wait(ticket.value());
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value().state, JobState::expired);
+  EXPECT_EQ(done.value().trace.attempts, 1);  // ran once, never retried
+  EXPECT_TRUE(done.value().trace.backoff_ms.empty());  // the delay was not taken
+  EXPECT_NE(done.value().result.error().message.find("deadline"), std::string::npos);
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_FALSE(hub.has("hub/minimd", std::string("1.0+coMre.") + kSys));
+}
+
+TEST(ServiceTenantTest, RateQuotaThrottlesOnlyTheOverBudgetTenant) {
+  registry::Registry hub;
+  ASSERT_TRUE(publish(hub, "minimd", "hub/minimd", "1.0").ok());
+
+  ServiceOptions options;
+  options.tenants["hot"].quota_burst = 3;  // hard lifetime cap: rate 0
+  RebuildService svc(hub, options);
+  ASSERT_TRUE(svc.add_system(kSys, make_target()).ok());
+
+  std::vector<Ticket> hot;
+  for (int i = 0; i < 5; ++i) {
+    SubmitRequest request{"hub/minimd", "1.0", kSys};
+    request.tenant = "hot";
+    auto ticket = svc.submit(request);
+    ASSERT_TRUE(ticket.ok());
+    hot.push_back(ticket.value());
+  }
+  // First three spent the bucket (whether they coalesced or not); the rest
+  // are shed immediately as throttled.
+  for (int i = 3; i < 5; ++i) {
+    auto shed = svc.status(hot[i]);
+    ASSERT_TRUE(shed.ok());
+    EXPECT_EQ(shed.value().state, JobState::throttled);
+    EXPECT_NE(shed.value().result.error().message.find("quota"), std::string::npos);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(svc.wait(hot[i]).value().state, JobState::succeeded);
+  }
+
+  // An unlisted tenant has no quota and sails through.
+  SubmitRequest quiet{"hub/minimd", "1.0", kSys};
+  quiet.tenant = "quiet";
+  auto ok = svc.submit(quiet);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(svc.wait(ok.value()).value().state, JobState::succeeded);
+
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.throttled, 2u);
+  ASSERT_EQ(stats.tenants.count("hot"), 1u);
+  EXPECT_EQ(stats.tenants.at("hot").submitted, 5u);
+  EXPECT_EQ(stats.tenants.at("hot").throttled, 2u);
+  EXPECT_EQ(stats.tenants.at("quiet").throttled, 0u);
+  EXPECT_EQ(stats.tenants.at("quiet").submitted, 1u);
+}
+
+TEST(ServiceTenantTest, TokenBucketRefillsAtTheConfiguredRate) {
+  registry::Registry hub;
+  ASSERT_TRUE(publish(hub, "minimd", "hub/minimd", "1.0").ok());
+
+  ServiceOptions options;
+  options.tenants["metered"].quota_burst = 1;
+  options.tenants["metered"].quota_rate = 100;  // one token per 10 ms
+  RebuildService svc(hub, options);
+  ASSERT_TRUE(svc.add_system(kSys, make_target()).ok());
+
+  SubmitRequest request{"hub/minimd", "1.0", kSys};
+  request.tenant = "metered";
+  auto first = svc.submit(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(svc.status(first.value()).value().state, JobState::throttled);
+  auto second = svc.submit(request);  // bucket empty
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(svc.status(second.value()).value().state, JobState::throttled);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // >= 1 token back
+  auto third = svc.submit(request);
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(svc.status(third.value()).value().state, JobState::throttled);
+}
+
+TEST(ServiceTenantTest, WeightedFairDrainKeepsQuietTenantUnstarved) {
+  registry::Registry hub;
+  // Eight distinct images: coalescing must not merge any of these jobs.
+  const std::vector<std::pair<std::string, std::string>> hot_apps = {
+      {"hpl", "hub/hpl"},         {"hpcg", "hub/hpcg"},
+      {"lulesh", "hub/lulesh"},   {"comd", "hub/comd"},
+      {"hpccg", "hub/hpccg"},     {"miniaero", "hub/miniaero"}};
+  for (const auto& [app, name] : hot_apps) {
+    ASSERT_TRUE(publish(hub, app.c_str(), name, "1.0").ok());
+  }
+  ASSERT_TRUE(publish(hub, "minife", "hub/minife", "1.0").ok());
+  ASSERT_TRUE(publish(hub, "minimd", "hub/minimd", "1.0").ok());
+
+  ServiceOptions options;
+  options.workers_per_system = 1;  // a strict serial drain exposes the order
+  RebuildService svc(hub, options);
+  ASSERT_TRUE(svc.add_system(kSys, make_target()).ok());
+
+  // A hot tenant floods six *interactive* jobs; a quiet tenant has two
+  // *normal* ones. Under the old strict-priority drain the quiet tenant would
+  // be served dead last; DRR must interleave the two tenants 1:1.
+  svc.pause();
+  std::vector<Ticket> hot_tickets, quiet_tickets;
+  for (const auto& [app, name] : hot_apps) {
+    SubmitRequest request{name, "1.0", kSys, Priority::interactive};
+    request.tenant = "hot";
+    auto ticket = svc.submit(request);
+    ASSERT_TRUE(ticket.ok());
+    hot_tickets.push_back(ticket.value());
+  }
+  for (const char* name : {"hub/minife", "hub/minimd"}) {
+    SubmitRequest request{name, "1.0", kSys, Priority::normal};
+    request.tenant = "quiet";
+    auto ticket = svc.submit(request);
+    ASSERT_TRUE(ticket.ok());
+    quiet_tickets.push_back(ticket.value());
+  }
+  ASSERT_EQ(svc.queue_depth(), 8u);
+  svc.resume();
+
+  std::vector<double> hot_waits, quiet_waits;
+  for (Ticket ticket : hot_tickets) {
+    auto done = svc.wait(ticket);
+    ASSERT_EQ(done.value().state, JobState::succeeded);
+    hot_waits.push_back(done.value().trace.queue_ms);
+  }
+  for (Ticket ticket : quiet_tickets) {
+    auto done = svc.wait(ticket);
+    ASSERT_EQ(done.value().state, JobState::succeeded);
+    quiet_waits.push_back(done.value().trace.queue_ms);
+  }
+
+  // Pickup order == queue_ms order on one worker. In a 1:1 interleave at most
+  // two hot jobs run before the quiet tenant's second job; strict priority
+  // would put all six first.
+  for (double quiet_wait : quiet_waits) {
+    int hot_before = 0;
+    for (double hot_wait : hot_waits) hot_before += hot_wait < quiet_wait ? 1 : 0;
+    EXPECT_LE(hot_before, 2) << "quiet tenant starved behind the hot flood";
+  }
+
+  ServiceStats stats = svc.stats();
+  ASSERT_EQ(stats.tenants.count("quiet"), 1u);
+  EXPECT_EQ(stats.tenants.at("quiet").admitted, 2u);
+  EXPECT_GT(stats.tenants.at("quiet").p99_queue_wait_ms, 0.0);
+}
+
+TEST(ServiceAutoscaleTest, ScalesUpUnderBacklogAndConvergesBackToMin) {
+  registry::Registry hub;
+  ASSERT_TRUE(publish(hub, "minimd", "hub/minimd", "1.0").ok());
+  ASSERT_TRUE(publish(hub, "comd", "hub/comd", "1.0").ok());
+  ASSERT_TRUE(publish(hub, "hpccg", "hub/hpccg", "1.0").ok());
+  ASSERT_TRUE(publish(hub, "minife", "hub/minife", "1.0").ok());
+
+  obs::MetricsRegistry metrics;
+  ServiceOptions options;
+  options.workers_per_system = 1;
+  options.autoscale.enabled = true;
+  options.autoscale.min_workers = 1;
+  options.autoscale.max_workers = 3;
+  options.autoscale.interval_ms = 5;
+  options.autoscale.up_backlog_per_worker = 1.0;
+  options.autoscale.down_backlog_per_worker = 0.25;
+  options.autoscale.cooldown_periods = 2;
+  options.metrics = &metrics;
+  RebuildService svc(hub, options);
+  ASSERT_TRUE(svc.add_system(kSys, make_target()).ok());
+  EXPECT_EQ(metrics.gauge_value(std::string("service.autoscale.workers.") + kSys), 1.0);
+
+  std::vector<Ticket> tickets;
+  for (const char* name : {"hub/minimd", "hub/comd", "hub/hpccg", "hub/minife"}) {
+    auto ticket = svc.submit({name, "1.0", kSys});
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  for (Ticket ticket : tickets) {
+    EXPECT_EQ(svc.wait(ticket).value().state, JobState::succeeded);
+  }
+
+  // The backlog (4 jobs on 1 worker) must have tripped at least one scale-up…
+  ServiceStats after_load = svc.stats();
+  EXPECT_GE(after_load.scale_ups, 1u);
+
+  // …and an idle service must converge back down to min_workers.
+  const std::string gauge = std::string("service.autoscale.workers.") + kSys;
+  for (int spin = 0; spin < 400 && metrics.gauge_value(gauge) > 1.0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(metrics.gauge_value(gauge), 1.0);
+  ServiceStats settled = svc.stats();
+  EXPECT_GE(settled.scale_downs, 1u);
+  EXPECT_EQ(settled.scale_downs, settled.scale_ups);  // every grow was undone
+}
+
 TEST(ServiceTest, FingerprintIsStableAndSystemSpecific) {
   std::string x86 = fingerprint(sysmodel::SystemProfile::x86_cluster());
   EXPECT_EQ(x86, fingerprint(sysmodel::SystemProfile::x86_cluster()));

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "store/cas.hpp"
@@ -570,6 +571,118 @@ TEST(RemoteStoreTest, ConformsOverShardedBacking) {
   // The deployment stack: remote endpoint in front of a sharded substrate.
   RemoteStore kv(std::make_shared<ShardedStore>(mem_shards(3)));
   exercise_kv_contract(kv);
+}
+
+TEST(RemoteStoreBreakerTest, ConsecutiveFailuresTripTheBreaker) {
+  RemoteStore::Options options;
+  options.max_attempts = 1;  // every injected fault is a failed operation
+  options.breaker_threshold = 3;
+  options.breaker_cooldown = std::chrono::hours(1);  // stays open for the test
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+  obs::MetricsRegistry metrics;
+  kv.set_observer(nullptr, &metrics);
+
+  ASSERT_TRUE(kv.put("k", "v").ok());
+  EXPECT_EQ(kv.breaker_state(), RemoteStore::BreakerState::closed);
+
+  faults.fail_next(std::string(kRemoteGetSite), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(kv.get("k").ok());
+  EXPECT_EQ(kv.breaker_state(), RemoteStore::BreakerState::open);
+  EXPECT_EQ(metrics.counter_value("store.remote.breaker.opens"), 1u);
+
+  // Open breaker fails fast without consuming fault-injector events — the
+  // endpoint is not even contacted.
+  const std::uint64_t injected_before = faults.injected(std::string(kRemoteGetSite));
+  EXPECT_FALSE(kv.get("k").ok());
+  EXPECT_FALSE(kv.put("k2", "v2").ok());
+  EXPECT_EQ(faults.injected(std::string(kRemoteGetSite)), injected_before);
+  EXPECT_EQ(kv.breaker_fast_fails(), 2u);
+  EXPECT_EQ(metrics.counter_value("store.remote.breaker.fast_fails"), 2u);
+}
+
+TEST(RemoteStoreBreakerTest, SuccessesResetTheConsecutiveCount) {
+  RemoteStore::Options options;
+  options.max_attempts = 1;
+  options.breaker_threshold = 3;
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+  ASSERT_TRUE(kv.put("k", "v").ok());
+
+  // fail, fail, success, fail, fail, success … never three in a row.
+  for (int round = 0; round < 3; ++round) {
+    faults.fail_next(std::string(kRemoteGetSite), 2);
+    EXPECT_FALSE(kv.get("k").ok());
+    EXPECT_FALSE(kv.get("k").ok());
+    EXPECT_TRUE(kv.get("k").ok());
+  }
+  EXPECT_EQ(kv.breaker_state(), RemoteStore::BreakerState::closed);
+}
+
+TEST(RemoteStoreBreakerTest, RecoversThroughHalfOpenProbe) {
+  RemoteStore::Options options;
+  options.max_attempts = 1;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown = std::chrono::microseconds(1000);
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+  obs::MetricsRegistry metrics;
+  kv.set_observer(nullptr, &metrics);
+  ASSERT_TRUE(kv.put("k", "v").ok());
+
+  faults.fail_next(std::string(kRemoteGetSite), 2);
+  EXPECT_FALSE(kv.get("k").ok());
+  EXPECT_FALSE(kv.get("k").ok());
+  ASSERT_EQ(kv.breaker_state(), RemoteStore::BreakerState::open);
+
+  // The endpoint healed (no armed faults). After the cooldown one probe is
+  // admitted and its success closes the breaker.
+  std::this_thread::sleep_for(std::chrono::microseconds(2000));
+  EXPECT_EQ(kv.get("k").value(), "v");
+  EXPECT_EQ(kv.breaker_state(), RemoteStore::BreakerState::closed);
+  EXPECT_EQ(metrics.counter_value("store.remote.breaker.closes"), 1u);
+
+  // Closed again: normal service, failures start a fresh count.
+  EXPECT_EQ(kv.get("k").value(), "v");
+}
+
+TEST(RemoteStoreBreakerTest, FailedProbeReopensForAnotherCooldown) {
+  RemoteStore::Options options;
+  options.max_attempts = 1;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown = std::chrono::microseconds(500);
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  support::FaultInjector faults;
+  kv.set_fault_injector(&faults);
+  ASSERT_TRUE(kv.put("k", "v").ok());
+
+  faults.fail_next(std::string(kRemoteGetSite), 2);
+  EXPECT_FALSE(kv.get("k").ok());
+  EXPECT_FALSE(kv.get("k").ok());
+  ASSERT_EQ(kv.breaker_state(), RemoteStore::BreakerState::open);
+
+  // Still broken when the probe goes out: back to open, then a later probe
+  // against the healed endpoint closes it.
+  std::this_thread::sleep_for(std::chrono::microseconds(1000));
+  faults.fail_next(std::string(kRemoteGetSite), 1);
+  EXPECT_FALSE(kv.get("k").ok());
+  EXPECT_EQ(kv.breaker_state(), RemoteStore::BreakerState::open);
+
+  std::this_thread::sleep_for(std::chrono::microseconds(1000));
+  EXPECT_EQ(kv.get("k").value(), "v");
+  EXPECT_EQ(kv.breaker_state(), RemoteStore::BreakerState::closed);
+}
+
+TEST(RemoteStoreBreakerTest, DataErrorsDoNotFeedTheBreaker) {
+  RemoteStore::Options options;
+  options.breaker_threshold = 1;  // hair trigger: any transport failure trips
+  RemoteStore kv(std::make_shared<MemStore>(), options);
+  // not_found and corrupt are answers from a healthy endpoint.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(kv.get("absent").ok());
+  EXPECT_EQ(kv.breaker_state(), RemoteStore::BreakerState::closed);
 }
 
 }  // namespace
