@@ -28,7 +28,9 @@
 #include "obs/trace.hpp"
 #include "registry/registry.hpp"
 #include "service/service.hpp"
+#include "store/store.hpp"
 #include "support/fault.hpp"
+#include "transfer/chunkstore.hpp"
 #include "sysmodel/sysmodel.hpp"
 #include "workloads/harness.hpp"
 
@@ -141,12 +143,21 @@ int main(int argc, char** argv) {
   support::FaultInjector hub_faults;
   support::FaultInjector compile_faults;
   hub.set_fault_injector(&hub_faults);
+  // Chunk-level dedup on the hub: every rebuilt image a worker pushes shares
+  // its unchanged layers' chunks with the generic image already there, so
+  // the wire cost of a rebuild is the recompiled delta, not the whole image.
+  hub.enable_chunk_dedup(
+      std::make_shared<transfer::ChunkStore>(std::make_shared<store::MemStore>()));
   std::vector<std::string> images;
   for (const char* app : apps) {
     std::string name = std::string("hub/") + app;
     if (publish(hub, app, name) != 0) return 1;
     images.push_back(std::move(name));
   }
+  // Baseline the chunk counters after the seed publishes so the load run's
+  // numbers cover only the rebuild pushes.
+  const transfer::ChunkStore& chunks = *hub.chunk_store();
+  const registry::Stats seed_stats = hub.stats();
 
   service::ServiceOptions options;
   options.workers_per_system = 2;
@@ -238,6 +249,26 @@ int main(int argc, char** argv) {
               stats.compile_cache_hits + stats.compile_cache_misses);
   std::printf("%-24s %10zu succeeded, %zu failed, %zu other\n", "final states",
               succeeded, failed, other);
+  // Chunk-transfer economics of the load run: what the rebuild pushes moved
+  // over the wire vs what dedup against the generic images saved. Hit rate
+  // counts chunks reused either way — whole-blob dedup or chunk-level dedup.
+  registry::Stats hub_stats = hub.stats();
+  std::uint64_t run_moved = hub_stats.chunk_bytes_moved - seed_stats.chunk_bytes_moved;
+  std::uint64_t run_hits = hub_stats.chunks_reused - seed_stats.chunks_reused;
+  std::uint64_t run_misses = hub_stats.chunks_moved - seed_stats.chunks_moved;
+  double chunk_hit_rate = run_hits + run_misses == 0
+                              ? 0.0
+                              : static_cast<double>(run_hits) /
+                                    static_cast<double>(run_hits + run_misses);
+  double moved_per_rebuild =
+      stats.admitted == 0 ? 0.0
+                          : static_cast<double>(run_moved) /
+                                static_cast<double>(stats.admitted);
+  std::printf("%-24s %9.1f%%\n", "chunk hit rate", 100.0 * chunk_hit_rate);
+  std::printf("%-24s %10.2f MiB (%.2f MiB/rebuild)\n", "chunk bytes moved",
+              workloads::to_sim_mib(run_moved),
+              workloads::to_sim_mib(static_cast<std::uint64_t>(moved_per_rebuild)));
+  std::printf("%-24s %9.2fx\n", "dedup ratio", chunks.dedup_ratio());
   for (const auto& [tenant, slice] : stats.tenants) {
     std::printf("  tenant %-14s %6zu submitted, %zu admitted, %zu shed, %zu "
                 "throttled, p99 queue-wait %.2f ms\n",
@@ -287,6 +318,11 @@ int main(int argc, char** argv) {
     }
     if (stats.retries == 0) {
       std::fprintf(stderr, "SMOKE: injected transient faults never triggered a retry\n");
+      return 1;
+    }
+    if (run_hits == 0) {
+      std::fprintf(stderr, "SMOKE: rebuild pushes never dedup-hit the generic "
+                           "images' chunks\n");
       return 1;
     }
     std::uint64_t tenant_submitted = 0;
@@ -377,6 +413,16 @@ int main(int argc, char** argv) {
     doc.emplace_back("p50_service_ms", json::Value(round3(percentile(latencies, 50))));
     doc.emplace_back("p99_service_ms", json::Value(round3(percentile(latencies, 99))));
     doc.emplace_back("retries", json::Value(static_cast<std::uint64_t>(stats.retries)));
+    json::Object transfer_obj;
+    transfer_obj.emplace_back("chunk_hit_rate_pct",
+                              json::Value(round3(100.0 * chunk_hit_rate)));
+    transfer_obj.emplace_back("bytes_moved", json::Value(run_moved));
+    transfer_obj.emplace_back(
+        "mib_moved_per_rebuild",
+        json::Value(round3(workloads::to_sim_mib(
+            static_cast<std::uint64_t>(moved_per_rebuild)))));
+    transfer_obj.emplace_back("dedup_ratio", json::Value(round3(chunks.dedup_ratio())));
+    doc.emplace_back("transfer", json::Value(std::move(transfer_obj)));
     json::Object tenants_obj;
     for (const auto& [tenant, slice] : stats.tenants) {
       json::Object entry;

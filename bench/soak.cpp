@@ -335,6 +335,9 @@ int main(int argc, char** argv) {
   options.store = remote;
   options.faults = &compile_faults;
   options.metrics = &metrics;
+  // Chunk-dedup the hub over the same flaky remote: every rebuilt image's
+  // chunk traffic rides the retry/breaker machinery with everything else.
+  options.chunked_artifacts = true;
   fleet::Fleet fleet(hub, options);
 
   const std::vector<std::pair<const char*, const sysmodel::SystemProfile*>> isas = {
@@ -558,6 +561,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(breaker_closes),
               static_cast<unsigned long long>(breaker_fast_fails),
               breaker_recovered ? "yes" : "no");
+  // Chunk-transfer economics: rebuilt images share almost everything with
+  // what the hub already holds, so the wire cost per rebuild is the delta.
+  registry::Stats hub_stats = hub.stats();
+  const std::uint64_t chunk_probes = hub_stats.chunks_moved + hub_stats.chunks_reused;
+  const double chunk_hit_rate =
+      chunk_probes == 0
+          ? 0.0
+          : static_cast<double>(hub_stats.chunks_reused) / static_cast<double>(chunk_probes);
+  const double moved_per_rebuild =
+      ledger.succeeded == 0 ? 0.0
+                            : static_cast<double>(hub_stats.chunk_bytes_moved) /
+                                  static_cast<double>(ledger.succeeded);
+  std::printf("%-28s %9.1f%% (%llu moved, %llu reused)\n", "chunk hit rate",
+              100.0 * chunk_hit_rate,
+              static_cast<unsigned long long>(hub_stats.chunks_moved),
+              static_cast<unsigned long long>(hub_stats.chunks_reused));
+  std::printf("%-28s %10.2f MiB (%.2f MiB/rebuild, dedup %.2fx)\n",
+              "chunk bytes moved",
+              workloads::to_sim_mib(hub_stats.chunk_bytes_moved),
+              workloads::to_sim_mib(static_cast<std::uint64_t>(moved_per_rebuild)),
+              fleet.chunk_store() == nullptr ? 0.0
+                                             : fleet.chunk_store()->dedup_ratio());
   std::printf("%-28s %10llu network faults injected, %llu store retries\n",
               "flakiness",
               static_cast<unsigned long long>(net_injected),
@@ -586,6 +611,9 @@ int main(int argc, char** argv) {
        "breaker did not trip open and recover through half-open");
   gate(breaker_fast_fails >= 1, "open breaker never failed fast");
   gate(net_injected >= 1, "flaky network never actually fired");
+  gate(chunk_probes > 0, "chunk dedup never saw a rebuild push");
+  gate(hub_stats.chunks_reused > 0,
+       "rebuild pushes never reused a chunk the hub already held");
 
   if (!json_path.empty()) {
     json::Object doc;
@@ -644,6 +672,21 @@ int main(int argc, char** argv) {
     doc.emplace_back("faults", json::Value(std::move(faults_obj)));
     doc.emplace_back("quota_throttled",
                      json::Value(static_cast<std::uint64_t>(quota_throttled)));
+    json::Object transfer_obj;
+    transfer_obj.emplace_back("chunk_hit_rate_pct",
+                              json::Value(round3(100.0 * chunk_hit_rate)));
+    transfer_obj.emplace_back("bytes_moved", json::Value(hub_stats.chunk_bytes_moved));
+    transfer_obj.emplace_back("bytes_deduped", json::Value(hub_stats.chunk_bytes_deduped));
+    transfer_obj.emplace_back(
+        "mib_moved_per_rebuild",
+        json::Value(round3(workloads::to_sim_mib(
+            static_cast<std::uint64_t>(moved_per_rebuild)))));
+    transfer_obj.emplace_back(
+        "dedup_ratio",
+        json::Value(round3(fleet.chunk_store() == nullptr
+                               ? 0.0
+                               : fleet.chunk_store()->dedup_ratio())));
+    doc.emplace_back("transfer", json::Value(std::move(transfer_obj)));
     json::Object wall;
     wall.emplace_back("warmup_ms", json::Value(round3(warmup_ms)));
     wall.emplace_back("solo_ms", json::Value(round3(solo_ms)));

@@ -57,6 +57,11 @@ test -s "$build_dir/rebuild_trace.json"
 # converge back to min workers. On 1-hardware-thread hosts the bench
 # auto-skips its heavy rows and records that provenance in the JSON.
 "$build_dir/bench/soak" --smoke
+# Distribution smoke: delta-pushing each optimized image against its generic
+# parent must move < 40% of full-image bytes at a chunk dedup ratio > 2.5x
+# (the CI floor is > 1.0), and a torn chunk upload must be detected as
+# corrupt — never reassembled silently wrong — and heal bit-identical.
+"$build_dir/bench/table3_image_size" --smoke
 
 echo "== restart-persistence smoke =="
 # Crash a rebuild whose journal and compile cache persist into one DiskStore
@@ -72,7 +77,7 @@ if [ "${COMT_SKIP_TSAN:-0}" != "1" ]; then
 
   echo "== tsan test (concurrency layer) =="
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-        -R 'Sched|SchedStress|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs|Store|Fleet'
+        -R 'Sched|SchedStress|ThreadPool|Dag|CompileCache|RegistryStress|Service|FaultInjector|Obs|Store|Fleet|Transfer'
 
   echo "== tsan bench smoke =="
   "$tsan_dir/bench/service_throughput" --smoke
@@ -89,7 +94,7 @@ if [ "${COMT_SKIP_ASAN:-0}" != "1" ]; then
 
   echo "== asan test (durability layer) =="
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
-        -R 'Journal|Durable|Fsck|CrashResume|ServiceCrashRecovery|FaultInjector|LayoutPin|RegistryPin|Store'
+        -R 'Journal|Durable|Fsck|CrashResume|ServiceCrashRecovery|FaultInjector|LayoutPin|RegistryPin|Store|Transfer'
 
   echo "== asan bench smoke =="
   "$asan_dir/bench/crash_resume" --smoke

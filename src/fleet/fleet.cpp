@@ -12,6 +12,15 @@ Fleet::Fleet(registry::Registry& hub, FleetOptions options)
                                      : std::make_shared<store::MemStore>();
   journals_ = std::make_unique<durable::JournalStore>(store_);
   if (options_.faults != nullptr) journals_->set_fault_injector(options_.faults);
+  if (options_.chunked_artifacts) {
+    transfer::ChunkStore::Options chunk_options;
+    chunk_options.params = options_.chunk_params;
+    chunks_ = std::make_shared<transfer::ChunkStore>(store_, std::move(chunk_options));
+    chunks_->set_observer(options_.tracer, metrics_);
+    // From here on every hub push (each replica publishes its rebuilt images
+    // through hub_) dedups at chunk granularity against the shared substrate.
+    hub_.enable_chunk_dedup(chunks_);
+  }
 
   for (std::size_t i = 0; i < options_.replicas; ++i) {
     const std::string replica_id = "replica" + std::to_string(i);
@@ -123,6 +132,10 @@ FleetStats Fleet::stats() const {
   out.lease_waits = metrics_->counter_value("fleet.lease.waits");
   out.lease_wait_ms = metrics_->gauge_value("fleet.lease.wait_ms");
   out.cache_remote_hits = metrics_->counter_value("compile_cache.remote_hits");
+  out.transfer_chunks_hit = metrics_->counter_value("transfer.chunks_hit");
+  out.transfer_chunks_miss = metrics_->counter_value("transfer.chunks_miss");
+  out.transfer_bytes_moved = metrics_->counter_value("transfer.bytes_moved");
+  out.transfer_bytes_deduped = metrics_->counter_value("transfer.bytes_deduped");
   return out;
 }
 

@@ -43,6 +43,7 @@
 #include "store/store.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
+#include "transfer/chunkstore.hpp"
 
 namespace comt::fleet {
 
@@ -71,6 +72,14 @@ struct FleetOptions {
   /// The shared substrate. A private MemStore when null. Benches hand in a
   /// RemoteStore to put the coordination traffic behind simulated latency.
   std::shared_ptr<store::KvStore> store;
+  /// Chunk-dedup image distribution: the fleet builds a transfer::ChunkStore
+  /// over the shared store and enables chunk dedup on the hub registry, so
+  /// every rebuilt image's push moves only the chunks the substrate does not
+  /// already hold (the optimized child dedups against its generic parent).
+  /// When the shared store is a RemoteStore, chunk movement rides its
+  /// retry/breaker machinery.
+  bool chunked_artifacts = false;
+  transfer::ChunkerParams chunk_params;
   support::FaultInjector* faults = nullptr;
   obs::Tracer* tracer = nullptr;
   /// Shared across all replicas; a private registry when null.
@@ -100,6 +109,11 @@ struct FleetStats {
   std::uint64_t lease_waits = 0;      ///< acquires that had to poll
   double lease_wait_ms = 0;           ///< summed wait time across acquires
   std::uint64_t cache_remote_hits = 0;  ///< compile cache hits via the shared store
+  // Chunk-dedup transfer counters (zero unless FleetOptions::chunked_artifacts).
+  std::uint64_t transfer_chunks_hit = 0;
+  std::uint64_t transfer_chunks_miss = 0;
+  std::uint64_t transfer_bytes_moved = 0;    ///< wire bytes delta pushes moved
+  std::uint64_t transfer_bytes_deduped = 0;  ///< raw bytes reused chunks covered
 };
 
 class Fleet {
@@ -140,6 +154,8 @@ class Fleet {
   service::RebuildService& replica(std::size_t index) { return *replicas_[index]; }
   LeaseCoordinator& coordinator(std::size_t index) { return *coordinators_[index]; }
   const std::shared_ptr<store::KvStore>& store() const { return store_; }
+  /// The fleet's chunk store when chunked_artifacts is on; null otherwise.
+  const std::shared_ptr<transfer::ChunkStore>& chunk_store() const { return chunks_; }
   durable::JournalStore& journals() { return *journals_; }
   obs::MetricsRegistry& metrics() { return *metrics_; }
 
@@ -151,6 +167,7 @@ class Fleet {
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::shared_ptr<store::KvStore> store_;
+  std::shared_ptr<transfer::ChunkStore> chunks_;
   std::unique_ptr<durable::JournalStore> journals_;
   std::vector<std::unique_ptr<LeaseCoordinator>> coordinators_;
   /// Destroyed first (reverse member order): each service drains while its

@@ -42,8 +42,20 @@ Status Registry::open_directory(const std::string& directory) {
       directory, store::DiskStore::Options{/*framed=*/false}));
 }
 
+void Registry::enable_chunk_dedup(std::shared_ptr<transfer::ChunkStore> chunks) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  chunks_ = std::move(chunks);
+  // Forward this registry's observer, but never clobber wiring the caller
+  // already did (the fleet attaches its shared metrics before handing over).
+  if (chunks_ != nullptr && (tracer_ != nullptr || metrics_ != nullptr)) {
+    chunks_->set_observer(tracer_, metrics_);
+  }
+}
+
 void Registry::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   tracer_ = tracer;
+  metrics_ = metrics;
+  if (chunks_ != nullptr) chunks_->set_observer(tracer, metrics);
   if (metrics == nullptr) {
     pulls_ = pushes_ = gcs_ = fscks_ = pulled_bytes_ = pushed_bytes_ = nullptr;
     return;
@@ -56,6 +68,63 @@ void Registry::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metrics) 
   pushed_bytes_ = &metrics->counter("registry.pushed_bytes");
 }
 
+Status Registry::ingest_blob_locked(const oci::Layout& source, const oci::Descriptor& blob,
+                                    const std::vector<std::string>& base_digests,
+                                    ImageDeltaReport* report) {
+  if (report != nullptr) ++report->blobs_total;
+  if (store_.has_blob(blob.digest)) {
+    // Whole-blob reuse is chunk reuse too: every chunk of a blob the
+    // registry already holds was saved from the wire, and Stats should say
+    // so even for plain push (the service's rebuild pushes live here).
+    if (chunks_ != nullptr) {
+      auto held_manifest = chunks_->manifest(blob.digest.value);
+      if (held_manifest.ok()) {
+        transfer_.chunks_reused += held_manifest.value().chunks.size();
+        transfer_.chunk_bytes_deduped += held_manifest.value().total_size;
+      } else {
+        // A blob pushed before dedup was enabled has no manifest yet:
+        // chunk it now so later pushes reuse it and delta pushes can name
+        // the image it belongs to as a base.
+        COMT_TRY(std::string held, store_.get_blob(blob.digest));
+        COMT_TRY(transfer::ChunkManifest backfilled, chunks_->put_blob(held));
+        (void)backfilled;
+      }
+    }
+    if (report != nullptr) {
+      COMT_TRY(std::string held, store_.get_blob(blob.digest));
+      report->image_bytes += held.size();
+      report->bytes_deduped += held.size();
+      ++report->blobs_reused;
+    }
+    return Status::success();
+  }
+  COMT_TRY(std::string content, source.get_blob(blob.digest));
+  std::uint64_t moved = content.size();
+  if (chunks_ != nullptr) {
+    // The chunk store is the distribution substrate: only the chunks it is
+    // missing count as transferred, whatever the blob-level picture says.
+    COMT_TRY(transfer::DeltaReport delta, transfer::push_delta(content, base_digests, *chunks_));
+    moved = delta.bytes_moved;
+    transfer_.chunk_bytes_moved += delta.bytes_moved;
+    transfer_.chunk_bytes_deduped += delta.bytes_deduped;
+    transfer_.chunks_moved += delta.chunks_moved;
+    transfer_.chunks_reused += delta.chunks_reused;
+    if (report != nullptr) {
+      report->bytes_deduped += delta.bytes_deduped;
+      report->chunks_moved += delta.chunks_moved;
+      report->chunks_reused += delta.chunks_reused;
+    }
+  }
+  if (report != nullptr) {
+    ++report->blobs_moved;
+    report->image_bytes += content.size();
+    report->bytes_moved += moved;
+  }
+  transfer_.pushed_bytes += moved;
+  store_.put_blob(std::move(content), blob.media_type);
+  return Status::success();
+}
+
 Status Registry::push(const oci::Layout& source, std::string_view local_tag,
                       std::string_view name, std::string_view tag) {
   obs::Span span = obs::maybe_span(tracer_, "registry.push", obs::kNoSpan, "blob-push");
@@ -64,9 +133,9 @@ Status Registry::push(const oci::Layout& source, std::string_view local_tag,
   COMT_TRY(oci::Image image, source.find_image(local_tag));
   std::unique_lock<std::shared_mutex> lock(mutex_);
   const std::uint64_t pushed_before = transfer_.pushed_bytes;
-  COMT_TRY_STATUS(transfer_blob(source, store_, image.manifest.config, transfer_.pushed_bytes));
+  COMT_TRY_STATUS(ingest_blob_locked(source, image.manifest.config, {}, nullptr));
   for (const oci::Descriptor& layer : image.manifest.layers) {
-    COMT_TRY_STATUS(transfer_blob(source, store_, layer, transfer_.pushed_bytes));
+    COMT_TRY_STATUS(ingest_blob_locked(source, layer, {}, nullptr));
   }
   COMT_TRY(std::string manifest_blob, source.get_blob(image.manifest_digest));
   if (!store_.has_blob(image.manifest_digest)) transfer_.pushed_bytes += manifest_blob.size();
@@ -82,6 +151,140 @@ Status Registry::push(const oci::Layout& source, std::string_view local_tag,
   }
   span.annotate("bytes", transfer_.pushed_bytes - pushed_before);
   return Status::success();
+}
+
+Result<ImageDeltaReport> Registry::push_delta(const oci::Layout& source,
+                                              std::string_view local_tag,
+                                              std::string_view name, std::string_view tag,
+                                              const std::vector<std::string>& base_references) {
+  if (chunks_ == nullptr) {
+    return make_error(Errc::unsupported, "registry: chunk dedup not enabled");
+  }
+  obs::Span span = obs::maybe_span(tracer_, "registry.push_delta", obs::kNoSpan, "blob-push");
+  span.annotate("image", make_reference(name, tag));
+  if (faults_ != nullptr) COMT_TRY_STATUS(faults_->check(kPushFaultSite));
+  COMT_TRY(oci::Image image, source.find_image(local_tag));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+
+  // Resolve the named bases to their blob digests. A base that was never
+  // pushed (or lost its manifest) is skipped; the per-chunk probes inside
+  // transfer::push_delta keep the transfer correct regardless.
+  std::vector<std::string> base_digests;
+  bool any_base = false;
+  for (const std::string& base : base_references) {
+    auto it = references_.find(base);
+    if (it == references_.end()) continue;
+    auto base_image = store_.load_image(it->second);
+    if (!base_image.ok()) continue;
+    any_base = true;
+    base_digests.push_back(base_image.value().manifest.config.digest.value);
+    for (const oci::Descriptor& layer : base_image.value().manifest.layers) {
+      base_digests.push_back(layer.digest.value);
+    }
+  }
+
+  ImageDeltaReport report;
+  report.reference = make_reference(name, tag);
+  report.full_push = !any_base;
+  const std::uint64_t pushed_before = transfer_.pushed_bytes;
+  COMT_TRY_STATUS(ingest_blob_locked(source, image.manifest.config, base_digests, &report));
+  for (const oci::Descriptor& layer : image.manifest.layers) {
+    COMT_TRY_STATUS(ingest_blob_locked(source, layer, base_digests, &report));
+  }
+  COMT_TRY(std::string manifest_blob, source.get_blob(image.manifest_digest));
+  ++report.blobs_total;
+  report.image_bytes += manifest_blob.size();
+  if (!store_.has_blob(image.manifest_digest)) {
+    transfer_.pushed_bytes += manifest_blob.size();
+    report.bytes_moved += manifest_blob.size();
+    ++report.blobs_moved;
+  } else {
+    report.bytes_deduped += manifest_blob.size();
+    ++report.blobs_reused;
+  }
+  store_.put_blob(std::move(manifest_blob), oci::kMediaTypeManifest);
+  const std::string reference = make_reference(name, tag);
+  references_[reference] = image.manifest_digest;
+  store_.tag_manifest(reference, image.manifest_digest);
+  if (pushes_ != nullptr) {
+    pushes_->add();
+    pushed_bytes_->add(transfer_.pushed_bytes - pushed_before);
+  }
+  span.annotate("bytes_moved", report.bytes_moved);
+  span.annotate("bytes_deduped", report.bytes_deduped);
+  span.annotate("full_push", report.full_push ? "true" : "false");
+  return report;
+}
+
+Result<ImageDeltaReport> Registry::pull_delta(std::string_view name, std::string_view tag,
+                                              oci::Layout& destination,
+                                              std::string_view local_tag,
+                                              transfer::ChunkStore* local_chunks) const {
+  if (chunks_ == nullptr) {
+    return make_error(Errc::unsupported, "registry: chunk dedup not enabled");
+  }
+  obs::Span span = obs::maybe_span(tracer_, "registry.pull_delta", obs::kNoSpan, "pull");
+  span.annotate("image", make_reference(name, tag));
+  if (faults_ != nullptr) COMT_TRY_STATUS(faults_->check(kPullFaultSite));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = references_.find(make_reference(name, tag));
+  if (it == references_.end()) {
+    return make_error(Errc::not_found, "registry: no such image " + make_reference(name, tag));
+  }
+  COMT_TRY(oci::Image image, store_.load_image(it->second));
+
+  ImageDeltaReport report;
+  report.reference = make_reference(name, tag);
+  const std::uint64_t pulled_before = transfer_.pulled_bytes;
+  auto fetch = [&](const oci::Descriptor& blob) -> Status {
+    ++report.blobs_total;
+    if (destination.has_blob(blob.digest)) {
+      COMT_TRY(std::string held, destination.get_blob(blob.digest));
+      report.image_bytes += held.size();
+      report.bytes_deduped += held.size();
+      ++report.blobs_reused;
+      return Status::success();
+    }
+    std::string content;
+    if (local_chunks != nullptr && chunks_->contains_blob(blob.digest.value)) {
+      COMT_TRY(transfer::DeltaReport delta,
+               transfer::pull_delta(*chunks_, blob.digest.value, *local_chunks, &content));
+      transfer_.pulled_bytes += delta.bytes_moved;
+      transfer_.chunk_bytes_moved += delta.bytes_moved;
+      transfer_.chunk_bytes_deduped += delta.bytes_deduped;
+      transfer_.chunks_moved += delta.chunks_moved;
+      transfer_.chunks_reused += delta.chunks_reused;
+      report.bytes_moved += delta.bytes_moved;
+      report.bytes_deduped += delta.bytes_deduped;
+      report.chunks_moved += delta.chunks_moved;
+      report.chunks_reused += delta.chunks_reused;
+    } else if (chunks_->contains_blob(blob.digest.value)) {
+      // No local chunk cache — reassemble at the source and move the blob
+      // whole. Still digest-verified by get_blob.
+      COMT_TRY(content, chunks_->get_blob(blob.digest.value));
+      transfer_.pulled_bytes += content.size();
+      report.bytes_moved += content.size();
+    } else {
+      COMT_TRY(content, store_.get_blob(blob.digest));
+      transfer_.pulled_bytes += content.size();
+      report.bytes_moved += content.size();
+    }
+    ++report.blobs_moved;
+    report.image_bytes += content.size();
+    destination.put_blob(std::move(content), blob.media_type);
+    return Status::success();
+  };
+  COMT_TRY_STATUS(fetch(image.manifest.config));
+  for (const oci::Descriptor& layer : image.manifest.layers) COMT_TRY_STATUS(fetch(layer));
+  COMT_TRY(oci::Digest digest, destination.add_manifest(image.manifest, local_tag));
+  (void)digest;
+  if (pulls_ != nullptr) {
+    pulls_->add();
+    pulled_bytes_->add(transfer_.pulled_bytes - pulled_before);
+  }
+  span.annotate("bytes_moved", report.bytes_moved);
+  span.annotate("bytes_deduped", report.bytes_deduped);
+  return report;
 }
 
 Status Registry::pull(std::string_view name, std::string_view tag, oci::Layout& destination,
@@ -172,6 +375,13 @@ Status Registry::sweep_locked() {
     if (freed == 0) continue;
     transfer_.reclaimed_bytes += freed;
     ++transfer_.removed_blobs;
+    // The chunk-level copy follows the blob out: chunks the manifest no
+    // longer references (and nothing else does) are reclaimed too. A chunk
+    // shared with a surviving blob's manifest keeps its refcount and stays.
+    if (chunks_ != nullptr) {
+      auto chunk_freed = chunks_->erase_blob(digest.value);
+      if (chunk_freed.ok()) transfer_.reclaimed_bytes += chunk_freed.value();
+    }
   }
   return Status::success();
 }
@@ -186,6 +396,13 @@ Status Registry::pin(std::string_view name, std::string_view tag) {
   store_.pin_blob(it->second);
   store_.pin_blob(image.manifest.config.digest);
   for (const oci::Descriptor& layer : image.manifest.layers) store_.pin_blob(layer.digest);
+  if (chunks_ != nullptr) {
+    chunks_->pin_blob(it->second.value);
+    chunks_->pin_blob(image.manifest.config.digest.value);
+    for (const oci::Descriptor& layer : image.manifest.layers) {
+      chunks_->pin_blob(layer.digest.value);
+    }
+  }
   return Status::success();
 }
 
@@ -199,6 +416,13 @@ Status Registry::unpin(std::string_view name, std::string_view tag) {
   store_.unpin_blob(it->second);
   store_.unpin_blob(image.manifest.config.digest);
   for (const oci::Descriptor& layer : image.manifest.layers) store_.unpin_blob(layer.digest);
+  if (chunks_ != nullptr) {
+    chunks_->unpin_blob(it->second.value);
+    chunks_->unpin_blob(image.manifest.config.digest.value);
+    for (const oci::Descriptor& layer : image.manifest.layers) {
+      chunks_->unpin_blob(layer.digest.value);
+    }
+  }
   return Status::success();
 }
 

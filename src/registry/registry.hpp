@@ -24,6 +24,8 @@
 #include "oci/oci.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
+#include "transfer/chunkstore.hpp"
+#include "transfer/delta.hpp"
 
 namespace comt::registry {
 
@@ -40,6 +42,34 @@ struct Stats {
   std::uint64_t pulled_bytes = 0;  ///< bytes actually transferred by pulls
   std::uint64_t reclaimed_bytes = 0;  ///< bytes freed by remove()'s garbage collection
   std::size_t removed_blobs = 0;      ///< blobs freed by remove()'s garbage collection
+  // Chunk-dedup accounting, all zero until enable_chunk_dedup(). Wire bytes
+  // are framed (possibly compressed) chunk bytes; deduped bytes are the raw
+  // bytes reused chunks covered.
+  std::uint64_t chunk_bytes_moved = 0;
+  std::uint64_t chunk_bytes_deduped = 0;
+  std::size_t chunks_moved = 0;
+  std::size_t chunks_reused = 0;
+};
+
+/// What one image-level delta transfer did: the per-blob DeltaReports summed,
+/// plus whole-blob dedup (blobs the other side already held in full).
+struct ImageDeltaReport {
+  std::string reference;            ///< "name:tag"
+  std::size_t blobs_total = 0;
+  std::size_t blobs_moved = 0;      ///< blobs that needed any chunk traffic
+  std::size_t blobs_reused = 0;     ///< blobs fully present at the other side
+  std::uint64_t image_bytes = 0;    ///< logical bytes of every blob in the image
+  std::uint64_t bytes_moved = 0;    ///< wire bytes (framed chunks + manifests)
+  std::uint64_t bytes_deduped = 0;  ///< raw bytes covered by reuse
+  std::size_t chunks_moved = 0;
+  std::size_t chunks_reused = 0;
+  bool full_push = false;           ///< no named base was present at the destination
+
+  double moved_fraction() const {
+    return image_bytes == 0 ? 0.0
+                            : static_cast<double>(bytes_moved) /
+                                  static_cast<double>(image_bytes);
+  }
 };
 
 class Registry {
@@ -63,6 +93,35 @@ class Registry {
   /// Pulls "name:tag" into `destination`, tagging it `local_tag`.
   Status pull(std::string_view name, std::string_view tag, oci::Layout& destination,
               std::string_view local_tag) const;
+
+  /// Turns on chunk-level dedup: every push additionally lands the image's
+  /// blobs in `chunks` (content-defined chunks + manifests), and pushed_bytes
+  /// counts chunk wire traffic instead of whole blobs for new content. Blobs
+  /// pushed before dedup was enabled are chunked lazily the next time a push
+  /// touches them, so pre-existing images become usable delta bases. The
+  /// chunk store's backend is the distribution substrate — hand it a
+  /// RemoteStore and chunk movement rides that store's retry/breaker
+  /// machinery. Wire up before sharing the registry.
+  void enable_chunk_dedup(std::shared_ptr<transfer::ChunkStore> chunks);
+  const std::shared_ptr<transfer::ChunkStore>& chunk_store() const { return chunks_; }
+
+  /// Delta-pushes the image tagged `local_tag` in `source` under "name:tag",
+  /// moving only the chunks the chunk store is missing. `base_references`
+  /// names images expected to already be here (the optimized image's generic
+  /// parent); a missing or partially GC'd base degrades to a fuller push, so
+  /// the call never fails for that reason. Requires enable_chunk_dedup.
+  Result<ImageDeltaReport> push_delta(const oci::Layout& source, std::string_view local_tag,
+                                      std::string_view name, std::string_view tag,
+                                      const std::vector<std::string>& base_references = {});
+
+  /// Delta-pulls "name:tag" into `destination`, fetching only the chunks
+  /// `local_chunks` does not already hold and reassembling with whole-blob
+  /// digest verification. `local_chunks`, when non-null, is the puller's own
+  /// chunk cache (hydrated by previous pulls); null degrades to whole-blob
+  /// transfers for blobs `destination` is missing. Requires enable_chunk_dedup.
+  Result<ImageDeltaReport> pull_delta(std::string_view name, std::string_view tag,
+                                      oci::Layout& destination, std::string_view local_tag,
+                                      transfer::ChunkStore* local_chunks = nullptr) const;
 
   bool has(std::string_view name, std::string_view tag) const;
 
@@ -122,13 +181,18 @@ class Registry {
 
  private:
   Status sweep_locked();
+  Status ingest_blob_locked(const oci::Layout& source, const oci::Descriptor& blob,
+                            const std::vector<std::string>& base_digests,
+                            ImageDeltaReport* report);
 
   mutable std::shared_mutex mutex_;
   oci::Layout store_;
   std::map<std::string, oci::Digest> references_;  // "name:tag" -> manifest
+  std::shared_ptr<transfer::ChunkStore> chunks_;
   mutable Stats transfer_;
   support::FaultInjector* faults_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* pulls_ = nullptr;
   obs::Counter* pushes_ = nullptr;
   obs::Counter* gcs_ = nullptr;

@@ -117,10 +117,20 @@ void RemoteStore::breaker_record(bool ok) const {
   }
 }
 
-Status RemoteStore::checked_attempts(std::string_view site) const {
+void RemoteStore::note_wire_get(std::uint64_t bytes) const {
+  wire_get_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void RemoteStore::note_wire_put(std::uint64_t bytes) const {
+  wire_put_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+Status RemoteStore::checked_attempts(std::string_view site, int* attempts) const {
+  if (attempts != nullptr) *attempts = 1;
   if (faults() == nullptr) return Status::success();
   Status last = Status::success();
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (attempts != nullptr) *attempts = attempt;
     last = faults()->check(site);
     if (last.ok()) return last;
     if (attempt == options_.max_attempts) break;
@@ -140,7 +150,8 @@ Result<std::string> RemoteStore::get(std::string_view key) const {
   COMT_TRY_STATUS(breaker_admit("get"));
   // Only transport-level outcomes feed the breaker: not_found/corrupt are
   // answers from a healthy endpoint, not evidence it is down.
-  Status reachable = checked_attempts(kRemoteGetSite);
+  int attempts = 1;
+  Status reachable = checked_attempts(kRemoteGetSite, &attempts);
   breaker_record(reachable.ok());
   COMT_TRY_STATUS(reachable);
   if (options_.get_latency.count() > 0) {
@@ -151,9 +162,16 @@ Result<std::string> RemoteStore::get(std::string_view key) const {
     if (framed.error().code == Errc::corrupt) note_corrupt();
     return framed.error();
   }
+  // Every attempt re-downloaded the framed object; only the last one
+  // completed, but the wire carried all of them.
+  const std::uint64_t wire =
+      static_cast<std::uint64_t>(framed.value().size()) * static_cast<std::uint64_t>(attempts);
   auto value = unframe(key, std::move(framed.value()));
   if (value.ok()) {
-    note_get(value.value().size());
+    note_wire_get(wire);
+    logical_get_bytes_.fetch_add(value.value().size(), std::memory_order_relaxed);
+    if (logical_get_counter_ != nullptr) logical_get_counter_->add(value.value().size());
+    note_get(wire);
   } else {
     note_corrupt();
   }
@@ -163,9 +181,16 @@ Result<std::string> RemoteStore::get(std::string_view key) const {
 Status RemoteStore::put(std::string_view key, std::string value) {
   if (key.empty()) return make_error(Errc::invalid_argument, "store: empty key");
   COMT_TRY_STATUS(breaker_admit("put"));
-  Status reachable = checked_attempts(kRemotePutSite);
+  const std::uint64_t frame_size = value.size() + kFrameHeader;
+  int attempts = 1;
+  Status reachable = checked_attempts(kRemotePutSite, &attempts);
   breaker_record(reachable.ok());
-  COMT_TRY_STATUS(reachable);
+  if (!reachable.ok()) {
+    // Every exhausted attempt still pushed the object at the endpoint before
+    // the transfer died — the wire saw all of it even though the op failed.
+    note_wire_put(frame_size * static_cast<std::uint64_t>(attempts));
+    return reachable;
+  }
   if (options_.put_latency.count() > 0) {
     std::this_thread::sleep_for(options_.put_latency);
   }
@@ -176,12 +201,18 @@ Status RemoteStore::put(std::string_view key, std::string value) {
   if (torn.has_value()) {
     // The upload died mid-flight: the endpoint keeps the bytes that arrived
     // and the client never completes the transfer. The truncated frame fails
-    // checksum verification on the next download.
+    // checksum verification on the next download. The failed earlier attempts
+    // sent the whole frame; this one sent the kept prefix.
+    note_wire_put(frame_size * static_cast<std::uint64_t>(attempts - 1) + *torn);
     (void)inner_->put(key, framed.substr(0, *torn));
     throw support::CrashInjected{std::string(kRemotePutSite)};
   }
   COMT_TRY_STATUS(inner_->put(key, std::move(framed)));
-  note_put(bytes);
+  const std::uint64_t wire = frame_size * static_cast<std::uint64_t>(attempts);
+  note_wire_put(wire);
+  logical_put_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (logical_put_counter_ != nullptr) logical_put_counter_->add(bytes);
+  note_put(wire);
   return Status::success();
 }
 
@@ -226,10 +257,13 @@ void RemoteStore::set_observer(obs::Tracer* tracer, obs::MetricsRegistry* metric
   tracer_ = tracer;
   if (metrics == nullptr) {
     retry_counter_ = nullptr;
+    logical_get_counter_ = logical_put_counter_ = nullptr;
     breaker_opens_ = breaker_closes_ = breaker_fast_fail_counter_ = nullptr;
     return;
   }
   retry_counter_ = &metrics->counter("store.remote.retries");
+  logical_get_counter_ = &metrics->counter("store.remote.logical_get_bytes");
+  logical_put_counter_ = &metrics->counter("store.remote.logical_put_bytes");
   breaker_opens_ = &metrics->counter("store.remote.breaker.opens");
   breaker_closes_ = &metrics->counter("store.remote.breaker.closes");
   breaker_fast_fail_counter_ = &metrics->counter("store.remote.breaker.fast_fails");

@@ -91,6 +91,27 @@ class RemoteStore final : public KvStore {
   /// Transient faults retried away over this store's lifetime.
   std::uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
+  // Wire-vs-logical byte accounting. Wire bytes are what actually crossed the
+  // simulated network: the framed value once per attempt (a failed attempt
+  // re-sends the whole object; a torn upload counts the prefix the endpoint
+  // kept). Logical bytes count each successful operation's unframed value
+  // exactly once — what a caller would naively assume "bytes" means. The
+  // "store.get_bytes"/"store.put_bytes" metrics report wire traffic;
+  // "store.remote.logical_get_bytes"/"store.remote.logical_put_bytes" report
+  // the logical view.
+  std::uint64_t wire_get_bytes() const {
+    return wire_get_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wire_put_bytes() const {
+    return wire_put_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t logical_get_bytes() const {
+    return logical_get_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t logical_put_bytes() const {
+    return logical_put_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Current breaker position (always closed when the breaker is disabled).
   BreakerState breaker_state() const;
   /// Operations rejected fast while the breaker was open.
@@ -105,9 +126,13 @@ class RemoteStore final : public KvStore {
   Result<std::string> unframe(std::string_view key, std::string framed) const;
 
   /// Runs the site's fault check with bounded retry/backoff; returns the
-  /// last injected error once attempts are exhausted.
-  Status checked_attempts(std::string_view site) const;
+  /// last injected error once attempts are exhausted. `attempts`, when
+  /// non-null, receives the number of transfer attempts made (1 with no
+  /// injector attached).
+  Status checked_attempts(std::string_view site, int* attempts = nullptr) const;
   void note_retry() const;
+  void note_wire_get(std::uint64_t bytes) const;
+  void note_wire_put(std::uint64_t bytes) const;
 
   /// Breaker admission gate for one operation. Fails fast when the breaker
   /// is open (and the cooldown has not lapsed); otherwise admits and, in
@@ -120,7 +145,13 @@ class RemoteStore final : public KvStore {
   std::shared_ptr<KvStore> inner_;
   Options options_;
   mutable std::atomic<std::uint64_t> retries_{0};  ///< bumped from const get()
+  mutable std::atomic<std::uint64_t> wire_get_bytes_{0};
+  mutable std::atomic<std::uint64_t> wire_put_bytes_{0};
+  mutable std::atomic<std::uint64_t> logical_get_bytes_{0};
+  mutable std::atomic<std::uint64_t> logical_put_bytes_{0};
   obs::Counter* retry_counter_ = nullptr;
+  obs::Counter* logical_get_counter_ = nullptr;
+  obs::Counter* logical_put_counter_ = nullptr;
 
   mutable std::mutex breaker_mutex_;
   mutable BreakerState state_ = BreakerState::closed;
